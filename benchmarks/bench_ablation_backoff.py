@@ -1,0 +1,59 @@
+"""Ablation — s_lock ``select()`` backoff vs pure spinning (§4.2.4).
+
+The paper: "While backoff using the select() call is perfect for
+uniprocessor systems, it is not so efficient in multiprocessors because
+query processes do not share the same processor.  This increases the
+wall time (response time) significantly."
+
+With its own CPU per process, a waiter that sleeps 10 ms gives the CPU
+to nobody — it just delays itself; a spinning waiter grabs the lock the
+moment it is free (at the cost of coherence traffic and burned thread
+time).  We run Q21 under both policies and compare wall time.
+"""
+
+from repro.config import DEFAULT_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.figures import FigureData
+
+from conftest import BENCH_TPCH
+
+
+def _run(backoff_cycles):
+    sim = DEFAULT_SIM.with_(backoff_cycles=backoff_cycles)
+    spec = ExperimentSpec(
+        query="Q21", platform="hpv", n_procs=8, sim=sim,
+        tpch=BENCH_TPCH, verify_results=False,
+    )
+    res = run_experiment(spec)
+    return res
+
+
+def test_ablation_backoff_vs_spin(benchmark, emit):
+    def sweep():
+        fig = FigureData(
+            "abl_backoff",
+            "Ablation: s_lock select() backoff vs pure spin (Q21, 8 procs)",
+            ("policy", "wall_cycles", "mean_thread_cycles", "vol_switches"),
+        )
+        for policy, cycles in (("select-backoff", DEFAULT_SIM.backoff_cycles),
+                               ("pure-spin", 0)):
+            res = _run(cycles)
+            fig.rows.append(
+                {
+                    "policy": policy,
+                    "wall_cycles": res.runs[0].wall_cycles,
+                    "mean_thread_cycles": res.mean.cycles,
+                    "vol_switches": res.mean.vol_switches,
+                }
+            )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+    backoff = fig.select(policy="select-backoff")[0]
+    spin = fig.select(policy="pure-spin")[0]
+    # The paper's point: backing off inflates response (wall) time on a
+    # multiprocessor, and only the backoff policy context-switches.
+    assert backoff["wall_cycles"] >= spin["wall_cycles"]
+    assert backoff["vol_switches"] > 0
+    assert spin["vol_switches"] == 0

@@ -1,0 +1,69 @@
+"""Ablation — Origin L2 line size (§3.3's claim).
+
+"The longer cache lines (128-bytes) decrease the cache misses for both
+Q6 and Q21 while the larger size of L2 cache has a smaller effect on
+cache misses for Q6 than for Q21."
+
+We rebuild the Origin with a 32 B L2 line (same capacity) and with a
+quarter-capacity L2 (same 128 B line) and measure Q6 vs Q21 L2 misses.
+"""
+
+from dataclasses import replace
+
+from repro.config import DEFAULT_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.figures import FigureData
+from repro.mem.cache import CacheConfig
+from repro.mem.machine import sgi_origin_2000
+
+from conftest import BENCH_TPCH
+
+
+def _origin_variant(l2_line=128, l2_shrink_log2=0):
+    base = sgi_origin_2000()
+    l1, l2 = base.caches
+    new_l2 = CacheConfig(l2.name, l2.size >> l2_shrink_log2, l2_line, l2.assoc)
+    machine = replace(base, caches=(l1, new_l2))
+    return machine.scaled(DEFAULT_SIM.cache_scale_log2)
+
+
+def _l2_misses(query, machine):
+    spec = ExperimentSpec(
+        query=query, platform="sgi", n_procs=1, sim=DEFAULT_SIM,
+        tpch=BENCH_TPCH, verify_results=False,
+    )
+    return run_experiment(spec, machine=machine).mean.coherent_misses
+
+
+def test_ablation_l2_linesize_and_capacity(benchmark, emit):
+    def sweep():
+        fig = FigureData(
+            "abl_line",
+            "Ablation: Origin L2 line size / capacity (L2 misses, 1 proc)",
+            ("query", "variant", "l2_misses"),
+        )
+        variants = {
+            "baseline(128B)": _origin_variant(),
+            "short-line(32B)": _origin_variant(l2_line=32),
+            "quarter-size": _origin_variant(l2_shrink_log2=2),
+        }
+        for q in ("Q6", "Q21"):
+            for name, machine in variants.items():
+                fig.rows.append(
+                    {"query": q, "variant": name, "l2_misses": _l2_misses(q, machine)}
+                )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+
+    def get(q, v):
+        return fig.value("l2_misses", query=q, variant=v)
+
+    # Long lines reduce misses for both queries...
+    assert get("Q6", "short-line(32B)") > get("Q6", "baseline(128B)")
+    assert get("Q21", "short-line(32B)") > get("Q21", "baseline(128B)")
+    # ...while capacity loss hurts the index query relatively more.
+    q6_cap = get("Q6", "quarter-size") / get("Q6", "baseline(128B)")
+    q21_cap = get("Q21", "quarter-size") / get("Q21", "baseline(128B)")
+    assert q21_cap > q6_cap

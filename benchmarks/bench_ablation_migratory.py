@@ -1,0 +1,55 @@
+"""Ablation — the V-Class migratory optimization on vs off.
+
+DESIGN.md calls the migratory protocol out as the Fig. 9 mechanism;
+here we switch it off and show the lock/metadata handoffs get dearer:
+with migration disabled every read-then-write by a new owner pays an
+extra ownership upgrade.
+"""
+
+from dataclasses import replace
+
+from repro.config import DEFAULT_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.figures import FigureData
+from repro.mem.machine import hp_v_class
+
+from conftest import BENCH_TPCH
+
+
+def _run(query, n_procs, migratory):
+    machine = replace(hp_v_class(), migratory_enabled=migratory).scaled(
+        DEFAULT_SIM.cache_scale_log2
+    )
+    spec = ExperimentSpec(
+        query=query, platform="hpv", n_procs=n_procs, sim=DEFAULT_SIM,
+        tpch=BENCH_TPCH, verify_results=False,
+    )
+    return run_experiment(spec, machine=machine).mean
+
+
+def test_ablation_migratory(benchmark, emit):
+    def sweep():
+        fig = FigureData(
+            "abl_migratory",
+            "Ablation: V-Class migratory optimization (Q21, 4 procs)",
+            ("migratory", "upgrades", "mem_latency_cycles", "cycles"),
+        )
+        for migratory in (True, False):
+            m = _run("Q21", 4, migratory)
+            fig.rows.append(
+                {
+                    "migratory": migratory,
+                    "upgrades": m.upgrades,
+                    "mem_latency_cycles": m.mem_latency_cycles,
+                    "cycles": m.cycles,
+                }
+            )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+    on = fig.select(migratory=True)[0]
+    off = fig.select(migratory=False)[0]
+    # Without migration the read-modify-write handoffs pay an extra
+    # directory trip: total open-request latency rises.
+    assert off["mem_latency_cycles"] > on["mem_latency_cycles"]

@@ -1,0 +1,88 @@
+"""Ablations — Origin NUMA policies.
+
+Two design choices the paper's §4.1.1 discussion implies matter:
+
+* **DBMS home-node spread**: the paper observes that shared-memory
+  requests all route "to the same node or a couple of different nodes".
+  We sweep 1 / 2 / 4 home nodes and watch 8-process contention relax.
+* **Speculative memory replies**: the Origin's recovery mechanism for
+  dirty misses; disabling it makes every intervention pay the full
+  3-leg trip.
+"""
+
+from dataclasses import replace
+
+from repro.config import DEFAULT_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.figures import FigureData
+from repro.mem.machine import sgi_origin_2000
+
+from conftest import BENCH_TPCH
+
+
+def _run(query, n_procs, machine):
+    spec = ExperimentSpec(
+        query=query, platform="sgi", n_procs=n_procs, sim=DEFAULT_SIM,
+        tpch=BENCH_TPCH, verify_results=False,
+    )
+    return run_experiment(spec, machine=machine)
+
+
+def test_ablation_home_node_spread(benchmark, emit):
+    def sweep():
+        fig = FigureData(
+            "abl_homenodes",
+            "Ablation: DBMS shared-memory home nodes on the Origin "
+            "(Q6, 8 procs)",
+            ("home_nodes", "cycles", "queue_delay"),
+        )
+        for nodes in ((0,), (0, 1), (0, 1, 2, 3)):
+            machine = replace(sgi_origin_2000(), db_home_nodes=nodes).scaled(
+                DEFAULT_SIM.cache_scale_log2
+            )
+            res = _run("Q6", 8, machine)
+            fig.rows.append(
+                {
+                    "home_nodes": len(nodes),
+                    "cycles": res.mean.cycles,
+                    "queue_delay": res.runs[0].interconnect_queue_delay_mean,
+                }
+            )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+    by_nodes = {r["home_nodes"]: r for r in fig.rows}
+    # Spreading the DBMS memory over more nodes relieves the hot spot.
+    assert by_nodes[1]["queue_delay"] > by_nodes[4]["queue_delay"]
+    assert by_nodes[1]["cycles"] > by_nodes[4]["cycles"]
+
+
+def test_ablation_speculative_reply(benchmark, emit):
+    def sweep():
+        fig = FigureData(
+            "abl_speculative",
+            "Ablation: Origin speculative memory replies (Q21, 8 procs)",
+            ("speculative", "cycles", "mem_latency_cycles"),
+        )
+        for speculative in (True, False):
+            base = sgi_origin_2000()
+            machine = replace(
+                base, latency=replace(base.latency, speculative_reply=speculative)
+            ).scaled(DEFAULT_SIM.cache_scale_log2)
+            res = _run("Q21", 8, machine)
+            fig.rows.append(
+                {
+                    "speculative": speculative,
+                    "cycles": res.mean.cycles,
+                    "mem_latency_cycles": res.mean.mem_latency_cycles,
+                }
+            )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+    on = fig.select(speculative=True)[0]
+    off = fig.select(speculative=False)[0]
+    assert off["mem_latency_cycles"] > on["mem_latency_cycles"]
+    assert off["cycles"] >= on["cycles"]

@@ -1,0 +1,52 @@
+"""Ablation — context-switch cache pollution.
+
+The baseline model charges only direct context-switch cycles; this
+ablation turns on LRU-displacement pollution (the footprint of daemon
+work during each involuntary switch) and measures how much the V-Class's
+large cache actually shields (the reason the paper can treat switches
+as near-free for cache state).
+"""
+
+from repro.config import DEFAULT_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.figures import FigureData
+
+from conftest import BENCH_TPCH
+
+
+def _run(pollution_lines):
+    sim = DEFAULT_SIM.with_(
+        cs_pollution_lines=pollution_lines,
+        time_slice_cycles=400_000,  # more switches to amplify the effect
+    )
+    spec = ExperimentSpec(
+        query="Q21", platform="hpv", n_procs=4, sim=sim,
+        tpch=BENCH_TPCH, verify_results=False,
+    )
+    return run_experiment(spec)
+
+
+def test_ablation_cs_pollution(benchmark, emit):
+    def sweep():
+        fig = FigureData(
+            "abl_pollution",
+            "Ablation: context-switch cache pollution (Q21, 4 procs, "
+            "short slices)",
+            ("pollution_lines", "dcache_misses", "cycles"),
+        )
+        for lines in (0, 256, 1024):
+            res = _run(lines)
+            fig.rows.append(
+                {
+                    "pollution_lines": lines,
+                    "dcache_misses": res.mean.level1_misses,
+                    "cycles": res.mean.cycles,
+                }
+            )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+    misses = fig.column("dcache_misses")
+    assert misses[0] <= misses[1] <= misses[2]
+    assert misses[2] > misses[0]  # heavy pollution must be visible

@@ -1,0 +1,32 @@
+"""Supplementary — coherent-level misses by data class (§3.3 taxonomy).
+
+The paper argues everything through the record / index / metadata /
+private decomposition ("there is record data, index data, metadata and
+private data in a DBMS"); this table exposes the simulator's
+decomposition for both platforms at 1 and 8 processes.
+"""
+
+from repro.core.figures import class_breakdown
+
+
+def test_class_breakdown(benchmark, runner, emit):
+    def sweep():
+        return (
+            class_breakdown(runner, n_procs=1),
+            class_breakdown(runner, n_procs=8),
+        )
+
+    one, eight = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(one, suffix="1proc")
+    emit(eight, suffix="8proc")
+
+    # Q6 is a pure sequential query: record misses dominate, index ~ 0.
+    q6 = one.select(query="Q6", platform="hpv")[0]
+    assert q6["record"] > 10 * max(q6["index"], 1)
+    # Q21 actually exercises the index class.
+    q21 = one.select(query="Q21", platform="sgi")[0]
+    assert q21["index"] >= 0  # present in the decomposition
+    # At 8 processes the meta component (communication) grows.
+    q21_8 = eight.select(query="Q21", platform="sgi")[0]
+    q21_1 = one.select(query="Q21", platform="sgi")[0]
+    assert q21_8["meta"] > q21_1["meta"]

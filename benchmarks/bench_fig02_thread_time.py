@@ -1,0 +1,22 @@
+"""Fig. 2 — Thread time in cycles (1 and 8 query processes).
+
+Paper shapes: (a) at one process both machines need nearly the same
+cycles and Q21 dwarfs Q6/Q12; (b) at eight processes the Origin needs
+clearly more cycles than the V-Class.
+"""
+
+from repro.core.figures import fig2_thread_time
+
+
+def test_fig2_thread_time(benchmark, runner, emit):
+    fig = benchmark.pedantic(
+        lambda: fig2_thread_time(runner), rounds=1, iterations=1
+    )
+    emit(fig)
+    for q in ("Q6", "Q21", "Q12"):
+        one_hpv = fig.value("cycles", query=q, platform="hpv", n_procs=1)
+        one_sgi = fig.value("cycles", query=q, platform="sgi", n_procs=1)
+        assert abs(one_hpv - one_sgi) / max(one_hpv, one_sgi) < 0.2
+        eight_hpv = fig.value("cycles", query=q, platform="hpv", n_procs=8)
+        eight_sgi = fig.value("cycles", query=q, platform="sgi", n_procs=8)
+        assert eight_sgi > eight_hpv

@@ -1,0 +1,23 @@
+"""Fig. 3 — Cycles per instruction.
+
+Paper shapes: CPI sits in the ~1.3-1.6 band at one process; adding
+processes raises CPI on both machines, but much more on the Origin
+(e.g. Q6: 1.35 -> 1.55 on the Origin vs. a small V-Class rise).
+"""
+
+from repro.core.figures import fig3_cpi
+
+
+def test_fig3_cpi(benchmark, runner, emit):
+    fig = benchmark.pedantic(lambda: fig3_cpi(runner), rounds=1, iterations=1)
+    emit(fig)
+    for row in fig.rows:
+        assert 1.2 <= row["cpi"] <= 1.9
+    for q in ("Q6", "Q21", "Q12"):
+        d_sgi = fig.value("cpi", query=q, platform="sgi", n_procs=8) - fig.value(
+            "cpi", query=q, platform="sgi", n_procs=1
+        )
+        d_hpv = fig.value("cpi", query=q, platform="hpv", n_procs=8) - fig.value(
+            "cpi", query=q, platform="hpv", n_procs=1
+        )
+        assert d_sgi > d_hpv > 0

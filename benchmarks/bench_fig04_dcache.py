@@ -1,0 +1,24 @@
+"""Fig. 4 — Data cache misses and miss rates per cache level.
+
+Paper shapes: for the sequential queries the Origin L1 takes a small
+multiple of the V-Class misses (2.3x for Q6); for the index query Q21
+the multiple is an order of magnitude; the Origin L2 cuts Q21's misses
+below even the V-Class's 2 MB cache.
+"""
+
+from repro.core.figures import fig4_dcache
+
+
+def test_fig4_dcache(benchmark, runner, emit):
+    fig = benchmark.pedantic(lambda: fig4_dcache(runner), rounds=1, iterations=1)
+    emit(fig)
+
+    def miss(q, cache, n=1):
+        return fig.value("misses", query=q, n_procs=n, cache=cache)
+
+    r_q6 = miss("Q6", "SGI-L1") / miss("Q6", "HPV")
+    r_q21 = miss("Q21", "SGI-L1") / miss("Q21", "HPV")
+    assert 1.2 < r_q6 < 4.0          # "a little more than twice"
+    assert r_q21 > 3 * r_q6          # "roughly 12 times"
+    assert miss("Q21", "SGI-L2") < miss("Q21", "HPV")  # L2 wins for Q21
+    assert miss("Q6", "SGI-L2") < miss("Q6", "SGI-L1")

@@ -1,0 +1,18 @@
+"""Fig. 5 — Origin 2000 thread time (cycles / 1M instrs) vs processes.
+
+Paper shape: thread time rises for all three queries as processes are
+added; communication, coherence and home-node contention drive it.
+"""
+
+from repro.core.figures import fig5_origin_thread_time
+
+
+def test_fig5_origin_thread_time(benchmark, runner, emit):
+    fig = benchmark.pedantic(
+        lambda: fig5_origin_thread_time(runner), rounds=1, iterations=1
+    )
+    emit(fig)
+    for q in ("Q6", "Q21", "Q12"):
+        series = [r["cycles_per_minstr"] for r in fig.select(query=q)]
+        assert all(b > a for a, b in zip(series, series[1:]))
+        assert series[-1] > 1.10 * series[0]  # substantial total growth

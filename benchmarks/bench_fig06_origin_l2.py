@@ -1,0 +1,23 @@
+"""Fig. 6 — Origin 2000 L2 data-cache misses per 1M instrs vs processes.
+
+Paper shapes: L2 misses rise with process count; Q21's density is far
+below Q6/Q12 (index temporal locality); and for Q21 the growth is
+communication misses, which become the majority at 8 processes.
+"""
+
+from repro.core.figures import fig6_origin_l2
+
+
+def test_fig6_origin_l2(benchmark, runner, emit):
+    fig = benchmark.pedantic(
+        lambda: fig6_origin_l2(runner), rounds=1, iterations=1
+    )
+    emit(fig)
+    for q in ("Q6", "Q21", "Q12"):
+        series = [r["l2_per_minstr"] for r in fig.select(query=q)]
+        assert series[-1] > series[0]
+    q21_1 = fig.value("l2_per_minstr", query="Q21", n_procs=1)
+    assert q21_1 < 0.5 * fig.value("l2_per_minstr", query="Q6", n_procs=1)
+    assert q21_1 < 0.5 * fig.value("l2_per_minstr", query="Q12", n_procs=1)
+    assert fig.value("comm_fraction", query="Q21", n_procs=8) > 0.5
+    assert fig.value("comm_fraction", query="Q6", n_procs=8) < 0.5

@@ -1,0 +1,21 @@
+"""Fig. 7 — V-Class thread time (cycles / 1M instrs) vs processes.
+
+Paper shapes: only a very slow increase overall; the largest step is
+1 -> 2 processes, and from 2 -> 4 thread time even eases (the
+migratory-optimization/sharing-state effect of §4.2.3).
+"""
+
+from repro.core.figures import fig7_vclass_thread_time
+
+
+def test_fig7_vclass_thread_time(benchmark, runner, emit):
+    fig = benchmark.pedantic(
+        lambda: fig7_vclass_thread_time(runner), rounds=1, iterations=1
+    )
+    emit(fig)
+    for q in ("Q6", "Q21", "Q12"):
+        series = {r["n_procs"]: r["cycles_per_minstr"] for r in fig.select(query=q)}
+        assert series[8] < 1.25 * series[1]  # slow overall growth
+        step12 = series[2] - series[1]
+        assert step12 > 0
+        assert step12 >= series[4] - series[2]  # largest step is 1->2

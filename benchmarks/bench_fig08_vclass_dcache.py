@@ -1,0 +1,22 @@
+"""Fig. 8 — V-Class data-cache misses per 1M instrs vs processes.
+
+Paper shape: moderate increase with process count; cold-start and
+capacity misses stay the dominant component throughout.
+"""
+
+from repro.core.figures import fig8_vclass_dcache
+
+
+def test_fig8_vclass_dcache(benchmark, runner, emit):
+    fig = benchmark.pedantic(
+        lambda: fig8_vclass_dcache(runner), rounds=1, iterations=1
+    )
+    emit(fig)
+    for q in ("Q6", "Q21", "Q12"):
+        series = [r["dmiss_per_minstr"] for r in fig.select(query=q)]
+        assert series[-1] > series[0]
+        assert series[-1] < 3 * series[0]  # "moderately increase"
+    # sequential queries: cold/capacity dominate even at 8 procs
+    for q in ("Q6", "Q12"):
+        m = runner.cell(q, "hpv", 8).mean
+        assert m.miss_cold + m.miss_capacity > m.miss_comm

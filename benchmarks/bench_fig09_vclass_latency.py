@@ -1,0 +1,25 @@
+"""Fig. 9 — V-Class memory latency vs processes (open-request counter).
+
+Paper shape: a big jump from 1 to 2 processes (every page's first
+sharer pays the exclusive-owner intervention), then a *decrease* from
+2 to 4 (lines are in shared state; memory answers directly) — the
+migratory-optimization story of §4.2.3.
+"""
+
+from repro.core import metrics
+from repro.core.figures import fig9_vclass_latency
+
+
+def test_fig9_vclass_latency(benchmark, runner, emit):
+    fig = benchmark.pedantic(
+        lambda: fig9_vclass_latency(runner), rounds=1, iterations=1
+    )
+    emit(fig)
+    for q in ("Q6", "Q12"):
+        # per-transaction latency shows the bump-then-relief cleanly
+        lat = {
+            n: metrics.mean_memory_latency_cycles(runner.cell(q, "hpv", n).mean)
+            for n in (1, 2, 4)
+        }
+        assert lat[2] > 1.1 * lat[1]
+        assert lat[4] < lat[2]

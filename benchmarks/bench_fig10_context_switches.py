@@ -1,0 +1,23 @@
+"""Fig. 10 — Context switches per 1M instructions on the V-Class.
+
+Paper shapes: at one process essentially all switches are involuntary;
+from two processes on, voluntary switches (PostgreSQL's s_lock
+``select()`` backoff) appear, dominate, and grow almost linearly;
+involuntary switches rise only slowly and are query-type independent.
+"""
+
+from repro.core.figures import fig10_context_switches
+
+
+def test_fig10_context_switches(benchmark, runner, emit):
+    fig = benchmark.pedantic(
+        lambda: fig10_context_switches(runner), rounds=1, iterations=1
+    )
+    emit(fig)
+    for q in ("Q6", "Q21", "Q12"):
+        series = {r["n_procs"]: r for r in fig.select(query=q)}
+        assert series[1]["voluntary"] == 0
+        assert series[1]["involuntary"] > 0
+        assert series[8]["voluntary"] > series[8]["involuntary"]
+        vols = [series[n]["voluntary"] for n in (2, 4, 8)]
+        assert vols == sorted(vols)

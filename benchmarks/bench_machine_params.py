@@ -1,0 +1,48 @@
+"""§2.1 — machine-parameter table (the paper's Fig. 1 description) and
+simulator throughput.
+
+Prints both platform configurations (at native and experiment scale)
+and benchmarks the raw memory-system access rate, the number that
+bounds every other experiment's wall time.
+"""
+
+from repro.config import DEFAULT_SIM
+from repro.mem.machine import hp_v_class, sgi_origin_2000
+from repro.mem.memsys import MemorySystem
+from repro.trace.address import AddressSpace
+from repro.trace.classify import DataClass
+
+
+def test_machine_parameters(benchmark, report_dir):
+    def describe():
+        lines = []
+        for factory in (hp_v_class, sgi_origin_2000):
+            native = factory()
+            scaled = native.scaled(DEFAULT_SIM.cache_scale_log2)
+            lines.append(native.describe())
+            lines.append("  -- experiment scale --")
+            lines.extend("  " + c.describe() for c in scaled.caches)
+            lines.append("")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(describe, rounds=1, iterations=1)
+    (report_dir / "machine_params.txt").write_text(text + "\n")
+    print("\n" + text)
+    assert "PA-8200" in text and "R10000" in text
+
+
+def test_memsys_access_throughput(benchmark):
+    """Accesses/second through the full coherence stack (hot loop)."""
+    aspace = AddressSpace()
+    seg = aspace.alloc("bench", 1 << 20, DataClass.RECORD)
+    ms = MemorySystem(sgi_origin_2000().scaled(DEFAULT_SIM.cache_scale_log2), aspace)
+    addrs = list(range(seg.base, seg.base + (1 << 18), 32))
+
+    def run():
+        access = ms.access
+        t = 0
+        for a in addrs:
+            t += access(0, a, False, 0, t) + 10
+        return t
+
+    benchmark(run)

@@ -1,0 +1,110 @@
+"""Calibration microbenchmarks (the Iyer et al. ICS'99 methodology).
+
+Regenerates the latency staircase, the coherence ping-pong, and the
+streaming-contention comparison that justify the machine models'
+parameters — the "prior work" substrate the paper builds on.
+"""
+
+from repro.config import DEFAULT_SIM
+from repro.core.figures import FigureData
+from repro.mem.machine import hp_v_class, sgi_origin_2000
+from repro.micro.bandwidth import stream
+from repro.micro.latency import latency_curve
+from repro.micro.sharing import pingpong
+
+KB = 1024
+
+
+def _machines():
+    s = DEFAULT_SIM.cache_scale_log2
+    return hp_v_class().scaled(s), sgi_origin_2000().scaled(s)
+
+
+def test_latency_staircase(benchmark, emit):
+    hpv, sgi = _machines()
+
+    def sweep():
+        fig = FigureData(
+            "micro_latency",
+            "Microbenchmark: load latency vs working set (cycles/access)",
+            ("machine", "working_set", "cycles_per_access"),
+        )
+        sizes = [512, 8 * KB, 64 * KB, 512 * KB]
+        for name, machine in (("hpv", hpv), ("sgi", sgi)):
+            for p in latency_curve(machine, sizes, iterations=5):
+                fig.rows.append(
+                    {
+                        "machine": name,
+                        "working_set": p.working_set,
+                        "cycles_per_access": p.cycles_per_access,
+                    }
+                )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+    for name in ("hpv", "sgi"):
+        series = [r["cycles_per_access"] for r in fig.select(machine=name)]
+        assert series == sorted(series)  # monotone staircase
+
+
+def test_coherence_pingpong(benchmark, emit):
+    hpv, sgi = _machines()
+
+    def sweep():
+        fig = FigureData(
+            "micro_pingpong",
+            "Microbenchmark: read-modify-write ping-pong between 2 CPUs",
+            ("machine", "cycles_per_handoff", "mean_latency", "migratory_transfers"),
+        )
+        for name, machine in (("hpv", hpv), ("sgi", sgi)):
+            r = pingpong(machine, n_cpus=2, rounds=300)
+            fig.rows.append(
+                {
+                    "machine": name,
+                    "cycles_per_handoff": r.cycles_per_handoff,
+                    "mean_latency": r.mean_latency_cycles,
+                    "migratory_transfers": r.migratory_transfers,
+                }
+            )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+    hv = fig.select(machine="hpv")[0]
+    og = fig.select(machine="sgi")[0]
+    assert og["mean_latency"] > hv["mean_latency"]  # §3.1
+    assert hv["migratory_transfers"] > 0
+    assert og["migratory_transfers"] == 0
+
+
+def test_stream_contention(benchmark, emit):
+    hpv, sgi = _machines()
+
+    def sweep():
+        fig = FigureData(
+            "micro_stream",
+            "Microbenchmark: streaming cycles/line vs CPU count",
+            ("machine", "n_cpus", "cycles_per_line", "queue_delay"),
+        )
+        for name, machine in (("hpv", hpv), ("sgi", sgi)):
+            for n in (1, 4, 8):
+                r = stream(machine, n_cpus=n, nbytes_per_cpu=32 * KB, home_node=0)
+                fig.rows.append(
+                    {
+                        "machine": name,
+                        "n_cpus": n,
+                        "cycles_per_line": r.cycles_per_cacheline,
+                        "queue_delay": r.mean_queue_delay,
+                    }
+                )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+
+    def degradation(name):
+        s = {r["n_cpus"]: r["cycles_per_line"] for r in fig.select(machine=name)}
+        return s[8] / s[1]
+
+    assert degradation("sgi") > degradation("hpv")

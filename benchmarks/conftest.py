@@ -1,0 +1,56 @@
+"""Shared infrastructure for the benchmark harness.
+
+One memoized :class:`SweepRunner` serves every figure benchmark (the
+paper, likewise, ran each (query, procs, platform) cell once and read
+all its metrics from the same run).  Every benchmark writes its
+regenerated table to ``reports/`` so the numbers survive the pytest
+output capture; run with ``-s`` to also see them inline.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SF``    — TPC-H scale factor (default 0.001)
+* ``REPRO_BENCH_SEED``  — data seed (default 19920101)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import DEFAULT_SIM
+from repro.core.report import render_table
+from repro.core.sweep import SweepRunner
+from repro.tpch.datagen import TPCHConfig
+
+BENCH_TPCH = TPCHConfig(
+    sf=float(os.environ.get("REPRO_BENCH_SF", "0.001")),
+    seed=int(os.environ.get("REPRO_BENCH_SEED", "19920101")),
+)
+
+
+@pytest.fixture(scope="session")
+def runner() -> SweepRunner:
+    return SweepRunner(sim=DEFAULT_SIM, tpch=BENCH_TPCH)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    path = Path(__file__).resolve().parent.parent / "reports"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def emit(report_dir):
+    """Write a regenerated figure to reports/<fig_id>.txt and stdout."""
+
+    def _emit(fig, suffix: str = "") -> str:
+        text = render_table(fig)
+        name = fig.fig_id + (f"_{suffix}" if suffix else "")
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _emit

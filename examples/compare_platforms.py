@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Single- vs multi-process comparison across platforms (Figs. 2-4).
+
+Runs the paper's three representative queries with 1 and 8 query
+processes on both machine models and prints the thread-time, CPI, and
+per-level cache-miss tables.
+
+Usage:
+    python examples/compare_platforms.py [--sf 0.001] [--queries Q6,Q21,Q12]
+"""
+
+import argparse
+
+from repro.config import DEFAULT_SIM
+from repro.core.figures import fig2_thread_time, fig3_cpi, fig4_dcache
+from repro.core.report import render_table
+from repro.core.sweep import SweepRunner
+from repro.tpch.datagen import TPCHConfig
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sf", type=float, default=0.001, help="TPC-H scale factor")
+    ap.add_argument("--queries", default="Q6,Q21,Q12")
+    args = ap.parse_args()
+
+    queries = tuple(args.queries.split(","))
+    runner = SweepRunner(sim=DEFAULT_SIM, tpch=TPCHConfig(sf=args.sf))
+
+    for builder in (fig2_thread_time, fig3_cpi, fig4_dcache):
+        fig = builder(runner, queries=queries)
+        print(render_table(fig))
+        print()
+
+    print("Reading guide (paper claims):")
+    print(" * fig2: 1-proc cycles nearly equal; 8-proc cycles higher on SGI")
+    print(" * fig3: CPI ~1.3-1.6; grows more on SGI with 8 processes")
+    print(" * fig4: SGI-L1 misses exceed HPV (most for Q21); SGI-L2 wins Q21")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Cache-sensitivity study: sequential vs index queries (§3.3).
+
+The paper explains Q6 and Q21 through their locality: a sequential scan
+has spatial but no temporal locality, an index query reuses the upper
+B-tree levels.  This study makes that concrete by sweeping the cache
+scale of both machines and watching where each query's miss counts
+collapse.
+
+Usage:
+    python examples/locality_study.py [--sf 0.0008]
+"""
+
+import argparse
+
+from repro.config import DEFAULT_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.mem.machine import platform
+from repro.tpch.datagen import TPCHConfig
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sf", type=float, default=0.0008)
+    args = ap.parse_args()
+
+    tpch = TPCHConfig(sf=args.sf)
+    print(f"{'query':6} {'platform':8} {'cache scale':12} "
+          f"{'L1 misses':>10} {'coherent misses':>16}")
+    print("-" * 60)
+    for q in ("Q6", "Q21"):
+        for plat in ("hpv", "sgi"):
+            for scale_log2 in (7, 5, 3):
+                sim = DEFAULT_SIM.with_(cache_scale_log2=scale_log2)
+                machine = platform(plat).scaled(scale_log2)
+                spec = ExperimentSpec(
+                    query=q, platform=plat, n_procs=1, sim=sim, tpch=tpch,
+                    verify_results=False,
+                )
+                m = run_experiment(spec, machine=machine).mean
+                print(f"{q:6} {plat:8} 1/{1 << scale_log2:<10} "
+                      f"{m.level1_misses:>10,} {m.coherent_misses:>16,}")
+    print()
+    print("Reading guide: growing the caches (smaller scale divisor) barely")
+    print("helps Q6 — its record stream never fits — while Q21's misses")
+    print("collapse once the index working set is resident: the paper's")
+    print("'index queries express a somewhat bigger footprint but have")
+    print("better locality than sequential queries'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Tour of the calibration microbenchmarks (Iyer et al. methodology).
+
+Shows how the two machine models behave under the classic
+microbenchmarks the authors used in their prior study: the latency
+staircase, NUMA remote-access penalty, coherence ping-pong (with the
+V-Class migratory optimization visibly kicking in), and streaming
+contention at the Origin's DBMS home node.
+
+Usage:
+    python examples/microbench_tour.py
+"""
+
+from repro.config import DEFAULT_SIM
+from repro.mem.machine import hp_v_class, sgi_origin_2000
+from repro.micro.bandwidth import stream
+from repro.micro.latency import latency_curve, measure_latency
+from repro.micro.sharing import pingpong, producer_consumers
+
+KB = 1024
+SCALE = DEFAULT_SIM.cache_scale_log2
+
+
+def main() -> None:
+    hpv = hp_v_class().scaled(SCALE)
+    sgi = sgi_origin_2000().scaled(SCALE)
+
+    print("== Load-latency staircase (cycles per dependent load) ==")
+    sizes = [512, 4 * KB, 32 * KB, 256 * KB]
+    for name, machine in (("V-Class", hpv), ("Origin", sgi)):
+        points = latency_curve(machine, sizes, iterations=5)
+        row = "  ".join(f"{p.working_set // KB or p.working_set}"
+                        f"{'K' if p.working_set >= KB else 'B'}:"
+                        f"{p.cycles_per_access:6.1f}" for p in points)
+        print(f"  {name:8} {row}")
+
+    print("\n== Origin NUMA: local vs 4-hop remote memory ==")
+    local = measure_latency(sgi, 256 * KB, home_node=0, cpu=0)
+    remote = measure_latency(sgi, 256 * KB, home_node=15, cpu=0)
+    print(f"  local : {local.cycles_per_access:6.1f} cycles/access")
+    print(f"  remote: {remote.cycles_per_access:6.1f} cycles/access")
+
+    print("\n== Coherence ping-pong: 2 CPUs read-modify-write one line ==")
+    for name, machine in (("V-Class", hpv), ("Origin", sgi)):
+        r = pingpong(machine, n_cpus=2, rounds=300)
+        print(f"  {name:8} handoff={r.cycles_per_handoff:7.1f} cycles  "
+              f"mean latency={r.mean_latency_cycles:6.1f}  "
+              f"migratory transfers={r.migratory_transfers}")
+
+    print("\n== V-Class producer/consumers: who pays the intervention ==")
+    lats = producer_consumers(hpv, n_readers=3)
+    for i, lat in enumerate(lats, 1):
+        print(f"  reader {i}: {lat:6.1f} cycles/access")
+    print("  (the Fig. 9 mechanism: the first sharer pays; later ones don't)")
+
+    print("\n== Streaming contention at the DBMS home node ==")
+    for name, machine in (("V-Class", hpv), ("Origin", sgi)):
+        for n in (1, 8):
+            r = stream(machine, n_cpus=n, nbytes_per_cpu=32 * KB, home_node=0)
+            print(f"  {name:8} {n} CPU(s): {r.cycles_per_cacheline:7.1f} "
+                  f"cycles/line (queue delay {r.mean_queue_delay:5.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Phase behaviour of a query (timeline sampling).
+
+The paper reports end-of-run totals; this example shows *when* the
+misses happen inside a run: Q21's initial ORDERS scan streams record
+lines, then the probe phase churns index nodes and — with several
+backends — buffer-header metadata.
+
+Usage:
+    python examples/phase_study.py [--query Q21] [--procs 4] [--sf 0.0008]
+"""
+
+import argparse
+
+from repro.config import DEFAULT_SIM
+from repro.core.timeline import record_timeline
+from repro.core.workload import make_query_process
+from repro.mem.machine import platform
+from repro.mem.memsys import MemorySystem
+from repro.osim.scheduler import Kernel
+from repro.tpch.datagen import TPCHConfig, build_database
+from repro.tpch.queries import QUERIES
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--query", default="Q21", choices=sorted(QUERIES))
+    ap.add_argument("--platform", default="sgi", choices=("hpv", "sgi"))
+    ap.add_argument("--procs", type=int, default=4)
+    ap.add_argument("--sf", type=float, default=0.0008)
+    ap.add_argument("--interval", type=int, default=400_000)
+    args = ap.parse_args()
+
+    db = build_database(TPCHConfig(sf=args.sf))
+    machine = platform(args.platform).scaled(DEFAULT_SIM.cache_scale_log2)
+    memsys = MemorySystem(machine, db.aspace)
+    kernel = Kernel(machine, memsys, DEFAULT_SIM)
+    qdef = QUERIES[args.query]
+    for pid in range(args.procs):
+        gen, _ = make_query_process(db, qdef, qdef.params(), pid, pid)
+        kernel.spawn(gen, cpu=pid)
+    rec = record_timeline(kernel, memsys, args.interval)
+    kernel.run()
+    rec.finalize()
+
+    misses = rec.rate("coherent_misses")
+    comm = rec.rate("miss_comm")
+    top = max(misses) if misses else 1
+    print(f"{args.query} on {machine.name}, {args.procs} backends; one row "
+          f"per {args.interval:,} cycles\n")
+    print(f"{'t (Mcyc)':>9}  {'misses':>8}  {'comm':>7}  profile")
+    for t, m, c in zip(rec.times(), misses, comm):
+        bar = "#" * int(40 * m / top) if top else ""
+        print(f"{t / 1e6:>9.2f}  {m:>8,}  {c:>7,}  {bar}")
+    print("\ncomm misses concentrate in the probe phase — the shared")
+    print("metadata churn behind the paper's Fig. 6 growth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Multiprogramming scaling study (Figs. 5-10).
+
+Sweeps the number of concurrent query processes from 1 to 8 and prints,
+for each platform, the thread-time, cache-miss, memory-latency, and
+context-switch series as text bars — the paper's §4 in one run.
+
+Usage:
+    python examples/scaling_study.py [--sf 0.001] [--query Q6]
+"""
+
+import argparse
+
+from repro.config import DEFAULT_SIM
+from repro.core import metrics
+from repro.core.figures import (
+    fig5_origin_thread_time,
+    fig6_origin_l2,
+    fig7_vclass_thread_time,
+    fig8_vclass_dcache,
+    fig9_vclass_latency,
+    fig10_context_switches,
+)
+from repro.core.report import render_series, render_table
+from repro.core.sweep import SweepRunner
+from repro.tpch.datagen import TPCHConfig
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sf", type=float, default=0.001)
+    ap.add_argument("--query", default="Q6")
+    args = ap.parse_args()
+
+    queries = (args.query,)
+    runner = SweepRunner(sim=DEFAULT_SIM, tpch=TPCHConfig(sf=args.sf))
+
+    print(render_series(fig5_origin_thread_time(runner, queries=queries),
+                        "cycles_per_minstr"))
+    print()
+    print(render_series(fig7_vclass_thread_time(runner, queries=queries),
+                        "cycles_per_minstr"))
+    print()
+    print(render_series(fig6_origin_l2(runner, queries=queries), "l2_per_minstr"))
+    print()
+    print(render_series(fig8_vclass_dcache(runner, queries=queries),
+                        "dmiss_per_minstr"))
+    print()
+    print(render_series(fig9_vclass_latency(runner, queries=queries),
+                        "latency_seconds"))
+    print()
+    print(render_table(fig10_context_switches(runner, queries=queries)))
+
+    print("\nSummary for", args.query)
+    g_sgi = (runner.cell(args.query, "sgi", 8).mean.cycles
+             / runner.cell(args.query, "sgi", 1).mean.cycles - 1)
+    g_hpv = (runner.cell(args.query, "hpv", 8).mean.cycles
+             / runner.cell(args.query, "hpv", 1).mean.cycles - 1)
+    print(f"  thread-time growth 1->8 procs: Origin +{g_sgi:.0%}, "
+          f"V-Class +{g_hpv:.0%}")
+    m8 = runner.cell(args.query, "sgi", 8).mean
+    print(f"  Origin comm-miss fraction at 8 procs: "
+          f"{metrics.comm_miss_fraction(m8):.0%}")
+
+
+if __name__ == "__main__":
+    main()

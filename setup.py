@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and
+no network, so PEP 517/660 editable installs (which need
+``bdist_wheel``) fail.  Keeping a ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` take the
+classic ``setup.py develop`` path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — reproduction of "Comparing the Memory System Performance of
+DSS Workloads on the HP V-Class and SGI Origin 2000" (IPPS 2002).
+
+The package is an execution-driven multiprocessor memory-system
+simulator: a PostgreSQL-like DBMS substrate runs real TPC-H queries on
+generated data while every memory reference flows through full machine
+models of the two platforms.  The public API most users want:
+
+>>> from repro import run_experiment, ExperimentSpec
+>>> result = run_experiment(ExperimentSpec(query="Q6", platform="hpv", n_procs=1))
+>>> result.mean.cycles > 0
+True
+
+See README.md for the quickstart and DESIGN.md for the architecture.
+"""
+
+from ._version import __version__
+from .config import DEFAULT_SIM, TEST_SIM, SimConfig
+from .core.experiment import ExperimentResult, ExperimentSpec, run_experiment
+from .core.figures import FIGURES, regenerate_figure
+from .mem.machine import PLATFORMS, hp_v_class, platform, sgi_origin_2000
+
+__all__ = [
+    "__version__",
+    "SimConfig",
+    "DEFAULT_SIM",
+    "TEST_SIM",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "FIGURES",
+    "regenerate_figure",
+    "hp_v_class",
+    "sgi_origin_2000",
+    "platform",
+    "PLATFORMS",
+]

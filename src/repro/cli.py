@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``run``        — run one experiment cell and print its counters
+* ``figures``    — regenerate paper figures (all or a selection)
+* ``validate``   — evaluate the paper-claim scoreboard
+* ``microbench`` — run the calibration microbenchmarks
+* ``describe``   — print machine and database configurations
+* ``capture``    — record one query's reference trace to a file
+* ``replay``     — drive a saved trace through a machine model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import DEFAULT_SIM
+from .core import metrics
+from .core.experiment import ExperimentSpec, run_experiment
+from .core.figures import FIGURES, regenerate_figure
+from .core.report import render_table
+from .core.sweep import SweepRunner
+from .core.validate import scoreboard, validate_all
+from .mem.machine import PLATFORMS, platform
+from .tpch.datagen import TPCHConfig, build_database
+from .tpch.queries import QUERIES
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--sf", type=float, default=0.001, help="TPC-H scale factor")
+    p.add_argument("--seed", type=int, default=19920101, help="data seed")
+
+
+def _tpch(args) -> TPCHConfig:
+    return TPCHConfig(sf=args.sf, seed=args.seed)
+
+
+def cmd_run(args) -> int:
+    """``repro run``: one experiment cell, counters printed."""
+    spec = ExperimentSpec(
+        query=args.query,
+        platform=args.platform,
+        n_procs=args.procs,
+        tpch=_tpch(args),
+        sim=DEFAULT_SIM,
+    )
+    result = run_experiment(spec)
+    m = result.mean
+    machine = result.machine
+    print(machine.describe())
+    print(f"query={args.query} procs={args.procs} rows={result.runs[0].query_rows}")
+    print(f"thread time   : {m.cycles:,} cycles "
+          f"({metrics.thread_time_seconds(m, machine) * 1e3:.2f} ms)")
+    print(f"instructions  : {m.instructions:,}")
+    print(f"CPI           : {metrics.cpi(m, machine):.3f}")
+    print(f"L1 misses     : {m.level1_misses:,}  "
+          f"coherent misses: {m.coherent_misses:,}")
+    print(f"miss kinds    : cold={m.miss_cold} capacity={m.miss_capacity} "
+          f"comm={m.miss_comm}")
+    print(f"ctx switches  : voluntary={m.vol_switches} "
+          f"involuntary={m.invol_switches}")
+    print(f"mem latency   : {metrics.mean_memory_latency_cycles(m):.1f} "
+          f"cycles/transaction")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """``repro figures``: regenerate the selected paper figures."""
+    runner = SweepRunner(sim=DEFAULT_SIM, tpch=_tpch(args))
+    fig_ids = args.fig if args.fig else sorted(FIGURES)
+    for fig_id in fig_ids:
+        fig = regenerate_figure(fig_id, runner)
+        print(render_table(fig))
+        print()
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """``repro validate``: claim scoreboard; exit 1 on any miss."""
+    runner = SweepRunner(sim=DEFAULT_SIM, tpch=_tpch(args))
+    results = validate_all(runner)
+    print(scoreboard(results))
+    return 0 if all(r.holds for r in results) else 1
+
+
+def cmd_microbench(args) -> int:
+    """``repro microbench``: latency + ping-pong calibration runs."""
+    from .micro.latency import latency_curve
+    from .micro.sharing import pingpong
+
+    for name in ("hpv", "sgi"):
+        machine = platform(name).scaled(DEFAULT_SIM.cache_scale_log2)
+        print(machine.describe())
+        points = latency_curve(
+            machine, [512, 8 * 1024, 64 * 1024, 512 * 1024], iterations=5
+        )
+        for p in points:
+            print(f"  ws={p.working_set:>8}B  {p.cycles_per_access:7.2f} "
+                  f"cycles/access  miss={p.miss_ratio:.2f}")
+        r = pingpong(machine, n_cpus=2, rounds=200)
+        print(f"  pingpong: {r.cycles_per_handoff:.1f} cycles/handoff, "
+              f"{r.migratory_transfers} migratory transfers")
+        print()
+    return 0
+
+
+def cmd_capture(args) -> int:
+    """``repro capture``: record a query trace to an .npz file."""
+    from .tpch.queries import QUERIES as _Q
+    from .trace.capture import capture_query
+    from .trace.tracefile import save_trace
+
+    db = build_database(_tpch(args))
+    qdef = _Q[args.query]
+    batches, result = capture_query(db, qdef, qdef.params())
+    save_trace(args.out, batches)
+    refs = sum(len(b) for b in batches)
+    instrs = sum(b.total_instrs for b in batches)
+    print(f"captured {args.query}: {len(batches)} batches, {refs:,} refs, "
+          f"{instrs:,} instrs, {len(result)} result rows -> {args.out}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """``repro replay``: drive a saved trace through a machine model."""
+    from .trace.capture import replay_trace
+    from .trace.tracefile import load_trace
+
+    db = build_database(_tpch(args))
+    batches = load_trace(args.trace)
+    machine = platform(args.platform).scaled(DEFAULT_SIM.cache_scale_log2)
+    r = replay_trace(db, batches, machine)
+    print(machine.describe())
+    print(f"replayed {args.trace}: {r.cycles:,} cycles, "
+          f"{r.instructions:,} instrs, CPI {r.cpi:.3f}")
+    print(f"level1 misses: {r.stats.level1_misses:,}  "
+          f"coherent misses: {r.stats.coherent_misses:,}")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    """``repro describe``: machine and database configurations."""
+    for name in PLATFORMS:
+        machine = platform(name)
+        print(machine.describe())
+        print("  at experiment scale:")
+        for c in machine.scaled(DEFAULT_SIM.cache_scale_log2).caches:
+            print("    " + c.describe())
+        print()
+    db = build_database(_tpch(args))
+    print(db.describe())
+    print("\nqueries:", ", ".join(sorted(QUERIES)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSS memory-system characterization "
+        "(HP V-Class vs SGI Origin 2000 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one experiment cell")
+    p.add_argument("--query", choices=sorted(QUERIES), default="Q6")
+    p.add_argument("--platform", choices=sorted(PLATFORMS), default="hpv")
+    p.add_argument("--procs", type=int, default=1)
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("--fig", action="append", choices=sorted(FIGURES),
+                   help="figure id (repeatable); default: all")
+    _add_common(p)
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("validate", help="evaluate the paper-claim scoreboard")
+    _add_common(p)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("microbench", help="run calibration microbenchmarks")
+    _add_common(p)
+    p.set_defaults(func=cmd_microbench)
+
+    p = sub.add_parser("describe", help="print machine/database configs")
+    _add_common(p)
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("capture", help="capture a query's reference trace")
+    p.add_argument("--query", choices=sorted(QUERIES), default="Q6")
+    p.add_argument("--out", default="trace.npz")
+    _add_common(p)
+    p.set_defaults(func=cmd_capture)
+
+    p = sub.add_parser("replay", help="replay a trace on a machine model")
+    p.add_argument("--trace", default="trace.npz")
+    p.add_argument("--platform", choices=sorted(PLATFORMS), default="hpv")
+    _add_common(p)
+    p.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: the DSS characterization harness."""
+
+from . import metrics
+from .experiment import (
+    DEFAULT_TPCH,
+    DatabaseCache,
+    ExperimentResult,
+    ExperimentSpec,
+    RunResult,
+    run_experiment,
+)
+from .figures import FIGURES, FigureData, regenerate_all, regenerate_figure
+from .mixed import MixedResult, MixedSpec, run_mixed_experiment
+from .report import render_markdown, render_series, render_table
+from .stats import Summary, summarize, summarize_metric
+from .sweep import NPROC_SWEEP, SweepRunner
+from .timeline import FIELDS, TimelineRecorder, TimelineSample, record_timeline
+from .validate import CLAIMS, Claim, ClaimResult, scoreboard, validate_all
+from .workload import make_query_process, snapshot_process
+
+__all__ = [
+    "metrics",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "RunResult",
+    "run_experiment",
+    "DatabaseCache",
+    "DEFAULT_TPCH",
+    "FIGURES",
+    "FigureData",
+    "regenerate_figure",
+    "regenerate_all",
+    "render_table",
+    "render_series",
+    "render_markdown",
+    "SweepRunner",
+    "NPROC_SWEEP",
+    "make_query_process",
+    "snapshot_process",
+    "Claim",
+    "ClaimResult",
+    "CLAIMS",
+    "validate_all",
+    "scoreboard",
+    "MixedSpec",
+    "MixedResult",
+    "run_mixed_experiment",
+    "Summary",
+    "summarize",
+    "summarize_metric",
+    "TimelineRecorder",
+    "TimelineSample",
+    "record_timeline",
+    "FIELDS",
+]

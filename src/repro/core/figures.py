@@ -1,0 +1,306 @@
+"""Regeneration of every figure in the paper's evaluation.
+
+Each builder returns a :class:`FigureData` whose rows are the series
+the corresponding paper figure plots (and whose ``expectations``
+describe the qualitative shape the paper reports, used by the
+integration tests and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..tpch.queries import PAPER_QUERIES
+from . import metrics
+from .sweep import NPROC_SWEEP, SweepRunner
+
+
+@dataclass
+class FigureData:
+    """One regenerated table/figure."""
+
+    fig_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> List:
+        return [r[name] for r in self.rows]
+
+    def select(self, **filters) -> List[Dict]:
+        out = []
+        for r in self.rows:
+            if all(r.get(k) == v for k, v in filters.items()):
+                out.append(r)
+        return out
+
+    def value(self, metric: str, **filters) -> float:
+        rows = self.select(**filters)
+        if len(rows) != 1:
+            raise KeyError(f"{self.fig_id}: filters {filters} matched {len(rows)} rows")
+        return rows[0][metric]
+
+
+def fig2_thread_time(runner: SweepRunner, queries=PAPER_QUERIES) -> FigureData:
+    """Fig. 2: thread time in cycles, 1 and 8 query processes."""
+    fig = FigureData(
+        "fig2",
+        "Thread Time in Cycles",
+        ("query", "platform", "n_procs", "cycles"),
+        notes="Fig 2(a): 1 process; Fig 2(b): 8 processes.",
+    )
+    for q in queries:
+        for plat in ("hpv", "sgi"):
+            for n in (1, 8):
+                res = runner.cell(q, plat, n)
+                fig.rows.append(
+                    {
+                        "query": q,
+                        "platform": plat,
+                        "n_procs": n,
+                        "cycles": metrics.thread_time_cycles(res.mean),
+                    }
+                )
+    return fig
+
+
+def fig3_cpi(runner: SweepRunner, queries=PAPER_QUERIES) -> FigureData:
+    """Fig. 3: cycles per instruction, 1 and 8 query processes."""
+    fig = FigureData(
+        "fig3",
+        "Cycles Per Instruction",
+        ("query", "platform", "n_procs", "cpi"),
+    )
+    for q in queries:
+        for plat in ("hpv", "sgi"):
+            for n in (1, 8):
+                res = runner.cell(q, plat, n)
+                fig.rows.append(
+                    {
+                        "query": q,
+                        "platform": plat,
+                        "n_procs": n,
+                        "cpi": metrics.cpi(res.mean, res.machine),
+                    }
+                )
+    return fig
+
+
+def fig4_dcache(runner: SweepRunner, queries=PAPER_QUERIES) -> FigureData:
+    """Fig. 4: data-cache misses and miss rates per cache level."""
+    fig = FigureData(
+        "fig4",
+        "Data Cache Misses / Miss Rates",
+        ("query", "n_procs", "cache", "misses", "miss_rate"),
+        notes="caches: HPV Dcache, SGI L1, SGI L2 (per paper Fig. 4 bars)",
+    )
+    for q in queries:
+        for n in (1, 8):
+            hpv = runner.cell(q, "hpv", n).mean
+            sgi = runner.cell(q, "sgi", n).mean
+            fig.rows.append(
+                {
+                    "query": q,
+                    "n_procs": n,
+                    "cache": "HPV",
+                    "misses": hpv.level1_misses,
+                    "miss_rate": metrics.level1_miss_rate(hpv),
+                }
+            )
+            fig.rows.append(
+                {
+                    "query": q,
+                    "n_procs": n,
+                    "cache": "SGI-L1",
+                    "misses": sgi.level1_misses,
+                    "miss_rate": metrics.level1_miss_rate(sgi),
+                }
+            )
+            fig.rows.append(
+                {
+                    "query": q,
+                    "n_procs": n,
+                    "cache": "SGI-L2",
+                    "misses": sgi.coherent_misses,
+                    "miss_rate": sgi.coherent_misses / max(sgi.data_refs, 1),
+                }
+            )
+    return fig
+
+
+def _sweep_fig(
+    runner: SweepRunner,
+    fig_id: str,
+    title: str,
+    platform: str,
+    value_of: Callable,
+    metric_name: str,
+    queries=PAPER_QUERIES,
+    nprocs=NPROC_SWEEP,
+) -> FigureData:
+    fig = FigureData(fig_id, title, ("query", "n_procs", metric_name))
+    for q in queries:
+        for n in nprocs:
+            res = runner.cell(q, platform, n)
+            fig.rows.append(
+                {"query": q, "n_procs": n, metric_name: value_of(res.mean, res.machine)}
+            )
+    return fig
+
+
+def fig5_origin_thread_time(runner: SweepRunner, **kw) -> FigureData:
+    """Fig. 5: Origin thread time (cycles/1M instrs) vs process count."""
+    return _sweep_fig(
+        runner,
+        "fig5",
+        "Thread Time on Origin 2000 (cycles / 1M instrs)",
+        "sgi",
+        metrics.cycles_per_million,
+        "cycles_per_minstr",
+        **kw,
+    )
+
+
+def fig6_origin_l2(runner: SweepRunner, queries=PAPER_QUERIES, nprocs=NPROC_SWEEP) -> FigureData:
+    """Fig. 6: Origin L2 data-cache misses per 1M instrs vs processes,
+    with the communication-miss fraction behind the §4.1.2 claim."""
+    fig = FigureData(
+        "fig6",
+        "L2 Data Cache Misses on Origin 2000 (per 1M instrs)",
+        ("query", "n_procs", "l2_per_minstr", "comm_fraction"),
+    )
+    for q in queries:
+        for n in nprocs:
+            res = runner.cell(q, "sgi", n)
+            fig.rows.append(
+                {
+                    "query": q,
+                    "n_procs": n,
+                    "l2_per_minstr": metrics.l2_misses_per_million(res.mean, res.machine),
+                    "comm_fraction": metrics.comm_miss_fraction(res.mean),
+                }
+            )
+    return fig
+
+
+def fig7_vclass_thread_time(runner: SweepRunner, **kw) -> FigureData:
+    """Fig. 7: V-Class thread time (cycles/1M instrs) vs process count."""
+    return _sweep_fig(
+        runner,
+        "fig7",
+        "Thread Time on V-Class (cycles / 1M instrs)",
+        "hpv",
+        metrics.cycles_per_million,
+        "cycles_per_minstr",
+        **kw,
+    )
+
+
+def fig8_vclass_dcache(runner: SweepRunner, **kw) -> FigureData:
+    """Fig. 8: V-Class D-cache misses per 1M instrs vs process count."""
+    return _sweep_fig(
+        runner,
+        "fig8",
+        "Data Cache Misses on V-Class (per 1M instrs)",
+        "hpv",
+        metrics.dcache_misses_per_million,
+        "dmiss_per_minstr",
+        **kw,
+    )
+
+
+def fig9_vclass_latency(runner: SweepRunner, **kw) -> FigureData:
+    """Fig. 9: V-Class total (un-overlapped) memory latency in seconds."""
+    return _sweep_fig(
+        runner,
+        "fig9",
+        "Memory Latency on V-Class (seconds, open-request counter)",
+        "hpv",
+        metrics.memory_latency_seconds,
+        "latency_seconds",
+        **kw,
+    )
+
+
+def fig10_context_switches(
+    runner: SweepRunner, queries=PAPER_QUERIES, nprocs=NPROC_SWEEP
+) -> FigureData:
+    """Fig. 10: voluntary and involuntary context switches per 1M
+    instructions on the V-Class."""
+    fig = FigureData(
+        "fig10",
+        "Context Switches on V-Class (per 1M instrs)",
+        ("query", "n_procs", "voluntary", "involuntary"),
+    )
+    for q in queries:
+        for n in nprocs:
+            res = runner.cell(q, "hpv", n)
+            sw = metrics.switches_per_million(res.mean, res.machine)
+            fig.rows.append(
+                {
+                    "query": q,
+                    "n_procs": n,
+                    "voluntary": sw["voluntary"],
+                    "involuntary": sw["involuntary"],
+                }
+            )
+    return fig
+
+
+def class_breakdown(
+    runner: SweepRunner, queries=PAPER_QUERIES, n_procs: int = 1
+) -> FigureData:
+    """Supplementary: misses by data class (the §3.3 taxonomy).
+
+    Not a numbered figure in the paper, but the paper's entire Fig. 4
+    analysis is argued through the record / index / metadata / private
+    decomposition; this table makes the simulator's decomposition
+    inspectable.
+    """
+    fig = FigureData(
+        "class_breakdown",
+        f"Coherent-level misses by data class ({n_procs} proc)",
+        ("query", "platform", "record", "index", "meta", "lock", "private"),
+    )
+    for q in queries:
+        for plat in ("hpv", "sgi"):
+            m = runner.cell(q, plat, n_procs).mean
+            row = {"query": q, "platform": plat}
+            row.update({k: m.coherent_by_class.get(k, 0) for k in
+                        ("record", "index", "meta", "lock", "private")})
+            fig.rows.append(row)
+    return fig
+
+
+#: Figure registry: id -> builder(runner, **kwargs).
+FIGURES: Dict[str, Callable] = {
+    "fig2": fig2_thread_time,
+    "fig3": fig3_cpi,
+    "fig4": fig4_dcache,
+    "fig5": fig5_origin_thread_time,
+    "fig6": fig6_origin_l2,
+    "fig7": fig7_vclass_thread_time,
+    "fig8": fig8_vclass_dcache,
+    "fig9": fig9_vclass_latency,
+    "fig10": fig10_context_switches,
+}
+
+
+def regenerate_figure(
+    fig_id: str, runner: Optional[SweepRunner] = None, **kwargs
+) -> FigureData:
+    """Regenerate one paper figure (building a default runner if needed)."""
+    if fig_id not in FIGURES:
+        raise KeyError(f"unknown figure {fig_id!r}; available: {sorted(FIGURES)}")
+    if runner is None:
+        runner = SweepRunner()
+    return FIGURES[fig_id](runner, **kwargs)
+
+
+def regenerate_all(runner: Optional[SweepRunner] = None) -> Dict[str, FigureData]:
+    """Regenerate every figure, sharing one sweep."""
+    if runner is None:
+        runner = SweepRunner()
+    return {fig_id: FIGURES[fig_id](runner) for fig_id in FIGURES}

@@ -1,0 +1,89 @@
+"""Derived metrics — the exact quantities on the paper's axes.
+
+Every figure reports either raw counters (thread time in cycles,
+absolute miss counts) or counters normalized per million instructions;
+Fig. 9 converts the un-overlapped latency counter to seconds using the
+bus/CPU clock.  The instruction-counter skew the paper mentions is
+applied here, when counters are *reported*, not when they are counted.
+"""
+
+from __future__ import annotations
+
+from ..cpu.counters import CounterSnapshot
+from ..mem.machine import MachineConfig
+from ..units import MILLION
+
+
+def reported_instructions(snap: CounterSnapshot, machine: MachineConfig) -> int:
+    """Instruction count as the platform's event counter would report it."""
+    return max(int(snap.instructions * machine.instr_counter_skew), 1)
+
+
+def cpi(snap: CounterSnapshot, machine: MachineConfig) -> float:
+    """Cycles per (reported) instruction — Fig. 3."""
+    return snap.cycles / reported_instructions(snap, machine)
+
+
+def per_million_instrs(value: float, snap: CounterSnapshot, machine: MachineConfig) -> float:
+    """Normalize a counter per 1M reported instructions (Figs. 5-8, 10)."""
+    return value * MILLION / reported_instructions(snap, machine)
+
+
+def thread_time_cycles(snap: CounterSnapshot) -> int:
+    """Thread time in cycles — Fig. 2."""
+    return snap.cycles
+
+
+def thread_time_seconds(snap: CounterSnapshot, machine: MachineConfig) -> float:
+    """Wall-ish execution time; the paper notes the Origin's higher
+    clock makes its *time* lower even when cycles are equal."""
+    return snap.cycles / machine.clock_hz
+
+
+def cycles_per_million(snap: CounterSnapshot, machine: MachineConfig) -> float:
+    """Thread time normalized per 1M instructions — Figs. 5 and 7."""
+    return per_million_instrs(snap.cycles, snap, machine)
+
+
+def level1_miss_rate(snap: CounterSnapshot) -> float:
+    """Level-1 data-cache miss ratio (misses / data references)."""
+    return snap.level1_misses / max(snap.data_refs, 1)
+
+
+def dcache_misses_per_million(snap: CounterSnapshot, machine: MachineConfig) -> float:
+    """Level-1 misses per 1M instructions — Fig. 8 (V-Class)."""
+    return per_million_instrs(snap.level1_misses, snap, machine)
+
+
+def l2_misses_per_million(snap: CounterSnapshot, machine: MachineConfig) -> float:
+    """Coherent-level misses per 1M instructions — Fig. 6 (Origin)."""
+    return per_million_instrs(snap.coherent_misses, snap, machine)
+
+
+def memory_latency_seconds(snap: CounterSnapshot, machine: MachineConfig) -> float:
+    """Total un-overlapped open-request latency, in seconds — Fig. 9.
+
+    Emulates the PA-8200 counter that "increments based on the number
+    of open (waiting) memory requests at each system bus clock tick".
+    """
+    return snap.mem_latency_cycles / machine.clock_hz
+
+
+def mean_memory_latency_cycles(snap: CounterSnapshot) -> float:
+    """Average raw latency per memory transaction."""
+    return snap.mem_latency_cycles / max(snap.mem_accesses, 1)
+
+
+def switches_per_million(snap: CounterSnapshot, machine: MachineConfig) -> dict:
+    """Voluntary/involuntary context switches per 1M instructions — Fig. 10."""
+    return {
+        "voluntary": per_million_instrs(snap.vol_switches, snap, machine),
+        "involuntary": per_million_instrs(snap.invol_switches, snap, machine),
+    }
+
+
+def comm_miss_fraction(snap: CounterSnapshot) -> float:
+    """Fraction of coherent-level misses caused by communication —
+    the §4.1.2 claim about Q21 at 8 processes."""
+    total = snap.miss_cold + snap.miss_capacity + snap.miss_comm
+    return snap.miss_comm / total if total else 0.0

@@ -1,0 +1,116 @@
+"""Heterogeneous (mixed-query) experiments.
+
+The paper's §3/§4 runs are homogeneous — every concurrent process
+executes the same query type — but its title for §4, "Multiple (Diff)
+Query Execution", invites the natural generalization: different
+backends running *different* queries against the same database at the
+same time.  This module provides that: one process per entry of
+``queries``, all sharing buffers, locks and memory, with per-query
+aggregated counters.
+
+This is also where cross-query interference is measurable: e.g. a Q21
+(index) stream sharing the machine with Q6 (sequential) streams sees
+its communication misses rise as the scanners churn the shared
+metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import DEFAULT_SIM, SimConfig
+from ..cpu.counters import CounterSnapshot
+from ..db.engine import Database
+from ..errors import ConfigError
+from ..mem.machine import MachineConfig, platform
+from ..mem.memsys import MemorySystem
+from ..osim.scheduler import Kernel
+from ..tpch.datagen import TPCHConfig
+from ..tpch.queries import QUERIES
+from .experiment import DEFAULT_TPCH, DatabaseCache, _check_result
+from .workload import make_query_process, snapshot_process
+
+
+@dataclass(frozen=True)
+class MixedSpec:
+    """A heterogeneous run: process ``i`` executes ``queries[i]``."""
+
+    queries: Tuple[str, ...] = ("Q6", "Q21")
+    platform: str = "hpv"
+    tpch: TPCHConfig = DEFAULT_TPCH
+    sim: SimConfig = DEFAULT_SIM
+    verify_results: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ConfigError("a mixed run needs at least one query")
+        for q in self.queries:
+            if q not in QUERIES:
+                raise ConfigError(f"unknown query {q!r}")
+            if QUERIES[q].mutates:
+                raise ConfigError(
+                    f"{q} mutates the database and cannot join a mixed run"
+                )
+
+
+@dataclass
+class MixedResult:
+    """Outcome of one mixed run."""
+
+    spec: MixedSpec
+    machine: MachineConfig
+    #: (query name, counters) per process, in spawn order.
+    per_process: List[Tuple[str, CounterSnapshot]] = field(default_factory=list)
+    wall_cycles: int = 0
+
+    def by_query(self) -> Dict[str, CounterSnapshot]:
+        """Mean counters of the processes running each query."""
+        groups: Dict[str, List[CounterSnapshot]] = {}
+        for q, snap in self.per_process:
+            groups.setdefault(q, []).append(snap)
+        out: Dict[str, CounterSnapshot] = {}
+        for q, snaps in groups.items():
+            acc = CounterSnapshot()
+            for s in snaps:
+                acc.add(s)
+            out[q] = acc.scaled(1.0 / len(snaps))
+        return out
+
+
+def run_mixed_experiment(
+    spec: MixedSpec, db: Optional[Database] = None
+) -> MixedResult:
+    """Run every query of ``spec.queries`` concurrently, one backend
+    each, pinned to consecutive CPUs."""
+    if db is None:
+        db = DatabaseCache.get(spec.tpch)
+    machine = platform(spec.platform).scaled(spec.sim.cache_scale_log2)
+    if len(spec.queries) > machine.n_cpus:
+        raise ConfigError(
+            f"{len(spec.queries)} processes exceed {machine.name}'s CPUs"
+        )
+    memsys = MemorySystem(machine, db.aspace)
+    kernel = Kernel(machine, memsys, spec.sim)
+    db.reset_runtime()
+    params_of: List[Dict] = []
+    for pid, qname in enumerate(spec.queries):
+        qdef = QUERIES[qname]
+        params = qdef.params()
+        params_of.append(params)
+        gen, _ = make_query_process(db, qdef, params, pid, cpu=pid)
+        kernel.spawn(gen, cpu=pid)
+    kernel.run()
+
+    if spec.verify_results:
+        for pid, qname in enumerate(spec.queries):
+            qdef = QUERIES[qname]
+            expected = qdef.reference(db, params_of[pid])
+            _check_result(qname, kernel.processes[pid].result, expected)
+
+    result = MixedResult(spec=spec, machine=machine, wall_cycles=kernel.wall_cycles())
+    for pid, qname in enumerate(spec.queries):
+        result.per_process.append(
+            (qname, snapshot_process(kernel.processes[pid], memsys.stats[pid], machine))
+        )
+    return result

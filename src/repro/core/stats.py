@@ -1,0 +1,79 @@
+"""Repetition statistics.
+
+§2.3: "For each configuration, we perform the same test four times and
+use the average values."  With a deterministic simulator, identical
+repetitions are identical; variation comes from qgen parameter draws
+(``param_mode='random'``).  This module summarizes repeated runs with
+mean / standard deviation / a t-based confidence interval, so a user
+reporting numbers can quote uncertainty like the original methodology
+implied.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..cpu.counters import CounterSnapshot
+from .experiment import ExperimentResult
+
+#: Two-sided 95% t critical values for 1..30 degrees of freedom.
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t95(dof: int) -> float:
+    """95% two-sided t critical value (normal approximation past 30)."""
+    if dof < 1:
+        raise ValueError("need at least 2 samples for a confidence interval")
+    return _T95[dof - 1] if dof <= len(_T95) else 1.960
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/dispersion of one metric across repetitions."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci95_half_width: float
+
+    @property
+    def ci95(self) -> tuple:
+        return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"{self.mean:.4g} ± {self.ci95_half_width:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of raw samples."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(1, mean, 0.0, 0.0)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stdev = math.sqrt(var)
+    half = t95(n - 1) * stdev / math.sqrt(n)
+    return Summary(n, mean, stdev, half)
+
+
+def summarize_metric(
+    result: ExperimentResult,
+    metric: Callable[[CounterSnapshot], float],
+) -> Summary:
+    """Apply ``metric`` to each repetition's mean snapshot and summarize.
+
+    Example::
+
+        res = run_experiment(spec.with_(repetitions=4, param_mode="random"))
+        s = summarize_metric(res, lambda m: m.cycles)
+    """
+    values: List[float] = [metric(run.mean) for run in result.runs]
+    return summarize(values)

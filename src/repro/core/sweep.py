@@ -1,0 +1,66 @@
+"""Memoized experiment sweeps.
+
+Several figures share cells of the (query x n_procs x platform)
+matrix; :class:`SweepRunner` runs each cell at most once per
+configuration so regenerating all nine figures costs one pass over the
+grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..config import DEFAULT_SIM, SimConfig
+from ..tpch.datagen import TPCHConfig
+from .experiment import DEFAULT_TPCH, ExperimentResult, ExperimentSpec, run_experiment
+
+#: Process counts on the x-axis of Figs. 5-10.
+NPROC_SWEEP: Tuple[int, ...] = (1, 2, 4, 6, 8)
+
+
+class SweepRunner:
+    """Runs and caches experiment cells for one (sim, tpch) setting."""
+
+    def __init__(
+        self,
+        sim: SimConfig = DEFAULT_SIM,
+        tpch: TPCHConfig = DEFAULT_TPCH,
+        verify_results: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.tpch = tpch
+        self.verify_results = verify_results
+        self._cache: Dict[Tuple[str, str, int], ExperimentResult] = {}
+
+    def cell(self, query: str, platform: str, n_procs: int) -> ExperimentResult:
+        key = (query, platform, n_procs)
+        result = self._cache.get(key)
+        if result is None:
+            spec = ExperimentSpec(
+                query=query,
+                platform=platform,
+                n_procs=n_procs,
+                sim=self.sim,
+                tpch=self.tpch,
+                verify_results=self.verify_results,
+            )
+            result = run_experiment(spec)
+            self._cache[key] = result
+        return result
+
+    def grid(
+        self,
+        queries: Iterable[str],
+        platforms: Iterable[str],
+        nprocs: Iterable[int],
+    ) -> List[ExperimentResult]:
+        return [
+            self.cell(q, p, n)
+            for q in queries
+            for p in platforms
+            for n in nprocs
+        ]
+
+    @property
+    def n_cached(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,274 @@
+"""Programmatic validation of the paper's qualitative claims.
+
+Each :class:`Claim` states one sentence from the paper, a figure id,
+and a check over a :class:`~repro.core.sweep.SweepRunner`.  Running
+:func:`validate_all` produces the paper-vs-measured scoreboard that
+EXPERIMENTS.md records; the integration test suite asserts the same
+claims with tighter tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from . import metrics
+from .sweep import SweepRunner
+
+
+@dataclass
+class ClaimResult:
+    claim_id: str
+    figure: str
+    statement: str
+    holds: bool
+    measured: str
+
+
+@dataclass(frozen=True)
+class Claim:
+    claim_id: str
+    figure: str
+    statement: str
+    check: Callable[[SweepRunner], "tuple[bool, str]"]
+
+    def evaluate(self, runner: SweepRunner) -> ClaimResult:
+        holds, measured = self.check(runner)
+        return ClaimResult(self.claim_id, self.figure, self.statement, holds, measured)
+
+
+def _cpm(r: SweepRunner, q: str, p: str, n: int) -> float:
+    res = r.cell(q, p, n)
+    return metrics.cycles_per_million(res.mean, res.machine)
+
+
+def _check_fig2a(r: SweepRunner):
+    gaps = []
+    for q in ("Q6", "Q21", "Q12"):
+        hpv = r.cell(q, "hpv", 1).mean.cycles
+        sgi = r.cell(q, "sgi", 1).mean.cycles
+        gaps.append(abs(hpv - sgi) / max(hpv, sgi))
+    return max(gaps) < 0.2, f"max 1-proc cycle gap {max(gaps):.1%}"
+
+
+def _check_fig2b(r: SweepRunner):
+    ratios = [
+        r.cell(q, "sgi", 8).mean.cycles / r.cell(q, "hpv", 8).mean.cycles
+        for q in ("Q6", "Q21", "Q12")
+    ]
+    return min(ratios) > 1.0, (
+        "SGI/HPV 8-proc cycle ratios " + ", ".join(f"{x:.2f}" for x in ratios)
+    )
+
+
+def _check_fig3_band(r: SweepRunner):
+    values = []
+    for q in ("Q6", "Q21", "Q12"):
+        for p in ("hpv", "sgi"):
+            for n in (1, 8):
+                res = r.cell(q, p, n)
+                values.append(metrics.cpi(res.mean, res.machine))
+    return (
+        min(values) >= 1.2 and max(values) <= 1.9,
+        f"CPI range [{min(values):.2f}, {max(values):.2f}] (paper: 1.3-1.6)",
+    )
+
+
+def _check_fig3_growth(r: SweepRunner):
+    oks, notes = [], []
+    for q in ("Q6", "Q21", "Q12"):
+        def cpi(p, n):
+            res = r.cell(q, p, n)
+            return metrics.cpi(res.mean, res.machine)
+
+        d_sgi = cpi("sgi", 8) - cpi("sgi", 1)
+        d_hpv = cpi("hpv", 8) - cpi("hpv", 1)
+        oks.append(d_sgi > d_hpv)
+        notes.append(f"{q}: ΔSGI={d_sgi:+.2f} ΔHPV={d_hpv:+.2f}")
+    return all(oks), "; ".join(notes)
+
+
+def _check_fig4_q6(r: SweepRunner):
+    ratio = (
+        r.cell("Q6", "sgi", 1).mean.level1_misses
+        / r.cell("Q6", "hpv", 1).mean.level1_misses
+    )
+    return 1.2 < ratio < 4.0, f"Q6 SGI-L1/HPV miss ratio {ratio:.2f} (paper ~2.3)"
+
+
+def _check_fig4_q21(r: SweepRunner):
+    r6 = (
+        r.cell("Q6", "sgi", 1).mean.level1_misses
+        / r.cell("Q6", "hpv", 1).mean.level1_misses
+    )
+    r21 = (
+        r.cell("Q21", "sgi", 1).mean.level1_misses
+        / r.cell("Q21", "hpv", 1).mean.level1_misses
+    )
+    return r21 > 3 * r6, f"Q21 ratio {r21:.1f} vs Q6 ratio {r6:.1f} (paper ~12 vs ~2.3)"
+
+
+def _check_fig4_l2(r: SweepRunner):
+    sgi = r.cell("Q21", "sgi", 1).mean
+    hpv = r.cell("Q21", "hpv", 1).mean
+    return (
+        sgi.coherent_misses < hpv.level1_misses,
+        f"Q21 SGI-L2 {sgi.coherent_misses} < HPV {hpv.level1_misses}",
+    )
+
+
+def _check_fig5(r: SweepRunner):
+    oks, growths = [], []
+    for q in ("Q6", "Q21", "Q12"):
+        series = [_cpm(r, q, "sgi", n) for n in (1, 2, 4, 8)]
+        oks.append(all(b > a for a, b in zip(series, series[1:])))
+        growths.append(series[-1] / series[0] - 1)
+    return all(oks), (
+        "Origin cycles/1M-instr growth 1->8: "
+        + ", ".join(f"{g:+.0%}" for g in growths)
+    )
+
+
+def _check_fig6_density(r: SweepRunner):
+    def l2pm(q):
+        res = r.cell(q, "sgi", 1)
+        return metrics.l2_misses_per_million(res.mean, res.machine)
+
+    q21, q6, q12 = l2pm("Q21"), l2pm("Q6"), l2pm("Q12")
+    return (
+        q21 < 0.5 * q6 and q21 < 0.5 * q12,
+        f"L2/1M-instr: Q21 {q21:.0f} vs Q6 {q6:.0f}, Q12 {q12:.0f}",
+    )
+
+
+def _check_fig6_comm(r: SweepRunner):
+    q21 = metrics.comm_miss_fraction(r.cell("Q21", "sgi", 8).mean)
+    q6 = metrics.comm_miss_fraction(r.cell("Q6", "sgi", 8).mean)
+    return q21 > 0.5 > q6, f"comm fraction at 8 procs: Q21 {q21:.0%}, Q6 {q6:.0%}"
+
+
+def _check_fig7(r: SweepRunner):
+    oks, notes = [], []
+    for q in ("Q6", "Q21", "Q12"):
+        v1, v8 = _cpm(r, q, "hpv", 1), _cpm(r, q, "hpv", 8)
+        oks.append(v1 < v8 < 1.25 * v1)
+        notes.append(f"{q}: +{v8 / v1 - 1:.0%}")
+    return all(oks), "V-Class growth 1->8: " + ", ".join(notes)
+
+
+def _check_fig8(r: SweepRunner):
+    oks, notes = [], []
+    for q in ("Q6", "Q21", "Q12"):
+        res1 = r.cell(q, "hpv", 1)
+        res8 = r.cell(q, "hpv", 8)
+        d1 = metrics.dcache_misses_per_million(res1.mean, res1.machine)
+        d8 = metrics.dcache_misses_per_million(res8.mean, res8.machine)
+        oks.append(d1 < d8 < 3 * d1)
+        notes.append(f"{q}: {d1:.0f}->{d8:.0f}")
+    return all(oks), "HPV Dmiss/1M-instr: " + "; ".join(notes)
+
+
+def _check_fig9(r: SweepRunner):
+    oks, notes = [], []
+    strict_dips = 0
+    for q in ("Q6", "Q12"):
+        lat = {
+            n: metrics.mean_memory_latency_cycles(r.cell(q, "hpv", n).mean)
+            for n in (1, 2, 4)
+        }
+        # the bump at 2 must always show; the 2->4 relief is delicate
+        # (it depends on how far the trailing scanner drifts behind the
+        # leader) so per-query we allow it to merely flatten, requiring
+        # a strict dip from at least one sequential query.
+        oks.append(lat[2] > 1.1 * lat[1] and lat[4] < 1.03 * lat[2])
+        if lat[4] < lat[2]:
+            strict_dips += 1
+        notes.append(f"{q}: {lat[1]:.0f}->{lat[2]:.0f}->{lat[4]:.0f}")
+    oks.append(strict_dips >= 1)
+    return all(oks), "HPV mean latency 1/2/4 procs: " + "; ".join(notes)
+
+
+def _check_fig10_vol(r: SweepRunner):
+    oks, notes = [], []
+    for q in ("Q6", "Q21", "Q12"):
+        m1 = r.cell(q, "hpv", 1).mean
+        m8 = r.cell(q, "hpv", 8).mean
+        oks.append(m1.vol_switches == 0 and m8.vol_switches > m8.invol_switches)
+        notes.append(f"{q}: vol@8={m8.vol_switches} inv@8={m8.invol_switches}")
+    return all(oks), "; ".join(notes)
+
+
+def _check_fig10_invol(r: SweepRunner):
+    rates = []
+    for q in ("Q6", "Q21", "Q12"):
+        res = r.cell(q, "hpv", 1)
+        rates.append(metrics.switches_per_million(res.mean, res.machine)["involuntary"])
+    spread = max(rates) / max(min(rates), 1e-9)
+    return spread < 2.5, (
+        "involuntary/1M-instr per query: " + ", ".join(f"{x:.2f}" for x in rates)
+    )
+
+
+CLAIMS: List[Claim] = [
+    Claim("fig2a-equal-cycles", "Fig. 2(a)",
+          "With one query process both machines need nearly the same cycles",
+          _check_fig2a),
+    Claim("fig2b-origin-more-cycles", "Fig. 2(b)",
+          "With 8 query processes the Origin needs more cycles than the V-Class",
+          _check_fig2b),
+    Claim("fig3-cpi-band", "Fig. 3",
+          "CPI for the three queries is low (paper: 1.3-1.6)", _check_fig3_band),
+    Claim("fig3-cpi-growth", "Fig. 3",
+          "CPI grows little on the V-Class, more on the Origin", _check_fig3_growth),
+    Claim("fig4-q6-ratio", "Fig. 4",
+          "Q6: Origin L1 misses are a small multiple of V-Class misses",
+          _check_fig4_q6),
+    Claim("fig4-q21-ratio", "Fig. 4",
+          "Q21: the Origin-L1/V-Class miss ratio dwarfs Q6's", _check_fig4_q21),
+    Claim("fig4-q21-l2", "Fig. 4",
+          "Q21: the Origin L2 cuts misses below even the V-Class's 2MB cache",
+          _check_fig4_l2),
+    Claim("fig5-origin-growth", "Fig. 5",
+          "Origin thread time rises as query processes are added", _check_fig5),
+    Claim("fig6-q21-low-density", "Fig. 6",
+          "Q21's L2 miss density is far below Q6/Q12 (index locality)",
+          _check_fig6_density),
+    Claim("fig6-comm-major", "Fig. 6",
+          "At 8 processes communication misses dominate Q21's L2 misses "
+          "but not Q6's", _check_fig6_comm),
+    Claim("fig7-vclass-slow", "Fig. 7",
+          "V-Class thread time grows only slowly with process count", _check_fig7),
+    Claim("fig8-moderate-misses", "Fig. 8",
+          "V-Class D-cache misses increase moderately; cold/capacity dominate",
+          _check_fig8),
+    Claim("fig9-latency-bump", "Fig. 9",
+          "V-Class memory latency jumps at 2 processes and eases at 4",
+          _check_fig9),
+    Claim("fig10-voluntary", "Fig. 10",
+          "Voluntary switches appear with concurrency and dominate by 8 "
+          "processes", _check_fig10_vol),
+    Claim("fig10-involuntary", "Fig. 10",
+          "Involuntary switch rate is not a function of query type",
+          _check_fig10_invol),
+]
+
+
+def validate_all(runner: SweepRunner) -> List[ClaimResult]:
+    """Evaluate every claim; the sweep is shared and memoized."""
+    return [c.evaluate(runner) for c in CLAIMS]
+
+
+def scoreboard(results: List[ClaimResult]) -> str:
+    """Human-readable claim scoreboard."""
+    lines = ["claim".ljust(26) + "figure".ljust(11) + "holds  measured"]
+    lines.append("-" * 78)
+    for res in results:
+        lines.append(
+            res.claim_id.ljust(26)
+            + res.figure.ljust(11)
+            + ("yes    " if res.holds else "NO     ")
+            + res.measured
+        )
+    passed = sum(r.holds for r in results)
+    lines.append(f"\n{passed}/{len(results)} paper claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Workload assembly: TPC-H query plans → OS processes.
+
+Bridges the DBMS substrate and the OS model: builds the per-backend
+execution context and the event-generator the kernel schedules, and
+assembles the portable counter snapshot after a run (the moment the
+original instrumented PostgreSQL read its hardware counters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..cpu.counters import CounterSnapshot
+from ..db.engine import Database
+from ..db.executor.context import ExecContext
+from ..db.executor.plan import run_query
+from ..mem.machine import MachineConfig
+from ..mem.memsys import CpuMemStats
+from ..osim.process import SimProcess
+from ..trace.classify import CLASS_NAMES
+from ..tpch.queries import QueryDef
+
+
+def make_query_process(
+    db: Database, qdef: QueryDef, params: Dict, pid: int, cpu: int
+) -> Tuple[object, ExecContext]:
+    """Build the event generator for one backend running ``qdef``."""
+    ctx = ExecContext(db, pid, cpu)
+    plan = qdef.factory(db, ctx, params)
+    gen = run_query(ctx, qdef.relations(db), plan, lock_mode=qdef.lock_mode)
+    return gen, ctx
+
+
+def snapshot_process(
+    proc: SimProcess, mem: CpuMemStats, machine: MachineConfig
+) -> CounterSnapshot:
+    """Read one backend's counters after its query completes."""
+    snap = CounterSnapshot(
+        cycles=proc.thread_cycles,
+        instructions=proc.processor.instrs_retired,
+        data_refs=mem.reads + mem.writes,
+        level1_misses=mem.level1_misses,
+        coherent_misses=mem.coherent_misses,
+        mem_latency_cycles=mem.raw_latency_cycles,
+        mem_accesses=mem.mem_accesses,
+        stall_cycles=mem.stall_cycles,
+        upgrades=mem.upgrades,
+        vol_switches=proc.vol_switches,
+        invol_switches=proc.invol_switches,
+        miss_cold=mem.miss_kind[0],
+        miss_capacity=mem.miss_kind[1],
+        miss_comm=mem.miss_kind[2],
+    )
+    snap.level1_by_class = {
+        CLASS_NAMES[i]: mem.level1_misses_by_class[i] for i in range(len(CLASS_NAMES))
+    }
+    snap.coherent_by_class = {
+        CLASS_NAMES[i]: mem.coherent_misses_by_class[i] for i in range(len(CLASS_NAMES))
+    }
+    return snap

@@ -1,0 +1,20 @@
+"""Processor model: instruction costs, counters, batch execution."""
+
+from .costmodel import DEFAULT_COSTS, InstructionCosts
+from .counters import (
+    CounterSnapshot,
+    PA8200Counters,
+    R10000Counters,
+    facade_for,
+)
+from .processor import Processor
+
+__all__ = [
+    "InstructionCosts",
+    "DEFAULT_COSTS",
+    "CounterSnapshot",
+    "PA8200Counters",
+    "R10000Counters",
+    "facade_for",
+    "Processor",
+]

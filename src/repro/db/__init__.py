@@ -1,0 +1,33 @@
+"""PostgreSQL-like DBMS substrate (storage, buffers, locks, executor)."""
+
+from .btree import BTNode, BTreeIndex
+from .bufpool import BufferPool
+from .catalog import Catalog
+from .engine import Database
+from .heap import HeapTable
+from .lockmgr import (
+    MODE_ACCESS_EXCLUSIVE,
+    MODE_ACCESS_SHARE,
+    LockManager,
+)
+from .page import PAGE_HEADER, PAGE_SIZE, TUPLE_OVERHEAD, PageLayout, pages_for, tuples_per_page
+from .shmem import SharedMemory
+
+__all__ = [
+    "Database",
+    "HeapTable",
+    "BTreeIndex",
+    "BTNode",
+    "BufferPool",
+    "Catalog",
+    "LockManager",
+    "MODE_ACCESS_SHARE",
+    "MODE_ACCESS_EXCLUSIVE",
+    "SharedMemory",
+    "PageLayout",
+    "PAGE_SIZE",
+    "PAGE_HEADER",
+    "TUPLE_OVERHEAD",
+    "pages_for",
+    "tuples_per_page",
+]

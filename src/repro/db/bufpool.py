@@ -1,0 +1,106 @@
+"""Shared buffer pool.
+
+PostgreSQL backends reach every page through the shared buffer pool: a
+hash table maps ``(relation, block)`` to a buffer descriptor, the
+descriptor is pinned (a write to shared metadata!), and the frame holds
+the page bytes.  The paper configures the pool to 512 MB — larger than
+the database — so pages never leave the pool; what remains
+architecturally important is the *metadata traffic*:
+
+* the hash-bucket lines are read-shared by every backend,
+* the descriptor pin/unpin writes are the write-shared references that
+  turn into invalidations and interventions as query processes are
+  added (the "metadata consistency" communication of §3.1), and
+* the ``BufMgrLock`` spinlock serializes lookups, driving the
+  voluntary-context-switch growth of Fig. 10.
+
+Frames are the relation segments themselves (the pool *is* the shared
+memory the relations live in), so no page copies are modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import DatabaseError
+from ..osim.syscalls import Spinlock
+from ..trace.classify import DataClass
+from .shmem import SharedMemory
+
+#: Size of one buffer descriptor (tag, flags, refcount, usage count).
+DESC_WIDTH = 64
+
+#: Size of one hash bucket header.
+BUCKET_WIDTH = 32
+
+
+class BufferPool:
+    """Buffer metadata: hash table, descriptors, and the BufMgrLock."""
+
+    def __init__(
+        self,
+        shmem: SharedMemory,
+        max_frames: int = 16384,
+        n_buckets: int = 1024,
+    ) -> None:
+        if max_frames < 1 or n_buckets < 1:
+            raise DatabaseError("buffer pool sizes must be positive")
+        self.shmem = shmem
+        self.max_frames = max_frames
+        self.n_buckets = n_buckets
+        self.hash_seg = shmem.alloc(
+            "bufpool.hash", n_buckets * BUCKET_WIDTH, DataClass.META
+        )
+        self.desc_seg = shmem.alloc(
+            "bufpool.desc", max_frames * DESC_WIDTH, DataClass.META
+        )
+        # The LRU freelist head: written under BufMgrLock on every pin
+        # and unpin — the hottest metadata line in the system, and on
+        # the V-Class a showcase for the migratory optimization.
+        self.freelist_seg = shmem.alloc("bufpool.freelist", 128, DataClass.META)
+        self.lock: Spinlock = shmem.spinlock("BufMgrLock")
+        self._frame_of: Dict[Tuple[int, int], int] = {}
+        self._next_frame = 0
+        # statistics
+        self.n_pins = 0
+        self.n_unpins = 0
+
+    # -- registration -------------------------------------------------------
+    def register_relation(self, relid: int, n_pages: int) -> int:
+        """Assign frames for every page of a relation; returns the first
+        frame index.  The pool is larger than the database (as in the
+        paper), so assignment is stable for the whole run."""
+        if self._next_frame + n_pages > self.max_frames:
+            raise DatabaseError(
+                f"buffer pool exhausted: need {n_pages} frames, "
+                f"{self.max_frames - self._next_frame} free"
+            )
+        base = self._next_frame
+        for page in range(n_pages):
+            self._frame_of[(relid, page)] = base + page
+        self._next_frame += n_pages
+        return base
+
+    # -- addressing ---------------------------------------------------------
+    def frame_of(self, relid: int, pageno: int) -> int:
+        try:
+            return self._frame_of[(relid, pageno)]
+        except KeyError:
+            raise DatabaseError(
+                f"relation {relid} page {pageno} not in buffer pool"
+            ) from None
+
+    def bucket_addr(self, relid: int, pageno: int) -> int:
+        bucket = (relid * 2654435761 + pageno) % self.n_buckets
+        return self.hash_seg.base + bucket * BUCKET_WIDTH
+
+    def desc_addr(self, relid: int, pageno: int) -> int:
+        return self.desc_seg.base + self.frame_of(relid, pageno) * DESC_WIDTH
+
+    @property
+    def freelist_addr(self) -> int:
+        return self.freelist_seg.base
+
+    @property
+    def frames_used(self) -> int:
+        return self._next_frame

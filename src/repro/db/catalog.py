@@ -1,0 +1,58 @@
+"""System catalog.
+
+Relation metadata (``pg_class``/``pg_attribute`` style) lives in shared
+memory; every backend touches it when opening relations at query start.
+These are the read-mostly META references that, once one backend has
+them exclusive, make the *second* backend pay an intervention — one
+ingredient of the Fig. 9 memory-latency bump at two processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import DatabaseError
+from ..trace.classify import DataClass
+from .shmem import SharedMemory
+
+#: Bytes of catalog data per relation (class row + attribute rows).
+CATALOG_ENTRY = 256
+
+
+class Catalog:
+    """Registry of relations with shared-memory catalog entries."""
+
+    def __init__(self, shmem: SharedMemory, max_relations: int = 64) -> None:
+        if max_relations < 1:
+            raise DatabaseError("max_relations must be positive")
+        self.seg = shmem.alloc(
+            "catalog", max_relations * CATALOG_ENTRY, DataClass.META
+        )
+        self.max_relations = max_relations
+        self._names: List[str] = []
+        self._by_name: Dict[str, int] = {}
+
+    def register(self, name: str) -> int:
+        """Register a relation; returns its relid."""
+        if name in self._by_name:
+            raise DatabaseError(f"relation {name!r} already in catalog")
+        if len(self._names) >= self.max_relations:
+            raise DatabaseError("catalog full")
+        relid = len(self._names)
+        self._names.append(name)
+        self._by_name[name] = relid
+        return relid
+
+    def relid(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DatabaseError(f"relation {name!r} not in catalog") from None
+
+    def entry_addr(self, relid: int) -> int:
+        if not 0 <= relid < len(self._names):
+            raise DatabaseError(f"relid {relid} unknown")
+        return self.seg.base + relid * CATALOG_ENTRY
+
+    def __len__(self) -> int:
+        return len(self._names)

@@ -1,0 +1,126 @@
+"""The database engine object tying the storage substrates together.
+
+A :class:`Database` owns one shared-memory layout (tables, indexes,
+buffer pool, lock manager, catalog).  It is built *once* per dataset
+and reused across every platform/process-count run of an experiment
+sweep — exactly like the paper's database, which is loaded once and
+then queried under different configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DatabaseError
+from ..trace.address import AddressSpace
+from .btree import BTreeIndex
+from .bufpool import BufferPool
+from .catalog import Catalog
+from .heap import HeapTable
+from .lockmgr import LockManager
+from .shmem import SharedMemory
+
+
+class Database:
+    """A loaded database instance."""
+
+    def __init__(
+        self,
+        shmem: Optional[SharedMemory] = None,
+        max_frames: int = 16384,
+    ) -> None:
+        self.shmem = shmem if shmem is not None else SharedMemory()
+        self.catalog = Catalog(self.shmem)
+        self.bufpool = BufferPool(self.shmem, max_frames=max_frames)
+        self.lockmgr = LockManager(self.shmem)
+        self.tables: Dict[str, HeapTable] = {}
+        self.indexes: Dict[str, BTreeIndex] = {}
+        self.indexes_by_table: Dict[str, List[BTreeIndex]] = {}
+        #: (relid, row_idx) pairs whose hint bits were set this run;
+        #: the first backend to touch a tuple *writes* its header line.
+        self.hinted: set = set()
+
+    def reset_runtime(self) -> None:
+        """Reset per-run mutable state (between experiment repetitions):
+        hint bits revert because each run starts from a fresh load, and
+        spinlocks are released."""
+        self.hinted.clear()
+        self.shmem.reset_locks()
+
+    @property
+    def aspace(self) -> AddressSpace:
+        return self.shmem.aspace
+
+    # -- DDL ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        row_width: int,
+        rows: List[Tuple],
+    ) -> HeapTable:
+        if name in self.tables:
+            raise DatabaseError(f"table {name!r} already exists")
+        relid = self.catalog.register(name)
+        table = HeapTable(name, relid, columns, row_width, rows, self.shmem)
+        self.bufpool.register_relation(relid, table.n_pages)
+        self.tables[name] = table
+        self.indexes_by_table[name] = []
+        return table
+
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        key_column: Optional[str] = None,
+        key_of: Optional[Callable[[Tuple], object]] = None,
+    ) -> BTreeIndex:
+        if name in self.indexes:
+            raise DatabaseError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        if key_of is None:
+            if key_column is None:
+                raise DatabaseError("create_index needs key_column or key_of")
+            pos = table.col(key_column)
+            key_of = lambda row, _p=pos: row[_p]  # noqa: E731
+        relid = self.catalog.register(name)
+        index = BTreeIndex(name, relid, table, key_of, self.shmem)
+        # register headroom frames too, so refresh-function splits have
+        # buffer descriptors ready
+        self.bufpool.register_relation(relid, index.capacity_nodes)
+        self.indexes[name] = index
+        self.indexes_by_table[table_name].append(index)
+        return index
+
+    # -- lookup ------------------------------------------------------------------
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise DatabaseError(f"no table {name!r}") from None
+
+    def index(self, name: str) -> BTreeIndex:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise DatabaseError(f"no index {name!r}") from None
+
+    # -- sizing (for EXPERIMENTS.md context) ------------------------------------------
+    def footprint_bytes(self) -> int:
+        """Bytes of heap + index pages (the paper's "database size")."""
+        total = 0
+        for t in self.tables.values():
+            total += t.layout.total_bytes
+        for i in self.indexes.values():
+            total += i.segment.size
+        return total
+
+    def describe(self) -> str:
+        lines = [f"database footprint: {self.footprint_bytes()} bytes"]
+        for t in self.tables.values():
+            lines.append(f"  table {t.name}: {t.n_rows} rows, {t.n_pages} pages")
+        for i in self.indexes.values():
+            lines.append(
+                f"  index {i.name}: {i.n_entries} entries, height {i.height}"
+            )
+        return "\n".join(lines)

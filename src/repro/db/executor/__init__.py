@@ -1,0 +1,24 @@
+"""Volcano-style executor emitting real rows and real memory traffic."""
+
+from .agg import hash_group_agg, scalar_agg
+from .context import ExecContext, Workspace
+from .indexscan import index_range_scan, index_scan_eq
+from .join import nested_loop
+from .plan import Row, forward_events, run_query
+from .scan import seq_scan
+from .sort import sort_node
+
+__all__ = [
+    "ExecContext",
+    "Workspace",
+    "Row",
+    "run_query",
+    "forward_events",
+    "seq_scan",
+    "index_scan_eq",
+    "index_range_scan",
+    "nested_loop",
+    "scalar_agg",
+    "hash_group_agg",
+    "sort_node",
+]

@@ -1,0 +1,98 @@
+"""Aggregation nodes (scalar and hash group-by).
+
+Aggregate state lives in the backend's *private* workspace — the
+high-temporal-locality data class that fits even the Origin's small L1
+and therefore contributes hits, not misses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Optional
+
+from ...trace.classify import DataClass
+from ...trace.stream import RefBuilder
+from .context import ExecContext
+from .plan import Row
+
+#: Aggregate-state references are batched this many rows at a time so
+#: the scheduler still interleaves processes during long aggregations.
+_BATCH_ROWS = 64
+
+
+def scalar_agg(
+    ctx: ExecContext,
+    child: Iterable,
+    init,
+    update: Callable,
+) -> Generator:
+    """Fold every child row into one accumulator; yields a single row."""
+    costs = ctx.costs
+    ws = ctx.ws
+    acc = init
+    rb = RefBuilder()
+    n = 0
+    for item in child:
+        if type(item) is not Row:
+            yield item
+            continue
+        acc = update(acc, item.data)
+        rb.add(ws.agg_addr, True, costs.agg_transition, DataClass.PRIVATE)
+        n += 1
+        if n % _BATCH_ROWS == 0:
+            yield rb.build()
+            rb = RefBuilder()
+    if len(rb):
+        yield rb.build()
+    yield Row((acc,))
+
+
+def hash_group_agg(
+    ctx: ExecContext,
+    child: Iterable,
+    key_of: Callable,
+    init,
+    update: Callable,
+    finalize: Optional[Callable] = None,
+) -> Generator:
+    """Group child rows by ``key_of``; yields ``(key..., acc...)`` rows
+    in sorted key order (matching PostgreSQL's sorted-group output for
+    reporting queries)."""
+    costs = ctx.costs
+    ws = ctx.ws
+    groups = {}
+    rb = RefBuilder()
+    n = 0
+    for item in child:
+        if type(item) is not Row:
+            yield item
+            continue
+        key = key_of(item.data)
+        acc = groups.get(key)
+        if acc is None:
+            acc = init() if callable(init) else init
+        groups[key] = update(acc, item.data)
+        rb.add(
+            ws.hash_bucket_addr(key),
+            True,
+            costs.group_lookup + costs.agg_transition,
+            DataClass.PRIVATE,
+        )
+        n += 1
+        if n % _BATCH_ROWS == 0:
+            yield rb.build()
+            rb = RefBuilder()
+    if len(rb):
+        yield rb.build()
+    rb = RefBuilder()
+    out = []
+    for key in sorted(groups):
+        acc = groups[key]
+        if finalize is not None:
+            acc = finalize(key, acc)
+        rb.add(ws.hash_bucket_addr(key), False, costs.tuple_emit, DataClass.PRIVATE)
+        ktuple = key if isinstance(key, tuple) else (key,)
+        atuple = acc if isinstance(acc, tuple) else (acc,)
+        out.append(ktuple + atuple)
+    yield rb.build()
+    for row in out:
+        yield Row(row)

@@ -1,0 +1,167 @@
+"""Index scans.
+
+The access pattern that defines Q21: each probe descends the B+-tree
+(root and internal nodes are hot — temporal locality), walks leaf
+entries, and fetches matching heap tuples by TID (random page visits —
+the larger footprint the paper ascribes to index queries).  The
+binary-search touch positions inside each node are emitted explicitly
+so the spatial pattern (a few scattered lines per 8 KB node) is right.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Tuple
+
+from ...trace.classify import DataClass
+from ...trace.stream import RefBuilder
+from ..btree import BTNode, BTreeIndex
+from .context import ExecContext
+from .plan import Row
+
+
+def _binary_search_slots(n_keys: int, target: int) -> List[int]:
+    """Entry slots a binary search for ``target`` inspects."""
+    slots: List[int] = []
+    lo, hi = 0, n_keys
+    while lo < hi:
+        mid = (lo + hi) // 2
+        slots.append(mid)
+        if mid < target:
+            lo = mid + 1
+        elif mid > target:
+            hi = mid
+        else:
+            break
+    return slots or [0]
+
+
+def _descend_refs(
+    ctx: ExecContext, index: BTreeIndex, path: List[Tuple[BTNode, int]]
+) -> Generator:
+    """Events for visiting every node on a root-to-leaf path."""
+    costs = ctx.costs
+    for node, slot in path:
+        rb = RefBuilder()
+        if not ctx.read_buffer_into(rb, index.relid, node.pageno):
+            yield from ctx.read_buffer(index.relid, node.pageno)
+        probes = _binary_search_slots(len(node.keys), slot)
+        per_probe = max(1, costs.index_descend_level // len(probes))
+        for p in probes:
+            rb.add(index.entry_addr(node, p), False, per_probe, DataClass.INDEX)
+        yield rb.build()
+
+
+def index_scan_eq(
+    ctx: ExecContext,
+    index: BTreeIndex,
+    key,
+    pred: Optional[Callable[[Tuple], bool]] = None,
+    project: Optional[Callable[[Tuple], Tuple]] = None,
+    fetch_heap: bool = True,
+) -> Generator:
+    """Probe ``index`` for ``key``; yield matching (filtered) heap rows.
+
+    With ``fetch_heap=False`` the heap visit is skipped and rows are
+    yielded straight from the index TIDs (an index-only existence
+    check).
+    """
+    costs = ctx.costs
+    table = index.table
+    lay = table.layout
+    ws = ctx.ws
+
+    path, matches = index.scan_eq(key)
+    yield from _descend_refs(ctx, index, path)
+
+    # Walk matching leaf entries (may continue onto the next leaf).
+    seen_leaves = {path[-1][0].pageno}
+    rb = RefBuilder()
+    for leaf, slot, _tid in matches:
+        if leaf.pageno not in seen_leaves:
+            yield rb.build()
+            yield from ctx.read_buffer(index.relid, leaf.pageno)
+            seen_leaves.add(leaf.pageno)
+            rb = RefBuilder()
+        rb.add(index.entry_addr(leaf, slot), False, costs.index_leaf_next, DataClass.INDEX)
+    yield rb.build()
+
+    if not fetch_heap:
+        for _leaf, _slot, tid in matches:
+            row = table.rows[tid]
+            if row is not None and (pred is None or pred(row)):
+                yield Row(row if project is None else project(row))
+        return
+
+    width = lay.row_width
+    n_lines = max(1, (width + 31) // 32)
+    per_line = max(1, (costs.heap_fetch * 2 // 3) // n_lines)
+    scratch_instrs = max(1, costs.heap_fetch // 6)
+    for _leaf, _slot, tid in matches:
+        pageno = lay.page_of_row(tid)
+        rb = RefBuilder()
+        if not ctx.read_buffer_into(rb, table.relid, pageno):
+            yield from ctx.read_buffer(table.relid, pageno)
+        addr = lay.row_addr(tid)
+        row = table.rows[tid]
+        if row is None:  # dead tuple behind a stale index entry
+            rb.add(addr, False, 20, DataClass.RECORD)
+            yield rb.build()
+            continue
+        rb.add(addr, ctx.hint_bit_write(table, tid), per_line, DataClass.RECORD)
+        if n_lines > 1:
+            rb.touch_range(addr + 32, width - 32, DataClass.RECORD, instrs_per_touch=per_line)
+        rb.add(ws.slot_addr, True, costs.tuple_deform, DataClass.PRIVATE)
+        ctx.scratch_refs(rb, 3, scratch_instrs)
+        keep = pred is None or pred(row)
+        if pred is not None:
+            rb.add(ws.qual_addr, False, costs.qual_clause, DataClass.PRIVATE)
+        yield rb.build()
+        if keep:
+            yield Row(row if project is None else project(row))
+
+
+def index_range_scan(
+    ctx: ExecContext,
+    index: BTreeIndex,
+    lo,
+    hi,
+    pred: Optional[Callable[[Tuple], bool]] = None,
+    project: Optional[Callable[[Tuple], Tuple]] = None,
+    fetch_heap: bool = True,
+) -> Generator:
+    """Scan keys in ``[lo, hi)`` via the leaf chain."""
+    costs = ctx.costs
+    table = index.table
+    lay = table.layout
+    ws = ctx.ws
+
+    path = index.descend(lo)
+    yield from _descend_refs(ctx, index, path)
+
+    seen_leaves = {path[-1][0].pageno}
+    width = lay.row_width
+    n_lines = max(1, (width + 31) // 32)
+    per_line = max(1, costs.heap_fetch // n_lines)
+    rb = RefBuilder()
+    for leaf, slot, tid in index.scan_range(lo, hi):
+        if leaf.pageno not in seen_leaves:
+            yield rb.build()
+            yield from ctx.read_buffer(index.relid, leaf.pageno)
+            seen_leaves.add(leaf.pageno)
+            rb = RefBuilder()
+        rb.add(index.entry_addr(leaf, slot), False, costs.index_leaf_next, DataClass.INDEX)
+        if fetch_heap:
+            yield rb.build()
+            rb = RefBuilder()
+            pageno = lay.page_of_row(tid)
+            yield from ctx.read_buffer(table.relid, pageno)
+            addr = lay.row_addr(tid)
+            rb.add(addr, ctx.hint_bit_write(table, tid), per_line, DataClass.RECORD)
+            if n_lines > 1:
+                rb.touch_range(addr + 32, width - 32, DataClass.RECORD, instrs_per_touch=per_line)
+            rb.add(ws.slot_addr, True, costs.tuple_deform, DataClass.PRIVATE)
+            ctx.scratch_refs(rb, 3, max(1, costs.heap_fetch // 6))
+        row = table.rows[tid]
+        if row is not None and (pred is None or pred(row)):
+            yield Row(row if project is None else project(row))
+    yield rb.build()

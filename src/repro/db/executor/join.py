@@ -1,0 +1,60 @@
+"""Nested-loop join.
+
+The only join method this PostgreSQL-era planner picks for the paper's
+queries: the outer side streams rows and, per row, an inner subplan
+(typically an index scan) is instantiated — Q12's
+"for each tuple ... uses index scans to find the matching ones in table
+Order" is exactly this node over an index scan.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Optional
+
+from ...trace.classify import DataClass
+from ...trace.stream import RefBuilder
+from .context import ExecContext
+from .plan import Row
+
+
+def nested_loop(
+    ctx: ExecContext,
+    outer: Iterable,
+    make_inner: Callable,
+    combine: Optional[Callable] = None,
+    semi: bool = False,
+) -> Generator:
+    """Join ``outer`` rows with the rows of ``make_inner(outer_row)``.
+
+    ``combine(outer_row, inner_row)`` builds the output tuple (``None``
+    drops the pair).  With ``semi=True`` the inner plan is abandoned
+    after the first match and the outer row is emitted once.
+    """
+    costs = ctx.costs
+    ws = ctx.ws
+    for item in outer:
+        if type(item) is not Row:
+            yield item
+            continue
+        outer_row = item.data
+        rb = RefBuilder()
+        rb.add(ws.slot_addr, False, costs.join_probe, DataClass.PRIVATE)
+        yield rb.build()
+        matched = False
+        for inner_item in make_inner(outer_row):
+            if type(inner_item) is not Row:
+                yield inner_item
+                continue
+            if semi:
+                matched = True
+                # Real executors stop pulling the inner plan here; the
+                # generator is simply dropped.
+                break
+            if combine is None:
+                yield Row(outer_row + inner_item.data)
+            else:
+                out = combine(outer_row, inner_item.data)
+                if out is not None:
+                    yield Row(out)
+        if semi and matched:
+            yield Row(outer_row)

@@ -1,0 +1,72 @@
+"""Executor plumbing: the Row marker and the query-process driver.
+
+Plan nodes are generators in the Volcano spirit, but instead of
+``next()`` pulling one tuple they yield a mixed stream of
+
+* OS events (:class:`~repro.trace.stream.RefBatch`,
+  ``SpinAcquire``/``SpinRelease``, ``Compute``...) that bubble all the
+  way up to the :class:`~repro.osim.scheduler.Kernel`, and
+* :class:`Row` markers carrying real tuples to the parent node.
+
+Parent nodes forward events transparently and consume rows.  The
+top-level :func:`run_query` is the generator handed to
+``Kernel.spawn``: it swallows rows into the query result and yields
+only events to the OS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, List, Sequence
+
+from ...errors import DatabaseError
+
+
+class Row:
+    """Marker wrapping one tuple flowing between plan nodes."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data) -> None:
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Row({self.data!r})"
+
+
+def forward_events(child: Iterable, sink: List) -> Generator:
+    """Yield the events of ``child``, appending its rows to ``sink``.
+
+    Utility for nodes that must fully materialize their input (sort,
+    hash aggregation).
+    """
+    for item in child:
+        if type(item) is Row:
+            sink.append(item.data)
+        else:
+            yield item
+
+
+def run_query(
+    ctx,
+    relation_names: Sequence[str],
+    plan_factory: Callable,
+    lock_mode: str = "AccessShare",
+):
+    """Build the process generator for one query execution.
+
+    ``plan_factory(ctx)`` must return the root plan node (a generator).
+    The driver performs query startup (catalog reads, relation locks),
+    runs the plan, then shuts down (lock release, unpins).  Its
+    StopIteration value is the list of result tuples.
+    """
+    if not relation_names:
+        raise DatabaseError("a query must open at least one relation")
+    yield from ctx.startup(relation_names, lock_mode)
+    rows: List = []
+    for item in plan_factory(ctx):
+        if type(item) is Row:
+            rows.append(item.data)
+        else:
+            yield item
+    yield from ctx.shutdown()
+    return rows

@@ -1,0 +1,73 @@
+"""Sequential scan.
+
+The access pattern that defines Q6 (and dominates Q12): every page is
+pinned once, every tuple's record lines are streamed through the cache
+exactly once (excellent spatial locality, no temporal locality — the
+paper's §3.3 story), and the private tuple slot and qual scratch are
+re-touched per tuple (the temporal-locality component that fits the
+V-Class 2 MB cache but competes for the Origin's 32 KB L1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional, Tuple
+
+from ...trace.classify import DataClass
+from ...trace.stream import RefBuilder
+from ..heap import HeapTable
+from .context import ExecContext
+from .plan import Row
+
+
+def seq_scan(
+    ctx: ExecContext,
+    table: HeapTable,
+    pred: Optional[Callable[[Tuple], bool]] = None,
+    project: Optional[Callable[[Tuple], Tuple]] = None,
+    n_qual_clauses: int = 1,
+) -> Generator:
+    """Scan ``table``, yielding rows that satisfy ``pred``."""
+    costs = ctx.costs
+    lay = table.layout
+    ws = ctx.ws
+    rows = table.rows
+    width = lay.row_width
+    n_lines = max(1, (width + 31) // 32)
+    # budget ~seqscan_next_tuple instructions across record-line touches
+    # and two scratch-ring touches per tuple
+    per_line = max(1, (costs.seqscan_next_tuple * 2 // 3) // n_lines)
+    scratch_instrs = max(1, costs.seqscan_next_tuple // 6)
+    qual_instrs = costs.qual_clause * max(n_qual_clauses, 1) if pred else 0
+
+    for pageno in range(table.used_pages):
+        yield from ctx.read_buffer(table.relid, pageno)
+        rb = RefBuilder()
+        rb.add(lay.page_base(pageno), False, costs.page_scan_setup, DataClass.RECORD)
+        emitted = []
+        for ridx in table.rows_on_page(pageno):
+            row = rows[ridx]
+            addr = lay.row_addr(ridx)
+            if row is None:
+                # Tombstoned tuple: the scan still inspects its header.
+                rb.add(addr, False, 20, DataClass.RECORD)
+                continue
+            # First visitor of the run sets hint bits: a store to the
+            # tuple's header line (§4.1.1 "stores to shared lines").
+            rb.add(addr, ctx.hint_bit_write(table, ridx), per_line, DataClass.RECORD)
+            if n_lines > 1:
+                rb.touch_range(
+                    addr + 32,
+                    width - 32,
+                    DataClass.RECORD,
+                    instrs_per_touch=per_line,
+                )
+            rb.add(ws.slot_addr, True, costs.tuple_deform, DataClass.PRIVATE)
+            ctx.scratch_refs(rb, 3, scratch_instrs)
+            if pred is not None:
+                rb.add(ws.qual_addr, False, qual_instrs, DataClass.PRIVATE)
+                if not pred(row):
+                    continue
+            emitted.append(row if project is None else project(row))
+        yield rb.build()
+        for r in emitted:
+            yield Row(r)

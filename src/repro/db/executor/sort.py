@@ -1,0 +1,64 @@
+"""Sort node (in-memory, private work_mem).
+
+Used by Q21's final ``ORDER BY numwait DESC LIMIT 100``.  Sorting
+happens in the private sort area; the reference stream is the
+materialize-then-merge pattern of PostgreSQL's in-memory tuplesort.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator, Iterable, Optional
+
+from ...osim.syscalls import Compute
+from ...trace.classify import DataClass
+from ...trace.stream import RefBuilder
+from .context import ExecContext
+from .plan import Row, forward_events
+
+_BATCH_ROWS = 64
+
+
+def sort_node(
+    ctx: ExecContext,
+    child: Iterable,
+    key_of: Callable,
+    reverse: bool = False,
+    limit: Optional[int] = None,
+) -> Generator:
+    """Materialize, sort, and re-emit child rows."""
+    costs = ctx.costs
+    ws = ctx.ws
+    rows: list = []
+    # Materialize: every input row is written into the sort area.
+    rb = RefBuilder()
+    n = 0
+    for ev in forward_events(child, rows):
+        yield ev
+    for i in range(len(rows)):
+        rb.add(ws.sort_slot_addr(i), True, costs.tuple_emit, DataClass.PRIVATE)
+        n += 1
+        if n % _BATCH_ROWS == 0:
+            yield rb.build()
+            rb = RefBuilder()
+    if len(rb):
+        yield rb.build()
+
+    rows.sort(key=key_of, reverse=reverse)
+    if len(rows) > 1:
+        n_cmp = int(len(rows) * max(1.0, math.log2(len(rows))))
+        yield Compute(n_cmp * costs.sort_compare)
+        rb = RefBuilder()
+        # Merge-phase reads over the sort area.
+        for i in range(0, len(rows)):
+            rb.add(ws.sort_slot_addr(i), False, 8, DataClass.PRIVATE)
+            if (i + 1) % _BATCH_ROWS == 0:
+                yield rb.build()
+                rb = RefBuilder()
+        if len(rb):
+            yield rb.build()
+
+    if limit is not None:
+        rows = rows[:limit]
+    for row in rows:
+        yield Row(row)

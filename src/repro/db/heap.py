@@ -1,0 +1,122 @@
+"""Heap tables: relation storage with real rows plus page addressing.
+
+A :class:`HeapTable` owns both the *data* (Python row tuples, so query
+results are genuinely computed) and the *addresses* (a shared RECORD
+segment laid out in 8 KB pages, so every scan produces the right
+memory-reference stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DatabaseError
+from ..trace.classify import DataClass
+from .page import PageLayout
+from .shmem import SharedMemory
+
+
+class HeapTable:
+    """One relation stored as fixed-width rows in heap pages.
+
+    The page layout is sized for ``len(rows) * (1 + spare_frac)`` slots
+    so the TPC-H refresh functions can insert after the initial load
+    without relocating the relation.  Deleted rows become ``None``
+    tombstones (scans skip them; space is not reclaimed, as in
+    pre-VACUUM PostgreSQL behaviour within a run).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relid: int,
+        columns: Sequence[str],
+        row_width: int,
+        rows: List[Tuple],
+        shmem: SharedMemory,
+        spare_frac: float = 0.25,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if rows and any(len(r) != len(columns) for r in rows[:16]):
+            raise DatabaseError(f"{name}: row arity does not match columns")
+        if spare_frac < 0:
+            raise DatabaseError(f"{name}: spare_frac must be >= 0")
+        self.name = name
+        self.relid = relid
+        self.columns = tuple(columns)
+        self._colpos: Dict[str, int] = {c: i for i, c in enumerate(self.columns)}
+        if len(self._colpos) != len(self.columns):
+            raise DatabaseError(f"{name}: duplicate column names")
+        self.rows = rows
+        self.row_width = row_width
+        if capacity is not None:
+            if capacity < len(rows):
+                raise DatabaseError(f"{name}: capacity below initial row count")
+            self.capacity = capacity
+        else:
+            self.capacity = max(int(len(rows) * (1 + spare_frac)), len(rows) + 8)
+        seg = shmem.alloc(
+            f"heap.{name}",
+            PageLayout(0, self.capacity, row_width).total_bytes,
+            DataClass.RECORD,
+        )
+        self.segment = seg
+        self.layout = PageLayout(seg.base, self.capacity, row_width)
+        self.n_deleted = 0
+
+    # -- mutation (refresh functions) -----------------------------------------
+    def insert_row(self, row: Tuple) -> int:
+        """Append a row; returns its row index (TID)."""
+        if len(row) != len(self.columns):
+            raise DatabaseError(f"{self.name}: row arity mismatch on insert")
+        if len(self.rows) >= self.capacity:
+            raise DatabaseError(f"{self.name}: relation is full (capacity "
+                                f"{self.capacity})")
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+    def delete_row(self, row_idx: int) -> Tuple:
+        """Tombstone a row; returns the old tuple."""
+        old = self.rows[row_idx]
+        if old is None:
+            raise DatabaseError(f"{self.name}: row {row_idx} already deleted")
+        self.rows[row_idx] = None
+        self.n_deleted += 1
+        return old
+
+    # -- schema helpers -----------------------------------------------------
+    def col(self, name: str) -> int:
+        """Position of column ``name`` (raises on unknown columns)."""
+        try:
+            return self._colpos[name]
+        except KeyError:
+            raise DatabaseError(f"{self.name} has no column {name!r}") from None
+
+    @property
+    def n_rows(self) -> int:
+        """Row slots in use (including tombstones)."""
+        return len(self.rows)
+
+    @property
+    def n_live_rows(self) -> int:
+        return len(self.rows) - self.n_deleted
+
+    @property
+    def n_pages(self) -> int:
+        """Pages allocated (capacity), as the buffer pool sees them."""
+        return self.layout.n_pages
+
+    @property
+    def used_pages(self) -> int:
+        """Pages that actually contain row slots; what a scan visits."""
+        if not self.rows:
+            return 1
+        return self.layout.page_of_row(len(self.rows) - 1) + 1
+
+    def rows_on_page(self, pageno: int) -> range:
+        """Row indexes stored on ``pageno``, clipped to real rows."""
+        full = self.layout.rows_on_page(pageno)
+        return range(full.start, min(full.stop, len(self.rows)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HeapTable({self.name}, rows={self.n_rows}, pages={self.n_pages})"

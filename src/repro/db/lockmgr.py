@@ -1,0 +1,102 @@
+"""Relation-level lock manager.
+
+PostgreSQL of this era "fully supports only relation level locking"
+(§2.2); because the workload is read-only, every query process takes an
+``AccessShare`` lock on each relation it opens, and multiple readers
+are always compatible — so the lock manager never *blocks* anyone, but
+acquiring a lock still means taking the lock-manager spinlock and
+reading-then-updating the lock and transaction (proc) hash tables in
+shared memory.  The paper's §4.2.3 walks through exactly this
+read-then-write pattern when explaining the migratory optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..errors import DatabaseError
+from ..osim.syscalls import Spinlock
+from ..trace.classify import DataClass
+from .shmem import SharedMemory
+
+#: Bytes per LOCK hash-table entry.
+LOCK_ENTRY = 128
+#: Bytes per per-process PROCLOCK entry.
+PROC_ENTRY = 64
+
+MODE_ACCESS_SHARE = "AccessShare"
+MODE_ACCESS_EXCLUSIVE = "AccessExclusive"
+
+_COMPATIBLE = {
+    (MODE_ACCESS_SHARE, MODE_ACCESS_SHARE): True,
+    (MODE_ACCESS_SHARE, MODE_ACCESS_EXCLUSIVE): False,
+    (MODE_ACCESS_EXCLUSIVE, MODE_ACCESS_SHARE): False,
+    (MODE_ACCESS_EXCLUSIVE, MODE_ACCESS_EXCLUSIVE): False,
+}
+
+
+class LockManager:
+    """Lock/transaction hash tables plus the LockMgrLock spinlock."""
+
+    def __init__(
+        self,
+        shmem: SharedMemory,
+        max_relations: int = 64,
+        max_procs: int = 64,
+    ) -> None:
+        self.lock_seg = shmem.alloc(
+            "lockmgr.locks", max_relations * LOCK_ENTRY, DataClass.META
+        )
+        self.proc_seg = shmem.alloc(
+            "lockmgr.procs", max_procs * PROC_ENTRY, DataClass.META
+        )
+        self.spinlock: Spinlock = shmem.spinlock("LockMgrLock")
+        self.max_relations = max_relations
+        self.max_procs = max_procs
+        #: relid -> {pid: mode}
+        self._held: Dict[int, Dict[int, str]] = {}
+        self.n_grants = 0
+        self.n_conflicts = 0
+
+    # -- addressing -----------------------------------------------------------
+    def lock_entry_addr(self, relid: int) -> int:
+        if not 0 <= relid < self.max_relations:
+            raise DatabaseError(f"relid {relid} outside lock table")
+        return self.lock_seg.base + relid * LOCK_ENTRY
+
+    def proc_entry_addr(self, pid: int) -> int:
+        if not 0 <= pid < self.max_procs:
+            raise DatabaseError(f"pid {pid} outside proc table")
+        return self.proc_seg.base + pid * PROC_ENTRY
+
+    # -- semantics (caller must hold the spinlock) --------------------------------
+    def can_grant(self, relid: int, pid: int, mode: str) -> bool:
+        for holder, held_mode in self._held.get(relid, {}).items():
+            if holder == pid:
+                continue
+            if not _COMPATIBLE[(held_mode, mode)]:
+                return False
+        return True
+
+    def grant(self, relid: int, pid: int, mode: str = MODE_ACCESS_SHARE) -> None:
+        if not self.can_grant(relid, pid, mode):
+            self.n_conflicts += 1
+            raise DatabaseError(
+                f"lock conflict on relid {relid}: {mode} requested by pid {pid}"
+            )
+        self._held.setdefault(relid, {})[pid] = mode
+        self.n_grants += 1
+
+    def release(self, relid: int, pid: int) -> None:
+        holders = self._held.get(relid, {})
+        if pid not in holders:
+            raise DatabaseError(f"pid {pid} holds no lock on relid {relid}")
+        del holders[pid]
+
+    def holders(self, relid: int) -> Set[int]:
+        return set(self._held.get(relid, {}))
+
+    def release_all(self, pid: int) -> None:
+        """Transaction end: drop every lock held by ``pid``."""
+        for holders in self._held.values():
+            holders.pop(pid, None)

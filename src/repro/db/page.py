@@ -1,0 +1,84 @@
+"""Page geometry of the DBMS substrate.
+
+PostgreSQL stores relations in 8 KB pages: a small header, an array of
+line pointers, and tuples packed from the end.  For memory-behaviour
+purposes only the *addresses* matter, so our pages are a geometric
+abstraction: fixed-width tuples packed after a header.  The actual
+tuple values live in Python lists owned by the heap/index structures.
+"""
+
+from __future__ import annotations
+
+from ..errors import DatabaseError
+
+#: PostgreSQL's default block size.
+PAGE_SIZE = 8192
+
+#: PageHeaderData plus a little slack for the line-pointer array start.
+PAGE_HEADER = 24
+
+#: Each tuple also pays an ItemId (line pointer) and a HeapTupleHeader;
+#: folded into the effective row width by the schema layer.
+TUPLE_OVERHEAD = 28
+
+
+def tuples_per_page(row_width: int) -> int:
+    """How many fixed-width rows fit on one page."""
+    if row_width <= 0:
+        raise DatabaseError("row width must be positive")
+    per = (PAGE_SIZE - PAGE_HEADER) // (row_width + TUPLE_OVERHEAD)
+    if per < 1:
+        raise DatabaseError(f"row width {row_width} does not fit a page")
+    return per
+
+
+def pages_for(n_rows: int, row_width: int) -> int:
+    """Number of pages needed to store ``n_rows``."""
+    if n_rows == 0:
+        return 1  # an empty relation still has one (empty) page
+    per = tuples_per_page(row_width)
+    return (n_rows + per - 1) // per
+
+
+class PageLayout:
+    """Address arithmetic for one relation's pages inside a segment."""
+
+    __slots__ = ("seg_base", "row_width", "per_page", "n_pages", "n_rows")
+
+    def __init__(self, seg_base: int, n_rows: int, row_width: int) -> None:
+        self.seg_base = seg_base
+        self.row_width = row_width + TUPLE_OVERHEAD
+        self.per_page = tuples_per_page(row_width)
+        self.n_pages = pages_for(n_rows, row_width)
+        self.n_rows = n_rows
+
+    def page_of_row(self, row_idx: int) -> int:
+        self._check_row(row_idx)
+        return row_idx // self.per_page
+
+    def page_base(self, pageno: int) -> int:
+        if not 0 <= pageno < self.n_pages:
+            raise DatabaseError(f"page {pageno} out of range 0..{self.n_pages - 1}")
+        return self.seg_base + pageno * PAGE_SIZE
+
+    def row_addr(self, row_idx: int) -> int:
+        """Byte address of the start of row ``row_idx``."""
+        self._check_row(row_idx)
+        page = row_idx // self.per_page
+        slot = row_idx % self.per_page
+        return self.seg_base + page * PAGE_SIZE + PAGE_HEADER + slot * self.row_width
+
+    def rows_on_page(self, pageno: int) -> range:
+        """Row indexes resident on ``pageno``."""
+        if not 0 <= pageno < self.n_pages:
+            raise DatabaseError(f"page {pageno} out of range 0..{self.n_pages - 1}")
+        start = pageno * self.per_page
+        return range(start, min(start + self.per_page, self.n_rows))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_pages * PAGE_SIZE
+
+    def _check_row(self, row_idx: int) -> None:
+        if not 0 <= row_idx < self.n_rows:
+            raise DatabaseError(f"row {row_idx} out of range 0..{self.n_rows - 1}")

@@ -1,0 +1,78 @@
+"""DBMS shared-memory layout.
+
+PostgreSQL allocates everything the backends share — the buffer pool,
+buffer descriptors and hash table, lock manager tables, catalog caches
+— from one shared-memory region at postmaster start (the paper
+configures it to 512 MB).  :class:`SharedMemory` reproduces that layout
+on the simulated address space, tagging each region with the data class
+that the paper's analysis distinguishes.
+
+On the Origin the whole region is homed on one or two nodes (see
+``MachineConfig.db_home_nodes``), which the paper identifies as the
+source of hot-spot contention at 6–8 query processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..osim.syscalls import Spinlock
+from ..trace.address import AddressSpace, Segment
+from ..trace.classify import DataClass
+from ..units import KB
+
+
+class SharedMemory:
+    """Allocator facade over the simulated address space."""
+
+    #: Spinlock words get a full 128 B (max coherence line) each so two
+    #: hot locks never exhibit false sharing with each other.
+    LOCK_STRIDE = 128
+
+    def __init__(self, aspace: Optional[AddressSpace] = None) -> None:
+        self.aspace = aspace if aspace is not None else AddressSpace()
+        self._locks: Dict[str, Spinlock] = {}
+        self._lock_seg: Optional[Segment] = None
+        self._lock_next = 0
+        self._private: Dict[int, Segment] = {}
+
+    # -- shared allocations -------------------------------------------------
+    def alloc(self, name: str, size: int, cls: DataClass) -> Segment:
+        """Allocate a shared region (heap/index pages, metadata...)."""
+        return self.aspace.alloc(name, size, cls, shared=True)
+
+    def spinlock(self, name: str) -> Spinlock:
+        """Get or create a named spinlock on its own shared line."""
+        lock = self._locks.get(name)
+        if lock is None:
+            if self._lock_seg is None:
+                # room for 64 distinct locks; plenty for this DBMS
+                self._lock_seg = self.aspace.alloc(
+                    "shmem.spinlocks", 64 * self.LOCK_STRIDE, DataClass.LOCK
+                )
+            addr = self._lock_seg.base + self._lock_next * self.LOCK_STRIDE
+            self._lock_next += 1
+            lock = Spinlock(name, addr)
+            self._locks[name] = lock
+        return lock
+
+    # -- per-process private memory -----------------------------------------
+    def private(self, pid: int, cpu: int, size: int = 16 * KB) -> Segment:
+        """Per-backend private working memory (executor state, slots,
+        aggregation scratch).  First-touch homed on the owner's node."""
+        seg = self._private.get(pid)
+        if seg is None:
+            seg = self.aspace.alloc(
+                f"private.pid{pid}",
+                size,
+                DataClass.PRIVATE,
+                shared=False,
+                owner_cpu=cpu,
+            )
+            self._private[pid] = seg
+        return seg
+
+    def reset_locks(self) -> None:
+        """Release every spinlock (between experiment repetitions)."""
+        for lock in self._locks.values():
+            lock.holder = None

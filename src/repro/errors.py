@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by the simulator derives from
+:class:`ReproError` so callers can catch simulator problems without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro simulator."""
+
+
+class ConfigError(ReproError):
+    """A machine, database, or experiment configuration is invalid."""
+
+
+class CoherenceError(ReproError):
+    """The coherence engine detected a protocol invariant violation.
+
+    This is always a simulator bug, never a workload property; the
+    protocol tests assert these are never raised.
+    """
+
+
+class SchedulerError(ReproError):
+    """The OS scheduler was driven into an impossible state."""
+
+
+class DatabaseError(ReproError):
+    """A DBMS substrate operation failed (bad page, missing relation...)."""
+
+
+class TraceError(ReproError):
+    """A reference trace is malformed or inconsistent."""

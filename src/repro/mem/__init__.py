@@ -1,0 +1,62 @@
+"""Multiprocessor memory-system models (caches, coherence, interconnect).
+
+The analytical companions (stack distances, miss-ratio curves) live in
+:mod:`repro.mem.analytic`; they are not re-exported here because they
+import the DB layer for layout-exact predictions.
+"""
+
+from .cache import CacheConfig, SetAssocCache
+from .coherence import CoherenceEngine
+from .directory import Directory, DirEntry
+from .hierarchy import CacheHierarchy
+from .interconnect import CrossbarInterconnect, Interconnect, NumaInterconnect
+from .latency import LatencyModel
+from .machine import (
+    PLATFORMS,
+    MachineConfig,
+    hp_v_class,
+    platform,
+    sgi_origin_2000,
+)
+from .memsys import (
+    MISS_CAPACITY,
+    MISS_COLD,
+    MISS_COMM,
+    MISS_KIND_NAMES,
+    CpuMemStats,
+    MemorySystem,
+)
+from .states import EXCLUSIVE, INVALID, MODIFIED, SHARED, STATE_NAMES
+from .topology import CrossbarTopology, HypercubeTopology, Topology
+
+__all__ = [
+    "CacheConfig",
+    "SetAssocCache",
+    "CacheHierarchy",
+    "CoherenceEngine",
+    "Directory",
+    "DirEntry",
+    "Interconnect",
+    "CrossbarInterconnect",
+    "NumaInterconnect",
+    "LatencyModel",
+    "MachineConfig",
+    "hp_v_class",
+    "sgi_origin_2000",
+    "platform",
+    "PLATFORMS",
+    "MemorySystem",
+    "CpuMemStats",
+    "MISS_COLD",
+    "MISS_CAPACITY",
+    "MISS_COMM",
+    "MISS_KIND_NAMES",
+    "Topology",
+    "CrossbarTopology",
+    "HypercubeTopology",
+    "INVALID",
+    "SHARED",
+    "EXCLUSIVE",
+    "MODIFIED",
+    "STATE_NAMES",
+]

@@ -1,0 +1,114 @@
+"""Analytical memory models: footprints, reuse distances, MRCs.
+
+The classic companions to simulation (Mattson's stack algorithm,
+miss-ratio curves, layout-exact footprint counts).  Three uses:
+
+* **Validation oracle** — an LRU cache of capacity ``C`` misses exactly
+  when the reuse (stack) distance is ``>= C``; the property tests pit
+  :class:`~repro.mem.cache.SetAssocCache` against this ground truth.
+* **Prediction** — a captured trace's miss-ratio curve predicts how any
+  fully-associative capacity would behave without re-simulation.
+* **Paper arithmetic** — layout-exact expected miss counts for a
+  sequential scan (every record line touched exactly once) reproduce
+  §3.3's "cold misses ~= footprint" reasoning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from ..db.heap import HeapTable
+from ..trace.stream import RefBatch
+from ..units import log2_int
+
+INFINITE = -1  # reuse-distance bucket for cold (first-touch) references
+
+
+def line_stream(batches: Iterable[RefBatch], line_size: int) -> Iterator[int]:
+    """Flatten batches into a stream of line numbers."""
+    shift = log2_int(line_size)
+    for batch in batches:
+        for addr in batch.addrs:
+            yield addr >> shift
+
+
+def footprint_lines(batches: Iterable[RefBatch], line_size: int) -> int:
+    """Distinct lines touched (the §3.3 'footprint')."""
+    return len(set(line_stream(batches, line_size)))
+
+
+def reuse_distance_histogram(lines: Iterable[int]) -> Dict[int, int]:
+    """Mattson stack algorithm: histogram of LRU stack distances.
+
+    Distance d means: d distinct *other* lines were touched since the
+    previous access to this line; cold accesses land in ``INFINITE``.
+    The list-based stack is O(N*M) but exact; our traces are small
+    enough that exactness beats cleverness.
+    """
+    stack: List[int] = []  # most recent at the end
+    position: Dict[int, bool] = {}
+    hist: Dict[int, int] = {}
+    for line in lines:
+        if line in position:
+            idx = len(stack) - 1 - stack[::-1].index(line)
+            distance = len(stack) - 1 - idx
+            hist[distance] = hist.get(distance, 0) + 1
+            del stack[idx]
+        else:
+            hist[INFINITE] = hist.get(INFINITE, 0) + 1
+            position[line] = True
+        stack.append(line)
+    return hist
+
+
+def lru_misses(hist: Dict[int, int], capacity_lines: int) -> int:
+    """Misses of a fully-associative LRU cache of ``capacity_lines``.
+
+    A reference with stack distance d hits iff d < capacity.
+    """
+    if capacity_lines <= 0:
+        raise ValueError("capacity must be positive")
+    misses = hist.get(INFINITE, 0)
+    for distance, count in hist.items():
+        if distance != INFINITE and distance >= capacity_lines:
+            misses += count
+    return misses
+
+
+def miss_ratio_curve(
+    batches: Sequence[RefBatch],
+    line_size: int,
+    capacities_bytes: Sequence[int],
+) -> Dict[int, float]:
+    """Miss ratio vs fully-associative capacity for a captured trace."""
+    lines = list(line_stream(batches, line_size))
+    if not lines:
+        return {c: 0.0 for c in capacities_bytes}
+    hist = reuse_distance_histogram(lines)
+    n = len(lines)
+    return {
+        c: lru_misses(hist, max(c // line_size, 1)) / n for c in capacities_bytes
+    }
+
+
+def expected_seqscan_lines(table: HeapTable, line_size: int) -> int:
+    """Layout-exact count of distinct record lines one sequential scan
+    touches (page headers + every tuple's spanned lines).
+
+    This is the §3.3 prediction for a streaming query's cold misses on
+    a cache the footprint does not fit: misses == footprint.
+    """
+    shift = log2_int(line_size)
+    lay = table.layout
+    lines = set()
+    for pageno in range(table.used_pages):
+        lines.add(lay.page_base(pageno) >> shift)
+        for ridx in table.rows_on_page(pageno):
+            addr = lay.row_addr(ridx)
+            # mirror the executor's touch pattern: addr, addr+32, ...
+            off = addr
+            end = addr + lay.row_width
+            while off < end:
+                lines.add(off >> shift)
+                off += 32
+    return len(lines)

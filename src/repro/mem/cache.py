@@ -1,0 +1,210 @@
+"""Set-associative write-back cache with true LRU replacement.
+
+This models both the PA-8200's off-chip direct-mapped caches (a
+direct-mapped cache is just associativity 1) and the R10000's two-way
+L1/L2.  The cache stores a MESI state per resident line; coherence
+*decisions* live in :mod:`repro.mem.coherence` — this class only holds
+state and implements replacement.
+
+Performance note: each set is an ``OrderedDict`` keyed by line number.
+``move_to_end`` gives O(1) true-LRU promotion in C, which profiling
+showed is the fastest pure-Python structure for this access mix.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..units import fmt_bytes, is_pow2, log2_int
+from .states import INVALID
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    size: int
+    line_size: int
+    assoc: int
+
+    def __post_init__(self) -> None:
+        if not is_pow2(self.line_size):
+            raise ConfigError(f"{self.name}: line size must be a power of two")
+        if self.assoc < 1:
+            raise ConfigError(f"{self.name}: associativity must be >= 1")
+        if self.size < self.line_size * self.assoc:
+            raise ConfigError(
+                f"{self.name}: size {self.size} smaller than one set "
+                f"({self.line_size} x {self.assoc})"
+            )
+        if self.size % (self.line_size * self.assoc) != 0:
+            raise ConfigError(f"{self.name}: size must be a multiple of a set")
+        if not is_pow2(self.size // (self.line_size * self.assoc)):
+            raise ConfigError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size // (self.line_size * self.assoc)
+
+    @property
+    def n_lines(self) -> int:
+        return self.size // self.line_size
+
+    @property
+    def line_shift(self) -> int:
+        return log2_int(self.line_size)
+
+    def scaled(self, scale_log2: int) -> "CacheConfig":
+        """Shrink capacity by ``2**scale_log2``, preserving geometry.
+
+        Line size and associativity are kept (they set spatial-locality
+        and conflict behaviour); the set count shrinks, with a floor of
+        one set so the cache stays well-formed.
+        """
+        min_size = self.line_size * self.assoc
+        new_size = max(self.size >> scale_log2, min_size)
+        return CacheConfig(self.name, new_size, self.line_size, self.assoc)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {fmt_bytes(self.size)}, "
+            f"{self.line_size}B lines, {self.assoc}-way, {self.n_sets} sets"
+        )
+
+
+class SetAssocCache:
+    """One cache level.  Addresses are byte addresses; keying is by line."""
+
+    __slots__ = (
+        "config",
+        "_sets",
+        "_line_shift",
+        "_set_mask",
+        "n_evictions",
+        "n_dirty_evictions",
+    )
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_shift
+        self._set_mask = config.n_sets - 1
+        self._sets: List["OrderedDict[int, int]"] = [
+            OrderedDict() for _ in range(config.n_sets)
+        ]
+        self.n_evictions = 0
+        self.n_dirty_evictions = 0
+
+    # -- address helpers -------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        """Line number containing byte address ``addr``."""
+        return addr >> self._line_shift
+
+    def line_base(self, line: int) -> int:
+        """First byte address of line number ``line``."""
+        return line << self._line_shift
+
+    # -- core operations -------------------------------------------------
+    def probe(self, addr: int) -> int:
+        """Return the MESI state of the line holding ``addr`` and promote
+        it to MRU; :data:`INVALID` when absent."""
+        line = addr >> self._line_shift
+        s = self._sets[line & self._set_mask]
+        state = s.get(line, INVALID)
+        if state:
+            s.move_to_end(line)
+        return state
+
+    def peek(self, addr: int) -> int:
+        """State lookup without LRU promotion (for snoops and tests)."""
+        line = addr >> self._line_shift
+        return self._sets[line & self._set_mask].get(line, INVALID)
+
+    def insert(self, addr: int, state: int) -> Optional[Tuple[int, int]]:
+        """Install the line holding ``addr`` in ``state``.
+
+        Returns ``(victim_line_number, victim_state)`` when a resident
+        line had to be evicted, else ``None``.  Inserting over a line
+        that is already resident just updates its state.
+        """
+        line = addr >> self._line_shift
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            s[line] = state
+            s.move_to_end(line)
+            return None
+        victim = None
+        if len(s) >= self.config.assoc:
+            vline, vstate = s.popitem(last=False)  # LRU victim
+            self.n_evictions += 1
+            if vstate == 3:  # MODIFIED
+                self.n_dirty_evictions += 1
+            victim = (vline, vstate)
+        s[line] = state
+        return victim
+
+    def set_state(self, addr: int, state: int) -> None:
+        """Change the state of a resident line (no LRU promotion)."""
+        line = addr >> self._line_shift
+        s = self._sets[line & self._set_mask]
+        if line not in s:
+            raise KeyError(f"line for addr {addr:#x} not resident in {self.config.name}")
+        s[line] = state
+
+    def invalidate(self, addr: int) -> int:
+        """Remove the line holding ``addr``; return its prior state."""
+        line = addr >> self._line_shift
+        return self._sets[line & self._set_mask].pop(line, INVALID)
+
+    def invalidate_range(self, base: int, nbytes: int) -> int:
+        """Invalidate every line overlapping ``[base, base+nbytes)``.
+
+        Used to keep a small-line L1 consistent with invalidations
+        issued at the larger coherence-line granularity.  Returns the
+        number of lines that were actually resident.
+        """
+        first = base >> self._line_shift
+        last = (base + nbytes - 1) >> self._line_shift
+        hit = 0
+        for line in range(first, last + 1):
+            if self._sets[line & self._set_mask].pop(line, INVALID):
+                hit += 1
+        return hit
+
+    # -- introspection ---------------------------------------------------
+    def resident(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(line_number, state)`` for every resident line."""
+        for s in self._sets:
+            yield from s.items()
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)
+
+    def pop_lru(self, n: int) -> List[Tuple[int, int]]:
+        """Evict up to ``n`` LRU lines, spread round-robin across sets
+        (context-switch pollution: the OS/daemons that ran in between
+        displaced the coldest lines).  Returns (line, state) pairs."""
+        victims: List[Tuple[int, int]] = []
+        progress = True
+        while len(victims) < n and progress:
+            progress = False
+            for s in self._sets:
+                if s and len(victims) < n:
+                    victims.append(s.popitem(last=False))
+                    self.n_evictions += 1
+                    if victims[-1][1] == 3:  # MODIFIED
+                        self.n_dirty_evictions += 1
+                    progress = True
+        return victims
+
+    def flush(self) -> None:
+        """Drop all contents (between experiment repetitions)."""
+        for s in self._sets:
+            s.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SetAssocCache({self.config.describe()}, resident={self.occupancy()})"

@@ -1,0 +1,242 @@
+"""Directory coherence protocol engine (MESI + migratory optimization).
+
+One engine instance serves a whole machine: it owns the
+:class:`~repro.mem.directory.Directory`, can reach into every CPU's
+cache hierarchy to invalidate or downgrade lines, and asks the
+interconnect for transaction latencies.
+
+Protocol summary
+----------------
+* Read miss, line unowned        → fetch from home, install **E**.
+* Read miss, line shared         → fetch from home, install **S**.
+* Read miss, line exclusive at q → intervention. Normally q downgrades
+  to S (writing back if dirty) and the requester gets S.  Under the
+  V-Class **migratory optimization**, a line detected as migratory is
+  instead *invalidated* at q and handed to the requester exclusive —
+  saving the later upgrade that a read-modify-write pattern (locks!)
+  would need.
+* Write miss / upgrade           → all other holders are invalidated,
+  requester gets **M**.  Migratory detection happens here: if the write
+  steals the line from exactly one other cache whose CPU was the
+  previous writer, the line is flagged migratory.
+
+The paper leans on this machinery twice: the Fig. 9 memory-latency bump
+at 2 processes (the first sharer of each page pays the exclusive-owner
+intervention; later sharers are served from memory in shared state) and
+the lock-transfer benefit discussed in §4.2.3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .directory import NO_OWNER, Directory
+from .hierarchy import CacheHierarchy
+from .interconnect import Interconnect
+from .states import EXCLUSIVE, MODIFIED, SHARED
+
+# Miss kinds returned to the memory system for classification.
+KIND_UNOWNED = "unowned"       # served by memory, no other holder
+KIND_SHARED = "shared"         # served by memory, other holders exist
+KIND_INTERVENTION = "intervention"  # served via another cache (comm!)
+
+
+class CoherenceEngine:
+    """Executes directory transactions for coherent-level misses."""
+
+    def __init__(
+        self,
+        hierarchies: List[CacheHierarchy],
+        interconnect: Interconnect,
+        *,
+        migratory_enabled: bool,
+    ) -> None:
+        self.hierarchies = hierarchies
+        self.interconnect = interconnect
+        self.migratory_enabled = migratory_enabled
+        self.directory = Directory()
+        line_size = hierarchies[0].coherent_line_size
+        for h in hierarchies:
+            assert h.coherent_line_size == line_size, "mixed coherence granularity"
+        self.line_size = line_size
+        self._line_mask = ~(line_size - 1)
+        # statistics
+        self.n_interventions = 0
+        self.n_migratory_transfers = 0
+        self.n_migratory_detected = 0
+        self.n_invalidations = 0
+        self.n_writebacks = 0
+        self.n_downgrades = 0
+
+    # -- helpers ------------------------------------------------------------
+    def _line_base(self, addr: int) -> int:
+        return addr & self._line_mask
+
+    def _writeback(self, line_base: int, home_node: int, now: int) -> None:
+        self.n_writebacks += 1
+        self.interconnect.post_writeback(line_base, home_node, now)
+
+    # -- transactions ---------------------------------------------------------
+    def read_miss(
+        self, cpu: int, addr: int, home_node: int, now: int
+    ) -> Tuple[int, str, List[int], int]:
+        """Handle a coherent-level read miss by ``cpu``.
+
+        Returns ``(raw_latency, kind, losers, fill_state)`` where
+        ``losers`` lists CPUs whose copies were invalidated (for the
+        memory system's coherence-miss bookkeeping) and ``fill_state``
+        is the MESI state the requester installs (E for unowned or a
+        migratory grant, S otherwise).
+        """
+        line = self._line_base(addr)
+        e = self.directory.entry(line)
+        owner = e.excl_owner
+
+        if owner != NO_OWNER and owner != cpu:
+            # Exclusive elsewhere: intervention required either way.
+            self.n_interventions += 1
+            lat = self.interconnect.intervention(cpu, owner, line, home_node, now)
+            owner_h = self.hierarchies[owner]
+            was = owner_h.coherent.peek(line)
+            dirty = was == MODIFIED
+            migrate = (
+                self.migratory_enabled and e.migratory and e.written_since_transfer
+            )
+            if self.migratory_enabled and e.migratory and not e.written_since_transfer:
+                # The pattern stopped being read-modify-write: demote.
+                e.migratory = False
+            if migrate:
+                # Hand the line over exclusive; the old copy dies.
+                owner_h.invalidate(line)
+                self.n_invalidations += 1
+                self.n_migratory_transfers += 1
+                e.excl_owner = cpu
+                e.sharers = 0
+                e.written_since_transfer = False
+                return lat, KIND_INTERVENTION, [owner], EXCLUSIVE
+            # Normal path: downgrade the owner to S, share the line.
+            if dirty:
+                self._writeback(line, home_node, now)
+            owner_h.set_state(line, SHARED)
+            self.n_downgrades += 1
+            e.excl_owner = NO_OWNER
+            e.sharers = (1 << owner) | (1 << cpu)
+            e.written_since_transfer = False
+            return lat, KIND_INTERVENTION, [], SHARED
+
+        lat = self.interconnect.memory_fetch(cpu, line, home_node, now)
+        if e.holders() == 0 or e.is_held_only_by(cpu):
+            # Unowned (or a self-race after eviction): exclusive fill.
+            e.excl_owner = cpu
+            e.sharers = 0
+            e.written_since_transfer = False
+            return lat, KIND_UNOWNED, [], EXCLUSIVE
+        # Shared by others: memory supplies the data directly.
+        e.sharers |= 1 << cpu
+        return lat, KIND_SHARED, [], SHARED
+
+    def write_miss(
+        self, cpu: int, addr: int, home_node: int, now: int
+    ) -> Tuple[int, str, List[int]]:
+        """Handle a coherent-level write miss (line absent at ``cpu``).
+
+        Returns ``(raw_latency, kind, losers)``; the caller installs M.
+        """
+        line = self._line_base(addr)
+        e = self.directory.entry(line)
+        owner = e.excl_owner
+
+        if owner != NO_OWNER and owner != cpu:
+            self.n_interventions += 1
+            lat = self.interconnect.intervention(cpu, owner, line, home_node, now)
+            self.hierarchies[owner].invalidate(line)
+            self.n_invalidations += 1
+            self._detect_migratory(e, cpu, prior_holders=1 << owner)
+            e.excl_owner = cpu
+            e.sharers = 0
+            e.last_writer = cpu
+            e.written_since_transfer = True
+            return lat, KIND_INTERVENTION, [owner]
+
+        losers = self._invalidate_sharers(e, cpu, line)
+        if losers:
+            lat = self.interconnect.memory_fetch(cpu, line, home_node, now)
+            lat += self.interconnect.lat.inval_per_sharer * len(losers)
+            kind = KIND_SHARED
+        else:
+            lat = self.interconnect.memory_fetch(cpu, line, home_node, now)
+            kind = KIND_UNOWNED
+        e.excl_owner = cpu
+        e.sharers = 0
+        e.last_writer = cpu
+        e.written_since_transfer = True
+        return lat, kind, losers
+
+    def upgrade(
+        self, cpu: int, addr: int, home_node: int, now: int
+    ) -> Tuple[int, List[int]]:
+        """Write hit on a SHARED line: acquire ownership, invalidate the
+        other sharers.  Returns ``(raw_latency, losers)``."""
+        line = self._line_base(addr)
+        e = self.directory.entry(line)
+        prior = e.sharers & ~(1 << cpu)
+        losers = self._invalidate_sharers(e, cpu, line)
+        lat = self.interconnect.upgrade(cpu, line, home_node, len(losers), now)
+        self._detect_migratory(e, cpu, prior_holders=prior)
+        e.excl_owner = cpu
+        e.sharers = 0
+        e.last_writer = cpu
+        e.written_since_transfer = True
+        return lat, losers
+
+    def note_silent_upgrade(self, cpu: int, addr: int) -> None:
+        """The owner wrote an E line (silent E→M).  The directory cannot
+        see this on real hardware either, but the migratory detector
+        needs ``written_since_transfer`` and ``last_writer``."""
+        e = self.directory.entry(self._line_base(addr))
+        e.last_writer = cpu
+        e.written_since_transfer = True
+
+    def evict(self, cpu: int, addr: int, state: int, home_node: int, now: int) -> None:
+        """A coherent-level line left ``cpu``'s cache by replacement."""
+        line = self._line_base(addr)
+        if not self.directory.known(line):
+            return
+        e = self.directory.entry(line)
+        if e.excl_owner == cpu:
+            e.excl_owner = NO_OWNER
+            e.sharers = 0
+        else:
+            e.sharers &= ~(1 << cpu)
+        if state == MODIFIED:
+            self._writeback(line, home_node, now)
+
+    # -- internals ------------------------------------------------------------
+    def _invalidate_sharers(self, e, cpu: int, line: int) -> List[int]:
+        losers: List[int] = []
+        mask = e.sharers & ~(1 << cpu)
+        victim = 0
+        while mask:
+            if mask & 1:
+                self.hierarchies[victim].invalidate(line)
+                self.n_invalidations += 1
+                losers.append(victim)
+            mask >>= 1
+            victim += 1
+        return losers
+
+    def _detect_migratory(self, e, writer: int, prior_holders: int) -> None:
+        """Cox–Fowler style detection: a write that steals the line from
+        exactly one other cache whose CPU was the previous writer marks
+        the line migratory."""
+        if not self.migratory_enabled or e.migratory:
+            return
+        if (
+            prior_holders
+            and prior_holders == (prior_holders & -prior_holders)  # one bit
+            and e.last_writer != NO_OWNER
+            and e.last_writer != writer
+            and prior_holders == (1 << e.last_writer)
+        ):
+            e.migratory = True
+            self.n_migratory_detected += 1

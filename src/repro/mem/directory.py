@@ -1,0 +1,108 @@
+"""Coherence directory: per-line global sharing state.
+
+Both machines use directory-based invalidate protocols (the V-Class
+keeps directory tags at its memory controllers; the Origin keeps a
+directory per node).  We model one logical directory keyed by coherence
+line number; the *latency* of reaching it is the interconnect's
+business.
+
+An entry tracks either one exclusive owner (MESI E or M — the directory
+cannot tell them apart because E→M is a silent cache transition) or a
+set of sharers, plus the migratory-detection bookkeeping used by the
+V-Class protocol optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..errors import CoherenceError
+
+NO_OWNER = -1
+
+
+class DirEntry:
+    """Directory state for one coherence line."""
+
+    __slots__ = (
+        "excl_owner",
+        "sharers",
+        "migratory",
+        "last_writer",
+        "written_since_transfer",
+    )
+
+    def __init__(self) -> None:
+        #: CPU holding the line E/M, or NO_OWNER.
+        self.excl_owner: int = NO_OWNER
+        #: Bitmask of CPUs holding the line S (unused while excl_owner set).
+        self.sharers: int = 0
+        #: Line detected as migratory (read-modify-write passed between CPUs).
+        self.migratory: bool = False
+        #: Last CPU known to have written the line.
+        self.last_writer: int = NO_OWNER
+        #: Whether the current exclusive owner has written since it
+        #: received the line (used to demote stale migratory marks).
+        self.written_since_transfer: bool = False
+
+    def holders(self) -> int:
+        """Bitmask of every cache holding the line in any valid state."""
+        if self.excl_owner != NO_OWNER:
+            return 1 << self.excl_owner
+        return self.sharers
+
+    def n_holders(self) -> int:
+        return bin(self.holders()).count("1")
+
+    def is_held_only_by(self, cpu: int) -> bool:
+        return self.holders() == (1 << cpu)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.excl_owner != NO_OWNER:
+            return f"DirEntry(E/M@cpu{self.excl_owner}, mig={self.migratory})"
+        return f"DirEntry(S:{self.sharers:b}, mig={self.migratory})"
+
+
+class Directory:
+    """Lazy map from coherence-line number to :class:`DirEntry`."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirEntry] = {}
+
+    def entry(self, line: int) -> DirEntry:
+        """Get (creating if needed) the entry for ``line``."""
+        e = self._entries.get(line)
+        if e is None:
+            e = DirEntry()
+            self._entries[line] = e
+        return e
+
+    def peek(self, line: int) -> DirEntry:
+        """Entry lookup that raises instead of creating (tests/debug)."""
+        try:
+            return self._entries[line]
+        except KeyError:
+            raise CoherenceError(f"no directory entry for line {line:#x}") from None
+
+    def known(self, line: int) -> bool:
+        return line in self._entries
+
+    def items(self) -> Iterator[Tuple[int, DirEntry]]:
+        return iter(self._entries.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- invariant checking (used by the property tests) ---------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`CoherenceError` if any entry is malformed."""
+        for line, e in self._entries.items():
+            if e.excl_owner != NO_OWNER and e.sharers:
+                raise CoherenceError(
+                    f"line {line:#x}: exclusive owner {e.excl_owner} "
+                    f"coexists with sharers {e.sharers:b}"
+                )
+            if e.excl_owner != NO_OWNER and e.excl_owner < 0:
+                raise CoherenceError(f"line {line:#x}: bad owner {e.excl_owner}")

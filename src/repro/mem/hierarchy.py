@@ -1,0 +1,101 @@
+"""Per-CPU cache hierarchies.
+
+The PA-8200 has a single-level hierarchy (huge off-chip 2 MB D-cache);
+the R10000 has a small on-chip L1 backed by a large unified L2 with
+longer (128 B) lines.  The *coherent level* is always the last cache:
+it is the one the directory tracks, at its line granularity.  Inclusion
+is enforced between the L1 and the coherent level, so directory
+invalidations only need to consult the coherent level and then sweep
+the covered L1 lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigError
+from .cache import CacheConfig, SetAssocCache
+from .states import INVALID
+
+
+class CacheHierarchy:
+    """A stack of 1 or 2 cache levels for one CPU."""
+
+    __slots__ = ("levels", "l1", "coherent", "coherent_line_size", "has_l2")
+
+    def __init__(self, configs: List[CacheConfig]) -> None:
+        if not 1 <= len(configs) <= 2:
+            raise ConfigError("hierarchy supports 1 or 2 levels")
+        if len(configs) == 2 and configs[0].line_size > configs[1].line_size:
+            raise ConfigError("L1 line size must not exceed L2 line size")
+        self.levels = [SetAssocCache(c) for c in configs]
+        self.l1 = self.levels[0]
+        self.coherent = self.levels[-1]
+        self.coherent_line_size = self.coherent.config.line_size
+        self.has_l2 = len(self.levels) == 2
+
+    # -- state maintenance -------------------------------------------------
+    def fill(self, addr: int, state: int) -> Optional[Tuple[int, int]]:
+        """Install the line(s) for ``addr`` in ``state`` at every level.
+
+        Returns ``(victim_byte_base, victim_state)`` for a coherent-level
+        eviction that the directory must hear about, else ``None``.
+        Inclusion: a coherent-level victim is swept out of the L1 too.
+        """
+        victim = self.coherent.insert(addr, state)
+        out = None
+        if victim is not None:
+            vline, vstate = victim
+            vbase = self.coherent.line_base(vline)
+            if self.has_l2:
+                self.l1.invalidate_range(vbase, self.coherent_line_size)
+            out = (vbase, vstate)
+        if self.has_l2:
+            # Fill only the L1 line actually touched (no sub-line prefetch).
+            self.l1.insert(addr, state)
+        return out
+
+    def fill_l1(self, addr: int, state: int) -> None:
+        """Install just the L1 line for an access that hit in the L2."""
+        if self.has_l2:
+            self.l1.insert(addr, state)
+
+    def set_state(self, addr: int, state: int) -> None:
+        """Propagate a state change to every level where the line sits."""
+        self.coherent.set_state(addr, state)
+        if self.has_l2:
+            base = self.coherent.line_base(self.coherent.line_of(addr))
+            self._restate_l1_range(base, state)
+
+    def _restate_l1_range(self, base: int, state: int) -> None:
+        l1 = self.l1
+        step = l1.config.line_size
+        for a in range(base, base + self.coherent_line_size, step):
+            if l1.peek(a) != INVALID:
+                l1.set_state(a, state)
+
+    def invalidate(self, addr: int) -> int:
+        """Invalidate the coherence line holding ``addr`` everywhere;
+        return its prior coherent-level state."""
+        base = self.coherent.line_base(self.coherent.line_of(addr))
+        old = self.coherent.invalidate(addr)
+        if self.has_l2:
+            self.l1.invalidate_range(base, self.coherent_line_size)
+        return old
+
+    def flush(self) -> None:
+        for c in self.levels:
+            c.flush()
+
+    # -- invariant checking --------------------------------------------------
+    def check_inclusion(self) -> bool:
+        """Every valid L1 line must be covered by a valid coherent line."""
+        if not self.has_l2:
+            return True
+        shift = self.coherent.config.line_shift - self.l1.config.line_shift
+        for l1_line, state in self.l1.resident():
+            if state == INVALID:
+                continue
+            if self.coherent.peek(self.coherent.line_base(l1_line >> shift)) == INVALID:
+                return False
+        return True

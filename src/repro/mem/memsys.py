@@ -1,0 +1,270 @@
+"""The per-machine memory system: every CPU's hierarchy + coherence.
+
+:class:`MemorySystem.access` is the simulator's hottest function — the
+DBMS executor funnels every classified memory reference through it.  It
+returns the *stall cycles* the access costs the issuing CPU (raw
+latency scaled by the machine's out-of-order exposure factor) and
+maintains all counters the paper's figures need:
+
+* level-1 and coherent-level miss counts, per data class,
+* miss breakdown into cold / capacity / communication,
+* the un-overlapped memory-latency accumulator that emulates the
+  PA-8200's open-request counter (Fig. 9),
+* upgrade and intervention counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..trace.address import AddressSpace
+from ..trace.classify import NUM_CLASSES
+from .coherence import KIND_INTERVENTION, CoherenceEngine
+from .hierarchy import CacheHierarchy
+from .machine import TOPOLOGY_CROSSBAR, MachineConfig
+from .states import EXCLUSIVE, MODIFIED, SHARED
+
+MISS_COLD = 0
+MISS_CAPACITY = 1
+MISS_COMM = 2
+MISS_KIND_NAMES = ("cold", "capacity", "comm")
+
+
+class CpuMemStats:
+    """Counters for one CPU.  Plain ints/lists for hot-path speed."""
+
+    __slots__ = (
+        "reads",
+        "writes",
+        "level1_misses",
+        "level1_misses_by_class",
+        "l2_hits",
+        "coherent_misses",
+        "coherent_misses_by_class",
+        "miss_kind",
+        "miss_kind_by_class",
+        "upgrades",
+        "silent_upgrades",
+        "raw_latency_cycles",
+        "mem_accesses",
+        "stall_cycles",
+    )
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.level1_misses = 0
+        self.level1_misses_by_class = [0] * NUM_CLASSES
+        self.l2_hits = 0
+        self.coherent_misses = 0
+        self.coherent_misses_by_class = [0] * NUM_CLASSES
+        self.miss_kind = [0, 0, 0]  # cold / capacity / comm
+        self.miss_kind_by_class = [[0, 0, 0] for _ in range(NUM_CLASSES)]
+        self.upgrades = 0
+        self.silent_upgrades = 0
+        self.raw_latency_cycles = 0
+        self.mem_accesses = 0
+        self.stall_cycles = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def merge(self, other: "CpuMemStats") -> None:
+        """Accumulate ``other`` into self (for run aggregation)."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.level1_misses += other.level1_misses
+        self.l2_hits += other.l2_hits
+        self.coherent_misses += other.coherent_misses
+        self.upgrades += other.upgrades
+        self.silent_upgrades += other.silent_upgrades
+        self.raw_latency_cycles += other.raw_latency_cycles
+        self.mem_accesses += other.mem_accesses
+        self.stall_cycles += other.stall_cycles
+        for i in range(NUM_CLASSES):
+            self.level1_misses_by_class[i] += other.level1_misses_by_class[i]
+            self.coherent_misses_by_class[i] += other.coherent_misses_by_class[i]
+            for k in range(3):
+                self.miss_kind_by_class[i][k] += other.miss_kind_by_class[i][k]
+        for k in range(3):
+            self.miss_kind[k] += other.miss_kind[k]
+
+
+class MemorySystem:
+    """All caches, the directory protocol, and the interconnect of one
+    machine instance.  ``machine`` should already be scaled."""
+
+    def __init__(self, machine: MachineConfig, aspace: AddressSpace) -> None:
+        self.machine = machine
+        self.aspace = aspace
+        self.topology = machine.build_topology()
+        self.interconnect = machine.build_interconnect(self.topology)
+        self.hierarchies: List[CacheHierarchy] = [
+            CacheHierarchy(list(machine.caches)) for _ in range(machine.n_cpus)
+        ]
+        self.engine = CoherenceEngine(
+            self.hierarchies,
+            self.interconnect,
+            migratory_enabled=machine.migratory_enabled,
+        )
+        self.stats: List[CpuMemStats] = [CpuMemStats() for _ in range(machine.n_cpus)]
+        # hot-path caching of config values
+        self._uma = machine.topology_kind == TOPOLOGY_CROSSBAR
+        self._exposure = machine.latency.exposure
+        self._l2_hit = machine.latency.l2_hit
+        self._has_l2 = len(machine.caches) == 2
+        self._coh_mask = ~(machine.coherence_line_size - 1)
+        # miss-classification memory
+        self._ever_cached: List[Set[int]] = [set() for _ in range(machine.n_cpus)]
+        self._lost_to_inval: List[Set[int]] = [set() for _ in range(machine.n_cpus)]
+        # NUMA home placement, resolved per segment
+        self._home_by_seg: Dict[int, int] = {}
+
+    # -- NUMA placement -------------------------------------------------------
+    def _home(self, addr: int) -> int:
+        """Home node of ``addr``.  Shared DBMS segments are spread
+        round-robin over the machine's ``db_home_nodes`` (the paper's
+        "same node or a couple of different nodes"); private segments
+        are first-touch homed on their owner's node."""
+        if self._uma:
+            return 0
+        seg = self.aspace.find(addr)
+        home = self._home_by_seg.get(seg.base)
+        if home is None:
+            if seg.home_node is not None:
+                home = seg.home_node % self.topology.n_nodes
+            elif not seg.shared and seg.owner_cpu is not None:
+                home = self.topology.node_of_cpu(seg.owner_cpu)
+            else:
+                nodes = self.machine.db_home_nodes
+                idx = self.aspace.segments.index(seg)
+                home = nodes[idx % len(nodes)] % self.topology.n_nodes
+            self._home_by_seg[seg.base] = home
+        return home
+
+    # -- the hot path -----------------------------------------------------------
+    def access(self, cpu: int, addr: int, is_write: bool, cls: int, now: int) -> int:
+        """Perform one reference; return exposed stall cycles."""
+        st = self.stats[cpu]
+        h = self.hierarchies[cpu]
+        if is_write:
+            st.writes += 1
+        else:
+            st.reads += 1
+
+        state = h.l1.probe(addr)
+        if state:
+            if not is_write or state == MODIFIED:
+                return 0
+            if state == EXCLUSIVE:
+                h.set_state(addr, MODIFIED)
+                self.engine.note_silent_upgrade(cpu, addr)
+                st.silent_upgrades += 1
+                return 0
+            # write hit on SHARED: ownership upgrade
+            return self._do_upgrade(cpu, addr, now, st, h)
+
+        # level-1 miss
+        st.level1_misses += 1
+        st.level1_misses_by_class[cls] += 1
+
+        if self._has_l2:
+            cstate = h.coherent.probe(addr)
+            if cstate:
+                st.l2_hits += 1
+                stall = int(self._l2_hit * self._exposure)
+                if is_write:
+                    if cstate == SHARED:
+                        stall += self._do_upgrade(cpu, addr, now, st, h)
+                        cstate = MODIFIED
+                    elif cstate == EXCLUSIVE:
+                        h.coherent.set_state(addr, MODIFIED)
+                        self.engine.note_silent_upgrade(cpu, addr)
+                        st.silent_upgrades += 1
+                        cstate = MODIFIED
+                h.fill_l1(addr, cstate)
+                st.stall_cycles += stall
+                return stall
+
+        # coherent-level miss: directory transaction
+        home = self._home(addr)
+        if is_write:
+            lat, kind, losers = self.engine.write_miss(cpu, addr, home, now)
+            fill_state = MODIFIED
+        else:
+            lat, kind, losers, fill_state = self.engine.read_miss(cpu, addr, home, now)
+        if losers:
+            line = addr & self._coh_mask
+            for q in losers:
+                self._lost_to_inval[q].add(line)
+
+        self._classify_miss(cpu, addr, kind, cls, st)
+
+        victim = h.fill(addr, fill_state)
+        if victim is not None:
+            vbase, vstate = victim
+            self.engine.evict(cpu, vbase, vstate, self._home(vbase), now)
+
+        if self._has_l2:
+            lat += self._l2_hit  # the miss traversed the L2 on its way out
+        st.coherent_misses += 1
+        st.coherent_misses_by_class[cls] += 1
+        st.raw_latency_cycles += lat
+        st.mem_accesses += 1
+        stall = int(lat * self._exposure)
+        st.stall_cycles += stall
+        return stall
+
+    def _do_upgrade(
+        self, cpu: int, addr: int, now: int, st: CpuMemStats, h: CacheHierarchy
+    ) -> int:
+        lat, losers = self.engine.upgrade(cpu, addr, self._home(addr), now)
+        if losers:
+            line = addr & self._coh_mask
+            for q in losers:
+                self._lost_to_inval[q].add(line)
+        h.set_state(addr, MODIFIED)
+        st.upgrades += 1
+        st.raw_latency_cycles += lat
+        st.mem_accesses += 1
+        stall = int(lat * self._exposure)
+        st.stall_cycles += stall
+        return stall
+
+    def _classify_miss(
+        self, cpu: int, addr: int, kind: str, cls: int, st: CpuMemStats
+    ) -> None:
+        line = addr & self._coh_mask
+        lost = self._lost_to_inval[cpu]
+        if kind == KIND_INTERVENTION or line in lost:
+            mk = MISS_COMM
+            lost.discard(line)
+        elif line in self._ever_cached[cpu]:
+            mk = MISS_CAPACITY
+        else:
+            mk = MISS_COLD
+        self._ever_cached[cpu].add(line)
+        st.miss_kind[mk] += 1
+        st.miss_kind_by_class[cls][mk] += 1
+
+    # -- lifecycle ---------------------------------------------------------------
+    def flush_caches(self) -> None:
+        """Empty every cache and the directory (cold restart)."""
+        for h in self.hierarchies:
+            h.flush()
+        self.engine.directory._entries.clear()
+        for s in self._ever_cached:
+            s.clear()
+        for s in self._lost_to_inval:
+            s.clear()
+        self.interconnect.reset_contention()
+
+    # -- aggregation ----------------------------------------------------------------
+    def total_stats(self, cpus: Optional[List[int]] = None) -> CpuMemStats:
+        """Sum the per-CPU stats (optionally over a subset of CPUs)."""
+        out = CpuMemStats()
+        for i, st in enumerate(self.stats):
+            if cpus is None or i in cpus:
+                out.merge(st)
+        return out

@@ -1,0 +1,24 @@
+"""MESI coherence states.
+
+Plain ints (not an Enum) because state tests sit on the simulator's
+hottest path; ``STATE_NAMES`` exists for debugging and reports.
+"""
+
+from __future__ import annotations
+
+INVALID = 0
+SHARED = 1
+EXCLUSIVE = 2
+MODIFIED = 3
+
+STATE_NAMES = ("I", "S", "E", "M")
+
+
+def is_valid(state: int) -> bool:
+    """True for any state that means the line is present in a cache."""
+    return state != INVALID
+
+
+def can_write(state: int) -> bool:
+    """True when a cache may write the line without a directory upgrade."""
+    return state == MODIFIED or state == EXCLUSIVE

@@ -1,0 +1,94 @@
+"""Machine topologies: where CPUs sit and how far memory is.
+
+The HP V-Class is a UMA symmetric multiprocessor: 8 dual-CPU processor
+agents and 8 memory controllers joined by a non-blocking hyperplane
+crossbar, so every CPU is the same distance from every memory bank.
+
+The SGI Origin 2000 is ccNUMA: dual-CPU nodes joined by a *bristled
+hypercube* (each router serves two nodes; for the sizes we model a
+plain hypercube of nodes captures the hop structure).  Distance between
+nodes is the Hamming distance of their node ids.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import is_pow2
+
+
+class Topology:
+    """Base class: placement of CPUs on nodes and inter-node distance."""
+
+    def __init__(self, n_cpus: int, cpus_per_node: int) -> None:
+        if n_cpus < 1:
+            raise ConfigError("n_cpus must be >= 1")
+        if cpus_per_node < 1:
+            raise ConfigError("cpus_per_node must be >= 1")
+        self.n_cpus = n_cpus
+        self.cpus_per_node = cpus_per_node
+        self.n_nodes = (n_cpus + cpus_per_node - 1) // cpus_per_node
+
+    def node_of_cpu(self, cpu: int) -> int:
+        """Node hosting ``cpu``.  CPUs fill nodes in order, which matches
+        how IRIX/HP-UX enumerate processors."""
+        if not 0 <= cpu < self.n_cpus:
+            raise ConfigError(f"cpu {cpu} out of range 0..{self.n_cpus - 1}")
+        return cpu // self.cpus_per_node
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class CrossbarTopology(Topology):
+    """UMA crossbar (HP V-Class hyperplane): all distances are zero hops.
+
+    The V-Class really has EPACs and EMACs on opposite sides of the
+    crossbar, but because the crossbar is non-blocking and uniform the
+    only architectural consequence is *bank interleaving*, which the
+    interconnect layer models; topologically everything is one node
+    away from everything.
+    """
+
+    def __init__(self, n_cpus: int, cpus_per_node: int = 2) -> None:
+        super().__init__(n_cpus, cpus_per_node)
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        return 0
+
+    def describe(self) -> str:
+        return f"crossbar UMA: {self.n_cpus} CPUs, uniform memory distance"
+
+
+class HypercubeTopology(Topology):
+    """Bristled-hypercube ccNUMA (SGI Origin 2000).
+
+    Node ids are hypercube coordinates; the hop count between two nodes
+    is the Hamming distance of their ids.  A 16-node (32-CPU) Origin is
+    a 4-dimensional hypercube.
+    """
+
+    def __init__(self, n_cpus: int, cpus_per_node: int = 2) -> None:
+        super().__init__(n_cpus, cpus_per_node)
+        if not is_pow2(self.n_nodes):
+            raise ConfigError(
+                f"hypercube needs a power-of-two node count, got {self.n_nodes}"
+            )
+        self.dim = self.n_nodes.bit_length() - 1
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        if not (0 <= node_a < self.n_nodes and 0 <= node_b < self.n_nodes):
+            raise ConfigError("node id out of range")
+        return bin(node_a ^ node_b).count("1")
+
+    def max_hops(self) -> int:
+        """Network diameter."""
+        return self.dim
+
+    def describe(self) -> str:
+        return (
+            f"{self.dim}-D hypercube ccNUMA: {self.n_nodes} nodes x "
+            f"{self.cpus_per_node} CPUs"
+        )

@@ -1,0 +1,16 @@
+"""Microbenchmarks for calibrating the machine models (Iyer et al. style)."""
+
+from .bandwidth import BandwidthResult, stream
+from .latency import LatencyPoint, latency_curve, measure_latency
+from .sharing import SharingResult, pingpong, producer_consumers
+
+__all__ = [
+    "LatencyPoint",
+    "measure_latency",
+    "latency_curve",
+    "BandwidthResult",
+    "stream",
+    "SharingResult",
+    "pingpong",
+    "producer_consumers",
+]

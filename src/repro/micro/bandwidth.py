@@ -1,0 +1,87 @@
+"""Bandwidth/contention microbenchmark (STREAM-style copy).
+
+Measures what happens when several CPUs stream memory at once: on the
+V-Class the crossbar + 8 interleaved controllers keep per-CPU
+throughput nearly flat; on the Origin, streams homed on one node queue
+at its single memory port — the mechanism behind the paper's
+superlinear Origin degradation at 6–8 processes (§4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SimConfig, TEST_SIM
+from ..mem.machine import MachineConfig
+from ..mem.memsys import MemorySystem
+from ..osim.scheduler import Kernel
+from ..trace.address import AddressSpace
+from ..trace.classify import DataClass
+from ..trace.stream import RefBatch
+
+
+@dataclass
+class BandwidthResult:
+    """Outcome of a streaming run."""
+
+    n_cpus: int
+    bytes_per_cpu: int
+    cycles_per_cacheline: float
+    mean_queue_delay: float
+
+
+def stream(
+    machine: MachineConfig,
+    n_cpus: int,
+    nbytes_per_cpu: int = 64 * 1024,
+    home_node: Optional[int] = 0,
+    sim: SimConfig = TEST_SIM,
+) -> BandwidthResult:
+    """Each CPU streams through its own buffer.
+
+    With ``home_node`` set (default node 0) every buffer is homed on
+    that node, modelling DBMS shared memory; pass ``None`` for
+    first-touch-local placement.
+    """
+    aspace = AddressSpace()
+    line = machine.coherence_line_size
+    buffers = []
+    for cpu in range(n_cpus):
+        seg = aspace.alloc(
+            f"micro.stream.{cpu}",
+            nbytes_per_cpu,
+            DataClass.RECORD,
+            shared=home_node is not None,
+            owner_cpu=cpu,
+            home_node=home_node,
+        )
+        buffers.append(seg)
+    memsys = MemorySystem(machine, aspace)
+    kernel = Kernel(machine, memsys, sim)
+
+    def worker(cpu: int):
+        seg = buffers[cpu]
+        addrs = list(range(seg.base, seg.base + nbytes_per_cpu, 32))
+        for start in range(0, len(addrs), 256):
+            chunk = addrs[start : start + 256]
+            yield RefBatch(
+                chunk,
+                [False] * len(chunk),
+                [6] * len(chunk),
+                [int(DataClass.RECORD)] * len(chunk),
+            )
+        return None
+
+    for cpu in range(n_cpus):
+        kernel.spawn(worker(cpu), cpu=cpu)
+    kernel.run()
+
+    lines_per_cpu = nbytes_per_cpu // line
+    mean_cycles = sum(p.thread_cycles for p in kernel.processes) / n_cpus
+    return BandwidthResult(
+        n_cpus=n_cpus,
+        bytes_per_cpu=nbytes_per_cpu,
+        cycles_per_cacheline=mean_cycles / lines_per_cpu,
+        mean_queue_delay=memsys.interconnect.mean_queue_delay,
+    )

@@ -1,0 +1,107 @@
+"""Memory-latency microbenchmark (pointer chase).
+
+The authors' prior study (Iyer et al., ICS'99) characterized both
+machines with microbenchmarks before this paper used them for DSS
+workloads; we reproduce that methodology to *calibrate and sanity-check
+the machine models*: a dependent-load pointer chase over a working set
+of configurable size reveals each level of the hierarchy and, on the
+Origin, the remote-access penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SimConfig, TEST_SIM
+from ..mem.machine import MachineConfig
+from ..mem.memsys import MemorySystem
+from ..osim.scheduler import Kernel
+from ..trace.address import AddressSpace
+from ..trace.classify import DataClass
+from ..trace.stream import RefBatch
+
+
+@dataclass
+class LatencyPoint:
+    """One measured point of the latency curve."""
+
+    working_set: int
+    stride: int
+    cycles_per_access: float
+    miss_ratio: float
+
+
+def _chase_order(n_lines: int, seed: int) -> List[int]:
+    """Random permutation for the pointer chain (defeats prefetching in
+    real hardware; here it defeats spatial reuse)."""
+    rng = np.random.default_rng(seed)
+    order = np.arange(n_lines)
+    rng.shuffle(order)
+    return order.tolist()
+
+
+def measure_latency(
+    machine: MachineConfig,
+    working_set: int,
+    stride: int = 32,
+    iterations: int = 3,
+    cpu: int = 0,
+    home_node: Optional[int] = None,
+    sim: SimConfig = TEST_SIM,
+    seed: int = 7,
+) -> LatencyPoint:
+    """Pointer-chase ``working_set`` bytes on one CPU of ``machine``.
+
+    ``home_node`` forces the buffer's NUMA placement (to measure remote
+    latency on the Origin); default placement is the CPU's own node.
+    """
+    aspace = AddressSpace()
+    topo = machine.build_topology()
+    home = home_node if home_node is not None else topo.node_of_cpu(cpu)
+    seg = aspace.alloc(
+        "micro.chase", max(working_set, stride), DataClass.PRIVATE,
+        shared=False, owner_cpu=cpu, home_node=home,
+    )
+    memsys = MemorySystem(machine, aspace)
+    kernel = Kernel(machine, memsys, sim)
+
+    n_lines = max(working_set // stride, 1)
+    order = _chase_order(n_lines, seed)
+    addrs = [seg.base + i * stride for i in order]
+
+    def workload():
+        # Dependent loads: 1 instruction of overhead per access, like
+        # the classic lat_mem_rd loop.
+        for _ in range(iterations):
+            for start in range(0, len(addrs), 256):
+                chunk = addrs[start : start + 256]
+                yield RefBatch(
+                    chunk,
+                    [False] * len(chunk),
+                    [1] * len(chunk),
+                    [int(DataClass.PRIVATE)] * len(chunk),
+                )
+        return None
+
+    proc = kernel.spawn(workload(), cpu=cpu)
+    kernel.run()
+    accesses = n_lines * iterations
+    stats = memsys.stats[cpu]
+    return LatencyPoint(
+        working_set=working_set,
+        stride=stride,
+        cycles_per_access=proc.thread_cycles / accesses,
+        miss_ratio=stats.level1_misses / max(stats.reads + stats.writes, 1),
+    )
+
+
+def latency_curve(
+    machine: MachineConfig,
+    working_sets: List[int],
+    **kwargs,
+) -> List[LatencyPoint]:
+    """The classic latency-vs-working-set staircase."""
+    return [measure_latency(machine, ws, **kwargs) for ws in working_sets]

@@ -1,0 +1,109 @@
+"""Coherence microbenchmarks: ping-pong and migratory patterns.
+
+Directly measures the communication costs the paper blames for the
+Origin's steeper multi-process degradation (§3.1) and the V-Class
+migratory behaviour of §4.2.3: two (or more) CPUs alternately
+read-modify-write the same line, or readers share a producer's line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..config import SimConfig, TEST_SIM
+from ..mem.machine import MachineConfig
+from ..mem.memsys import MemorySystem
+from ..osim.scheduler import Kernel
+from ..trace.address import AddressSpace
+from ..trace.classify import DataClass
+from ..trace.stream import single
+
+
+@dataclass
+class SharingResult:
+    """Outcome of a sharing microbenchmark."""
+
+    cycles_per_handoff: float
+    interventions: int
+    migratory_transfers: int
+    mean_latency_cycles: float
+
+
+def pingpong(
+    machine: MachineConfig,
+    n_cpus: int = 2,
+    rounds: int = 200,
+    sim: SimConfig = TEST_SIM,
+) -> SharingResult:
+    """CPUs take turns read-modify-writing one shared line."""
+    aspace = AddressSpace()
+    seg = aspace.alloc("micro.pingpong", 128, DataClass.META)
+    memsys = MemorySystem(machine, aspace)
+    kernel = Kernel(machine, memsys, sim)
+
+    def worker(cpu: int):
+        for r in range(rounds):
+            # Stagger turns through instruction padding so the
+            # min-clock scheduler alternates CPUs.
+            pad = 200 + (cpu * 40)
+            yield single(seg.base, write=False, instrs=pad, cls=DataClass.META)
+            yield single(seg.base, write=True, instrs=20, cls=DataClass.META)
+        return None
+
+    for cpu in range(n_cpus):
+        kernel.spawn(worker(cpu), cpu=cpu)
+    kernel.run()
+
+    total_cycles = sum(p.thread_cycles for p in kernel.processes)
+    handoffs = rounds * n_cpus
+    total = memsys.total_stats()
+    return SharingResult(
+        cycles_per_handoff=total_cycles / handoffs,
+        interventions=memsys.engine.n_interventions,
+        migratory_transfers=memsys.engine.n_migratory_transfers,
+        mean_latency_cycles=total.raw_latency_cycles / max(total.mem_accesses, 1),
+    )
+
+
+def producer_consumers(
+    machine: MachineConfig,
+    n_readers: int = 3,
+    n_lines: int = 64,
+    sim: SimConfig = TEST_SIM,
+) -> List[float]:
+    """One CPU writes a buffer; others read it in turn.
+
+    Returns mean read latency per reader index — on the V-Class the
+    *first* reader pays the exclusive-owner intervention and later
+    readers are served from memory (the Fig. 9 mechanism).
+    """
+    aspace = AddressSpace()
+    seg = aspace.alloc("micro.prodcons", n_lines * 128, DataClass.RECORD)
+    memsys = MemorySystem(machine, aspace)
+    kernel = Kernel(machine, memsys, sim)
+    addrs = [seg.base + i * 128 for i in range(n_lines)]
+
+    def producer():
+        for a in addrs:
+            yield single(a, write=True, instrs=30, cls=DataClass.RECORD)
+        return None
+
+    def reader(cpu: int):
+        # Big startup pad orders readers after the producer and after
+        # each other.
+        yield single(seg.base, write=False, instrs=40_000 * cpu, cls=DataClass.RECORD)
+        for a in addrs:
+            yield single(a, write=False, instrs=30, cls=DataClass.RECORD)
+        return None
+
+    kernel.spawn(producer(), cpu=0)
+    for i in range(n_readers):
+        kernel.spawn(reader(i + 1), cpu=i + 1)
+    kernel.run()
+
+    out = []
+    for i in range(n_readers):
+        st = memsys.stats[i + 1]
+        out.append(st.raw_latency_cycles / max(st.mem_accesses, 1))
+    return out

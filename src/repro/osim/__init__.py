@@ -1,0 +1,18 @@
+"""OS substrate: processes, scheduling, context switches, spinlock backoff."""
+
+from .process import STATE_DONE, STATE_READY, STATE_SLEEPING, SimProcess
+from .scheduler import Kernel
+from .syscalls import Compute, Sleep, SpinAcquire, Spinlock, SpinRelease
+
+__all__ = [
+    "SimProcess",
+    "STATE_READY",
+    "STATE_SLEEPING",
+    "STATE_DONE",
+    "Kernel",
+    "Spinlock",
+    "SpinAcquire",
+    "SpinRelease",
+    "Sleep",
+    "Compute",
+]

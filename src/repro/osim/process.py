@@ -1,0 +1,85 @@
+"""Simulated processes.
+
+Each query process is a generator of events pinned to one CPU (the
+paper: "different query processes are assigned to different
+processors").  The process tracks the two clocks the paper
+distinguishes: *thread time* (cycles spent executing on the CPU,
+including kernel work done on its behalf) and the CPU *clock* (which
+additionally advances across voluntary sleeps — the wall-clock view).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..cpu.processor import Processor
+
+STATE_READY = "ready"
+STATE_SLEEPING = "sleeping"
+STATE_DONE = "done"
+
+
+class SimProcess:
+    """One simulated OS process bound to one processor."""
+
+    __slots__ = (
+        "pid",
+        "cpu",
+        "gen",
+        "processor",
+        "state",
+        "clock",
+        "thread_cycles",
+        "wake_at",
+        "pending",
+        "slice_used",
+        "noise_accum",
+        "noise_mark",
+        "vol_switches",
+        "invol_switches",
+        "result",
+    )
+
+    def __init__(self, pid: int, cpu: int, gen: Generator, processor: Processor) -> None:
+        self.pid = pid
+        self.cpu = cpu
+        self.gen = gen
+        self.processor = processor
+        self.state = STATE_READY
+        #: CPU cycle clock (advances across sleeps: the wall view).
+        self.clock = 0
+        #: Cycles actually spent executing (the paper's "thread time").
+        self.thread_cycles = 0
+        self.wake_at = 0
+        #: An event being retried (a contended spinlock after backoff).
+        self.pending: Optional[Any] = None
+        self.slice_used = 0
+        self.noise_accum = 0.0
+        #: thread_cycles already accounted for by the preemption-noise model.
+        self.noise_mark = 0
+        self.vol_switches = 0
+        self.invol_switches = 0
+        #: StopIteration value of the generator (the query's result).
+        self.result: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self.state == STATE_DONE
+
+    def effective_time(self) -> int:
+        """The simulated time at which this process can next run."""
+        if self.state == STATE_SLEEPING:
+            return max(self.clock, self.wake_at)
+        return self.clock
+
+    def advance(self, cycles: int) -> None:
+        """Consume ``cycles`` of CPU execution."""
+        self.clock += cycles
+        self.thread_cycles += cycles
+        self.slice_used += cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimProcess(pid={self.pid}, cpu={self.cpu}, state={self.state}, "
+            f"clock={self.clock})"
+        )

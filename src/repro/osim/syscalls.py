@@ -1,0 +1,79 @@
+"""Event vocabulary between workloads and the OS kernel model.
+
+A simulated process is a Python generator that yields these events;
+the :class:`~repro.osim.scheduler.Kernel` interprets them.  This is the
+boundary where PostgreSQL's user-level behaviour (issuing memory
+references, taking spinlocks, backing off through ``select()``) meets
+OS behaviour (scheduling, context switches).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SchedulerError
+
+
+class Spinlock:
+    """A test-and-set spinlock living on one shared-memory line.
+
+    Mirrors PostgreSQL's ``s_lock``: acquirers spin a few times on the
+    lock word (each attempt is a *write* to the line — this is the
+    coherence ping-pong the paper discusses) and then back off with a
+    timed ``select()``, which the OS counts as a voluntary context
+    switch (§4.2.4).
+    """
+
+    __slots__ = ("name", "addr", "holder", "n_acquires", "n_contended", "n_backoffs")
+
+    def __init__(self, name: str, addr: int) -> None:
+        self.name = name
+        self.addr = addr
+        self.holder: Optional[int] = None  # pid
+        self.n_acquires = 0
+        self.n_contended = 0
+        self.n_backoffs = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Spinlock({self.name}, holder={self.holder})"
+
+
+class SpinAcquire:
+    """Yielded to acquire a spinlock (blocking with backoff)."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: Spinlock) -> None:
+        self.lock = lock
+
+
+class SpinRelease:
+    """Yielded to release a spinlock the process holds."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: Spinlock) -> None:
+        self.lock = lock
+
+
+class Sleep:
+    """Voluntary timed sleep (``select()``/``sleep()`` style)."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        if cycles < 0:
+            raise SchedulerError("cannot sleep a negative duration")
+        self.cycles = cycles
+
+
+class Compute:
+    """Pure computation of ``instrs`` instructions, no memory traffic
+    beyond what the base CPI already abstracts."""
+
+    __slots__ = ("instrs",)
+
+    def __init__(self, instrs: int) -> None:
+        if instrs < 0:
+            raise SchedulerError("cannot compute a negative instruction count")
+        self.instrs = instrs

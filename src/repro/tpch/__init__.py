@@ -1,0 +1,20 @@
+"""TPC-H substrate: schema, data generation, parameters, query plans."""
+
+from . import schema
+from .datagen import INDEX_DDL, TPCHConfig, build_database, generate_tables
+from .qgen import default_params, random_params
+from .queries import PAPER_QUERIES, QUERIES, QueryDef, query
+
+__all__ = [
+    "schema",
+    "TPCHConfig",
+    "build_database",
+    "generate_tables",
+    "INDEX_DDL",
+    "default_params",
+    "random_params",
+    "QUERIES",
+    "PAPER_QUERIES",
+    "QueryDef",
+    "query",
+]

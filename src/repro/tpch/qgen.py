@@ -1,0 +1,120 @@
+"""Query parameter generation (TPC-H ``qgen`` equivalent).
+
+Every query has the spec's *validation* parameters as defaults (so
+results are stable across the whole benchmark harness) plus a seeded
+random generator over the spec's substitution domains for tests that
+want variety.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from . import schema
+
+
+def q1_default() -> Dict:
+    """Spec validation parameters for Q1."""
+    return {"delta_days": 90}
+
+
+def q6_default() -> Dict:
+    """Spec validation parameters for Q6."""
+    return {"year": 1994, "discount": 0.06, "quantity": 24}
+
+
+def q12_default() -> Dict:
+    """Spec validation parameters for Q12."""
+    return {"mode1": "MAIL", "mode2": "SHIP", "year": 1994}
+
+
+def q21_default() -> Dict:
+    """Spec validation parameters for Q21."""
+    return {"nation": "SAUDI ARABIA"}
+
+
+def q3_default() -> Dict:
+    """Spec validation parameters for Q3."""
+    return {"segment": "BUILDING", "year": 1995, "month": 3, "day": 15}
+
+
+def q5_default() -> Dict:
+    """Spec validation parameters for Q5."""
+    return {"region": "ASIA", "year": 1994}
+
+
+def q4_default() -> Dict:
+    """Spec validation parameters for Q4."""
+    return {"year": 1993, "month": 7}
+
+
+def q14_default() -> Dict:
+    """Spec validation parameters for Q14."""
+    return {"year": 1995, "month": 9}
+
+
+DEFAULTS = {
+    "Q1": q1_default,
+    "Q3": q3_default,
+    "Q5": q5_default,
+    "Q4": q4_default,
+    "Q6": q6_default,
+    "Q12": q12_default,
+    "Q14": q14_default,
+    "Q21": q21_default,
+}
+
+
+def random_params(query: str, seed: int) -> Dict:
+    """Draw substitution parameters from the spec's domains."""
+    rng = np.random.default_rng(seed)
+    if query == "Q1":
+        return {"delta_days": int(rng.integers(60, 121))}
+    if query == "Q6":
+        return {
+            "year": int(rng.integers(1993, 1998)),
+            "discount": round(float(rng.integers(2, 10)) / 100.0, 2),
+            "quantity": int(rng.integers(24, 26)),
+        }
+    if query == "Q12":
+        m1, m2 = rng.choice(len(schema.SHIPMODES), size=2, replace=False)
+        return {
+            "mode1": schema.SHIPMODES[m1],
+            "mode2": schema.SHIPMODES[m2],
+            "year": int(rng.integers(1993, 1998)),
+        }
+    if query == "Q21":
+        return {"nation": schema.NATIONS[int(rng.integers(0, len(schema.NATIONS)))]}
+    if query == "Q3":
+        return {
+            "segment": schema.SEGMENTS[int(rng.integers(0, len(schema.SEGMENTS)))],
+            "year": 1995,
+            "month": 3,
+            "day": int(rng.integers(1, 29)),
+        }
+    if query == "Q5":
+        return {
+            "region": schema.REGIONS[int(rng.integers(0, len(schema.REGIONS)))],
+            "year": int(rng.integers(1993, 1998)),
+        }
+    if query == "Q4":
+        return {
+            "year": int(rng.integers(1993, 1998)),
+            "month": int(rng.choice([1, 4, 7, 10])),
+        }
+    if query == "Q14":
+        return {
+            "year": int(rng.integers(1993, 1998)),
+            "month": int(rng.integers(1, 13)),
+        }
+    raise KeyError(f"unknown query {query!r}")
+
+
+def default_params(query: str) -> Dict:
+    """The spec's validation substitution parameters for ``query``."""
+    try:
+        return DEFAULTS[query]()
+    except KeyError:
+        raise KeyError(f"unknown query {query!r}") from None

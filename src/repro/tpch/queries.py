@@ -1,0 +1,914 @@
+"""The paper's TPC-H queries as executor plans, plus Q1 as an extension.
+
+§2.2 of the paper describes the three representative queries:
+
+* **Q6** — "one sequential scan of table Lineitem is enough": pure
+  sequential scan + scalar aggregate.  The paper's exemplar of a
+  *sequential* query.
+* **Q21** — "one sequential scan of table Order and five index scans,
+  including three on table Lineitem": the exemplar *index* query.
+* **Q12** — sequential scan of Lineitem with an index probe into
+  Orders per qualifying tuple: mixed, "more like a sequential query".
+
+Each :class:`QueryDef` carries the plan factory (the simulated
+execution), a brute-force ``reference`` implementation used by the test
+suite to verify that the executor computes the *right answer*, and the
+relations the backend opens (for catalog/lock traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..db.engine import Database
+from ..db.executor.agg import hash_group_agg, scalar_agg
+from ..db.executor.context import ExecContext
+from ..db.executor.indexscan import index_scan_eq
+from ..db.executor.plan import Row
+from ..db.executor.scan import seq_scan
+from ..db.executor.sort import sort_node
+from . import schema
+from .qgen import default_params
+
+
+def _live(rows):
+    """Iterate live tuples, skipping refresh-function tombstones."""
+    return (r for r in rows if r is not None)
+
+
+def _collect(sub, out: List):
+    """Forward the events of a subplan; append its rows to ``out``."""
+    for item in sub:
+        if type(item) is Row:
+            out.append(item.data)
+        else:
+            yield item
+
+
+@dataclass(frozen=True)
+class QueryDef:
+    """One benchmark query: plan, reference semantics, lock set."""
+
+    name: str
+    description: str
+    #: the paper's classification ("sequential", "index", "mixed")
+    access_pattern: str
+    relations: Callable[[Database], Sequence[str]]
+    factory: Callable[[Database, ExecContext, Dict], object]
+    reference: Callable[[Database, Dict], List[Tuple]]
+    params: Callable[[], Dict] = field(default=dict)
+    #: True for the refresh functions: the run changes the database, so
+    #: the harness builds a fresh instance per repetition.
+    mutates: bool = False
+    #: Lock mode taken on every opened relation.
+    lock_mode: str = "AccessShare"
+
+
+# ---------------------------------------------------------------------------
+# Q6 — forecasting revenue change
+# ---------------------------------------------------------------------------
+
+def _q6_bounds(params: Dict) -> Tuple[int, int, float, float, int]:
+    lo = schema.date(params["year"], 1, 1)
+    hi = schema.date(params["year"] + 1, 1, 1)
+    d = params["discount"]
+    return lo, hi, d - 0.011, d + 0.011, params["quantity"]
+
+
+def q6_factory(db: Database, ctx: ExecContext, params: Dict):
+    """Q6 plan: sequential scan of LINEITEM + scalar revenue sum."""
+    t = db.table("lineitem")
+    c_ship = t.col("l_shipdate")
+    c_disc = t.col("l_discount")
+    c_qty = t.col("l_quantity")
+    c_ep = t.col("l_extendedprice")
+    lo, hi, dlo, dhi, qty = _q6_bounds(params)
+
+    def pred(r) -> bool:
+        return lo <= r[c_ship] < hi and dlo <= r[c_disc] <= dhi and r[c_qty] < qty
+
+    def plan(_ctx):
+        scan = seq_scan(ctx, t, pred, n_qual_clauses=5)
+        return scalar_agg(
+            ctx, scan, 0.0, lambda acc, row: acc + row[c_ep] * row[c_disc]
+        )
+
+    return plan
+
+
+def q6_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Brute-force Q6 (the correctness oracle)."""
+    t = db.table("lineitem")
+    c_ship = t.col("l_shipdate")
+    c_disc = t.col("l_discount")
+    c_qty = t.col("l_quantity")
+    c_ep = t.col("l_extendedprice")
+    lo, hi, dlo, dhi, qty = _q6_bounds(params)
+    revenue = sum(
+        r[c_ep] * r[c_disc]
+        for r in _live(t.rows)
+        if lo <= r[c_ship] < hi and dlo <= r[c_disc] <= dhi and r[c_qty] < qty
+    )
+    return [(revenue,)]
+
+
+# ---------------------------------------------------------------------------
+# Q12 — shipping modes and order priority
+# ---------------------------------------------------------------------------
+
+def q12_factory(db: Database, ctx: ExecContext, params: Dict):
+    """Q12 plan: lineitem seq scan, per-match index probe into ORDERS,
+    group counts by ship mode."""
+    li = db.table("lineitem")
+    orders_idx = db.index("idx_orders_orderkey")
+    orders = db.table("orders")
+    c_okey = li.col("l_orderkey")
+    c_mode = li.col("l_shipmode")
+    c_commit = li.col("l_commitdate")
+    c_receipt = li.col("l_receiptdate")
+    c_ship = li.col("l_shipdate")
+    o_prio = orders.col("o_orderpriority")
+    modes = {params["mode1"], params["mode2"]}
+    lo = schema.date(params["year"], 1, 1)
+    hi = schema.date(params["year"] + 1, 1, 1)
+
+    def pred(r) -> bool:
+        return (
+            r[c_mode] in modes
+            and r[c_commit] < r[c_receipt]
+            and r[c_ship] < r[c_commit]
+            and lo <= r[c_receipt] < hi
+        )
+
+    def plan(_ctx):
+        def joined():
+            outer = seq_scan(
+                ctx, li, pred, project=lambda r: (r[c_okey], r[c_mode]),
+                n_qual_clauses=5,
+            )
+            for item in outer:
+                if type(item) is not Row:
+                    yield item
+                    continue
+                okey, mode = item.data
+                inner_rows: List[Tuple] = []
+                yield from _collect(
+                    index_scan_eq(ctx, orders_idx, okey), inner_rows
+                )
+                for orow in inner_rows:
+                    urgent = orow[o_prio] in schema.URGENT_PRIORITIES
+                    yield Row((mode, urgent))
+
+        return hash_group_agg(
+            ctx,
+            joined(),
+            key_of=lambda r: r[0],
+            init=lambda: (0, 0),
+            update=lambda acc, r: (acc[0] + (1 if r[1] else 0), acc[1] + (0 if r[1] else 1)),
+        )
+
+    return plan
+
+
+def q12_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Brute-force Q12."""
+    li = db.table("lineitem")
+    orders = db.table("orders")
+    c_okey = li.col("l_orderkey")
+    c_mode = li.col("l_shipmode")
+    c_commit = li.col("l_commitdate")
+    c_receipt = li.col("l_receiptdate")
+    c_ship = li.col("l_shipdate")
+    o_okey = orders.col("o_orderkey")
+    o_prio = orders.col("o_orderpriority")
+    modes = {params["mode1"], params["mode2"]}
+    lo = schema.date(params["year"], 1, 1)
+    hi = schema.date(params["year"] + 1, 1, 1)
+    prio_of = {r[o_okey]: r[o_prio] for r in _live(orders.rows)}
+    groups: Dict[str, List[int]] = {}
+    for r in _live(li.rows):
+        if (
+            r[c_mode] in modes
+            and r[c_commit] < r[c_receipt]
+            and r[c_ship] < r[c_commit]
+            and lo <= r[c_receipt] < hi
+        ):
+            urgent = prio_of[r[c_okey]] in schema.URGENT_PRIORITIES
+            acc = groups.setdefault(r[c_mode], [0, 0])
+            acc[0 if urgent else 1] += 1
+    return [(mode, g[0], g[1]) for mode, g in sorted(groups.items())]
+
+
+# ---------------------------------------------------------------------------
+# Q21 — suppliers who kept orders waiting
+# ---------------------------------------------------------------------------
+
+def q21_factory(db: Database, ctx: ExecContext, params: Dict):
+    """Q21 plan: ORDERS seq scan plus five index scans per the paper
+    (three on LINEITEM, one each on SUPPLIER and NATION)."""
+    orders = db.table("orders")
+    li = db.table("lineitem")
+    supplier = db.table("supplier")
+    nation = db.table("nation")
+    li_idx = db.index("idx_lineitem_orderkey")
+    supp_idx = db.index("idx_supplier_suppkey")
+    nat_idx = db.index("idx_nation_nationkey")
+    o_okey = orders.col("o_orderkey")
+    o_status = orders.col("o_orderstatus")
+    l_supp = li.col("l_suppkey")
+    l_commit = li.col("l_commitdate")
+    l_receipt = li.col("l_receiptdate")
+    s_name = supplier.col("s_name")
+    s_nat = supplier.col("s_nationkey")
+    n_name = nation.col("n_name")
+    target_nation = params["nation"]
+
+    def late(r) -> bool:
+        return r[l_receipt] > r[l_commit]
+
+    def plan(_ctx):
+        def numwait_rows():
+            outer = seq_scan(
+                ctx,
+                orders,
+                pred=lambda r: r[o_status] == "F",
+                project=lambda r: (r[o_okey],),
+            )
+            for item in outer:
+                if type(item) is not Row:
+                    yield item
+                    continue
+                okey = item.data[0]
+                # index scan 1 on lineitem: the late lineitems (l1)
+                l1: List[Tuple] = []
+                yield from _collect(index_scan_eq(ctx, li_idx, okey, pred=late), l1)
+                if not l1:
+                    continue
+                by_supp: Dict[int, int] = {}
+                for r in l1:
+                    by_supp[r[l_supp]] = by_supp.get(r[l_supp], 0) + 1
+                for suppkey, n_l1 in sorted(by_supp.items()):
+                    # index scan 2 on lineitem: EXISTS other-supplier line
+                    l2: List[Tuple] = []
+                    yield from _collect(
+                        index_scan_eq(
+                            ctx, li_idx, okey, pred=lambda r: r[l_supp] != suppkey
+                        ),
+                        l2,
+                    )
+                    if not l2:
+                        continue
+                    # index scan 3 on lineitem: NOT EXISTS other late line
+                    l3: List[Tuple] = []
+                    yield from _collect(
+                        index_scan_eq(
+                            ctx,
+                            li_idx,
+                            okey,
+                            pred=lambda r: r[l_supp] != suppkey and late(r),
+                        ),
+                        l3,
+                    )
+                    if l3:
+                        continue
+                    # index scan 4: supplier lookup
+                    srows: List[Tuple] = []
+                    yield from _collect(index_scan_eq(ctx, supp_idx, suppkey), srows)
+                    srow = srows[0]
+                    # index scan 5: nation lookup
+                    nrows: List[Tuple] = []
+                    yield from _collect(index_scan_eq(ctx, nat_idx, srow[s_nat]), nrows)
+                    if nrows[0][n_name] != target_nation:
+                        continue
+                    for _ in range(n_l1):
+                        yield Row((srow[s_name],))
+
+        grouped = hash_group_agg(
+            ctx,
+            numwait_rows(),
+            key_of=lambda r: r[0],
+            init=lambda: 0,
+            update=lambda acc, _r: acc + 1,
+        )
+        return sort_node(
+            ctx, grouped, key_of=lambda r: (-r[1], r[0]), limit=100
+        )
+
+    return plan
+
+
+def q21_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Brute-force Q21."""
+    orders = db.table("orders")
+    li = db.table("lineitem")
+    supplier = db.table("supplier")
+    nation = db.table("nation")
+    o_okey = orders.col("o_orderkey")
+    o_status = orders.col("o_orderstatus")
+    l_okey = li.col("l_orderkey")
+    l_supp = li.col("l_suppkey")
+    l_commit = li.col("l_commitdate")
+    l_receipt = li.col("l_receiptdate")
+    s_key = supplier.col("s_suppkey")
+    s_name = supplier.col("s_name")
+    s_nat = supplier.col("s_nationkey")
+    n_key = nation.col("n_nationkey")
+    n_name = nation.col("n_name")
+    target = params["nation"]
+
+    lines_by_order: Dict[int, List[Tuple]] = {}
+    for r in _live(li.rows):
+        lines_by_order.setdefault(r[l_okey], []).append(r)
+    supp_by_key = {r[s_key]: r for r in _live(supplier.rows)}
+    nation_by_key = {r[n_key]: r for r in _live(nation.rows)}
+
+    counts: Dict[str, int] = {}
+    for o in _live(orders.rows):
+        if o[o_status] != "F":
+            continue
+        lines = lines_by_order.get(o[o_okey], [])
+        late = [r for r in lines if r[l_receipt] > r[l_commit]]
+        for r in late:
+            sk = r[l_supp]
+            others = [x for x in lines if x[l_supp] != sk]
+            if not others:
+                continue
+            if any(x[l_receipt] > x[l_commit] for x in others):
+                continue
+            srow = supp_by_key[sk]
+            if nation_by_key[srow[s_nat]][n_name] != target:
+                continue
+            counts[srow[s_name]] = counts.get(srow[s_name], 0) + 1
+    out = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:100]
+    return [(name, n) for name, n in out]
+
+
+# ---------------------------------------------------------------------------
+# Q1 — pricing summary report (extension beyond the paper's three)
+# ---------------------------------------------------------------------------
+
+def q1_factory(db: Database, ctx: ExecContext, params: Dict):
+    """Q1 plan: sequential scan + hash group aggregation."""
+    t = db.table("lineitem")
+    c_ship = t.col("l_shipdate")
+    c_rf = t.col("l_returnflag")
+    c_ls = t.col("l_linestatus")
+    c_qty = t.col("l_quantity")
+    c_ep = t.col("l_extendedprice")
+    c_disc = t.col("l_discount")
+    c_tax = t.col("l_tax")
+    cutoff = schema.ENDDATE - params["delta_days"]
+
+    def update(acc, r):
+        return (
+            acc[0] + r[c_qty],
+            acc[1] + r[c_ep],
+            acc[2] + r[c_ep] * (1 - r[c_disc]),
+            acc[3] + r[c_ep] * (1 - r[c_disc]) * (1 + r[c_tax]),
+            acc[4] + 1,
+        )
+
+    def plan(_ctx):
+        scan = seq_scan(ctx, t, pred=lambda r: r[c_ship] <= cutoff, n_qual_clauses=1)
+        return hash_group_agg(
+            ctx,
+            scan,
+            key_of=lambda r: (r[c_rf], r[c_ls]),
+            init=lambda: (0, 0.0, 0.0, 0.0, 0),
+            update=update,
+        )
+
+    return plan
+
+
+def q1_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Brute-force Q1."""
+    t = db.table("lineitem")
+    c_ship = t.col("l_shipdate")
+    c_rf = t.col("l_returnflag")
+    c_ls = t.col("l_linestatus")
+    c_qty = t.col("l_quantity")
+    c_ep = t.col("l_extendedprice")
+    c_disc = t.col("l_discount")
+    c_tax = t.col("l_tax")
+    cutoff = schema.ENDDATE - params["delta_days"]
+    groups: Dict[Tuple, List] = {}
+    for r in _live(t.rows):
+        if r[c_ship] > cutoff:
+            continue
+        acc = groups.setdefault((r[c_rf], r[c_ls]), [0, 0.0, 0.0, 0.0, 0])
+        acc[0] += r[c_qty]
+        acc[1] += r[c_ep]
+        acc[2] += r[c_ep] * (1 - r[c_disc])
+        acc[3] += r[c_ep] * (1 - r[c_disc]) * (1 + r[c_tax])
+        acc[4] += 1
+    return [k + tuple(v) for k, v in sorted(groups.items())]
+
+
+# ---------------------------------------------------------------------------
+# Q3 — shipping priority (extension: 3-way join + top-k)
+# ---------------------------------------------------------------------------
+
+def q3_factory(db: Database, ctx: ExecContext, params: Dict):
+    """Q3 plan: ORDERS scanned with a date filter and a customer-segment
+    probe, LINEITEM probed per order; revenue grouped per order and the
+    top 10 returned."""
+    customer = db.table("customer")
+    orders = db.table("orders")
+    li = db.table("lineitem")
+    cust_idx = db.index("idx_customer_custkey")
+    li_idx = db.index("idx_lineitem_orderkey")
+    c_seg = customer.col("c_mktsegment")
+    o_okey = orders.col("o_orderkey")
+    o_cust = orders.col("o_custkey")
+    o_date = orders.col("o_orderdate")
+    o_prio = orders.col("o_shippriority")
+    l_ship = li.col("l_shipdate")
+    l_ep = li.col("l_extendedprice")
+    l_disc = li.col("l_discount")
+    segment = params["segment"]
+    cutoff = schema.date(params["year"], params["month"], params["day"])
+
+    def plan(_ctx):
+        def joined():
+            outer = seq_scan(
+                ctx,
+                orders,
+                pred=lambda r: r[o_date] < cutoff,
+                project=lambda r: (r[o_okey], r[o_cust], r[o_date], r[o_prio]),
+                n_qual_clauses=1,
+            )
+            for item in outer:
+                if type(item) is not Row:
+                    yield item
+                    continue
+                okey, custkey, odate, prio = item.data
+                crows: List[Tuple] = []
+                yield from _collect(index_scan_eq(ctx, cust_idx, custkey), crows)
+                if not crows or crows[0][c_seg] != segment:
+                    continue
+                lrows: List[Tuple] = []
+                yield from _collect(
+                    index_scan_eq(
+                        ctx, li_idx, okey, pred=lambda r: r[l_ship] > cutoff
+                    ),
+                    lrows,
+                )
+                for lr in lrows:
+                    yield Row((okey, odate, prio, lr[l_ep] * (1 - lr[l_disc])))
+
+        grouped = hash_group_agg(
+            ctx,
+            joined(),
+            key_of=lambda r: (r[0], r[1], r[2]),
+            init=lambda: 0.0,
+            update=lambda acc, r: acc + r[3],
+        )
+        return sort_node(
+            ctx, grouped, key_of=lambda r: (-r[3], r[1], r[0]), limit=10
+        )
+
+    return plan
+
+
+def q3_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Brute-force Q3."""
+    customer = db.table("customer")
+    orders = db.table("orders")
+    li = db.table("lineitem")
+    c_key = customer.col("c_custkey")
+    c_seg = customer.col("c_mktsegment")
+    o_okey = orders.col("o_orderkey")
+    o_cust = orders.col("o_custkey")
+    o_date = orders.col("o_orderdate")
+    o_prio = orders.col("o_shippriority")
+    l_okey = li.col("l_orderkey")
+    l_ship = li.col("l_shipdate")
+    l_ep = li.col("l_extendedprice")
+    l_disc = li.col("l_discount")
+    segment = params["segment"]
+    cutoff = schema.date(params["year"], params["month"], params["day"])
+    seg_custs = {r[c_key] for r in _live(customer.rows) if r[c_seg] == segment}
+    order_info = {
+        r[o_okey]: (r[o_date], r[o_prio])
+        for r in _live(orders.rows)
+        if r[o_date] < cutoff and r[o_cust] in seg_custs
+    }
+    revenue: Dict[Tuple, float] = {}
+    for r in _live(li.rows):
+        if r[l_okey] in order_info and r[l_ship] > cutoff:
+            odate, prio = order_info[r[l_okey]]
+            key = (r[l_okey], odate, prio)
+            revenue[key] = revenue.get(key, 0.0) + r[l_ep] * (1 - r[l_disc])
+    rows = [k + (v,) for k, v in revenue.items()]
+    rows.sort(key=lambda r: (-r[3], r[1], r[0]))
+    return rows[:10]
+
+
+# ---------------------------------------------------------------------------
+# Q5 — local supplier volume (extension: 6-way join)
+# ---------------------------------------------------------------------------
+
+def q5_factory(db: Database, ctx: ExecContext, params: Dict):
+    """Q5 plan: ORDERS scanned with a date filter, LINEITEM probed per
+    order, SUPPLIER/CUSTOMER/NATION probed per line; revenue summed per
+    nation of the chosen region where customer and supplier share it."""
+    orders = db.table("orders")
+    li = db.table("lineitem")
+    supplier = db.table("supplier")
+    customer = db.table("customer")
+    nation = db.table("nation")
+    li_idx = db.index("idx_lineitem_orderkey")
+    supp_idx = db.index("idx_supplier_suppkey")
+    cust_idx = db.index("idx_customer_custkey")
+    nat_idx = db.index("idx_nation_nationkey")
+    o_okey = orders.col("o_orderkey")
+    o_cust = orders.col("o_custkey")
+    o_date = orders.col("o_orderdate")
+    l_supp = li.col("l_suppkey")
+    l_ep = li.col("l_extendedprice")
+    l_disc = li.col("l_discount")
+    s_nat = supplier.col("s_nationkey")
+    c_nat = customer.col("c_nationkey")
+    n_name = nation.col("n_name")
+    n_region = nation.col("n_regionkey")
+    region = schema.REGIONS.index(params["region"])
+    lo = schema.date(params["year"], 1, 1)
+    hi = schema.date(params["year"] + 1, 1, 1)
+
+    def plan(_ctx):
+        def joined():
+            outer = seq_scan(
+                ctx,
+                orders,
+                pred=lambda r: lo <= r[o_date] < hi,
+                project=lambda r: (r[o_okey], r[o_cust]),
+                n_qual_clauses=2,
+            )
+            for item in outer:
+                if type(item) is not Row:
+                    yield item
+                    continue
+                okey, custkey = item.data
+                crows: List[Tuple] = []
+                yield from _collect(index_scan_eq(ctx, cust_idx, custkey), crows)
+                cust_nation = crows[0][c_nat]
+                lrows: List[Tuple] = []
+                yield from _collect(index_scan_eq(ctx, li_idx, okey), lrows)
+                for lr in lrows:
+                    srows: List[Tuple] = []
+                    yield from _collect(
+                        index_scan_eq(ctx, supp_idx, lr[l_supp]), srows
+                    )
+                    if srows[0][s_nat] != cust_nation:
+                        continue
+                    nrows: List[Tuple] = []
+                    yield from _collect(
+                        index_scan_eq(ctx, nat_idx, cust_nation), nrows
+                    )
+                    if nrows[0][n_region] != region:
+                        continue
+                    yield Row((nrows[0][n_name], lr[l_ep] * (1 - lr[l_disc])))
+
+        grouped = hash_group_agg(
+            ctx,
+            joined(),
+            key_of=lambda r: r[0],
+            init=lambda: 0.0,
+            update=lambda acc, r: acc + r[1],
+        )
+        return sort_node(ctx, grouped, key_of=lambda r: (-r[1], r[0]))
+
+    return plan
+
+
+def q5_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Brute-force Q5."""
+    orders = db.table("orders")
+    li = db.table("lineitem")
+    supplier = db.table("supplier")
+    customer = db.table("customer")
+    nation = db.table("nation")
+    o_okey = orders.col("o_orderkey")
+    o_cust = orders.col("o_custkey")
+    o_date = orders.col("o_orderdate")
+    l_okey = li.col("l_orderkey")
+    l_supp = li.col("l_suppkey")
+    l_ep = li.col("l_extendedprice")
+    l_disc = li.col("l_discount")
+    s_key = supplier.col("s_suppkey")
+    s_nat = supplier.col("s_nationkey")
+    c_key = customer.col("c_custkey")
+    c_nat = customer.col("c_nationkey")
+    n_key = nation.col("n_nationkey")
+    n_name = nation.col("n_name")
+    n_region = nation.col("n_regionkey")
+    region = schema.REGIONS.index(params["region"])
+    lo = schema.date(params["year"], 1, 1)
+    hi = schema.date(params["year"] + 1, 1, 1)
+    cust_nat = {r[c_key]: r[c_nat] for r in _live(customer.rows)}
+    supp_nat = {r[s_key]: r[s_nat] for r in _live(supplier.rows)}
+    nations = {r[n_key]: r for r in _live(nation.rows)}
+    order_cn = {
+        r[o_okey]: cust_nat[r[o_cust]]
+        for r in _live(orders.rows)
+        if lo <= r[o_date] < hi
+    }
+    revenue: Dict[str, float] = {}
+    for r in _live(li.rows):
+        cn = order_cn.get(r[l_okey])
+        if cn is None or supp_nat[r[l_supp]] != cn:
+            continue
+        nrow = nations[cn]
+        if nrow[n_region] != region:
+            continue
+        name = nrow[n_name]
+        revenue[name] = revenue.get(name, 0.0) + r[l_ep] * (1 - r[l_disc])
+    return sorted(revenue.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+# ---------------------------------------------------------------------------
+# Q4 — order priority checking (extension: EXISTS semi-join)
+# ---------------------------------------------------------------------------
+
+def q4_factory(db: Database, ctx: ExecContext, params: Dict):
+    """Q4 plan: ORDERS scan + EXISTS semi-join via the lineitem index."""
+    orders = db.table("orders")
+    li = db.table("lineitem")
+    li_idx = db.index("idx_lineitem_orderkey")
+    o_okey = orders.col("o_orderkey")
+    o_date = orders.col("o_orderdate")
+    o_prio = orders.col("o_orderpriority")
+    l_commit = li.col("l_commitdate")
+    l_receipt = li.col("l_receiptdate")
+    lo = schema.date(params["year"], params["month"], 1)
+    hi = lo + 90  # a quarter
+
+    def plan(_ctx):
+        from ..db.executor.join import nested_loop
+
+        outer = seq_scan(
+            ctx,
+            orders,
+            pred=lambda r: lo <= r[o_date] < hi,
+            project=lambda r: (r[o_okey], r[o_prio]),
+            n_qual_clauses=2,
+        )
+        semi = nested_loop(
+            ctx,
+            outer,
+            make_inner=lambda orow: index_scan_eq(
+                ctx, li_idx, orow[0], pred=lambda r: r[l_commit] < r[l_receipt]
+            ),
+            semi=True,
+        )
+        return hash_group_agg(
+            ctx,
+            semi,
+            key_of=lambda r: r[1],
+            init=lambda: 0,
+            update=lambda acc, _r: acc + 1,
+        )
+
+    return plan
+
+
+def q4_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Brute-force Q4."""
+    orders = db.table("orders")
+    li = db.table("lineitem")
+    o_okey = orders.col("o_orderkey")
+    o_date = orders.col("o_orderdate")
+    o_prio = orders.col("o_orderpriority")
+    l_okey = li.col("l_orderkey")
+    l_commit = li.col("l_commitdate")
+    l_receipt = li.col("l_receiptdate")
+    lo = schema.date(params["year"], params["month"], 1)
+    hi = lo + 90
+    late_orders = {
+        r[l_okey] for r in _live(li.rows) if r[l_commit] < r[l_receipt]
+    }
+    counts: Dict[str, int] = {}
+    for o in _live(orders.rows):
+        if lo <= o[o_date] < hi and o[o_okey] in late_orders:
+            counts[o[o_prio]] = counts.get(o[o_prio], 0) + 1
+    return [(p, n) for p, n in sorted(counts.items())]
+
+
+# ---------------------------------------------------------------------------
+# Q14 — promotion effect (extension: join + ratio aggregate)
+# ---------------------------------------------------------------------------
+
+def q14_factory(db: Database, ctx: ExecContext, params: Dict):
+    """Q14 plan: lineitem scan joined to PART, promo-revenue ratio."""
+    li = db.table("lineitem")
+    part = db.table("part")
+    part_idx = db.index("idx_part_partkey")
+    l_part = li.col("l_partkey")
+    l_ship = li.col("l_shipdate")
+    l_ep = li.col("l_extendedprice")
+    l_disc = li.col("l_discount")
+    p_type = part.col("p_type")
+    lo = schema.date(params["year"], params["month"], 1)
+    hi = lo + 30
+
+    def plan(_ctx):
+        def joined():
+            outer = seq_scan(
+                ctx,
+                li,
+                pred=lambda r: lo <= r[l_ship] < hi,
+                project=lambda r: (r[l_part], r[l_ep] * (1 - r[l_disc])),
+                n_qual_clauses=2,
+            )
+            for item in outer:
+                if type(item) is not Row:
+                    yield item
+                    continue
+                partkey, revenue = item.data
+                prow: List[Tuple] = []
+                yield from _collect(index_scan_eq(ctx, part_idx, partkey), prow)
+                promo = prow[0][p_type].startswith("PROMO")
+                yield Row((revenue, promo))
+
+        def update(acc, r):
+            return (acc[0] + (r[0] if r[1] else 0.0), acc[1] + r[0])
+
+        agg = scalar_agg(ctx, joined(), (0.0, 0.0), update)
+
+        def finalize():
+            for item in agg:
+                if type(item) is not Row:
+                    yield item
+                    continue
+                promo_rev, total_rev = item.data[0]
+                ratio = 100.0 * promo_rev / total_rev if total_rev else 0.0
+                yield Row((ratio,))
+
+        return finalize()
+
+    return plan
+
+
+def q14_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Brute-force Q14."""
+    li = db.table("lineitem")
+    part = db.table("part")
+    l_part = li.col("l_partkey")
+    l_ship = li.col("l_shipdate")
+    l_ep = li.col("l_extendedprice")
+    l_disc = li.col("l_discount")
+    p_key = part.col("p_partkey")
+    p_type = part.col("p_type")
+    lo = schema.date(params["year"], params["month"], 1)
+    hi = lo + 30
+    type_of = {r[p_key]: r[p_type] for r in _live(part.rows)}
+    promo = total = 0.0
+    for r in _live(li.rows):
+        if lo <= r[l_ship] < hi:
+            revenue = r[l_ep] * (1 - r[l_disc])
+            total += revenue
+            if type_of[r[l_part]].startswith("PROMO"):
+                promo += revenue
+    return [(100.0 * promo / total if total else 0.0,)]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+QUERIES: Dict[str, QueryDef] = {
+    "Q6": QueryDef(
+        name="Q6",
+        description="Forecasting revenue change (sequential scan + scalar agg)",
+        access_pattern="sequential",
+        relations=lambda db: ["lineitem"],
+        factory=q6_factory,
+        reference=q6_reference,
+        params=lambda: default_params("Q6"),
+    ),
+    "Q12": QueryDef(
+        name="Q12",
+        description="Shipping modes and order priority (seq scan + index probes)",
+        access_pattern="mixed",
+        relations=lambda db: ["lineitem", "orders", "idx_orders_orderkey"],
+        factory=q12_factory,
+        reference=q12_reference,
+        params=lambda: default_params("Q12"),
+    ),
+    "Q21": QueryDef(
+        name="Q21",
+        description="Suppliers who kept orders waiting (index query)",
+        access_pattern="index",
+        relations=lambda db: [
+            "orders",
+            "lineitem",
+            "supplier",
+            "nation",
+            "idx_lineitem_orderkey",
+            "idx_supplier_suppkey",
+            "idx_nation_nationkey",
+        ],
+        factory=q21_factory,
+        reference=q21_reference,
+        params=lambda: default_params("Q21"),
+    ),
+    "Q1": QueryDef(
+        name="Q1",
+        description="Pricing summary report (extension query)",
+        access_pattern="sequential",
+        relations=lambda db: ["lineitem"],
+        factory=q1_factory,
+        reference=q1_reference,
+        params=lambda: default_params("Q1"),
+    ),
+    "Q3": QueryDef(
+        name="Q3",
+        description="Shipping priority (extension: 3-way join + top-k)",
+        access_pattern="mixed",
+        relations=lambda db: [
+            "orders", "customer", "lineitem",
+            "idx_customer_custkey", "idx_lineitem_orderkey",
+        ],
+        factory=q3_factory,
+        reference=q3_reference,
+        params=lambda: default_params("Q3"),
+    ),
+    "Q5": QueryDef(
+        name="Q5",
+        description="Local supplier volume (extension: 6-way join)",
+        access_pattern="index",
+        relations=lambda db: [
+            "orders", "customer", "lineitem", "supplier", "nation",
+            "idx_customer_custkey", "idx_lineitem_orderkey",
+            "idx_supplier_suppkey", "idx_nation_nationkey",
+        ],
+        factory=q5_factory,
+        reference=q5_reference,
+        params=lambda: default_params("Q5"),
+    ),
+    "Q4": QueryDef(
+        name="Q4",
+        description="Order priority checking (extension: EXISTS semi-join)",
+        access_pattern="mixed",
+        relations=lambda db: ["orders", "lineitem", "idx_lineitem_orderkey"],
+        factory=q4_factory,
+        reference=q4_reference,
+        params=lambda: default_params("Q4"),
+    ),
+    "Q14": QueryDef(
+        name="Q14",
+        description="Promotion effect (extension: join + ratio aggregate)",
+        access_pattern="mixed",
+        relations=lambda db: ["lineitem", "part", "idx_part_partkey"],
+        factory=q14_factory,
+        reference=q14_reference,
+        params=lambda: default_params("Q14"),
+    ),
+}
+
+
+def _register_refresh_functions() -> None:
+    """RF1/RF2 live in their own module; registered here so the whole
+    harness (experiments, CLI) can run them like queries."""
+    from . import refresh as rf
+
+    QUERIES["RF1"] = QueryDef(
+        name="RF1",
+        description="Refresh function 1: insert new orders + lineitems",
+        access_pattern="write",
+        relations=lambda db: list(rf.RF_RELATIONS),
+        factory=rf.rf1,
+        reference=rf.rf1_reference,
+        params=lambda: {"stream": 1, "seed": 0},
+        mutates=True,
+        lock_mode=rf.RF_LOCK_MODE,
+    )
+    QUERIES["RF2"] = QueryDef(
+        name="RF2",
+        description="Refresh function 2: delete the oldest orders",
+        access_pattern="write",
+        relations=lambda db: list(rf.RF_RELATIONS),
+        factory=rf.rf2,
+        reference=rf.rf2_reference,
+        params=lambda: {},
+        mutates=True,
+        lock_mode=rf.RF_LOCK_MODE,
+    )
+
+
+_register_refresh_functions()
+
+#: The paper's three representative queries, in presentation order.
+PAPER_QUERIES = ("Q6", "Q21", "Q12")
+
+
+def query(name: str) -> QueryDef:
+    """Look up a QueryDef by name (raises KeyError with choices)."""
+    try:
+        return QUERIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown query {name!r}; available: {sorted(QUERIES)}"
+        ) from None

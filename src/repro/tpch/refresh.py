@@ -1,0 +1,220 @@
+"""TPC-H refresh functions RF1 and RF2.
+
+§2.2 of the paper: "TPC-H benchmark includes 22 read-only queries
+(Q1-Q22) and 2 refreshment functions (RF1, RF2).  Our research just
+focuses on read-only queries..." — we implement the refresh functions
+as the natural extension: RF1 inserts a batch of new orders (with their
+lineitems) into ORDERS/LINEITEM, RF2 deletes the oldest orders, both
+maintaining every index.
+
+Refresh streams are deterministic: stream ``k`` of a database generated
+with seed ``s`` always produces the same rows.  Each refresh pair
+(RF1 then RF2 with the same stream) returns the database to the same
+*live* content (RF2 deletes exactly what RF1 inserted when pointed at
+the same keys), which the tests exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..db.engine import Database
+from ..db.executor.context import ExecContext
+from ..db.executor.modify import delete_rows, insert_rows
+from ..db.lockmgr import MODE_ACCESS_EXCLUSIVE
+from . import schema
+
+#: Fraction of SF-scaled orders each refresh stream touches (the spec
+#: uses SF*1500 rows per stream; we scale with the generated table).
+REFRESH_FRACTION = 0.04
+
+
+def refresh_size(db: Database) -> int:
+    """Orders per refresh stream for this database."""
+    n_orders = db.table("orders").n_live_rows
+    return max(int(n_orders * REFRESH_FRACTION), 4)
+
+
+def generate_rf1_rows(
+    db: Database, stream: int, seed: int
+) -> Tuple[List[Tuple], List[Tuple]]:
+    """New ORDERS and LINEITEM rows for RF1 stream ``stream``."""
+    orders = db.table("orders")
+    o_okey = orders.col("o_orderkey")
+    max_key = max((r[o_okey] for r in orders.rows if r is not None), default=0)
+    count = refresh_size(db)
+    rng = np.random.default_rng((seed, stream, 0xF1))
+    n_cust = db.table("customer").n_live_rows
+    n_supp = db.table("supplier").n_live_rows
+    n_part = db.table("part").n_live_rows
+
+    new_orders: List[Tuple] = []
+    new_lines: List[Tuple] = []
+    for i in range(count):
+        okey = max_key + 1 + i
+        odate = int(rng.integers(0, schema.ENDDATE - 151))
+        n_lines = int(rng.integers(1, 8))
+        total = 0.0
+        for ln in range(n_lines):
+            qty = int(rng.integers(1, 51))
+            ep = round(float(rng.uniform(900.0, 10_000.0)) * qty / 10.0, 2)
+            total += ep
+            shipdate = odate + int(rng.integers(1, 122))
+            commitdate = odate + int(rng.integers(30, 91))
+            receiptdate = shipdate + int(rng.integers(1, 31))
+            new_lines.append(
+                (
+                    okey,
+                    int(rng.integers(1, n_part + 1)),
+                    int(rng.integers(1, n_supp + 1)),
+                    ln + 1,
+                    qty,
+                    ep,
+                    float(rng.integers(0, 11)) / 100.0,
+                    float(rng.integers(0, 9)) / 100.0,
+                    "N",
+                    "O",
+                    shipdate,
+                    commitdate,
+                    receiptdate,
+                    "NONE",
+                    schema.SHIPMODES[int(rng.integers(0, len(schema.SHIPMODES)))],
+                    "",
+                )
+            )
+        new_orders.append(
+            (
+                okey,
+                int(rng.integers(1, n_cust + 1)),
+                "O",
+                round(total, 2),
+                odate,
+                schema.ORDER_PRIORITIES[int(rng.integers(0, 5))],
+                f"Clerk#{i:09d}",
+                0,
+                "",
+            )
+        )
+    return new_orders, new_lines
+
+
+def rf1(db: Database, ctx: ExecContext, params: Dict):
+    """RF1: insert new orders and their lineitems."""
+    stream = params.get("stream", 1)
+    seed = params.get("seed", 0)
+
+    def plan(_ctx):
+        def gen():
+            from ..db.executor.plan import Row
+
+            new_orders, new_lines = generate_rf1_rows(db, stream, seed)
+            orders = db.table("orders")
+            lineitem = db.table("lineitem")
+            counts = []
+            sub = insert_rows(
+                ctx, orders, new_orders, db.indexes_by_table["orders"]
+            )
+            for item in sub:
+                if type(item) is Row:
+                    counts.append(item.data[0])
+                else:
+                    yield item
+            sub = insert_rows(
+                ctx, lineitem, new_lines, db.indexes_by_table["lineitem"]
+            )
+            for item in sub:
+                if type(item) is Row:
+                    counts.append(item.data[0])
+                else:
+                    yield item
+            yield Row((counts[0], counts[1]))
+
+        return gen()
+
+    return plan
+
+
+def rf1_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Expected (orders, lineitems) insert counts — computable without
+    mutating because generation is deterministic."""
+    new_orders, new_lines = generate_rf1_rows(
+        db, params.get("stream", 1), params.get("seed", 0)
+    )
+    return [(len(new_orders), len(new_lines))]
+
+
+def oldest_order_tids(db: Database, count: int) -> List[int]:
+    """TIDs of the ``count`` oldest live orders (RF2's victims)."""
+    orders = db.table("orders")
+    o_date = orders.col("o_orderdate")
+    o_okey = orders.col("o_orderkey")
+    live = [
+        (r[o_date], r[o_okey], tid)
+        for tid, r in enumerate(orders.rows)
+        if r is not None
+    ]
+    live.sort()
+    return [tid for _, _, tid in live[:count]]
+
+
+def rf2(db: Database, ctx: ExecContext, params: Dict):
+    """RF2: delete the oldest orders and their lineitems."""
+
+    def plan(_ctx):
+        def gen():
+            from ..db.executor.plan import Row
+
+            orders = db.table("orders")
+            lineitem = db.table("lineitem")
+            o_okey = orders.col("o_orderkey")
+            l_okey = lineitem.col("l_orderkey")
+            count = params.get("count") or refresh_size(db)
+            victims = oldest_order_tids(db, count)
+            victim_keys = {orders.rows[t][o_okey] for t in victims}
+            line_tids = [
+                tid
+                for tid, r in enumerate(lineitem.rows)
+                if r is not None and r[l_okey] in victim_keys
+            ]
+            counts = []
+            sub = delete_rows(
+                ctx, lineitem, line_tids, db.indexes_by_table["lineitem"]
+            )
+            for item in sub:
+                if type(item) is Row:
+                    counts.append(item.data[0])
+                else:
+                    yield item
+            sub = delete_rows(ctx, orders, victims, db.indexes_by_table["orders"])
+            for item in sub:
+                if type(item) is Row:
+                    counts.append(item.data[0])
+                else:
+                    yield item
+            yield Row((counts[1], counts[0]))
+
+        return gen()
+
+    return plan
+
+
+def rf2_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Expected (orders, lineitems) delete counts, computed read-only."""
+    orders = db.table("orders")
+    lineitem = db.table("lineitem")
+    o_okey = orders.col("o_orderkey")
+    l_okey = lineitem.col("l_orderkey")
+    count = params.get("count") or refresh_size(db)
+    victims = oldest_order_tids(db, count)
+    victim_keys = {orders.rows[t][o_okey] for t in victims}
+    n_lines = sum(
+        1 for r in lineitem.rows if r is not None and r[l_okey] in victim_keys
+    )
+    return [(len(victims), n_lines)]
+
+
+#: Relations a refresh stream opens (with ACCESS EXCLUSIVE locks).
+RF_RELATIONS = ("orders", "lineitem")
+RF_LOCK_MODE = MODE_ACCESS_EXCLUSIVE

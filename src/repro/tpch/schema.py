@@ -1,0 +1,88 @@
+"""TPC-H schema (rev 1.1.0, the revision the paper cites).
+
+All eight base tables with their columns and effective row widths
+(bytes).  Values are stored as Python scalars; dates are integer days
+since 1992-01-01 (the TPC-H STARTDATE), which keeps predicates cheap
+and deterministic.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Tuple
+
+_EPOCH = _dt.date(1992, 1, 1)
+
+
+def date(y: int, m: int, d: int) -> int:
+    """Days since 1992-01-01 for a calendar date."""
+    return (_dt.date(y, m, d) - _EPOCH).days
+
+
+#: First day not generated (TPC-H CURRENTDATE area ends 1998-12-31).
+ENDDATE = date(1998, 12, 31)
+
+#: TPC-H categorical domains used by generation and predicates.
+SHIPMODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+URGENT_PRIORITIES = ("1-URGENT", "2-HIGH")
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+NATIONS = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+    "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+    "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+)
+#: nation -> region mapping (TPC-H appendix), by region index.
+NATION_REGION = (0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1)
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: table -> (columns, row width in bytes)
+TABLES: Dict[str, Tuple[Tuple[str, ...], int]] = {
+    "region": (("r_regionkey", "r_name", "r_comment"), 124),
+    "nation": (("n_nationkey", "n_name", "n_regionkey", "n_comment"), 128),
+    "supplier": (
+        ("s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+         "s_acctbal", "s_comment"),
+        144,
+    ),
+    "customer": (
+        ("c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+         "c_acctbal", "c_mktsegment", "c_comment"),
+        160,
+    ),
+    "part": (
+        ("p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+         "p_container", "p_retailprice", "p_comment"),
+        156,
+    ),
+    "partsupp": (
+        ("ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+         "ps_comment"),
+        144,
+    ),
+    "orders": (
+        ("o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+         "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+         "o_comment"),
+        110,
+    ),
+    "lineitem": (
+        ("l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+         "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+         "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+         "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"),
+        120,
+    ),
+}
+
+
+def columns(table: str) -> Tuple[str, ...]:
+    """Column names of ``table``."""
+    return TABLES[table][0]
+
+
+def row_width(table: str) -> int:
+    """Effective row width of ``table`` in bytes."""
+    return TABLES[table][1]

@@ -1,0 +1,128 @@
+"""Simulated shared physical address space.
+
+Every piece of simulated state that can be cached — heap pages, index
+pages, buffer headers, lock words, private executor scratch — lives in
+a single flat 64-bit address space carved into *segments*.  A segment
+records its data class, whether it is shared, and (for ccNUMA machines)
+which node its memory is homed on.
+
+Addresses are plain Python ints (byte granularity); the memory system
+masks them down to cache-line granularity itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import TraceError
+from ..units import round_up
+from .classify import DataClass
+
+#: Alignment of every segment start.  Using the largest coherence-line
+#: size in any machine model (Origin L2: 128 B) keeps one line from
+#: spanning two segments with different data classes.
+SEGMENT_ALIGN = 128
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous, classified region of the simulated address space."""
+
+    name: str
+    base: int
+    size: int
+    cls: DataClass
+    shared: bool
+    #: For private segments: the CPU whose process owns the data.
+    owner_cpu: Optional[int] = None
+    #: ccNUMA home node; ``None`` means "use the machine's default
+    #: placement policy" (UMA machines ignore it entirely).
+    home_node: Optional[int] = None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """Bump allocator handing out non-overlapping classified segments.
+
+    The allocator is deliberately append-only: the DBMS substrate
+    allocates its shared memory once at startup, exactly like
+    PostgreSQL's ``ShmemAlloc``.
+    """
+
+    def __init__(self) -> None:
+        self._next = SEGMENT_ALIGN  # keep address 0 unmapped
+        self._segments: List[Segment] = []
+        self._by_name: Dict[str, Segment] = {}
+
+    def alloc(
+        self,
+        name: str,
+        size: int,
+        cls: DataClass,
+        *,
+        shared: bool = True,
+        owner_cpu: Optional[int] = None,
+        home_node: Optional[int] = None,
+    ) -> Segment:
+        """Allocate a new segment and return it.
+
+        Raises :class:`TraceError` on duplicate names or nonpositive
+        sizes so layout bugs surface immediately.
+        """
+        if size <= 0:
+            raise TraceError(f"segment {name!r}: size must be positive, got {size}")
+        if name in self._by_name:
+            raise TraceError(f"segment {name!r} already allocated")
+        base = self._next
+        seg = Segment(
+            name=name,
+            base=base,
+            size=size,
+            cls=cls,
+            shared=shared,
+            owner_cpu=owner_cpu,
+            home_node=home_node,
+        )
+        self._next = round_up(base + size, SEGMENT_ALIGN)
+        self._segments.append(seg)
+        self._by_name[name] = seg
+        return seg
+
+    def segment(self, name: str) -> Segment:
+        """Look up a segment by name; raises :class:`TraceError` if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TraceError(f"no segment named {name!r}") from None
+
+    def find(self, addr: int) -> Segment:
+        """Find the segment containing ``addr`` (binary search by base)."""
+        segs = self._segments
+        lo, hi = 0, len(segs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            seg = segs[mid]
+            if addr < seg.base:
+                hi = mid
+            elif addr >= seg.end:
+                lo = mid + 1
+            else:
+                return seg
+        raise TraceError(f"address {addr:#x} is not in any segment")
+
+    @property
+    def segments(self) -> List[Segment]:
+        """All segments in allocation order (do not mutate)."""
+        return self._segments
+
+    @property
+    def total_allocated(self) -> int:
+        """Bytes handed out so far, including alignment padding."""
+        return self._next - SEGMENT_ALIGN

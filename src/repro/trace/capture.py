@@ -1,0 +1,125 @@
+"""Trace capture and trace-driven replay.
+
+The paper's companion methodology (their TPC-C study, ref [5], was
+trace driven): capture the classified reference stream of one query
+execution once, then replay it through arbitrary machine models —
+dramatically cheaper for cache-geometry studies because the DBMS and
+scheduler layers run only during capture.
+
+Capture runs a *single uncontended backend*, so lock acquisitions
+always succeed immediately and are recorded as their test-and-set
+references; multi-process contention is inherently execution-driven
+and cannot be captured this way (replay is a one-CPU methodology, as
+it was in the cited work).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..cpu.processor import Processor
+from ..db.engine import Database
+from ..db.executor.context import ExecContext
+from ..db.executor.plan import run_query
+from ..errors import TraceError
+from ..mem.machine import MachineConfig
+from ..mem.memsys import CpuMemStats, MemorySystem
+from ..osim.syscalls import Compute, Sleep, SpinAcquire, SpinRelease
+from ..tpch.queries import QueryDef
+from .classify import DataClass
+from .stream import RefBatch, single
+
+
+def capture_query(
+    db: Database, qdef: QueryDef, params: Dict, pid: int = 0
+) -> Tuple[List[RefBatch], List]:
+    """Execute ``qdef`` once, recording its reference stream.
+
+    Returns ``(batches, result_rows)``.  The database's runtime state
+    (hint bits, locks) is reset first so the capture equals the first
+    run of an experiment repetition.
+    """
+    db.reset_runtime()
+    ctx = ExecContext(db, pid, pid)
+    gen = run_query(ctx, qdef.relations(db), qdef.factory(db, ctx, params))
+    batches: List[RefBatch] = []
+    result = None
+    try:
+        while True:
+            ev = next(gen)
+            if isinstance(ev, RefBatch):
+                if len(ev):
+                    batches.append(ev)
+            elif isinstance(ev, SpinAcquire):
+                if ev.lock.holder is not None:
+                    raise TraceError(
+                        f"lock {ev.lock.name} contended during capture; "
+                        "capture requires a single backend"
+                    )
+                ev.lock.holder = pid
+                ev.lock.n_acquires += 1
+                batches.append(
+                    single(ev.lock.addr, write=True, instrs=14, cls=DataClass.LOCK)
+                )
+            elif isinstance(ev, SpinRelease):
+                ev.lock.holder = None
+                batches.append(
+                    single(ev.lock.addr, write=True, instrs=8, cls=DataClass.LOCK)
+                )
+            elif isinstance(ev, Compute):
+                # Pure compute: attribute the instructions to the hot
+                # private expression-scratch line.
+                batches.append(
+                    single(
+                        ctx.ws.qual_addr,
+                        write=False,
+                        instrs=ev.instrs,
+                        cls=DataClass.PRIVATE,
+                    )
+                )
+            elif isinstance(ev, Sleep):
+                raise TraceError("unexpected sleep during uncontended capture")
+            else:
+                raise TraceError(f"unknown event {ev!r} during capture")
+    except StopIteration as stop:
+        result = stop.value
+    return batches, result
+
+
+class ReplayResult:
+    """Outcome of a trace replay."""
+
+    __slots__ = ("cycles", "instructions", "stats")
+
+    def __init__(self, cycles: int, instructions: int, stats: CpuMemStats) -> None:
+        self.cycles = cycles
+        self.instructions = instructions
+        self.stats = stats
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+def replay_trace(
+    db: Database,
+    batches: List[RefBatch],
+    machine: MachineConfig,
+    cpu: int = 0,
+) -> ReplayResult:
+    """Drive a captured trace through ``machine``'s memory system.
+
+    ``machine`` must already be scaled; the database supplies the
+    address space so segment classification and NUMA homing resolve
+    exactly as in the live run.  The capturing backend's private
+    workspace segment is (re)materialized first — the bump allocator is
+    deterministic, so a freshly rebuilt database reproduces the same
+    addresses the capture recorded.
+    """
+    db.shmem.private(cpu, cpu)
+    memsys = MemorySystem(machine, db.aspace)
+    processor = Processor(cpu, machine, memsys)
+    clock = 0
+    for batch in batches:
+        clock += processor.run_batch(batch, clock)
+    return ReplayResult(clock, processor.instrs_retired, memsys.stats[cpu])

@@ -1,0 +1,36 @@
+"""Data-class taxonomy for memory references.
+
+The paper explains every cache result in terms of four kinds of DBMS
+data (§3.3): *record* data (heap pages, streamed), *index* data (B-tree
+pages, reused near the root), *metadata* (buffer headers, catalog, lock
+tables — the write-shared communication component), and *private* data
+(per-process executor state).  We add an explicit *lock* class for the
+spinlock words themselves so the migratory-optimization story of Fig. 9
+can be analyzed separately.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class DataClass(IntEnum):
+    """Classification of a memory reference by the data it touches."""
+
+    RECORD = 0
+    INDEX = 1
+    META = 2
+    LOCK = 3
+    PRIVATE = 4
+
+
+#: Number of distinct data classes (sizing for per-class counter arrays).
+NUM_CLASSES = len(DataClass)
+
+#: Short human-readable labels, indexed by DataClass value.
+CLASS_NAMES = ("record", "index", "meta", "lock", "private")
+
+
+def class_name(cls: int) -> str:
+    """Label for a data-class code; accepts raw ints from counter arrays."""
+    return CLASS_NAMES[int(cls)]

@@ -1,0 +1,63 @@
+"""Saving and replaying reference traces.
+
+The paper's methodology is measurement of live runs, but a persisted
+trace is invaluable for debugging the memory system in isolation (the
+classic trace-driven mode of the cited Iyer et al. TPC-C study).  A
+trace file is an ``.npz`` holding the concatenated columns of a list of
+batches plus the batch boundaries, so replay preserves scheduling
+granularity.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .stream import RefBatch
+
+_MAGIC = "repro-trace-v1"
+
+
+def save_trace(path: Union[str, Path], batches: List[RefBatch]) -> None:
+    """Write ``batches`` to ``path`` as a compressed npz trace file."""
+    if not batches:
+        raise TraceError("refusing to save an empty trace")
+    cols = [b.to_numpy() for b in batches]
+    bounds = np.cumsum([len(b) for b in batches])
+    np.savez_compressed(
+        str(path),
+        magic=np.array(_MAGIC),
+        addrs=np.concatenate([c["addrs"] for c in cols]),
+        writes=np.concatenate([c["writes"] for c in cols]),
+        instrs=np.concatenate([c["instrs"] for c in cols]),
+        classes=np.concatenate([c["classes"] for c in cols]),
+        bounds=bounds,
+    )
+
+
+def load_trace(path: Union[str, Path]) -> List[RefBatch]:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(str(path), allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _MAGIC:
+            raise TraceError(f"{path}: not a repro trace file")
+        addrs = data["addrs"]
+        writes = data["writes"]
+        instrs = data["instrs"]
+        classes = data["classes"]
+        bounds = data["bounds"]
+    batches: List[RefBatch] = []
+    start = 0
+    for end in bounds.tolist():
+        batches.append(
+            RefBatch(
+                addrs[start:end].tolist(),
+                writes[start:end].tolist(),
+                instrs[start:end].tolist(),
+                classes[start:end].tolist(),
+            )
+        )
+        start = end
+    return batches

@@ -1,0 +1,56 @@
+"""Unit constants and small helpers used across the simulator.
+
+All sizes are in bytes, all times in CPU cycles unless a name says
+otherwise.  Keeping the constants in one module avoids the classic
+off-by-1024 bugs when cache and database sizes are scaled together.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Number of instructions that per-1M-instruction metrics are normalized to.
+MILLION = 1_000_000
+
+
+def is_pow2(n: int) -> bool:
+    """Return True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Exact integer log2 of a power of two; raises ``ValueError`` otherwise."""
+    if not is_pow2(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the next multiple of ``multiple``."""
+    if multiple <= 0:
+        raise ValueError("multiple must be positive")
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count (``2.0MB``, ``32.0KB``, ``17B``)."""
+    if n >= GB:
+        return f"{n / GB:.1f}GB"
+    if n >= MB:
+        return f"{n / MB:.1f}MB"
+    if n >= KB:
+        return f"{n / KB:.1f}KB"
+    return f"{n}B"
+
+
+def fmt_count(n: float) -> str:
+    """Compact engineering format for counter values (``9.4M``, ``12.5K``)."""
+    if abs(n) >= 1e9:
+        return f"{n / 1e9:.2f}G"
+    if abs(n) >= 1e6:
+        return f"{n / 1e6:.2f}M"
+    if abs(n) >= 1e3:
+        return f"{n / 1e3:.2f}K"
+    return f"{n:.0f}"

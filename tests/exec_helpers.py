@@ -1,0 +1,43 @@
+"""Helpers for executor tests: run plan generators under the kernel."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.config import TEST_SIM, SimConfig
+from repro.db.engine import Database
+from repro.db.executor.context import ExecContext
+from repro.db.executor.plan import run_query
+from repro.mem.machine import hp_v_class, platform
+from repro.mem.memsys import MemorySystem
+from repro.osim.scheduler import Kernel
+
+
+def execute(
+    db: Database,
+    relations: Sequence[str],
+    plan_factory: Callable,
+    plat: str = "hpv",
+    n_procs: int = 1,
+    sim: SimConfig = TEST_SIM,
+) -> Tuple[List, Kernel, MemorySystem]:
+    """Run ``plan_factory(ctx)`` on ``n_procs`` backends; return
+    (per-process result lists, kernel, memory system)."""
+    machine = platform(plat).scaled(sim.cache_scale_log2)
+    memsys = MemorySystem(machine, db.aspace)
+    kernel = Kernel(machine, memsys, sim)
+    db.reset_runtime()
+    for pid in range(n_procs):
+        ctx = ExecContext(db, pid, pid)
+        kernel.spawn(run_query(ctx, relations, plan_factory), cpu=pid)
+    kernel.run()
+    return [p.result for p in kernel.processes], kernel, memsys
+
+
+def simple_db(n=200, width=48) -> Database:
+    """A standalone table 't(a, b, grp)' with an index on 'a'."""
+    db = Database()
+    rows = [(i, i * 3, i % 5) for i in range(n)]
+    db.create_table("t", ("a", "b", "grp"), width, rows)
+    db.create_index("t_a", "t", key_column="a")
+    return db

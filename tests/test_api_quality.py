@@ -1,0 +1,79 @@
+"""API quality gates: docstring coverage and export hygiene.
+
+A library a downstream user adopts needs documented public items and
+honest ``__all__`` lists; these meta-tests enforce both across the
+whole package.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+]
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.ismodule(obj):
+            continue
+        # only items defined in this package, not re-imports of stdlib
+        defined_in = getattr(obj, "__module__", None)
+        if defined_in is None or not str(defined_in).startswith("repro"):
+            continue
+        if defined_in != module.__name__:
+            continue  # attributed to its defining module's test
+        yield name, obj
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+    assert len(module.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in public_members(module):
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name}: undocumented public items {undocumented}"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_lists_are_honest(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    missing = [n for n in exported if not hasattr(module, n)]
+    assert not missing, f"{module_name}: __all__ names missing {missing}"
+
+
+def test_top_level_api_importable():
+    from repro import (  # noqa: F401
+        DEFAULT_SIM,
+        ExperimentResult,
+        ExperimentSpec,
+        FIGURES,
+        SimConfig,
+        hp_v_class,
+        regenerate_figure,
+        run_experiment,
+        sgi_origin_2000,
+    )

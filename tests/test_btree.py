@@ -1,0 +1,100 @@
+"""B+-tree construction and probes."""
+
+import pytest
+
+from repro.db.btree import BTreeIndex
+from repro.db.heap import HeapTable
+from repro.db.shmem import SharedMemory
+
+
+def make_index(keys, fanout=4):
+    shmem = SharedMemory()
+    rows = [(k, f"v{k}") for k in keys]
+    table = HeapTable("t", 0, ("k", "v"), 24, rows, shmem)
+    return BTreeIndex("idx", 1, table, lambda r: r[0], shmem, fanout=fanout)
+
+
+class TestBuild:
+    def test_small_tree_is_single_leaf(self):
+        idx = make_index([1, 2, 3])
+        assert idx.height == 1
+        assert idx.root.is_leaf
+
+    def test_multi_level(self):
+        idx = make_index(list(range(100)), fanout=4)
+        assert idx.height >= 3
+        idx.check_invariants()
+
+    def test_empty_table(self):
+        idx = make_index([])
+        assert idx.n_entries == 0
+        assert idx.height == 1
+        idx.check_invariants()
+
+    def test_nodes_get_distinct_pages(self):
+        idx = make_index(list(range(64)), fanout=4)
+        pages = [n.pageno for n in idx.nodes]
+        assert len(pages) == len(set(pages))
+
+    def test_fanout_respected(self):
+        idx = make_index(list(range(1000)), fanout=8)
+        for node in idx.nodes:
+            assert len(node.keys) <= 8
+
+
+class TestProbes:
+    def test_scan_eq_unique(self):
+        idx = make_index(list(range(50)), fanout=4)
+        for key in (0, 17, 49):
+            path, matches = idx.scan_eq(key)
+            assert path[0][0] is idx.root
+            assert path[-1][0].is_leaf
+            assert [m[2] for m in matches] == [key]  # row idx == key here
+
+    def test_scan_eq_missing_key(self):
+        idx = make_index(list(range(0, 100, 2)), fanout=4)
+        _, matches = idx.scan_eq(31)
+        assert matches == []
+
+    def test_scan_eq_duplicates(self):
+        idx = make_index([5, 5, 5, 7, 7, 9], fanout=2)
+        _, matches = idx.scan_eq(5)
+        assert len(matches) == 3
+        _, matches = idx.scan_eq(7)
+        assert len(matches) == 2
+
+    def test_scan_eq_duplicates_across_leaves(self):
+        idx = make_index([3] * 10, fanout=3)
+        _, matches = idx.scan_eq(3)
+        assert len(matches) == 10
+        leaves = {m[0].pageno for m in matches}
+        assert len(leaves) > 1
+
+    def test_range_scan(self):
+        idx = make_index(list(range(100)), fanout=4)
+        got = [tid for _, _, tid in idx.scan_range(10, 20)]
+        assert got == list(range(10, 20))
+
+    def test_range_scan_empty(self):
+        idx = make_index(list(range(10)), fanout=4)
+        assert list(idx.scan_range(100, 200)) == []
+
+    def test_descend_path_levels_decrease(self):
+        idx = make_index(list(range(200)), fanout=4)
+        path = idx.descend(123)
+        levels = [node.level for node, _ in path]
+        assert levels == sorted(levels, reverse=True)
+        assert levels[-1] == 0
+
+
+class TestAddresses:
+    def test_entry_addrs_inside_segment(self):
+        idx = make_index(list(range(64)), fanout=4)
+        for node in idx.nodes:
+            for slot in range(len(node.keys)):
+                assert idx.segment.contains(idx.entry_addr(node, slot))
+
+    def test_node_bases_distinct(self):
+        idx = make_index(list(range(64)), fanout=4)
+        bases = {idx.node_base(n) for n in idx.nodes}
+        assert len(bases) == len(idx.nodes)

@@ -1,0 +1,58 @@
+"""Property-based B+-tree tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.btree import BTreeIndex
+from repro.db.heap import HeapTable
+from repro.db.shmem import SharedMemory
+
+keys_strategy = st.lists(st.integers(min_value=-1000, max_value=1000), max_size=300)
+fanout_strategy = st.integers(min_value=2, max_value=16)
+
+
+def build(keys, fanout):
+    shmem = SharedMemory()
+    rows = [(k,) for k in keys]
+    table = HeapTable("t", 0, ("k",), 16, rows, shmem)
+    return BTreeIndex("idx", 1, table, lambda r: r[0], shmem, fanout=fanout)
+
+
+@given(keys_strategy, fanout_strategy)
+@settings(max_examples=80, deadline=None)
+def test_invariants_hold(keys, fanout):
+    idx = build(keys, fanout)
+    idx.check_invariants()
+
+
+@given(keys_strategy, fanout_strategy)
+@settings(max_examples=80, deadline=None)
+def test_scan_eq_finds_exactly_matching_rows(keys, fanout):
+    idx = build(keys, fanout)
+    probe_keys = set(keys[:20]) | {0, 1234}
+    for key in probe_keys:
+        _, matches = idx.scan_eq(key)
+        expected = sorted(i for i, k in enumerate(keys) if k == key)
+        assert sorted(m[2] for m in matches) == expected
+
+
+@given(keys_strategy, fanout_strategy, st.integers(-1000, 1000), st.integers(0, 500))
+@settings(max_examples=80, deadline=None)
+def test_range_scan_matches_filter(keys, fanout, lo, span):
+    hi = lo + span
+    idx = build(keys, fanout)
+    got = sorted(tid for _, _, tid in idx.scan_range(lo, hi))
+    expected = sorted(i for i, k in enumerate(keys) if lo <= k < hi)
+    assert got == expected
+
+
+@given(keys_strategy, fanout_strategy)
+@settings(max_examples=50, deadline=None)
+def test_height_is_logarithmic(keys, fanout):
+    idx = build(keys, fanout)
+    n = max(len(keys), 1)
+    # A bulk-loaded tree is as shallow as the fanout permits.
+    import math
+
+    bound = max(1, math.ceil(math.log(n, fanout)) + 1) if n > 1 else 1
+    assert idx.height <= bound + 1

@@ -1,0 +1,135 @@
+"""Set-associative cache: geometry, LRU, eviction, state handling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cache import CacheConfig, SetAssocCache
+from repro.mem.states import EXCLUSIVE, INVALID, MODIFIED, SHARED
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        c = CacheConfig("c", 1024, 32, 2)
+        assert c.n_sets == 16
+        assert c.n_lines == 32
+        assert c.line_shift == 5
+
+    def test_direct_mapped(self):
+        c = CacheConfig("dm", 2048, 32, 1)
+        assert c.n_sets == 64
+
+    @pytest.mark.parametrize(
+        "size,line,assoc",
+        [(100, 32, 2), (64, 33, 1), (32, 32, 2), (160, 32, 3), (64, 32, 0)],
+    )
+    def test_bad_geometry_rejected(self, size, line, assoc):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size, line, assoc)
+
+    def test_scaled_preserves_geometry(self):
+        c = CacheConfig("c", 2 * 1024 * 1024, 32, 2).scaled(5)
+        assert c.size == 2 * 1024 * 1024 // 32
+        assert c.line_size == 32
+        assert c.assoc == 2
+
+    def test_scaled_floor_is_one_set(self):
+        c = CacheConfig("c", 128, 32, 2).scaled(10)
+        assert c.size == 64  # one set of two 32B lines
+        assert c.n_sets == 1
+
+
+class TestProbeInsert:
+    def test_miss_then_hit(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        assert c.probe(0x100) == INVALID
+        c.insert(0x100, SHARED)
+        assert c.probe(0x100) == SHARED
+        assert c.probe(0x11F) == SHARED  # same 32B line
+
+    def test_insert_same_line_updates_state(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        c.insert(0x100, SHARED)
+        assert c.insert(0x100, MODIFIED) is None
+        assert c.probe(0x100) == MODIFIED
+        assert c.occupancy() == 1
+
+    def test_lru_eviction_order(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        set_stride = tiny_cache_config.n_sets * 32  # same-set addresses
+        a, b, d = 0, set_stride, 2 * set_stride
+        c.insert(a, SHARED)
+        c.insert(b, SHARED)
+        c.probe(a)  # promote a; b is now LRU
+        victim = c.insert(d, SHARED)
+        assert victim is not None
+        assert victim[0] == b >> 5
+
+    def test_dirty_eviction_counted(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        stride = tiny_cache_config.n_sets * 32
+        c.insert(0, MODIFIED)
+        c.insert(stride, SHARED)
+        c.insert(2 * stride, SHARED)  # evicts the MODIFIED line (LRU)
+        assert c.n_dirty_evictions == 1
+        assert c.n_evictions == 1
+
+    def test_different_sets_do_not_conflict(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        for i in range(tiny_cache_config.n_sets):
+            assert c.insert(i * 32, SHARED) is None
+        assert c.occupancy() == tiny_cache_config.n_sets
+
+
+class TestStateOps:
+    def test_set_state(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        c.insert(0x40, EXCLUSIVE)
+        c.set_state(0x40, MODIFIED)
+        assert c.peek(0x40) == MODIFIED
+
+    def test_set_state_missing_raises(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        with pytest.raises(KeyError):
+            c.set_state(0x40, SHARED)
+
+    def test_invalidate(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        c.insert(0x40, MODIFIED)
+        assert c.invalidate(0x40) == MODIFIED
+        assert c.probe(0x40) == INVALID
+        assert c.invalidate(0x40) == INVALID  # idempotent
+
+    def test_invalidate_range(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        c.insert(0x00, SHARED)
+        c.insert(0x20, SHARED)
+        c.insert(0x40, SHARED)
+        hit = c.invalidate_range(0x00, 64)  # lines 0x00 and 0x20
+        assert hit == 2
+        assert c.peek(0x40) == SHARED
+
+    def test_peek_does_not_promote(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        stride = tiny_cache_config.n_sets * 32
+        c.insert(0, SHARED)
+        c.insert(stride, SHARED)
+        c.peek(0)  # no LRU promotion: line 0 stays LRU
+        victim = c.insert(2 * stride, SHARED)
+        assert victim[0] == 0
+
+    def test_flush(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        c.insert(0, SHARED)
+        c.insert(32, MODIFIED)
+        c.flush()
+        assert c.occupancy() == 0
+
+
+class TestResident:
+    def test_resident_enumerates_all(self, tiny_cache_config):
+        c = SetAssocCache(tiny_cache_config)
+        addrs = [0, 32, 64, 1024]
+        for a in addrs:
+            c.insert(a, SHARED)
+        lines = {line for line, _ in c.resident()}
+        assert lines == {a >> 5 for a in addrs}

@@ -1,0 +1,92 @@
+"""Property-based tests for the cache model (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import CacheConfig, SetAssocCache
+from repro.mem.states import INVALID, MODIFIED, SHARED
+
+ADDRS = st.integers(min_value=0, max_value=1 << 16)
+
+
+@st.composite
+def cache_and_ops(draw):
+    n_sets_log = draw(st.integers(min_value=0, max_value=4))
+    assoc = draw(st.integers(min_value=1, max_value=4))
+    line = 32
+    cfg = CacheConfig("p", (1 << n_sets_log) * assoc * line, line, assoc)
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "probe", "invalidate"]),
+                ADDRS,
+            ),
+            max_size=200,
+        )
+    )
+    return cfg, ops
+
+
+@given(cache_and_ops())
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_capacity(args):
+    cfg, ops = args
+    c = SetAssocCache(cfg)
+    for op, addr in ops:
+        if op == "insert":
+            c.insert(addr, SHARED)
+        elif op == "probe":
+            c.probe(addr)
+        else:
+            c.invalidate(addr)
+        assert c.occupancy() <= cfg.n_lines
+        # No set may exceed associativity.
+        per_set = {}
+        for line, _ in c.resident():
+            s = line & (cfg.n_sets - 1)
+            per_set[s] = per_set.get(s, 0) + 1
+        assert all(v <= cfg.assoc for v in per_set.values())
+
+
+@given(cache_and_ops())
+@settings(max_examples=60, deadline=None)
+def test_resident_lines_were_inserted(args):
+    cfg, ops = args
+    c = SetAssocCache(cfg)
+    inserted = set()
+    for op, addr in ops:
+        line = addr >> cfg.line_shift
+        if op == "insert":
+            c.insert(addr, MODIFIED)
+            inserted.add(line)
+        elif op == "probe":
+            c.probe(addr)
+        else:
+            c.invalidate(addr)
+    resident = {line for line, _ in c.resident()}
+    assert resident <= inserted
+
+
+@given(st.lists(ADDRS, min_size=1, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_insert_makes_probe_hit(addrs):
+    cfg = CacheConfig("p", 8 * 2 * 32, 32, 2)
+    c = SetAssocCache(cfg)
+    for addr in addrs:
+        c.insert(addr, SHARED)
+        # Immediately after insertion the line must be present (it is MRU).
+        assert c.probe(addr) != INVALID
+
+
+@given(st.lists(ADDRS, min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_direct_mapped_maps_each_line_to_fixed_set(addrs):
+    cfg = CacheConfig("dm", 16 * 32, 32, 1)
+    c = SetAssocCache(cfg)
+    for addr in addrs:
+        c.insert(addr, SHARED)
+        line = addr >> 5
+        # In a direct-mapped cache the line must be the only occupant
+        # of its set.
+        occupants = [l for l, _ in c.resident() if (l & 15) == (line & 15)]
+        assert occupants == [line]

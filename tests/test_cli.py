@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_present(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        assert set(sub.choices) == {
+            "run", "figures", "validate", "microbench", "describe",
+            "capture", "replay",
+        }
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_query_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--query", "Q99"])
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--fig", "fig1"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        rc = main(["run", "--query", "Q6", "--platform", "hpv",
+                   "--procs", "1", "--sf", "0.0004"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CPI" in out
+        assert "thread time" in out
+
+    def test_run_sgi_multiproc(self, capsys):
+        rc = main(["run", "--query", "Q6", "--platform", "sgi",
+                   "--procs", "2", "--sf", "0.0004"])
+        assert rc == 0
+        assert "coherent misses" in capsys.readouterr().out
+
+    def test_figures_single(self, capsys):
+        rc = main(["figures", "--fig", "fig3", "--sf", "0.0004"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Cycles Per Instruction" in out
+
+    def test_describe(self, capsys):
+        rc = main(["describe", "--sf", "0.0004"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "HP V-Class" in out and "SGI Origin 2000" in out
+        assert "lineitem" in out
+
+    def test_microbench(self, capsys):
+        rc = main(["microbench", "--sf", "0.0004"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pingpong" in out
+
+    def test_capture_replay_roundtrip(self, capsys, tmp_path):
+        trace = str(tmp_path / "q6.npz")
+        rc = main(["capture", "--query", "Q6", "--sf", "0.0004",
+                   "--out", trace])
+        assert rc == 0
+        assert "captured Q6" in capsys.readouterr().out
+        rc = main(["replay", "--trace", trace, "--platform", "sgi",
+                   "--sf", "0.0004"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CPI" in out and "coherent misses" in out

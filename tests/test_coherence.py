@@ -1,0 +1,172 @@
+"""Coherence engine protocol transitions (deterministic scenarios)."""
+
+import pytest
+
+from repro.mem.cache import CacheConfig
+from repro.mem.coherence import (
+    KIND_INTERVENTION,
+    KIND_SHARED,
+    KIND_UNOWNED,
+    CoherenceEngine,
+)
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.interconnect import CrossbarInterconnect
+from repro.mem.latency import LatencyModel
+from repro.mem.states import EXCLUSIVE, INVALID, MODIFIED, SHARED
+from repro.mem.topology import CrossbarTopology
+
+LAT = LatencyModel(
+    l2_hit=0,
+    mem_base=100,
+    hop_cost=0,
+    intervention_base=50,
+    upgrade_base=60,
+    inval_per_sharer=10,
+    bank_service=0,  # no queueing noise in protocol tests
+    speculative_reply=False,
+    exposure=1.0,
+)
+
+LINE = 0x1000  # line-aligned test address
+
+
+def make_engine(n_cpus=4, migratory=False):
+    hiers = [
+        CacheHierarchy([CacheConfig("c", 64 * 32, 32, 2)]) for _ in range(n_cpus)
+    ]
+    ic = CrossbarInterconnect(CrossbarTopology(n_cpus, cpus_per_node=1), LAT)
+    eng = CoherenceEngine(hiers, ic, migratory_enabled=migratory)
+    return eng, hiers
+
+
+def read(eng, hiers, cpu, addr=LINE, now=0):
+    lat, kind, losers, state = eng.read_miss(cpu, addr, 0, now)
+    hiers[cpu].fill(addr, state)
+    return lat, kind, losers, state
+
+
+def write(eng, hiers, cpu, addr=LINE, now=0):
+    lat, kind, losers = eng.write_miss(cpu, addr, 0, now)
+    hiers[cpu].fill(addr, MODIFIED)
+    return lat, kind, losers
+
+
+class TestReadPaths:
+    def test_first_read_installs_exclusive(self):
+        eng, hiers = make_engine()
+        lat, kind, losers, state = read(eng, hiers, 0)
+        assert kind == KIND_UNOWNED
+        assert state == EXCLUSIVE
+        assert losers == []
+        assert lat == 100
+        e = eng.directory.peek(LINE)
+        assert e.excl_owner == 0
+
+    def test_second_read_downgrades_owner(self):
+        eng, hiers = make_engine()
+        read(eng, hiers, 0)
+        lat, kind, losers, state = read(eng, hiers, 1)
+        assert kind == KIND_INTERVENTION
+        assert state == SHARED
+        assert hiers[0].coherent.peek(LINE) == SHARED
+        e = eng.directory.peek(LINE)
+        assert e.excl_owner == -1
+        assert e.sharers == 0b11
+        assert lat > 100  # intervention is dearer than a plain fetch
+
+    def test_third_read_served_from_memory(self):
+        eng, hiers = make_engine()
+        read(eng, hiers, 0)
+        read(eng, hiers, 1)
+        lat, kind, losers, state = read(eng, hiers, 2)
+        assert kind == KIND_SHARED
+        assert state == SHARED
+        assert lat == 100  # no intervention: memory supplies the line
+        assert eng.directory.peek(LINE).sharers == 0b111
+
+    def test_dirty_read_triggers_writeback(self):
+        eng, hiers = make_engine()
+        write(eng, hiers, 0)
+        assert eng.n_writebacks == 0
+        read(eng, hiers, 1)
+        assert eng.n_writebacks == 1
+
+
+class TestWritePaths:
+    def test_first_write_modified(self):
+        eng, hiers = make_engine()
+        lat, kind, losers = write(eng, hiers, 0)
+        assert kind == KIND_UNOWNED
+        assert eng.directory.peek(LINE).excl_owner == 0
+        assert eng.directory.peek(LINE).last_writer == 0
+
+    def test_write_steals_from_owner(self):
+        eng, hiers = make_engine()
+        read(eng, hiers, 0)
+        lat, kind, losers = write(eng, hiers, 1)
+        assert kind == KIND_INTERVENTION
+        assert losers == [0]
+        assert hiers[0].coherent.peek(LINE) == INVALID
+        assert eng.directory.peek(LINE).excl_owner == 1
+
+    def test_write_invalidates_all_sharers(self):
+        eng, hiers = make_engine()
+        read(eng, hiers, 0)
+        read(eng, hiers, 1)
+        read(eng, hiers, 2)
+        lat, kind, losers = write(eng, hiers, 3)
+        assert sorted(losers) == [0, 1, 2]
+        for cpu in (0, 1, 2):
+            assert hiers[cpu].coherent.peek(LINE) == INVALID
+        assert eng.n_invalidations == 3
+
+    def test_upgrade_from_shared(self):
+        eng, hiers = make_engine()
+        read(eng, hiers, 0)
+        read(eng, hiers, 1)
+        # cpu1 holds the line SHARED and now writes it.
+        lat, losers = eng.upgrade(1, LINE, 0, 0)
+        hiers[1].set_state(LINE, MODIFIED)
+        assert losers == [0]
+        assert eng.directory.peek(LINE).excl_owner == 1
+        assert hiers[0].coherent.peek(LINE) == INVALID
+
+
+class TestEviction:
+    def test_evict_clears_owner(self):
+        eng, hiers = make_engine()
+        read(eng, hiers, 0)
+        eng.evict(0, LINE, EXCLUSIVE, 0, 0)
+        assert eng.directory.peek(LINE).holders() == 0
+
+    def test_evict_sharer_keeps_others(self):
+        eng, hiers = make_engine()
+        read(eng, hiers, 0)
+        read(eng, hiers, 1)
+        eng.evict(0, LINE, SHARED, 0, 0)
+        assert eng.directory.peek(LINE).sharers == 0b10
+
+    def test_dirty_evict_writes_back(self):
+        eng, hiers = make_engine()
+        write(eng, hiers, 0)
+        eng.evict(0, LINE, MODIFIED, 0, 0)
+        assert eng.n_writebacks == 1
+
+    def test_evict_unknown_line_is_noop(self):
+        eng, hiers = make_engine()
+        eng.evict(0, 0xBEEF00, SHARED, 0, 0)  # never accessed
+
+
+class TestDirectoryConsistency:
+    def test_states_match_caches_after_sequence(self):
+        eng, hiers = make_engine()
+        read(eng, hiers, 0)
+        write(eng, hiers, 1)
+        read(eng, hiers, 2)
+        read(eng, hiers, 3)
+        eng.directory.check_invariants()
+        e = eng.directory.peek(LINE)
+        holders = e.holders()
+        for cpu, h in enumerate(hiers):
+            cached = h.coherent.peek(LINE) != INVALID
+            assert cached == bool(holders & (1 << cpu))

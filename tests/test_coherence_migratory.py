@@ -1,0 +1,101 @@
+"""Migratory-sharing optimization (the V-Class protocol feature).
+
+Reproduces §4.2.3's lock scenario: a lock line read-then-written by
+successive CPUs is detected migratory, after which a read miss to a
+dirty copy transfers *exclusive* ownership (invalidating the old owner)
+so the subsequent write needs no second directory trip.
+"""
+
+from tests.test_coherence import LINE, make_engine, read, write
+
+from repro.mem.states import EXCLUSIVE, INVALID, MODIFIED, SHARED
+
+
+def rmw(eng, hiers, cpu):
+    """Read-modify-write as the lock code path does."""
+    lat_r, kind_r, _, state = read(eng, hiers, cpu)
+    if state == EXCLUSIVE:
+        hiers[cpu].set_state(LINE, MODIFIED)
+        eng.note_silent_upgrade(cpu, LINE)
+        return kind_r, "silent"
+    # shared: upgrade
+    lat_u, losers = eng.upgrade(cpu, LINE, 0, 0)
+    hiers[cpu].set_state(LINE, MODIFIED)
+    return kind_r, "upgrade"
+
+
+class TestDetection:
+    def test_two_rmw_cpus_mark_migratory(self):
+        eng, hiers = make_engine(migratory=True)
+        rmw(eng, hiers, 0)  # E->M silently
+        rmw(eng, hiers, 1)  # read (intervention, S), then upgrade -> detect
+        e = eng.directory.peek(LINE)
+        assert e.migratory
+        assert eng.n_migratory_detected == 1
+
+    def test_detection_disabled_on_origin(self):
+        eng, hiers = make_engine(migratory=False)
+        rmw(eng, hiers, 0)
+        rmw(eng, hiers, 1)
+        assert not eng.directory.peek(LINE).migratory
+        assert eng.n_migratory_detected == 0
+
+    def test_no_detection_for_read_only_sharing(self):
+        eng, hiers = make_engine(migratory=True)
+        read(eng, hiers, 0)
+        read(eng, hiers, 1)
+        read(eng, hiers, 2)
+        assert not eng.directory.peek(LINE).migratory
+
+
+class TestMigratoryTransfer:
+    def _migratory_line(self):
+        eng, hiers = make_engine(migratory=True)
+        rmw(eng, hiers, 0)
+        rmw(eng, hiers, 1)
+        assert eng.directory.peek(LINE).migratory
+        return eng, hiers
+
+    def test_read_miss_gets_exclusive_and_invalidates_owner(self):
+        eng, hiers = self._migratory_line()
+        # line is M at cpu1; cpu2 reads: migratory grant
+        lat, kind, losers, state = read(eng, hiers, 2)
+        assert state == EXCLUSIVE
+        assert losers == [1]
+        assert hiers[1].coherent.peek(LINE) == INVALID
+        assert eng.n_migratory_transfers == 1
+        assert eng.directory.peek(LINE).excl_owner == 2
+
+    def test_following_write_is_silent(self):
+        eng, hiers = self._migratory_line()
+        read(eng, hiers, 2)
+        # cpu2 now holds E: the write is a silent E->M (no upgrade trip)
+        assert hiers[2].coherent.peek(LINE) == EXCLUSIVE
+        before = eng.interconnect.n_requests
+        hiers[2].set_state(LINE, MODIFIED)
+        eng.note_silent_upgrade(2, LINE)
+        assert eng.interconnect.n_requests == before
+
+    def test_demotion_when_pattern_stops(self):
+        eng, hiers = self._migratory_line()
+        read(eng, hiers, 2)  # migratory grant; cpu2 does NOT write
+        # Next reader finds a stale migratory mark: demote, share normally.
+        lat, kind, losers, state = read(eng, hiers, 3)
+        assert state == SHARED
+        assert not eng.directory.peek(LINE).migratory
+        assert hiers[2].coherent.peek(LINE) == SHARED
+
+
+class TestFig9Mechanism:
+    """The producer/first-reader/later-reader latency staircase that
+    explains the Fig. 9 bump at 2 processes and dip at 4."""
+
+    def test_first_sharer_pays_intervention_later_ones_do_not(self):
+        eng, hiers = make_engine(migratory=True)
+        write(eng, hiers, 0)  # producer leaves the line M
+        lat1, kind1, _, _ = read(eng, hiers, 1)
+        lat2, kind2, _, _ = read(eng, hiers, 2)
+        lat3, kind3, _, _ = read(eng, hiers, 3)
+        assert kind1 == "intervention"
+        assert kind2 == kind3 == "shared"
+        assert lat1 > lat2 == lat3

@@ -1,0 +1,136 @@
+"""Property-based coherence tests: the protocol invariants must hold
+under arbitrary interleavings of reads and writes from many CPUs.
+
+The central property is SWMR (single writer / multiple readers): at any
+instant a line is either Modified in exactly one cache or
+Shared/Exclusive consistently with the directory, and the directory's
+holder set always matches the caches exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import CacheConfig
+from repro.mem.coherence import CoherenceEngine
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.interconnect import CrossbarInterconnect
+from repro.mem.latency import LatencyModel
+from repro.mem.states import EXCLUSIVE, INVALID, MODIFIED, SHARED
+from repro.mem.topology import CrossbarTopology
+
+N_CPUS = 4
+
+LAT = LatencyModel(
+    l2_hit=0,
+    mem_base=100,
+    hop_cost=0,
+    intervention_base=50,
+    upgrade_base=60,
+    inval_per_sharer=10,
+    bank_service=5,
+    speculative_reply=False,
+    exposure=1.0,
+)
+
+# Few lines in a tiny cache: plenty of evictions and races.
+LINES = [i * 32 for i in range(12)]
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_CPUS - 1),
+        st.sampled_from(LINES),
+        st.booleans(),  # is_write
+    ),
+    max_size=300,
+)
+
+
+class MiniMemSys:
+    """Minimal access loop over the engine (mirrors MemorySystem's
+    coherent-level logic for one-level hierarchies)."""
+
+    def __init__(self, migratory: bool) -> None:
+        self.hiers = [
+            CacheHierarchy([CacheConfig("c", 4 * 2 * 32, 32, 2)])
+            for _ in range(N_CPUS)
+        ]
+        ic = CrossbarInterconnect(CrossbarTopology(N_CPUS, cpus_per_node=1), LAT)
+        self.engine = CoherenceEngine(self.hiers, ic, migratory_enabled=migratory)
+        self.now = 0
+
+    def access(self, cpu: int, addr: int, is_write: bool) -> None:
+        self.now += 60
+        h = self.hiers[cpu]
+        state = h.coherent.probe(addr)
+        if state:
+            if not is_write or state == MODIFIED:
+                return
+            if state == EXCLUSIVE:
+                h.set_state(addr, MODIFIED)
+                self.engine.note_silent_upgrade(cpu, addr)
+                return
+            self.engine.upgrade(cpu, addr, 0, self.now)
+            h.set_state(addr, MODIFIED)
+            return
+        if is_write:
+            _, _, _ = self.engine.write_miss(cpu, addr, 0, self.now)
+            fill = MODIFIED
+        else:
+            _, _, _, fill = self.engine.read_miss(cpu, addr, 0, self.now)
+        victim = h.fill(addr, fill)
+        if victim is not None:
+            self.engine.evict(cpu, victim[0], victim[1], 0, self.now)
+
+    # -- invariants ---------------------------------------------------------
+    def check(self) -> None:
+        self.engine.directory.check_invariants()
+        for line_addr in LINES:
+            states = [h.coherent.peek(line_addr) for h in self.hiers]
+            holders = [i for i, s in enumerate(states) if s != INVALID]
+            modified = [i for i, s in enumerate(states) if s == MODIFIED]
+            exclusive = [i for i, s in enumerate(states) if s == EXCLUSIVE]
+            # SWMR: at most one M, and an M/E copy excludes any other copy
+            assert len(modified) <= 1
+            assert len(exclusive) <= 1
+            if modified or exclusive:
+                assert len(holders) == 1
+            # directory agrees with the caches
+            line = line_addr >> 5 << 5
+            if self.engine.directory.known(line):
+                e = self.engine.directory.peek(line)
+                dir_holders = [i for i in range(N_CPUS) if e.holders() & (1 << i)]
+                assert dir_holders == holders
+            else:
+                assert holders == []
+
+
+@given(ops_strategy, st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_swmr_and_directory_consistency(ops, migratory):
+    sys = MiniMemSys(migratory)
+    for cpu, addr, is_write in ops:
+        sys.access(cpu, addr, is_write)
+        sys.check()
+
+
+@given(ops_strategy)
+@settings(max_examples=40, deadline=None)
+def test_migratory_never_leaves_two_copies_after_write(ops):
+    sys = MiniMemSys(migratory=True)
+    for cpu, addr, is_write in ops:
+        sys.access(cpu, addr, is_write)
+        if is_write:
+            states = [h.coherent.peek(addr) for h in sys.hiers]
+            assert states[cpu] == MODIFIED
+            assert sum(1 for s in states if s != INVALID) == 1
+
+
+@given(ops_strategy, st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_latencies_always_positive(ops, migratory):
+    sys = MiniMemSys(migratory)
+    eng = sys.engine
+    for cpu, addr, is_write in ops:
+        before = eng.interconnect.n_requests
+        sys.access(cpu, addr, is_write)
+        assert eng.interconnect.n_requests >= before

@@ -1,0 +1,41 @@
+"""SimConfig validation and scaling semantics."""
+
+import pytest
+
+from repro.config import DEFAULT_SIM, TEST_SIM, SimConfig
+from repro.errors import ConfigError
+
+
+class TestSimConfig:
+    def test_default_is_valid(self):
+        assert DEFAULT_SIM.cache_scale == 1 / 32
+
+    def test_cache_scale_derivation(self):
+        assert SimConfig(cache_scale_log2=0).cache_scale == 1.0
+        assert SimConfig(cache_scale_log2=3).cache_scale == 1 / 8
+
+    def test_with_replaces_fields(self):
+        c = DEFAULT_SIM.with_(spin_tries=9)
+        assert c.spin_tries == 9
+        assert c.time_slice_cycles == DEFAULT_SIM.time_slice_cycles
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_SIM.spin_tries = 1  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cache_scale_log2": -1},
+            {"time_slice_cycles": 0},
+            {"backoff_cycles": -5},
+            {"spin_tries": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            SimConfig(**kwargs)
+
+    def test_test_profile_smaller_than_default(self):
+        assert TEST_SIM.time_slice_cycles < DEFAULT_SIM.time_slice_cycles
+        assert TEST_SIM.backoff_cycles < DEFAULT_SIM.backoff_cycles

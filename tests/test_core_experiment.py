@@ -1,0 +1,113 @@
+"""Experiment runner: spec validation, determinism, aggregation."""
+
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.experiment import (
+    DatabaseCache,
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.errors import ConfigError
+
+
+def spec(**kw):
+    base = dict(
+        query="Q6", platform="hpv", n_procs=1, sim=TEST_SIM, tpch=TINY_TPCH
+    )
+    base.update(kw)
+    return ExperimentSpec(**base)
+
+
+class TestSpec:
+    def test_defaults_valid(self):
+        ExperimentSpec()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"query": "Q99"},
+            {"n_procs": 0},
+            {"repetitions": 0},
+            {"param_mode": "chaotic"},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            spec(**kw)
+
+    def test_too_many_procs_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiment(spec(n_procs=17))  # V-Class has 16 CPUs
+
+    def test_with_(self):
+        s = spec().with_(n_procs=4)
+        assert s.n_procs == 4
+        assert s.query == "Q6"
+
+
+class TestRun:
+    def test_counters_populated(self, tiny_db):
+        r = run_experiment(spec(), db=tiny_db)
+        m = r.mean
+        assert m.cycles > 0
+        assert m.instructions > 0
+        assert m.level1_misses > 0
+        assert m.data_refs > m.level1_misses
+        assert r.runs[0].query_rows >= 1
+
+    def test_deterministic(self, tiny_db):
+        a = run_experiment(spec(), db=tiny_db)
+        b = run_experiment(spec(), db=tiny_db)
+        assert a.mean.cycles == b.mean.cycles
+        assert a.mean.level1_misses == b.mean.level1_misses
+
+    def test_one_snapshot_per_process(self, tiny_db):
+        r = run_experiment(spec(n_procs=4), db=tiny_db)
+        assert len(r.runs[0].per_process) == 4
+
+    def test_results_verified_against_reference(self, tiny_db):
+        # verify_results=True runs the brute-force check internally and
+        # raises on divergence; reaching here means it passed.
+        run_experiment(spec(query="Q12", verify_results=True), db=tiny_db)
+
+    def test_repetitions_averaged(self, tiny_db):
+        r = run_experiment(spec(repetitions=2), db=tiny_db)
+        assert len(r.runs) == 2
+        # deterministic + fixed params => identical repetitions
+        assert r.runs[0].mean.cycles == r.runs[1].mean.cycles
+
+    def test_random_param_mode_varies_reps(self, tiny_db):
+        r = run_experiment(
+            spec(query="Q6", repetitions=3, param_mode="random",
+                 verify_results=False),
+            db=tiny_db,
+        )
+        cycles = [run.mean.cycles for run in r.runs]
+        assert len(set(cycles)) > 1
+
+    def test_total_sums_processes(self, tiny_db):
+        r = run_experiment(spec(n_procs=2), db=tiny_db)
+        total = r.total
+        per = r.runs[0].per_process
+        assert total.instructions == sum(p.instructions for p in per)
+
+    def test_sgi_platform(self, tiny_db):
+        r = run_experiment(spec(platform="sgi"), db=tiny_db)
+        assert r.machine.name == "SGI Origin 2000"
+        assert r.mean.coherent_misses < r.mean.level1_misses
+
+
+class TestDatabaseCache:
+    def test_cache_reuses_instances(self):
+        DatabaseCache.clear()
+        a = DatabaseCache.get(TINY_TPCH)
+        b = DatabaseCache.get(TINY_TPCH)
+        assert a is b
+        DatabaseCache.clear()
+        c = DatabaseCache.get(TINY_TPCH)
+        assert c is not a
+        DatabaseCache.clear()

@@ -1,0 +1,96 @@
+"""Figure regeneration machinery (structure; shapes are in the
+integration suite)."""
+
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.figures import FIGURES, FigureData, regenerate_figure
+from repro.core.report import render_series, render_table
+from repro.core.sweep import SweepRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+
+
+class TestFigureData:
+    def test_select_and_value(self):
+        fig = FigureData("f", "t", ("a", "b"))
+        fig.rows = [{"a": 1, "b": 10}, {"a": 2, "b": 20}]
+        assert fig.select(a=1) == [{"a": 1, "b": 10}]
+        assert fig.value("b", a=2) == 20
+        with pytest.raises(KeyError):
+            fig.value("b", a=3)
+
+    def test_column(self):
+        fig = FigureData("f", "t", ("a",))
+        fig.rows = [{"a": 1}, {"a": 2}]
+        assert fig.column("a") == [1, 2]
+
+
+class TestRegistry:
+    def test_all_nine_figures_registered(self):
+        assert set(FIGURES) == {f"fig{i}" for i in range(2, 11)}
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            regenerate_figure("fig99")
+
+
+class TestSmallRegeneration:
+    """Run the cheap figures on a tiny sweep and validate structure."""
+
+    def test_fig2_structure(self, runner):
+        fig = regenerate_figure("fig2", runner, queries=("Q6",))
+        assert len(fig.rows) == 4  # 2 platforms x {1, 8}
+        assert all(r["cycles"] > 0 for r in fig.rows)
+
+    def test_fig3_cpi_in_band(self, runner):
+        fig = regenerate_figure("fig3", runner, queries=("Q6",))
+        for r in fig.rows:
+            assert 1.0 < r["cpi"] < 2.5
+
+    def test_fig4_three_caches(self, runner):
+        fig = regenerate_figure("fig4", runner, queries=("Q6",))
+        caches = {r["cache"] for r in fig.rows}
+        assert caches == {"HPV", "SGI-L1", "SGI-L2"}
+        for r in fig.rows:
+            assert 0 < r["miss_rate"] < 1
+
+    def test_sweep_figures_share_cells(self, runner):
+        before = runner.n_cached
+        regenerate_figure("fig7", runner, queries=("Q6",), nprocs=(1, 2))
+        mid = runner.n_cached
+        regenerate_figure("fig8", runner, queries=("Q6",), nprocs=(1, 2))
+        assert runner.n_cached == mid  # fig8 reused fig7's cells
+        assert mid > before
+
+    def test_fig10_has_both_switch_kinds(self, runner):
+        fig = regenerate_figure("fig10", runner, queries=("Q6",), nprocs=(1, 2))
+        for r in fig.rows:
+            assert r["voluntary"] >= 0
+            assert r["involuntary"] >= 0
+
+
+class TestReport:
+    def test_render_table(self, runner):
+        fig = regenerate_figure("fig3", runner, queries=("Q6",))
+        text = render_table(fig)
+        assert "fig3" in text
+        assert "cpi" in text
+        assert len(text.splitlines()) >= 3 + len(fig.rows)
+
+    def test_render_series(self, runner):
+        fig = regenerate_figure("fig3", runner, queries=("Q6",))
+        text = render_series(fig, "cpi")
+        assert "#" in text
+
+    def test_render_formats_numbers(self):
+        fig = FigureData("f", "t", ("x", "y"))
+        fig.rows = [{"x": 1_234_567, "y": 0.0001234}]
+        text = render_table(fig)
+        assert "1.23M" in text
+        assert "e-04" in text or "0.00" in text

@@ -1,0 +1,92 @@
+"""Derived-metric math."""
+
+import pytest
+
+from repro.core import metrics
+from repro.cpu.counters import CounterSnapshot
+from repro.mem.machine import hp_v_class, sgi_origin_2000
+
+
+def snap(**kw):
+    base = dict(
+        cycles=2_800_000,
+        instructions=2_000_000,
+        data_refs=500_000,
+        level1_misses=10_000,
+        coherent_misses=4_000,
+        mem_latency_cycles=400_000,
+        mem_accesses=4_000,
+        vol_switches=6,
+        invol_switches=2,
+        miss_cold=3_000,
+        miss_capacity=500,
+        miss_comm=500,
+    )
+    base.update(kw)
+    return CounterSnapshot(**base)
+
+
+class TestCPI:
+    def test_cpi_plain(self):
+        m = hp_v_class()  # skew 1.0
+        assert metrics.cpi(snap(), m) == pytest.approx(1.4)
+
+    def test_cpi_respects_skew(self):
+        m = sgi_origin_2000()  # skew 0.97: fewer reported instrs -> higher CPI
+        assert metrics.cpi(snap(), m) > 1.4
+
+    def test_reported_instructions_never_zero(self):
+        m = hp_v_class()
+        assert metrics.reported_instructions(snap(instructions=0), m) == 1
+
+
+class TestNormalization:
+    def test_per_million(self):
+        m = hp_v_class()
+        assert metrics.per_million_instrs(2_000, snap(), m) == pytest.approx(1000.0)
+
+    def test_cycles_per_million(self):
+        m = hp_v_class()
+        assert metrics.cycles_per_million(snap(), m) == pytest.approx(1.4e6)
+
+    def test_miss_normalizations(self):
+        m = hp_v_class()
+        assert metrics.dcache_misses_per_million(snap(), m) == pytest.approx(5000.0)
+        assert metrics.l2_misses_per_million(snap(), m) == pytest.approx(2000.0)
+
+    def test_miss_rate(self):
+        assert metrics.level1_miss_rate(snap()) == pytest.approx(0.02)
+
+
+class TestLatencyAndTime:
+    def test_memory_latency_seconds(self):
+        m = hp_v_class()  # 200 MHz
+        assert metrics.memory_latency_seconds(snap(), m) == pytest.approx(0.002)
+
+    def test_mean_latency(self):
+        assert metrics.mean_memory_latency_cycles(snap()) == pytest.approx(100.0)
+
+    def test_thread_time_seconds_uses_clock(self):
+        s = snap()
+        hv = metrics.thread_time_seconds(s, hp_v_class())
+        og = metrics.thread_time_seconds(s, sgi_origin_2000())
+        # §3.1: same cycles, higher clock => lower time on the Origin.
+        assert og < hv
+
+    def test_thread_time_cycles(self):
+        assert metrics.thread_time_cycles(snap()) == 2_800_000
+
+
+class TestSwitchesAndComm:
+    def test_switches_per_million(self):
+        m = hp_v_class()
+        sw = metrics.switches_per_million(snap(), m)
+        assert sw["voluntary"] == pytest.approx(3.0)
+        assert sw["involuntary"] == pytest.approx(1.0)
+
+    def test_comm_fraction(self):
+        assert metrics.comm_miss_fraction(snap()) == pytest.approx(0.125)
+
+    def test_comm_fraction_empty(self):
+        s = snap(miss_cold=0, miss_capacity=0, miss_comm=0)
+        assert metrics.comm_miss_fraction(s) == 0.0

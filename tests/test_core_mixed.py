@@ -1,0 +1,74 @@
+"""Heterogeneous (mixed-query) runs."""
+
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.mixed import MixedResult, MixedSpec, run_mixed_experiment
+from repro.errors import ConfigError
+
+
+def spec(queries, **kw):
+    base = dict(platform="hpv", tpch=TINY_TPCH, sim=TEST_SIM)
+    base.update(kw)
+    return MixedSpec(queries=tuple(queries), **base)
+
+
+class TestSpec:
+    def test_valid(self):
+        spec(["Q6", "Q21"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            spec([])
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(ConfigError):
+            spec(["Q6", "Q99"])
+
+    def test_mutating_query_rejected(self):
+        with pytest.raises(ConfigError):
+            spec(["Q6", "RF1"])
+
+
+class TestRun:
+    def test_all_results_verified(self, tiny_db):
+        # verify_results=True raises internally on any divergence
+        res = run_mixed_experiment(spec(["Q6", "Q12", "Q1"]), db=tiny_db)
+        assert len(res.per_process) == 3
+        assert res.wall_cycles > 0
+
+    def test_by_query_grouping(self, tiny_db):
+        res = run_mixed_experiment(spec(["Q6", "Q6", "Q12"]), db=tiny_db)
+        groups = res.by_query()
+        assert set(groups) == {"Q6", "Q12"}
+        q6_cycles = [s.cycles for q, s in res.per_process if q == "Q6"]
+        assert groups["Q6"].cycles == sum(q6_cycles) // 2
+
+    def test_interference_vs_solo(self, tiny_db):
+        """A Q6 backend sharing the machine with three others runs more
+        cycles than a solo Q6 (communication + contention)."""
+        solo = run_mixed_experiment(spec(["Q6"]), db=tiny_db)
+        mixed = run_mixed_experiment(spec(["Q6", "Q6", "Q12", "Q12"]), db=tiny_db)
+        solo_q6 = solo.by_query()["Q6"].cycles
+        mixed_q6 = mixed.by_query()["Q6"].cycles
+        assert mixed_q6 > solo_q6
+
+    def test_q21_dominates_wall_time(self, tiny_db):
+        res = run_mixed_experiment(spec(["Q6", "Q21"]), db=tiny_db)
+        snaps = dict(res.per_process)
+        assert snaps["Q21"].cycles > snaps["Q6"].cycles
+        # the wall clock tracks the slowest stream
+        assert res.wall_cycles >= snaps["Q21"].cycles
+
+    def test_too_many_processes(self, tiny_db):
+        with pytest.raises(ConfigError):
+            run_mixed_experiment(spec(["Q6"] * 17), db=tiny_db)
+
+    def test_sgi_platform(self, tiny_db):
+        res = run_mixed_experiment(
+            spec(["Q6", "Q21"], platform="sgi"), db=tiny_db
+        )
+        for _q, snap in res.per_process:
+            assert snap.coherent_misses < snap.level1_misses

@@ -1,0 +1,81 @@
+"""Report renderers (table / markdown / text bars)."""
+
+from repro.core.figures import FigureData, class_breakdown
+from repro.core.report import render_markdown, render_series, render_table
+from repro.core.sweep import SweepRunner
+from repro.config import TEST_SIM
+
+from tests.conftest import TINY_TPCH
+
+import pytest
+
+
+def demo_fig():
+    fig = FigureData("demo", "Demo Figure", ("name", "count", "rate"))
+    fig.rows = [
+        {"name": "a", "count": 1_234_567, "rate": 0.123},
+        {"name": "b", "count": 7, "rate": 0.00001},
+    ]
+    fig.notes = "a note"
+    return fig
+
+
+class TestTable:
+    def test_columns_aligned(self):
+        text = render_table(demo_fig())
+        lines = text.splitlines()
+        data = [l for l in lines if l.startswith(("a", "b"))]
+        assert len({len(l) for l in data}) <= 2  # trailing pad may differ
+
+    def test_notes_rendered(self):
+        assert "a note" in render_table(demo_fig())
+
+    def test_empty_rows(self):
+        fig = FigureData("e", "Empty", ("x",))
+        text = render_table(fig)
+        assert "Empty" in text
+
+
+class TestMarkdown:
+    def test_structure(self):
+        md = render_markdown(demo_fig())
+        lines = md.splitlines()
+        assert lines[0].startswith("**demo:")
+        header = [l for l in lines if l.startswith("| name")]
+        assert header
+        assert "|---|---|---|" in md
+        assert md.count("|") >= 4 * 3
+
+    def test_values_formatted(self):
+        md = render_markdown(demo_fig())
+        assert "1.23M" in md
+        assert "1.00e-05" in md or "e-05" in md
+
+
+class TestSeries:
+    def test_bars_scale(self):
+        fig = FigureData("s", "Series", ("k", "v"))
+        fig.rows = [{"k": "x", "v": 10.0}, {"k": "y", "v": 5.0}]
+        text = render_series(fig, "v", max_width=10)
+        x_line = next(l for l in text.splitlines() if "k=x" in l)
+        y_line = next(l for l in text.splitlines() if "k=y" in l)
+        assert x_line.count("#") == 2 * y_line.count("#")
+
+
+class TestClassBreakdownFigure:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+
+    def test_columns_and_classes(self, runner):
+        fig = class_breakdown(runner, queries=("Q6",), n_procs=1)
+        assert len(fig.rows) == 2  # hpv + sgi
+        for row in fig.rows:
+            for cls in ("record", "index", "meta", "lock", "private"):
+                assert cls in row
+
+    def test_q6_is_record_dominated(self, runner):
+        fig = class_breakdown(runner, queries=("Q6",), n_procs=1)
+        hpv = fig.select(query="Q6", platform="hpv")[0]
+        assert hpv["record"] > hpv["index"]
+        assert hpv["record"] > hpv["meta"]

@@ -1,0 +1,63 @@
+"""Repetition statistics."""
+
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.stats import Summary, summarize, summarize_metric, t95
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.stdev == 0.0
+        assert s.ci95 == (5.0, 5.0)
+
+    def test_known_values(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.mean == pytest.approx(4.0)
+        assert s.stdev == pytest.approx(2.0)
+        # t(2) = 4.303 -> half width 4.303 * 2 / sqrt(3)
+        assert s.ci95_half_width == pytest.approx(4.303 * 2 / 3**0.5, rel=1e-6)
+
+    def test_identical_samples_zero_spread(self):
+        s = summarize([3.0] * 4)
+        assert s.stdev == 0.0
+        assert s.ci95 == (3.0, 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_t_table(self):
+        assert t95(1) == pytest.approx(12.706)
+        assert t95(30) == pytest.approx(2.042)
+        assert t95(1000) == pytest.approx(1.960)
+        with pytest.raises(ValueError):
+            t95(0)
+
+
+class TestSummarizeMetric:
+    def test_random_param_repetitions_have_spread(self, tiny_db):
+        spec = ExperimentSpec(
+            query="Q6", platform="hpv", n_procs=1, sim=TEST_SIM,
+            tpch=TINY_TPCH, repetitions=4, param_mode="random",
+            verify_results=False,
+        )
+        res = run_experiment(spec, db=tiny_db)
+        s = summarize_metric(res, lambda m: m.cycles)
+        assert s.n == 4
+        assert s.mean > 0
+        assert s.stdev > 0  # different parameters, different work
+
+    def test_fixed_params_no_spread(self, tiny_db):
+        spec = ExperimentSpec(
+            query="Q6", platform="hpv", n_procs=1, sim=TEST_SIM,
+            tpch=TINY_TPCH, repetitions=3, verify_results=False,
+        )
+        res = run_experiment(spec, db=tiny_db)
+        s = summarize_metric(res, lambda m: m.cycles)
+        assert s.stdev == 0.0

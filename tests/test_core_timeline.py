@@ -1,0 +1,80 @@
+"""Timeline sampling."""
+
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.timeline import FIELDS, TimelineRecorder, record_timeline
+from repro.core.workload import make_query_process
+from repro.errors import SchedulerError
+from repro.mem.machine import hp_v_class
+from repro.mem.memsys import MemorySystem
+from repro.osim.scheduler import Kernel
+from repro.tpch.queries import QUERIES
+
+
+def run_with_timeline(db, query="Q6", interval=200_000, n_procs=1):
+    machine = hp_v_class().scaled(TEST_SIM.cache_scale_log2)
+    ms = MemorySystem(machine, db.aspace)
+    kernel = Kernel(machine, ms, TEST_SIM)
+    db.reset_runtime()
+    qdef = QUERIES[query]
+    for pid in range(n_procs):
+        gen, _ = make_query_process(db, qdef, qdef.params(), pid, pid)
+        kernel.spawn(gen, cpu=pid)
+    rec = record_timeline(kernel, ms, interval)
+    kernel.run()
+    rec.finalize()
+    return rec, kernel, ms
+
+
+class TestRecorder:
+    def test_sample_count_tracks_wall_time(self, tiny_db):
+        rec, kernel, _ = run_with_timeline(tiny_db, interval=200_000)
+        expected = kernel.wall_cycles() // 200_000
+        assert expected <= len(rec.samples) <= expected + 2
+
+    def test_cumulative_monotone(self, tiny_db):
+        rec, _, _ = run_with_timeline(tiny_db)
+        for fieldname in FIELDS:
+            series = rec.cumulative(fieldname)
+            assert all(b >= a for a, b in zip(series, series[1:]))
+
+    def test_final_sample_equals_totals(self, tiny_db):
+        rec, _, ms = run_with_timeline(tiny_db)
+        total = ms.total_stats()
+        last = rec.samples[-1].values
+        assert last["level1_misses"] == total.level1_misses
+        assert last["reads"] == total.reads
+
+    def test_rate_sums_to_cumulative(self, tiny_db):
+        rec, _, _ = run_with_timeline(tiny_db)
+        assert sum(rec.rate("coherent_misses")) == rec.cumulative("coherent_misses")[-1]
+
+    def test_times_are_interval_multiples(self, tiny_db):
+        rec, _, _ = run_with_timeline(tiny_db, interval=150_000)
+        assert all(t % 150_000 == 0 for t in rec.times())
+
+    def test_unknown_field(self, tiny_db):
+        rec, _, _ = run_with_timeline(tiny_db)
+        with pytest.raises(KeyError):
+            rec.cumulative("bogus")
+
+    def test_bad_interval(self, tiny_db):
+        machine = hp_v_class().scaled(5)
+        ms = MemorySystem(machine, tiny_db.aspace)
+        kernel = Kernel(machine, ms, TEST_SIM)
+        with pytest.raises(SchedulerError):
+            kernel.add_sampler(0, lambda t: None)
+
+
+class TestPhases:
+    def test_q21_probe_phase_has_meta_traffic(self, tiny_db):
+        """Q21's later phase (index probes under concurrency) produces
+        communication misses; the first interval (orders scan startup)
+        produces none for a single process."""
+        rec, _, _ = run_with_timeline(tiny_db, query="Q21", n_procs=2,
+                                      interval=300_000)
+        comm = rec.rate("miss_comm")
+        assert sum(comm) > 0

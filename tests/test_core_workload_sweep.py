@@ -1,0 +1,63 @@
+"""Workload assembly and sweep memoization."""
+
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.sweep import NPROC_SWEEP, SweepRunner
+from repro.core.workload import make_query_process, snapshot_process
+from repro.mem.machine import hp_v_class
+from repro.mem.memsys import MemorySystem
+from repro.osim.scheduler import Kernel
+from repro.tpch.queries import QUERIES
+
+
+class TestWorkload:
+    def test_make_query_process_runs(self, tiny_db):
+        machine = hp_v_class().scaled(TEST_SIM.cache_scale_log2)
+        ms = MemorySystem(machine, tiny_db.aspace)
+        kernel = Kernel(machine, ms, TEST_SIM)
+        tiny_db.reset_runtime()
+        qdef = QUERIES["Q6"]
+        gen, ctx = make_query_process(tiny_db, qdef, qdef.params(), 0, 0)
+        proc = kernel.spawn(gen, cpu=0)
+        kernel.run()
+        assert proc.result is not None
+        snap = snapshot_process(proc, ms.stats[0], machine)
+        assert snap.cycles == proc.thread_cycles
+        assert snap.instructions == proc.processor.instrs_retired
+        assert snap.data_refs == ms.stats[0].reads + ms.stats[0].writes
+
+    def test_snapshot_by_class_complete(self, tiny_db):
+        machine = hp_v_class().scaled(TEST_SIM.cache_scale_log2)
+        ms = MemorySystem(machine, tiny_db.aspace)
+        kernel = Kernel(machine, ms, TEST_SIM)
+        tiny_db.reset_runtime()
+        qdef = QUERIES["Q6"]
+        gen, _ = make_query_process(tiny_db, qdef, qdef.params(), 0, 0)
+        proc = kernel.spawn(gen, cpu=0)
+        kernel.run()
+        snap = snapshot_process(proc, ms.stats[0], machine)
+        assert set(snap.level1_by_class) == {
+            "record", "index", "meta", "lock", "private",
+        }
+        assert sum(snap.level1_by_class.values()) == snap.level1_misses
+
+
+class TestSweepRunner:
+    def test_memoization(self, tiny_db):
+        runner = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+        a = runner.cell("Q6", "hpv", 1)
+        b = runner.cell("Q6", "hpv", 1)
+        assert a is b
+        assert runner.n_cached == 1
+
+    def test_grid(self):
+        runner = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+        results = runner.grid(("Q6",), ("hpv",), (1, 2))
+        assert len(results) == 2
+        assert runner.n_cached == 2
+
+    def test_nproc_sweep_matches_paper_axis(self):
+        assert NPROC_SWEEP == (1, 2, 4, 6, 8)

@@ -1,0 +1,82 @@
+"""Counter snapshots and the native counter-API façades."""
+
+import pytest
+
+from repro.cpu.counters import (
+    CounterSnapshot,
+    PA8200Counters,
+    R10000Counters,
+    facade_for,
+)
+from repro.errors import ConfigError
+
+
+def snap(**kw):
+    base = dict(cycles=1000, instructions=800, level1_misses=10, coherent_misses=4)
+    base.update(kw)
+    return CounterSnapshot(**base)
+
+
+class TestSnapshot:
+    def test_add(self):
+        a = snap()
+        a.level1_by_class = {"record": 5}
+        b = snap(cycles=500)
+        b.level1_by_class = {"record": 2, "meta": 1}
+        a.add(b)
+        assert a.cycles == 1500
+        assert a.instructions == 1600
+        assert a.level1_by_class == {"record": 7, "meta": 1}
+
+    def test_scaled(self):
+        s = snap().scaled(0.5)
+        assert s.cycles == 500
+        assert s.instructions == 400
+
+    def test_scaled_classes(self):
+        a = snap()
+        a.coherent_by_class = {"index": 9}
+        assert a.scaled(1 / 3).coherent_by_class == {"index": 3}
+
+
+class TestPA8200:
+    def test_named_events(self):
+        c = PA8200Counters(snap(), instr_skew=1.0)
+        assert c.read_counter("PCNT_CYCLES") == 1000
+        assert c.read_counter("PCNT_INSTRS") == 800
+        assert c.read_counter("PCNT_DMISS") == 10
+
+    def test_unknown_event(self):
+        c = PA8200Counters(snap())
+        with pytest.raises(ConfigError):
+            c.read_counter("PCNT_BOGUS")
+
+
+class TestR10000:
+    def test_numbered_events(self):
+        c = R10000Counters(snap(), instr_skew=1.0)
+        assert c.ioctl_read(0) == 1000
+        assert c.ioctl_read(17) == 800
+        assert c.ioctl_read(25) == 10
+        assert c.ioctl_read(26) == 4
+
+    def test_instruction_skew_applied(self):
+        # The paper's "little difference of the instruction event
+        # counters" between the machines.
+        c = R10000Counters(snap(), instr_skew=0.97)
+        assert c.ioctl_read(17) == int(800 * 0.97)
+        assert c.ioctl_read(0) == 1000  # only instructions are skewed
+
+    def test_unknown_event(self):
+        with pytest.raises(ConfigError):
+            R10000Counters(snap()).ioctl_read(99)
+
+
+class TestFacadeFactory:
+    def test_dispatch(self):
+        assert isinstance(facade_for("PA-8200", snap(), 1.0), PA8200Counters)
+        assert isinstance(facade_for("MIPS R10000", snap(), 1.0), R10000Counters)
+
+    def test_unknown_processor(self):
+        with pytest.raises(ConfigError):
+            facade_for("Alpha 21264", snap(), 1.0)

@@ -1,0 +1,92 @@
+"""Context-switch cache pollution (opt-in OS realism)."""
+
+from repro.config import SimConfig
+from repro.mem.cache import CacheConfig, SetAssocCache
+from repro.mem.machine import hp_v_class
+from repro.mem.memsys import MemorySystem
+from repro.mem.states import MODIFIED, SHARED
+from repro.osim.scheduler import Kernel
+from repro.osim.syscalls import Compute
+from repro.trace.address import AddressSpace
+from repro.trace.classify import DataClass
+from repro.trace.stream import RefBatch
+
+
+class TestPopLru:
+    def test_pops_requested_count(self):
+        c = SetAssocCache(CacheConfig("c", 8 * 2 * 32, 32, 2))
+        for i in range(16):
+            c.insert(i * 32, SHARED)
+        victims = c.pop_lru(5)
+        assert len(victims) == 5
+        assert c.occupancy() == 11
+
+    def test_pops_lru_of_each_set(self):
+        c = SetAssocCache(CacheConfig("c", 2 * 2 * 32, 32, 2))
+        c.insert(0, SHARED)       # set 0, LRU after next insert
+        c.insert(2 * 32, MODIFIED)  # set 0, MRU
+        victims = c.pop_lru(1)
+        assert victims == [(0, SHARED)]
+
+    def test_handles_underfull_cache(self):
+        c = SetAssocCache(CacheConfig("c", 4 * 32, 32, 1))
+        c.insert(0, SHARED)
+        assert len(c.pop_lru(10)) == 1
+        assert c.occupancy() == 0
+
+    def test_counts_dirty_evictions(self):
+        c = SetAssocCache(CacheConfig("c", 4 * 32, 32, 1))
+        c.insert(0, MODIFIED)
+        c.pop_lru(1)
+        assert c.n_dirty_evictions == 1
+
+
+def run_workload(pollution: int):
+    sim = SimConfig(
+        time_slice_cycles=20_000,
+        context_switch_cycles=100,
+        backoff_cycles=1_000,
+        spin_tries=2,
+        preempt_noise_per_mcycles=0.0,
+        cs_pollution_lines=pollution,
+    )
+    aspace = AddressSpace()
+    seg = aspace.alloc("w", 1 << 14, DataClass.PRIVATE, shared=False, owner_cpu=0)
+    machine = hp_v_class().scaled(5)
+    ms = MemorySystem(machine, aspace)
+    kernel = Kernel(machine, ms, sim)
+    addrs = [seg.base + i * 32 for i in range(64)]
+
+    def work():
+        # loop over a resident working set, with compute to burn slices
+        for _ in range(40):
+            yield RefBatch(addrs, [False] * 64, [10] * 64, [4] * 64)
+            yield Compute(20_000)
+        return None
+
+    proc = kernel.spawn(work())
+    kernel.run()
+    return proc, ms
+
+
+class TestKernelPollution:
+    def test_pollution_causes_capacity_remisses(self):
+        clean_proc, clean_ms = run_workload(0)
+        dirty_proc, dirty_ms = run_workload(64)
+        assert dirty_proc.invol_switches > 0
+        assert (
+            dirty_ms.stats[0].level1_misses > clean_ms.stats[0].level1_misses
+        )
+        # re-misses classify as capacity, not cold
+        assert dirty_ms.stats[0].miss_kind[1] > clean_ms.stats[0].miss_kind[1]
+
+    def test_directory_stays_consistent(self):
+        _, ms = run_workload(32)
+        ms.engine.directory.check_invariants()
+        for h in ms.hierarchies[:1]:
+            assert h.check_inclusion()
+
+    def test_default_off(self):
+        from repro.config import DEFAULT_SIM
+
+        assert DEFAULT_SIM.cs_pollution_lines == 0

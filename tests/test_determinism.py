@@ -1,0 +1,77 @@
+"""End-to-end determinism: the entire simulator must be a pure
+function of (spec, data seed)."""
+
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.tpch.datagen import TPCHConfig, build_database
+
+
+def snap_tuple(m):
+    return (
+        m.cycles,
+        m.instructions,
+        m.data_refs,
+        m.level1_misses,
+        m.coherent_misses,
+        m.mem_latency_cycles,
+        m.vol_switches,
+        m.invol_switches,
+        m.miss_cold,
+        m.miss_capacity,
+        m.miss_comm,
+        tuple(sorted(m.level1_by_class.items())),
+    )
+
+
+@pytest.mark.parametrize("query", ["Q6", "Q21"])
+@pytest.mark.parametrize("platform", ["hpv", "sgi"])
+def test_identical_runs_identical_counters(query, platform, tiny_db):
+    spec = ExperimentSpec(
+        query=query, platform=platform, n_procs=4, sim=TEST_SIM,
+        tpch=TINY_TPCH, verify_results=False,
+    )
+    a = run_experiment(spec, db=tiny_db)
+    b = run_experiment(spec, db=tiny_db)
+    assert snap_tuple(a.mean) == snap_tuple(b.mean)
+    for pa, pb in zip(a.runs[0].per_process, b.runs[0].per_process):
+        assert snap_tuple(pa) == snap_tuple(pb)
+
+
+def test_fresh_database_same_seed_same_counters():
+    cfg = TPCHConfig(sf=0.0004, seed=99)
+    spec = ExperimentSpec(
+        query="Q12", platform="sgi", n_procs=2, sim=TEST_SIM, tpch=cfg,
+        verify_results=False,
+    )
+    a = run_experiment(spec, db=build_database(cfg))
+    b = run_experiment(spec, db=build_database(cfg))
+    assert snap_tuple(a.mean) == snap_tuple(b.mean)
+
+
+def test_interleaved_platforms_do_not_perturb(tiny_db):
+    """Running other experiments in between must not change results
+    (no hidden global state leaks across runs)."""
+    spec = ExperimentSpec(
+        query="Q6", platform="hpv", n_procs=2, sim=TEST_SIM,
+        tpch=TINY_TPCH, verify_results=False,
+    )
+    first = run_experiment(spec, db=tiny_db)
+    run_experiment(spec.with_(platform="sgi", n_procs=3), db=tiny_db)
+    run_experiment(spec.with_(query="Q21"), db=tiny_db)
+    again = run_experiment(spec, db=tiny_db)
+    assert snap_tuple(first.mean) == snap_tuple(again.mean)
+
+
+def test_data_seed_changes_results():
+    a_cfg = TPCHConfig(sf=0.0004, seed=1)
+    b_cfg = TPCHConfig(sf=0.0004, seed=2)
+    spec_a = ExperimentSpec(query="Q6", platform="hpv", sim=TEST_SIM,
+                            tpch=a_cfg, verify_results=False)
+    spec_b = spec_a.with_(tpch=b_cfg)
+    a = run_experiment(spec_a, db=build_database(a_cfg))
+    b = run_experiment(spec_b, db=build_database(b_cfg))
+    assert snap_tuple(a.mean) != snap_tuple(b.mean)

@@ -1,0 +1,64 @@
+"""Directory entries and invariants."""
+
+import pytest
+
+from repro.errors import CoherenceError
+from repro.mem.directory import NO_OWNER, DirEntry, Directory
+
+
+class TestDirEntry:
+    def test_fresh_entry_unowned(self):
+        e = DirEntry()
+        assert e.excl_owner == NO_OWNER
+        assert e.holders() == 0
+        assert e.n_holders() == 0
+
+    def test_exclusive_holders(self):
+        e = DirEntry()
+        e.excl_owner = 3
+        assert e.holders() == 0b1000
+        assert e.n_holders() == 1
+        assert e.is_held_only_by(3)
+        assert not e.is_held_only_by(2)
+
+    def test_shared_holders(self):
+        e = DirEntry()
+        e.sharers = 0b1011
+        assert e.n_holders() == 3
+        assert not e.is_held_only_by(0)
+
+
+class TestDirectory:
+    def test_entry_created_lazily(self):
+        d = Directory()
+        assert len(d) == 0
+        e = d.entry(0x100)
+        assert len(d) == 1
+        assert d.entry(0x100) is e
+
+    def test_peek_missing_raises(self):
+        d = Directory()
+        with pytest.raises(CoherenceError):
+            d.peek(0x100)
+
+    def test_known(self):
+        d = Directory()
+        assert not d.known(5)
+        d.entry(5)
+        assert d.known(5)
+
+    def test_invariant_checker_catches_owner_plus_sharers(self):
+        d = Directory()
+        e = d.entry(1)
+        e.excl_owner = 0
+        e.sharers = 0b10
+        with pytest.raises(CoherenceError):
+            d.check_invariants()
+
+    def test_invariant_checker_passes_clean_state(self):
+        d = Directory()
+        e1 = d.entry(1)
+        e1.excl_owner = 2
+        e2 = d.entry(2)
+        e2.sharers = 0b101
+        d.check_invariants()

@@ -1,0 +1,84 @@
+"""Database engine DDL and catalog wiring."""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.errors import DatabaseError
+
+
+def tiny_rows(n):
+    return [(i, i * 10) for i in range(n)]
+
+
+class TestDDL:
+    def test_create_table_registers_everything(self):
+        db = Database()
+        t = db.create_table("t", ("a", "b"), 24, tiny_rows(100))
+        assert db.table("t") is t
+        assert db.catalog.relid("t") == t.relid
+        # frames registered for every page
+        assert db.bufpool.frame_of(t.relid, t.n_pages - 1) >= 0
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("t", ("a", "b"), 24, tiny_rows(10))
+        with pytest.raises(DatabaseError):
+            db.create_table("t", ("a", "b"), 24, tiny_rows(10))
+
+    def test_create_index_by_column(self):
+        db = Database()
+        db.create_table("t", ("a", "b"), 24, tiny_rows(50))
+        idx = db.create_index("ti", "t", key_column="b")
+        assert db.index("ti") is idx
+        _, matches = idx.scan_eq(250)
+        assert [m[2] for m in matches] == [25]
+
+    def test_create_index_custom_key(self):
+        db = Database()
+        db.create_table("t", ("a", "b"), 24, tiny_rows(50))
+        idx = db.create_index("ti", "t", key_of=lambda r: -r[0])
+        _, matches = idx.scan_eq(-3)
+        assert [m[2] for m in matches] == [3]
+
+    def test_create_index_needs_key(self):
+        db = Database()
+        db.create_table("t", ("a", "b"), 24, tiny_rows(5))
+        with pytest.raises(DatabaseError):
+            db.create_index("ti", "t")
+
+    def test_indexes_by_table(self):
+        db = Database()
+        db.create_table("t", ("a", "b"), 24, tiny_rows(5))
+        db.create_index("i1", "t", key_column="a")
+        db.create_index("i2", "t", key_column="b")
+        assert len(db.indexes_by_table["t"]) == 2
+
+    def test_unknown_lookup(self):
+        db = Database()
+        with pytest.raises(DatabaseError):
+            db.table("nope")
+        with pytest.raises(DatabaseError):
+            db.index("nope")
+
+
+class TestRuntime:
+    def test_reset_runtime_clears_hints_and_locks(self):
+        db = Database()
+        db.hinted.add((0, 1))
+        lock = db.shmem.spinlock("X")
+        lock.holder = 3
+        db.reset_runtime()
+        assert not db.hinted
+        assert lock.holder is None
+
+    def test_footprint_counts_heap_and_index(self):
+        db = Database()
+        db.create_table("t", ("a", "b"), 24, tiny_rows(1000))
+        before = db.footprint_bytes()
+        db.create_index("ti", "t", key_column="a")
+        assert db.footprint_bytes() > before
+
+    def test_describe(self):
+        db = Database()
+        db.create_table("t", ("a", "b"), 24, tiny_rows(10))
+        assert "table t" in db.describe()

@@ -1,0 +1,65 @@
+"""Smoke tests: the example scripts must stay runnable.
+
+Each fast example is executed as a subprocess at a tiny scale; the
+slow, argument-less ones are exercised through their import path only.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_compare_platforms(self):
+        out = run_example(
+            "compare_platforms.py", "--sf", "0.0004", "--queries", "Q6"
+        )
+        assert "fig2" in out and "fig3" in out and "fig4" in out
+
+    def test_mixed_workload(self):
+        out = run_example(
+            "mixed_workload.py", "--sf", "0.0004", "--mix", "Q6,Q12"
+        )
+        assert "slowdown" in out
+        assert "wall time" in out
+
+    def test_phase_study(self):
+        out = run_example(
+            "phase_study.py", "--sf", "0.0004", "--procs", "2",
+            "--interval", "300000", "--query", "Q12",
+        )
+        assert "profile" in out
+
+    def test_scaling_study_single_query(self):
+        out = run_example("scaling_study.py", "--sf", "0.0004", "--query", "Q6")
+        assert "fig5" in out and "fig10" in out
+        assert "thread-time growth" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "locality_study.py",
+        "microbench_tour.py",
+    ],
+)
+def test_examples_compile(name):
+    """The slower examples must at least be syntactically sound."""
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

@@ -1,0 +1,95 @@
+"""Aggregation nodes."""
+
+from tests.exec_helpers import execute, simple_db
+
+from repro.db.executor.agg import hash_group_agg, scalar_agg
+from repro.db.executor.scan import seq_scan
+
+
+class TestScalarAgg:
+    def test_sum(self):
+        db = simple_db(100)
+        t = db.table("t")
+
+        def plan(ctx):
+            return scalar_agg(
+                ctx, seq_scan(ctx, t), 0, lambda acc, r: acc + r[1]
+            )
+
+        results, _, _ = execute(db, ["t"], plan)
+        assert results[0] == [(sum(r[1] for r in t.rows),)]
+
+    def test_count_with_filter(self):
+        db = simple_db(100)
+        t = db.table("t")
+
+        def plan(ctx):
+            scan = seq_scan(ctx, t, pred=lambda r: r[2] == 0)
+            return scalar_agg(ctx, scan, 0, lambda acc, r: acc + 1)
+
+        results, _, _ = execute(db, ["t"], plan)
+        assert results[0] == [(20,)]
+
+    def test_empty_input(self):
+        db = simple_db(100)
+        t = db.table("t")
+
+        def plan(ctx):
+            scan = seq_scan(ctx, t, pred=lambda r: False)
+            return scalar_agg(ctx, scan, 0, lambda acc, r: acc + 1)
+
+        results, _, _ = execute(db, ["t"], plan)
+        assert results[0] == [(0,)]
+
+
+class TestHashGroupAgg:
+    def test_group_counts(self):
+        db = simple_db(100)
+        t = db.table("t")
+
+        def plan(ctx):
+            return hash_group_agg(
+                ctx,
+                seq_scan(ctx, t),
+                key_of=lambda r: r[2],
+                init=lambda: 0,
+                update=lambda acc, r: acc + 1,
+            )
+
+        results, _, _ = execute(db, ["t"], plan)
+        assert results[0] == [(g, 20) for g in range(5)]
+
+    def test_groups_sorted(self):
+        db = simple_db(97)
+        t = db.table("t")
+
+        def plan(ctx):
+            return hash_group_agg(
+                ctx,
+                seq_scan(ctx, t),
+                key_of=lambda r: r[2],
+                init=lambda: 0,
+                update=lambda acc, r: acc + 1,
+            )
+
+        results, _, _ = execute(db, ["t"], plan)
+        keys = [row[0] for row in results[0]]
+        assert keys == sorted(keys)
+
+    def test_tuple_keys_and_finalize(self):
+        db = simple_db(40)
+        t = db.table("t")
+
+        def plan(ctx):
+            return hash_group_agg(
+                ctx,
+                seq_scan(ctx, t),
+                key_of=lambda r: (r[2], r[0] % 2),
+                init=lambda: 0,
+                update=lambda acc, r: acc + r[1],
+                finalize=lambda key, acc: (acc, acc / 20),
+            )
+
+        results, _, _ = execute(db, ["t"], plan)
+        for row in results[0]:
+            assert len(row) == 4  # 2 key cols + 2 acc cols

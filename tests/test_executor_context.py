@@ -1,0 +1,81 @@
+"""Execution context: buffer protocol, startup/shutdown, workspaces."""
+
+import pytest
+
+from tests.exec_helpers import execute, simple_db
+
+from repro.config import TEST_SIM
+from repro.db.executor.context import ExecContext, Workspace
+from repro.db.executor.scan import seq_scan
+from repro.errors import DatabaseError
+
+
+class TestWorkspace:
+    def test_layout_disjoint(self):
+        ws = Workspace(0x10000, 16 * 1024)
+        assert ws.slot_addr < ws.qual_addr < ws.agg_addr < ws.hash_base
+        assert ws.hash_base < ws.scratch_base < ws.sort_base
+
+    def test_scratch_ring_wraps(self):
+        ws = Workspace(0, 16 * 1024)
+        assert ws.scratch_addr(0) == ws.scratch_addr(ws.scratch_lines)
+        addrs = {ws.scratch_addr(i) for i in range(ws.scratch_lines)}
+        assert len(addrs) == ws.scratch_lines
+
+    def test_sort_slots_stay_inside(self):
+        ws = Workspace(0, 16 * 1024)
+        for i in range(10_000):
+            assert ws.sort_base <= ws.sort_slot_addr(i) < 16 * 1024
+
+    def test_hash_buckets_inside(self):
+        ws = Workspace(0, 16 * 1024)
+        for key in ("x", 42, (1, "y")):
+            assert ws.hash_base <= ws.hash_bucket_addr(key) < ws.scratch_base
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatabaseError):
+            Workspace(0, 1024)
+
+
+class TestLifecycle:
+    def test_locks_released_after_query(self):
+        db = simple_db(50)
+        t = db.table("t")
+        execute(db, ["t"], lambda ctx: seq_scan(ctx, t))
+        assert db.lockmgr.holders(t.relid) == set()
+
+    def test_all_pins_released(self):
+        db = simple_db(200)
+        t = db.table("t")
+        execute(db, ["t"], lambda ctx: seq_scan(ctx, t))
+        assert db.bufpool.n_pins == db.bufpool.n_unpins
+
+    def test_unknown_relation_rejected(self):
+        db = simple_db(10)
+        t = db.table("t")
+        with pytest.raises(DatabaseError):
+            execute(db, ["bogus"], lambda ctx: seq_scan(ctx, t))
+
+    def test_multiple_backends_share_read_locks(self):
+        db = simple_db(100)
+        t = db.table("t")
+        results, _, _ = execute(
+            db, ["t"], lambda ctx: seq_scan(ctx, t), n_procs=4
+        )
+        assert all(r == t.rows for r in results)
+        assert db.lockmgr.n_conflicts == 0
+
+
+class TestHintBits:
+    def test_hint_written_once_across_backends(self):
+        db = simple_db(100)
+        t = db.table("t")
+        execute(db, ["t"], lambda ctx: seq_scan(ctx, t), n_procs=4)
+        # hint set per (relid,row), not per backend
+        assert len(db.hinted) == t.n_rows
+
+    def test_private_workspaces_distinct(self):
+        db = simple_db(10)
+        c0 = ExecContext(db, 0, 0)
+        c1 = ExecContext(db, 1, 1)
+        assert c0.ws.base != c1.ws.base

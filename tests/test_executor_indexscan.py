@@ -1,0 +1,110 @@
+"""Index scans: correctness and reference-stream plausibility."""
+
+from tests.exec_helpers import execute, simple_db
+
+from repro.db.executor.indexscan import index_range_scan, index_scan_eq
+from repro.trace.classify import DataClass
+
+
+class TestEqScan:
+    def test_unique_probe(self):
+        db = simple_db(300)
+        idx = db.index("t_a")
+        results, _, _ = execute(
+            db, ["t", "t_a"], lambda ctx: index_scan_eq(ctx, idx, 42)
+        )
+        assert results[0] == [db.table("t").rows[42]]
+
+    def test_missing_key(self):
+        db = simple_db(300)
+        idx = db.index("t_a")
+        results, _, _ = execute(
+            db, ["t", "t_a"], lambda ctx: index_scan_eq(ctx, idx, 12345)
+        )
+        assert results[0] == []
+
+    def test_duplicates(self):
+        db = simple_db(300)
+        idx = db.create_index("t_grp", "t", key_column="grp")
+        results, _, _ = execute(
+            db, ["t", "t_grp"], lambda ctx: index_scan_eq(ctx, idx, 3)
+        )
+        expected = [r for r in db.table("t").rows if r[2] == 3]
+        assert sorted(results[0]) == sorted(expected)
+
+    def test_heap_predicate(self):
+        db = simple_db(300)
+        idx = db.create_index("t_grp", "t", key_column="grp")
+        results, _, _ = execute(
+            db,
+            ["t", "t_grp"],
+            lambda ctx: index_scan_eq(ctx, idx, 3, pred=lambda r: r[0] < 50),
+        )
+        expected = [r for r in db.table("t").rows if r[2] == 3 and r[0] < 50]
+        assert sorted(results[0]) == sorted(expected)
+
+    def test_no_heap_fetch(self):
+        db = simple_db(300)
+        idx = db.index("t_a")
+        pins_before = db.bufpool.n_pins
+        results, _, ms = execute(
+            db,
+            ["t", "t_a"],
+            lambda ctx: index_scan_eq(ctx, idx, 42, fetch_heap=False),
+        )
+        assert results[0] == [db.table("t").rows[42]]
+        rec = int(DataClass.RECORD)
+        # no record lines touched at all
+        assert ms.stats[0].level1_misses_by_class[rec] == 0
+
+
+class TestRangeScan:
+    def test_range_rows(self):
+        db = simple_db(300)
+        idx = db.index("t_a")
+        results, _, _ = execute(
+            db, ["t", "t_a"], lambda ctx: index_range_scan(ctx, idx, 10, 20)
+        )
+        assert results[0] == db.table("t").rows[10:20]
+
+    def test_range_with_pred(self):
+        db = simple_db(300)
+        idx = db.index("t_a")
+        results, _, _ = execute(
+            db,
+            ["t", "t_a"],
+            lambda ctx: index_range_scan(
+                ctx, idx, 0, 100, pred=lambda r: r[0] % 2 == 0
+            ),
+        )
+        assert results[0] == [r for r in db.table("t").rows[:100] if r[0] % 2 == 0]
+
+
+class TestTraffic:
+    def test_index_refs_emitted(self):
+        db = simple_db(3000)  # multi-level tree
+        idx = db.index("t_a")
+        _, _, ms = execute(
+            db, ["t", "t_a"], lambda ctx: index_scan_eq(ctx, idx, 1500)
+        )
+        st = ms.stats[0]
+        assert st.level1_misses_by_class[int(DataClass.INDEX)] > 0
+
+    def test_root_reuse_across_probes(self):
+        """Repeated probes revisit the root: the MRU pin cache must
+        absorb the buffer lookups (temporal locality of index upper
+        levels, §3.3)."""
+        db = simple_db(3000)
+        idx = db.index("t_a")
+
+        def many_probes(ctx):
+            def plan():
+                for key in range(100, 200):
+                    yield from index_scan_eq(ctx, idx, key)
+
+            return plan()
+
+        _, k, ms = execute(db, ["t", "t_a"], many_probes)
+        ctx_reads = db.bufpool.n_pins
+        # far fewer pins than node visits: root/internal pins are cached
+        assert ctx_reads < 100 * idx.height

@@ -1,0 +1,97 @@
+"""Nested-loop join and sort nodes."""
+
+from tests.exec_helpers import execute, simple_db
+
+from repro.db.executor.indexscan import index_scan_eq
+from repro.db.executor.join import nested_loop
+from repro.db.executor.scan import seq_scan
+from repro.db.executor.sort import sort_node
+
+
+class TestNestedLoop:
+    def test_index_nested_loop(self):
+        db = simple_db(100)
+        t = db.table("t")
+        idx = db.index("t_a")
+
+        def plan(ctx):
+            outer = seq_scan(ctx, t, pred=lambda r: r[0] < 5)
+            return nested_loop(
+                ctx,
+                outer,
+                make_inner=lambda orow: index_scan_eq(ctx, idx, orow[0]),
+                combine=lambda o, i: (o[0], i[1]),
+            )
+
+        results, _, _ = execute(db, ["t", "t_a"], plan)
+        assert results[0] == [(i, i * 3) for i in range(5)]
+
+    def test_combine_none_drops(self):
+        db = simple_db(50)
+        t = db.table("t")
+        idx = db.index("t_a")
+
+        def plan(ctx):
+            outer = seq_scan(ctx, t, pred=lambda r: r[0] < 10)
+            return nested_loop(
+                ctx,
+                outer,
+                make_inner=lambda orow: index_scan_eq(ctx, idx, orow[0]),
+                combine=lambda o, i: (o[0],) if o[0] % 2 == 0 else None,
+            )
+
+        results, _, _ = execute(db, ["t", "t_a"], plan)
+        assert results[0] == [(0,), (2,), (4,), (6,), (8,)]
+
+    def test_semi_join(self):
+        db = simple_db(50)
+        t = db.table("t")
+        idx = db.index("t_a")
+
+        def plan(ctx):
+            outer = seq_scan(ctx, t, pred=lambda r: r[0] in (1, 2, 999))
+            return nested_loop(
+                ctx,
+                outer,
+                make_inner=lambda orow: index_scan_eq(ctx, idx, orow[0]),
+                semi=True,
+            )
+
+        results, _, _ = execute(db, ["t", "t_a"], plan)
+        assert [r[0] for r in results[0]] == [1, 2]
+
+
+class TestSort:
+    def test_sort_descending_with_limit(self):
+        db = simple_db(100)
+        t = db.table("t")
+
+        def plan(ctx):
+            scan = seq_scan(ctx, t)
+            return sort_node(ctx, scan, key_of=lambda r: r[0], reverse=True, limit=5)
+
+        results, _, _ = execute(db, ["t"], plan)
+        assert [r[0] for r in results[0]] == [99, 98, 97, 96, 95]
+
+    def test_sort_by_key(self):
+        db = simple_db(60)
+        t = db.table("t")
+
+        def plan(ctx):
+            scan = seq_scan(ctx, t)
+            return sort_node(ctx, scan, key_of=lambda r: (r[2], r[0]))
+
+        results, _, _ = execute(db, ["t"], plan)
+        keys = [(r[2], r[0]) for r in results[0]]
+        assert keys == sorted(keys)
+
+    def test_sort_empty(self):
+        db = simple_db(10)
+        t = db.table("t")
+
+        def plan(ctx):
+            scan = seq_scan(ctx, t, pred=lambda r: False)
+            return sort_node(ctx, scan, key_of=lambda r: r[0])
+
+        results, _, _ = execute(db, ["t"], plan)
+        assert results[0] == []

@@ -1,0 +1,89 @@
+"""Data-modification executor nodes (insert_rows / delete_rows)."""
+
+from tests.exec_helpers import execute, simple_db
+
+from repro.db.executor.indexscan import index_scan_eq
+from repro.db.executor.modify import delete_rows, insert_rows
+from repro.db.executor.scan import seq_scan
+from repro.trace.classify import DataClass
+
+
+class TestInsertRows:
+    def test_rows_land_in_heap_and_index(self):
+        db = simple_db(100)
+        t = db.table("t")
+        idx = db.index("t_a")
+        new = [(1000 + i, i, 0) for i in range(5)]
+
+        def plan(ctx):
+            return insert_rows(ctx, t, new, [idx])
+
+        results, _, _ = execute(db, ["t", "t_a"], plan)
+        assert results[0] == [(5,)]
+        assert t.n_rows == 105
+        _, matches = idx.scan_eq(1003)
+        assert len(matches) == 1
+        assert t.rows[matches[0][2]] == (1003, 3, 0)
+        idx.check_invariants()
+
+    def test_record_writes_emitted(self):
+        db = simple_db(100)
+        t = db.table("t")
+
+        def plan(ctx):
+            return insert_rows(ctx, t, [(500, 1, 2)], [])
+
+        _, _, ms = execute(db, ["t"], plan)
+        st = ms.stats[0]
+        rec = int(DataClass.RECORD)
+        # inserted tuple's lines are written (store misses)
+        assert st.writes > 0
+        assert st.level1_misses_by_class[rec] > 0
+
+    def test_inserted_rows_visible_to_scan(self):
+        db = simple_db(50)
+        t = db.table("t")
+
+        def insert_plan(ctx):
+            return insert_rows(ctx, t, [(777, 7, 7)], [])
+
+        execute(db, ["t"], insert_plan)
+        results, _, _ = execute(
+            db, ["t"], lambda ctx: seq_scan(ctx, t, pred=lambda r: r[0] == 777)
+        )
+        assert results[0] == [(777, 7, 7)]
+
+
+class TestDeleteRows:
+    def test_tombstone_and_index_removal(self):
+        db = simple_db(100)
+        t = db.table("t")
+        idx = db.index("t_a")
+
+        def plan(ctx):
+            return delete_rows(ctx, t, [10, 20], [idx])
+
+        results, _, _ = execute(db, ["t", "t_a"], plan)
+        assert results[0] == [(2,)]
+        assert t.rows[10] is None and t.rows[20] is None
+        assert t.n_deleted == 2
+        for key in (10, 20):
+            _, matches = idx.scan_eq(key)
+            assert matches == []
+        idx.check_invariants()
+
+    def test_scan_and_probe_skip_deleted(self):
+        db = simple_db(60)
+        t = db.table("t")
+        idx = db.index("t_a")
+
+        def plan(ctx):
+            return delete_rows(ctx, t, [5], [idx])
+
+        execute(db, ["t", "t_a"], plan)
+        rows, _, _ = execute(db, ["t"], lambda ctx: seq_scan(ctx, t))
+        assert len(rows[0]) == 59
+        probe, _, _ = execute(
+            db, ["t", "t_a"], lambda ctx: index_scan_eq(ctx, idx, 5)
+        )
+        assert probe[0] == []

@@ -1,0 +1,56 @@
+"""run_query driver and event/row plumbing."""
+
+import pytest
+
+from tests.exec_helpers import execute, simple_db
+
+from repro.db.executor.context import ExecContext
+from repro.db.executor.plan import Row, forward_events, run_query
+from repro.db.executor.scan import seq_scan
+from repro.errors import DatabaseError
+from repro.trace.stream import RefBatch
+
+
+class TestRow:
+    def test_row_carries_data(self):
+        r = Row((1, 2))
+        assert r.data == (1, 2)
+
+
+class TestForwardEvents:
+    def test_rows_split_from_events(self):
+        batch = RefBatch([1], [False], [1], [0])
+
+        def child():
+            yield batch
+            yield Row("a")
+            yield Row("b")
+            yield batch
+
+        sink = []
+        events = list(forward_events(child(), sink))
+        assert events == [batch, batch]
+        assert sink == ["a", "b"]
+
+
+class TestRunQuery:
+    def test_requires_relations(self, tiny_db):
+        ctx = ExecContext(tiny_db, 0, 0)
+        with pytest.raises(DatabaseError):
+            # generator raises at first next()
+            next(run_query(ctx, [], lambda c: iter([])))
+
+    def test_returns_rows_as_stop_value(self):
+        db = simple_db(20)
+        t = db.table("t")
+        results, kernel, _ = execute(db, ["t"], lambda ctx: seq_scan(ctx, t))
+        assert kernel.processes[0].result == t.rows
+
+    def test_events_never_leak_rows(self):
+        """No Row object may reach the kernel."""
+        db = simple_db(50)
+        t = db.table("t")
+        ctx = ExecContext(db, 0, 0)
+        gen = run_query(ctx, ["t"], lambda c: seq_scan(ctx, t))
+        for ev in gen:
+            assert not isinstance(ev, Row)

@@ -1,0 +1,53 @@
+"""Heap tables."""
+
+import pytest
+
+from repro.db.heap import HeapTable
+from repro.db.shmem import SharedMemory
+from repro.errors import DatabaseError
+
+
+def make_table(n=100):
+    shmem = SharedMemory()
+    rows = [(i, f"name{i}", i * 2.0) for i in range(n)]
+    return HeapTable("t", 0, ("id", "name", "value"), 48, rows, shmem), shmem
+
+
+class TestHeapTable:
+    def test_row_storage(self):
+        t, _ = make_table()
+        assert t.n_rows == 100
+        assert t.rows[7] == (7, "name7", 14.0)
+
+    def test_column_lookup(self):
+        t, _ = make_table()
+        assert t.col("id") == 0
+        assert t.col("value") == 2
+        with pytest.raises(DatabaseError):
+            t.col("nope")
+
+    def test_duplicate_columns_rejected(self):
+        shmem = SharedMemory()
+        with pytest.raises(DatabaseError):
+            HeapTable("bad", 0, ("a", "a"), 16, [(1, 2)], shmem)
+
+    def test_arity_mismatch_rejected(self):
+        shmem = SharedMemory()
+        with pytest.raises(DatabaseError):
+            HeapTable("bad", 0, ("a", "b"), 16, [(1,)], shmem)
+
+    def test_segment_covers_pages(self):
+        t, _ = make_table(1000)
+        assert t.segment.size == t.layout.total_bytes
+        assert t.layout.seg_base == t.segment.base
+
+    def test_addresses_inside_segment(self):
+        t, _ = make_table(500)
+        for i in (0, 250, 499):
+            assert t.segment.contains(t.layout.row_addr(i))
+
+    def test_empty_table(self):
+        shmem = SharedMemory()
+        t = HeapTable("empty", 0, ("a",), 16, [], shmem)
+        assert t.n_rows == 0
+        assert t.n_pages == 1

@@ -1,0 +1,53 @@
+"""Cache-scale robustness: the headline shapes must survive changing
+the simulation's cache-scaling factor (1/64 and 1/16 instead of the
+default 1/32), since that factor is our own methodological artifact.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_SIM
+from repro.core import metrics
+from repro.core.sweep import SweepRunner
+from repro.tpch.datagen import TPCHConfig
+
+TPCH = TPCHConfig(sf=0.0005, seed=20020411)
+
+
+@pytest.fixture(scope="module", params=[6, 4], ids=["scale-1/64", "scale-1/16"])
+def runner(request):
+    sim = DEFAULT_SIM.with_(cache_scale_log2=request.param)
+    return SweepRunner(sim=sim, tpch=TPCH)
+
+
+def test_fig2_cycles_shapes(runner):
+    for q in ("Q6", "Q21"):
+        hpv1 = runner.cell(q, "hpv", 1).mean.cycles
+        sgi1 = runner.cell(q, "sgi", 1).mean.cycles
+        assert abs(hpv1 - sgi1) / max(hpv1, sgi1) < 0.25
+        assert runner.cell(q, "sgi", 8).mean.cycles > runner.cell(q, "hpv", 8).mean.cycles
+
+
+def test_fig4_l1_ordering(runner):
+    for q in ("Q6", "Q21"):
+        sgi = runner.cell(q, "sgi", 1).mean
+        hpv = runner.cell(q, "hpv", 1).mean
+        assert sgi.level1_misses > hpv.level1_misses
+        assert sgi.coherent_misses < sgi.level1_misses
+    # the index query's ratio still dwarfs the sequential query's
+    r6 = (runner.cell("Q6", "sgi", 1).mean.level1_misses
+          / runner.cell("Q6", "hpv", 1).mean.level1_misses)
+    r21 = (runner.cell("Q21", "sgi", 1).mean.level1_misses
+           / runner.cell("Q21", "hpv", 1).mean.level1_misses)
+    assert r21 > 2 * r6
+
+
+def test_fig6_comm_majority(runner):
+    assert metrics.comm_miss_fraction(runner.cell("Q21", "sgi", 8).mean) > 0.5
+    assert metrics.comm_miss_fraction(runner.cell("Q6", "sgi", 8).mean) < 0.5
+
+
+def test_fig10_switch_shapes(runner):
+    m1 = runner.cell("Q21", "hpv", 1).mean
+    m8 = runner.cell("Q21", "hpv", 8).mean
+    assert m1.vol_switches == 0
+    assert m8.vol_switches > 0

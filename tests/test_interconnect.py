@@ -1,0 +1,149 @@
+"""Interconnect latency and bank-queueing behaviour."""
+
+from repro.mem.interconnect import CrossbarInterconnect, NumaInterconnect
+from repro.mem.latency import LatencyModel
+from repro.mem.topology import CrossbarTopology, HypercubeTopology
+
+
+def _lat(**over):
+    base = dict(
+        l2_hit=10,
+        mem_base=100,
+        hop_cost=30,
+        intervention_base=100,
+        upgrade_base=60,
+        inval_per_sharer=10,
+        bank_service=40,
+        speculative_reply=False,
+        exposure=0.5,
+    )
+    base.update(over)
+    return LatencyModel(**base)
+
+
+def crossbar(**over):
+    lat = _lat(hop_cost=0, **over)
+    return CrossbarInterconnect(CrossbarTopology(16), lat, n_banks=8)
+
+
+def numa(**over):
+    lat = _lat(**over)
+    return NumaInterconnect(HypercubeTopology(32), lat)
+
+
+class TestCrossbarLatency:
+    def test_uncontended_fetch_is_base(self):
+        ic = crossbar()
+        assert ic.memory_fetch(0, 0x1000, 0, now=0) == 100
+
+    def test_uniform_across_cpus(self):
+        ic = crossbar()
+        lats = {
+            ic.memory_fetch(cpu, 0x1000 + 0x40 * cpu * 64, 0, now=cpu * 100_000)
+            for cpu in range(8)
+        }
+        assert lats == {100}
+
+    def test_banks_interleave_lines(self):
+        ic = crossbar()
+        banks = {ic.bank_of(addr, 0) for addr in range(0, 64 * 64, 64)}
+        assert banks == set(range(8))
+
+
+class TestNumaLatency:
+    def test_local_cheaper_than_remote(self):
+        ic = numa()
+        local = ic.memory_fetch(0, 0x40, 0, now=0)       # cpu0 is on node 0
+        # far enough in time that the two requests share no epoch
+        remote = ic.memory_fetch(30, 0x40000, 0, now=1 << 20)  # node 15, 4 hops
+        assert local == 100
+        assert remote == 100 + 4 * 30
+
+    def test_latency_monotonic_in_hops(self):
+        ic = numa()
+        lats = []
+        for node, cpu in ((0, 0), (1, 2), (3, 6), (7, 14), (15, 30)):
+            ic2 = numa()
+            lats.append(ic2.memory_fetch(cpu, 0x40, 0, now=0))
+        assert lats == sorted(lats)
+
+    def test_intervention_costs_more_than_fetch(self):
+        ic = numa()
+        fetch = ic.memory_fetch(0, 0x40, 0, now=10_000_000)
+        ic2 = numa()
+        interv = ic2.intervention(0, 4, 0x40, 0, now=10_000_000)
+        assert interv > fetch
+
+    def test_speculative_reply_reduces_intervention(self):
+        plain = numa().intervention(0, 4, 0x40, 0, now=0)
+        spec = numa(speculative_reply=True).intervention(0, 4, 0x40, 0, now=0)
+        assert spec < plain
+
+
+class TestQueueing:
+    def test_burst_in_one_epoch_queues(self):
+        ic = numa()
+        delays = [ic.memory_fetch(0, 0x40, 0, now=100) - 100 for _ in range(5)]
+        assert delays[0] == 0
+        assert delays == sorted(delays)
+        assert delays[-1] == 4 * ic.lat.bank_service
+
+    def test_spread_requests_do_not_queue(self):
+        ic = numa()
+        epoch = 1 << ic.EPOCH_SHIFT
+        for i in range(5):
+            lat = ic.memory_fetch(0, 0x40, 0, now=i * 10 * epoch)
+            assert lat == 100
+
+    def test_different_banks_independent(self):
+        ic = crossbar()
+        a = ic.memory_fetch(0, 0x00, 0, now=0)
+        b = ic.memory_fetch(1, 0x40, 0, now=0)  # different bank
+        assert a == b == 100
+
+    def test_backlog_spills_into_next_epoch(self):
+        ic = numa(bank_service=600)  # one request fills half an epoch
+        epoch = 1 << ic.EPOCH_SHIFT
+        for _ in range(4):
+            ic.memory_fetch(0, 0x40, 0, now=10)
+        # 4 x 600 = 2400 cycles of work in a 1024-cycle epoch: the next
+        # epoch inherits backlog.
+        lat = ic.memory_fetch(0, 0x40, 0, now=10 + epoch)
+        assert lat > 100
+
+    def test_delay_capped(self):
+        ic = numa(bank_service=5000)
+        worst = 0
+        for _ in range(50):
+            worst = max(worst, ic.memory_fetch(0, 0x40, 0, now=7))
+        assert worst <= 100 + ic.MAX_DELAY
+
+    def test_queue_stats(self):
+        ic = numa()
+        for _ in range(3):
+            ic.memory_fetch(0, 0x40, 0, now=50)
+        assert ic.n_requests == 3
+        assert ic.n_queued == 2
+        assert ic.mean_queue_delay > 0
+
+    def test_reset_contention(self):
+        ic = numa()
+        for _ in range(10):
+            ic.memory_fetch(0, 0x40, 0, now=50)
+        ic.reset_contention()
+        assert ic.memory_fetch(0, 0x40, 0, now=50) == 100
+
+    def test_writeback_occupies_bank_without_latency(self):
+        ic = numa()
+        ic.post_writeback(0x40, 0, now=100)
+        assert ic.n_writebacks == 1
+        # The writeback consumed bank service: the next fetch in the
+        # same epoch queues behind it.
+        assert ic.memory_fetch(0, 0x40, 0, now=100) == 100 + ic.lat.bank_service
+
+
+class TestUpgrade:
+    def test_upgrade_scales_with_sharers(self):
+        a = numa().upgrade(0, 0x40, 0, 1, now=0)
+        b = numa().upgrade(0, 0x40, 0, 5, now=0)
+        assert b - a == 4 * 10

@@ -1,0 +1,84 @@
+"""Relation lock manager semantics."""
+
+import pytest
+
+from repro.db.lockmgr import (
+    MODE_ACCESS_EXCLUSIVE,
+    MODE_ACCESS_SHARE,
+    LockManager,
+)
+from repro.db.shmem import SharedMemory
+from repro.errors import DatabaseError
+
+
+def make_lm():
+    return LockManager(SharedMemory())
+
+
+class TestCompatibility:
+    def test_readers_are_compatible(self):
+        """§2.2: read-only queries all get read locks on the same table."""
+        lm = make_lm()
+        for pid in range(8):
+            assert lm.can_grant(0, pid, MODE_ACCESS_SHARE)
+            lm.grant(0, pid, MODE_ACCESS_SHARE)
+        assert lm.holders(0) == set(range(8))
+        assert lm.n_conflicts == 0
+
+    def test_exclusive_blocks_readers(self):
+        lm = make_lm()
+        lm.grant(0, 0, MODE_ACCESS_EXCLUSIVE)
+        assert not lm.can_grant(0, 1, MODE_ACCESS_SHARE)
+        with pytest.raises(DatabaseError):
+            lm.grant(0, 1, MODE_ACCESS_SHARE)
+
+    def test_reader_blocks_exclusive(self):
+        lm = make_lm()
+        lm.grant(0, 0, MODE_ACCESS_SHARE)
+        assert not lm.can_grant(0, 1, MODE_ACCESS_EXCLUSIVE)
+
+    def test_reacquire_own_lock_ok(self):
+        lm = make_lm()
+        lm.grant(0, 0, MODE_ACCESS_EXCLUSIVE)
+        assert lm.can_grant(0, 0, MODE_ACCESS_EXCLUSIVE)
+
+
+class TestRelease:
+    def test_release(self):
+        lm = make_lm()
+        lm.grant(0, 0)
+        lm.release(0, 0)
+        assert lm.holders(0) == set()
+
+    def test_release_unheld_raises(self):
+        lm = make_lm()
+        with pytest.raises(DatabaseError):
+            lm.release(0, 0)
+
+    def test_release_all(self):
+        lm = make_lm()
+        lm.grant(0, 0)
+        lm.grant(1, 0)
+        lm.grant(1, 1)
+        lm.release_all(0)
+        assert lm.holders(0) == set()
+        assert lm.holders(1) == {1}
+
+
+class TestAddressing:
+    def test_entry_addrs_distinct(self):
+        lm = make_lm()
+        addrs = {lm.lock_entry_addr(r) for r in range(10)}
+        assert len(addrs) == 10
+
+    def test_proc_addrs_in_segment(self):
+        lm = make_lm()
+        for pid in range(8):
+            assert lm.proc_seg.contains(lm.proc_entry_addr(pid))
+
+    def test_out_of_range(self):
+        lm = make_lm()
+        with pytest.raises(DatabaseError):
+            lm.lock_entry_addr(lm.max_relations)
+        with pytest.raises(DatabaseError):
+            lm.proc_entry_addr(-1)

@@ -1,0 +1,99 @@
+"""Machine configurations match §2.1 of the paper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.machine import (
+    PLATFORMS,
+    hp_v_class,
+    platform,
+    sgi_origin_2000,
+)
+from repro.units import KB, MB
+
+
+class TestVClass:
+    def test_paper_parameters(self):
+        m = hp_v_class()
+        assert m.n_cpus == 16
+        assert m.clock_mhz == 200  # PA-8200 @ 200 MHz
+        assert len(m.caches) == 1  # one-level cache system
+        d = m.caches[0]
+        assert d.size == 2 * MB    # 2M data cache
+        assert d.line_size == 32
+        assert m.topology_kind == "crossbar"  # hyperplane, UMA
+        assert m.migratory_enabled
+        assert not m.latency.speculative_reply
+        assert m.n_mem_banks == 8  # 8 EMACs
+
+    def test_coherence_granularity(self):
+        assert hp_v_class().coherence_line_size == 32
+
+
+class TestOrigin:
+    def test_paper_parameters(self):
+        m = sgi_origin_2000()
+        assert m.n_cpus == 32
+        assert m.clock_mhz == 250  # R10000 @ 250 MHz
+        l1, l2 = m.caches
+        assert l1.size == 32 * KB  # 32K L1 data cache
+        assert l1.line_size == 32  # 32-byte L1 lines
+        assert l2.size == 4 * MB   # 4M unified L2
+        assert l2.line_size == 128  # 128-byte L2 lines
+        assert m.topology_kind == "hypercube"  # ccNUMA
+        assert not m.migratory_enabled
+        assert m.latency.speculative_reply
+
+    def test_dual_processor_nodes(self):
+        topo = sgi_origin_2000().build_topology()
+        assert topo.cpus_per_node == 2
+        assert topo.n_nodes == 16
+
+    def test_db_home_nodes(self):
+        # "the same node or a couple of different nodes which hold the
+        # shared memory for the DBMS"
+        assert len(sgi_origin_2000().db_home_nodes) <= 2
+
+
+class TestScaling:
+    def test_scaled_shrinks_caches_only(self):
+        m = sgi_origin_2000().scaled(5)
+        assert m.caches[0].size == 1 * KB
+        assert m.caches[1].size == 128 * KB
+        assert m.caches[0].line_size == 32
+        assert m.caches[1].line_size == 128
+        assert m.clock_mhz == 250
+        assert m.latency == sgi_origin_2000().latency
+
+    def test_scale_zero_is_identity(self):
+        assert hp_v_class().scaled(0).caches == hp_v_class().caches
+
+
+class TestRegistry:
+    def test_platform_lookup(self):
+        assert platform("hpv").name == "HP V-Class"
+        assert platform("sgi").name == "SGI Origin 2000"
+
+    def test_platform_cpu_override(self):
+        assert platform("hpv", 8).n_cpus == 8
+
+    def test_unknown_platform(self):
+        with pytest.raises(ConfigError):
+            platform("cray")
+
+    def test_registry_complete(self):
+        assert set(PLATFORMS) == {"hpv", "sgi"}
+
+    def test_describe_mentions_processor(self):
+        assert "PA-8200" in hp_v_class().describe()
+        assert "R10000" in sgi_origin_2000().describe()
+
+
+class TestClockDifference:
+    def test_origin_higher_clock(self):
+        # §3.1: equal cycles => lower wall time on the Origin.
+        assert sgi_origin_2000().clock_hz > hp_v_class().clock_hz
+
+    def test_instr_counter_skew_differs(self):
+        # "the little difference of the instruction event counters"
+        assert hp_v_class().instr_counter_skew != sgi_origin_2000().instr_counter_skew

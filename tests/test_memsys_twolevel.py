@@ -1,0 +1,100 @@
+"""Two-level (Origin-shaped) hierarchy paths through MemorySystem,
+including a property test that inclusion and SWMR survive random
+multi-CPU traffic with the real machine model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.machine import sgi_origin_2000
+from repro.mem.memsys import MemorySystem
+from repro.mem.states import EXCLUSIVE, INVALID, MODIFIED, SHARED
+from repro.trace.address import AddressSpace
+from repro.trace.classify import DataClass
+
+
+def make():
+    aspace = AddressSpace()
+    seg = aspace.alloc("s", 1 << 16, DataClass.RECORD)
+    ms = MemorySystem(sgi_origin_2000().scaled(5), aspace)
+    return ms, seg
+
+
+class TestWritePaths:
+    def test_write_miss_installs_modified_both_levels(self):
+        ms, seg = make()
+        ms.access(0, seg.base, True, 0, now=0)
+        h = ms.hierarchies[0]
+        assert h.l1.peek(seg.base) == MODIFIED
+        assert h.coherent.peek(seg.base) == MODIFIED
+
+    def test_l1_miss_l2_exclusive_write_is_silent(self):
+        ms, seg = make()
+        ms.access(0, seg.base, False, 0, now=0)  # E in both
+        h = ms.hierarchies[0]
+        h.l1.invalidate(seg.base)  # evict from L1 only
+        before = ms.interconnect.n_requests
+        stall = ms.access(0, seg.base, True, 0, now=100)
+        assert ms.interconnect.n_requests == before  # no directory trip
+        assert h.coherent.peek(seg.base) == MODIFIED
+        assert h.l1.peek(seg.base) == MODIFIED
+
+    def test_l1_miss_l2_shared_write_upgrades(self):
+        ms, seg = make()
+        ms.access(0, seg.base, False, 0, now=0)
+        ms.access(1, seg.base, False, 0, now=50)  # both S now
+        h = ms.hierarchies[0]
+        h.l1.invalidate(seg.base)
+        stall = ms.access(0, seg.base, True, 0, now=100)
+        assert stall > 0
+        assert ms.stats[0].upgrades == 1
+        assert ms.hierarchies[1].coherent.peek(seg.base) == INVALID
+
+    def test_sub_line_l1_misses_hit_l2(self):
+        """The 128B coherence line holds four 32B L1 lines; touching
+        the second one is an L1 miss but an L2 hit."""
+        ms, seg = make()
+        ms.access(0, seg.base, False, 0, now=0)
+        l2_before = ms.stats[0].coherent_misses
+        ms.access(0, seg.base + 32, False, 0, now=100)
+        assert ms.stats[0].coherent_misses == l2_before
+        assert ms.stats[0].l2_hits == 1
+
+    def test_invalidation_sweeps_all_l1_sublines(self):
+        ms, seg = make()
+        for off in (0, 32, 64, 96):
+            ms.access(0, seg.base + off, False, 0, now=off)
+        ms.access(1, seg.base, True, 0, now=1000)  # steal whole line
+        h0 = ms.hierarchies[0]
+        for off in (0, 32, 64, 96):
+            assert h0.l1.peek(seg.base + off) == INVALID
+
+
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=63),
+        st.booleans(),
+    ),
+    max_size=250,
+)
+
+
+@given(ops)
+@settings(max_examples=40, deadline=None)
+def test_property_inclusion_and_swmr_on_origin_model(op_list):
+    ms, seg = make()
+    now = 0
+    for cpu, line_idx, is_write in op_list:
+        now += 70
+        ms.access(cpu, seg.base + line_idx * 32, is_write, 0, now)
+    # inclusion per CPU
+    for h in ms.hierarchies[:4]:
+        assert h.check_inclusion()
+    # SWMR at coherence granularity
+    for cline in range(0, 64 * 32, 128):
+        addr = seg.base + cline
+        states = [h.coherent.peek(addr) for h in ms.hierarchies[:4]]
+        owners = [s for s in states if s in (MODIFIED, EXCLUSIVE)]
+        if owners:
+            assert len([s for s in states if s != INVALID]) == 1
+    ms.engine.directory.check_invariants()

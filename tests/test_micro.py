@@ -1,0 +1,74 @@
+"""Microbenchmarks: the machine models must show the right staircases."""
+
+import pytest
+
+from repro.micro.bandwidth import stream
+from repro.micro.latency import latency_curve, measure_latency
+from repro.micro.sharing import pingpong, producer_consumers
+
+
+class TestLatencyCurve:
+    def test_vclass_staircase(self, hpv):
+        # cache = 64 KB scaled: 8 KB fits, 512 KB does not.
+        points = latency_curve(hpv, [8 * 1024, 512 * 1024], iterations=10)
+        assert points[0].cycles_per_access < points[1].cycles_per_access
+        assert points[0].miss_ratio <= 0.1  # cold misses only
+        assert points[1].miss_ratio > 0.9
+
+    def test_origin_three_levels(self, sgi):
+        # L1 = 1 KB, L2 = 128 KB scaled.
+        in_l1, in_l2, in_mem = latency_curve(
+            sgi, [512, 32 * 1024, 1024 * 1024]
+        )
+        assert in_l1.cycles_per_access < in_l2.cycles_per_access
+        assert in_l2.cycles_per_access < in_mem.cycles_per_access
+
+    def test_origin_remote_memory_slower(self, sgi):
+        local = measure_latency(sgi, 1024 * 1024, home_node=0, cpu=0)
+        remote = measure_latency(sgi, 1024 * 1024, home_node=15, cpu=0)
+        assert remote.cycles_per_access > local.cycles_per_access
+
+    def test_vclass_uniform_memory(self, hpv):
+        a = measure_latency(hpv, 512 * 1024, cpu=0)
+        b = measure_latency(hpv, 512 * 1024, cpu=7)
+        assert a.cycles_per_access == pytest.approx(b.cycles_per_access, rel=0.05)
+
+
+class TestSharing:
+    def test_pingpong_generates_interventions(self, hpv):
+        r = pingpong(hpv, n_cpus=2, rounds=100)
+        assert r.interventions > 50
+
+    def test_migratory_kicks_in_on_vclass(self, hpv, sgi):
+        rv = pingpong(hpv, n_cpus=2, rounds=100)
+        ro = pingpong(sgi, n_cpus=2, rounds=100)
+        assert rv.migratory_transfers > 0
+        assert ro.migratory_transfers == 0
+
+    def test_origin_handoff_costlier(self, hpv, sgi):
+        # §3.1: communication is dearer on the Origin.
+        rv = pingpong(hpv, n_cpus=2, rounds=100)
+        ro = pingpong(sgi, n_cpus=2, rounds=100)
+        assert ro.mean_latency_cycles > rv.mean_latency_cycles
+
+    def test_first_reader_pays_most(self, hpv):
+        lats = producer_consumers(hpv, n_readers=3)
+        assert lats[0] > lats[1]
+        assert lats[0] > lats[2]
+
+
+class TestBandwidth:
+    def test_origin_hotspot_contention(self, sgi):
+        one = stream(sgi, n_cpus=1, nbytes_per_cpu=32 * 1024, home_node=0)
+        eight = stream(sgi, n_cpus=8, nbytes_per_cpu=32 * 1024, home_node=0)
+        assert eight.cycles_per_cacheline > one.cycles_per_cacheline
+        assert eight.mean_queue_delay > one.mean_queue_delay
+
+    def test_vclass_scales_better(self, hpv, sgi):
+        hv = stream(hpv, n_cpus=8, nbytes_per_cpu=32 * 1024)
+        og = stream(sgi, n_cpus=8, nbytes_per_cpu=32 * 1024, home_node=0)
+        hv1 = stream(hpv, n_cpus=1, nbytes_per_cpu=32 * 1024)
+        og1 = stream(sgi, n_cpus=1, nbytes_per_cpu=32 * 1024, home_node=0)
+        degr_hv = hv.cycles_per_cacheline / hv1.cycles_per_cacheline
+        degr_og = og.cycles_per_cacheline / og1.cycles_per_cacheline
+        assert degr_og > degr_hv

@@ -1,0 +1,60 @@
+"""SimProcess clock bookkeeping."""
+
+from repro.cpu.processor import Processor
+from repro.mem.machine import hp_v_class
+from repro.mem.memsys import MemorySystem
+from repro.osim.process import (
+    STATE_DONE,
+    STATE_READY,
+    STATE_SLEEPING,
+    SimProcess,
+)
+from repro.trace.address import AddressSpace
+
+
+def make_proc():
+    machine = hp_v_class().scaled(5)
+    ms = MemorySystem(machine, AddressSpace())
+    return SimProcess(0, 0, iter([]), Processor(0, machine, ms))
+
+
+class TestClocks:
+    def test_advance_updates_all_clocks(self):
+        p = make_proc()
+        p.advance(100)
+        p.advance(50)
+        assert p.clock == 150
+        assert p.thread_cycles == 150
+        assert p.slice_used == 150
+
+    def test_effective_time_ready(self):
+        p = make_proc()
+        p.advance(42)
+        assert p.effective_time() == 42
+
+    def test_effective_time_sleeping(self):
+        p = make_proc()
+        p.advance(10)
+        p.state = STATE_SLEEPING
+        p.wake_at = 500
+        assert p.effective_time() == 500
+
+    def test_effective_time_sleeping_in_past(self):
+        p = make_proc()
+        p.advance(1000)
+        p.state = STATE_SLEEPING
+        p.wake_at = 500  # already due
+        assert p.effective_time() == 1000
+
+    def test_done_flag(self):
+        p = make_proc()
+        assert not p.done
+        p.state = STATE_DONE
+        assert p.done
+
+    def test_initial_state(self):
+        p = make_proc()
+        assert p.state == STATE_READY
+        assert p.vol_switches == 0
+        assert p.invol_switches == 0
+        assert p.pending is None

@@ -1,0 +1,68 @@
+"""Page layout arithmetic."""
+
+import pytest
+
+from repro.db.page import (
+    PAGE_HEADER,
+    PAGE_SIZE,
+    TUPLE_OVERHEAD,
+    PageLayout,
+    pages_for,
+    tuples_per_page,
+)
+from repro.errors import DatabaseError
+
+
+class TestCapacity:
+    def test_tuples_per_page(self):
+        per = tuples_per_page(120)
+        assert per == (PAGE_SIZE - PAGE_HEADER) // (120 + TUPLE_OVERHEAD)
+
+    def test_pages_for(self):
+        per = tuples_per_page(120)
+        assert pages_for(per, 120) == 1
+        assert pages_for(per + 1, 120) == 2
+        assert pages_for(0, 120) == 1  # empty relation keeps one page
+
+    def test_bad_width(self):
+        with pytest.raises(DatabaseError):
+            tuples_per_page(0)
+        with pytest.raises(DatabaseError):
+            tuples_per_page(PAGE_SIZE)
+
+
+class TestLayout:
+    def test_row_addresses_within_pages(self):
+        lay = PageLayout(0x10000, 1000, 120)
+        for ridx in (0, 1, lay.per_page - 1, lay.per_page, 999):
+            addr = lay.row_addr(ridx)
+            page = lay.page_of_row(ridx)
+            base = lay.page_base(page)
+            assert base <= addr < base + PAGE_SIZE
+
+    def test_rows_do_not_overlap(self):
+        lay = PageLayout(0, 100, 120)
+        addrs = [lay.row_addr(i) for i in range(100)]
+        width = 120 + TUPLE_OVERHEAD
+        for a, b in zip(addrs, addrs[1:]):
+            assert b == a + width or b > a  # next page resets offset
+
+    def test_rows_on_page_partition(self):
+        lay = PageLayout(0, 777, 120)
+        seen = []
+        for page in range(lay.n_pages):
+            seen.extend(lay.rows_on_page(page))
+        assert seen == list(range(777))
+
+    def test_out_of_range_rejected(self):
+        lay = PageLayout(0, 10, 120)
+        with pytest.raises(DatabaseError):
+            lay.row_addr(10)
+        with pytest.raises(DatabaseError):
+            lay.page_base(lay.n_pages)
+        with pytest.raises(DatabaseError):
+            lay.rows_on_page(-1)
+
+    def test_total_bytes(self):
+        lay = PageLayout(0, 1000, 120)
+        assert lay.total_bytes == lay.n_pages * PAGE_SIZE

@@ -1,0 +1,76 @@
+"""Processor cycle accounting."""
+
+from repro.cpu.costmodel import DEFAULT_COSTS, InstructionCosts
+from repro.cpu.processor import Processor
+from repro.mem.machine import hp_v_class
+from repro.mem.memsys import MemorySystem
+from repro.trace.address import AddressSpace
+from repro.trace.classify import DataClass
+from repro.trace.stream import RefBatch
+
+import pytest
+
+from repro.errors import ConfigError
+
+
+def make_processor():
+    aspace = AddressSpace()
+    seg = aspace.alloc("data", 1 << 14, DataClass.RECORD)
+    machine = hp_v_class().scaled(5)
+    ms = MemorySystem(machine, aspace)
+    return Processor(0, machine, ms), seg, machine
+
+
+class TestRunBatch:
+    def test_cycles_at_least_base_cpi(self):
+        p, seg, machine = make_processor()
+        batch = RefBatch([seg.base], [False], [100], [0])
+        cycles = p.run_batch(batch, now=0)
+        assert cycles >= int(100 * machine.base_cpi)
+
+    def test_hit_only_costs_base(self):
+        p, seg, machine = make_processor()
+        p.run_batch(RefBatch([seg.base], [False], [10], [0]), now=0)
+        cycles = p.run_batch(RefBatch([seg.base], [False], [100], [0]), now=500)
+        assert cycles == int(100 * machine.base_cpi)
+
+    def test_instruction_counting(self):
+        p, seg, _ = make_processor()
+        p.run_batch(RefBatch([seg.base, seg.base], [False, False], [30, 40], [0, 0]), 0)
+        assert p.instrs_retired == 70
+
+    def test_empty_batch(self):
+        p, _, _ = make_processor()
+        assert p.run_batch(RefBatch([], [], [], []), 0) == 0
+
+    def test_cpi_property(self):
+        p, seg, machine = make_processor()
+        p.run_batch(RefBatch([seg.base], [False], [1000], [0]), 0)
+        assert p.cpi >= machine.base_cpi * 0.99
+
+    def test_run_compute(self):
+        p, _, machine = make_processor()
+        cycles = p.run_compute(1000)
+        assert cycles == int(1000 * machine.base_cpi)
+        assert p.instrs_retired == 1000
+
+    def test_stall_added_on_miss(self):
+        p, seg, machine = make_processor()
+        miss = p.run_batch(RefBatch([seg.base], [False], [10], [0]), 0)
+        hit = int(10 * machine.base_cpi)
+        assert miss > hit
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        for name, value in DEFAULT_COSTS.__dict__.items():
+            assert value > 0, name
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            InstructionCosts(qual_clause=0)
+
+    def test_startup_dwarfs_per_tuple(self):
+        # Query startup (parse/plan) is orders of magnitude above a
+        # single tuple's cost, as in PostgreSQL.
+        assert DEFAULT_COSTS.query_startup > 10 * DEFAULT_COSTS.seqscan_next_tuple

@@ -1,0 +1,293 @@
+"""Kernel: min-clock scheduling, context switches, spinlock backoff."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import SchedulerError
+from repro.mem.machine import hp_v_class
+from repro.mem.memsys import MemorySystem
+from repro.osim.process import STATE_DONE
+from repro.osim.scheduler import Kernel
+from repro.osim.syscalls import Compute, Sleep, SpinAcquire, Spinlock, SpinRelease
+from repro.trace.address import AddressSpace
+from repro.trace.classify import DataClass
+from repro.trace.stream import single
+
+SIM = SimConfig(
+    time_slice_cycles=10_000,
+    context_switch_cycles=100,
+    backoff_cycles=2_000,
+    spin_tries=2,
+    preempt_noise_per_mcycles=0.0,
+)
+
+
+def make_kernel(sim=SIM):
+    aspace = AddressSpace()
+    lockseg = aspace.alloc("locks", 4096, DataClass.LOCK)
+    machine = hp_v_class().scaled(5)
+    ms = MemorySystem(machine, aspace)
+    return Kernel(machine, ms, sim), lockseg
+
+
+class TestSpawnAndRun:
+    def test_single_process_runs_to_completion(self):
+        k, _ = make_kernel()
+
+        def work():
+            yield Compute(1000)
+            yield Compute(500)
+            return "done"
+
+        p = k.spawn(work())
+        k.run()
+        assert p.done
+        assert p.result == "done"
+        assert p.thread_cycles > 0
+
+    def test_cpu_sharing_allowed(self):
+        """Two processes may share a CPU (oversubscription)."""
+        k, _ = make_kernel()
+
+        def work():
+            yield Compute(1000)
+            return "x"
+
+        a = k.spawn(work(), cpu=0)
+        b = k.spawn(work(), cpu=0)
+        k.run()
+        assert a.result == b.result == "x"
+
+    def test_cpu_out_of_range(self):
+        k, _ = make_kernel()
+        with pytest.raises(SchedulerError):
+            k.spawn(iter([]), cpu=999)
+
+    def test_unknown_event_rejected(self):
+        k, _ = make_kernel()
+
+        def bad():
+            yield "not an event"
+
+        k.spawn(bad())
+        with pytest.raises(SchedulerError):
+            k.run()
+
+    def test_min_clock_fairness(self):
+        """Two equal workloads finish with near-equal clocks."""
+        k, _ = make_kernel()
+
+        def work():
+            for _ in range(50):
+                yield Compute(500)
+            return None
+
+        p0 = k.spawn(work())
+        p1 = k.spawn(work())
+        k.run()
+        assert abs(p0.clock - p1.clock) < 2000
+
+
+class TestTimeSlice:
+    def test_involuntary_switch_on_slice_expiry(self):
+        k, _ = make_kernel()
+
+        def work():
+            for _ in range(30):
+                yield Compute(1000)  # ~37k cycles total >> 10k slice
+            return None
+
+        p = k.spawn(work())
+        k.run()
+        assert p.invol_switches >= 3
+        assert p.vol_switches == 0
+
+    def test_switch_cost_charged(self):
+        k, _ = make_kernel()
+
+        def work():
+            for _ in range(30):
+                yield Compute(1000)
+            return None
+
+        p = k.spawn(work())
+        k.run()
+        base = p.processor.cycles_executed
+        assert p.thread_cycles == base + (p.invol_switches + p.vol_switches) * 100
+
+
+class TestSleep:
+    def test_sleep_is_voluntary_switch(self):
+        k, _ = make_kernel()
+
+        def work():
+            yield Compute(100)
+            yield Sleep(5_000)
+            yield Compute(100)
+            return None
+
+        p = k.spawn(work())
+        k.run()
+        assert p.vol_switches == 1
+        # Sleep advances the clock but not thread time.
+        assert p.clock >= p.thread_cycles + 5_000
+
+    def test_sleeper_does_not_block_others(self):
+        k, _ = make_kernel()
+        order = []
+
+        def sleeper():
+            yield Sleep(50_000)
+            order.append("sleeper")
+            return None
+
+        def worker():
+            yield Compute(100)
+            order.append("worker")
+            return None
+
+        k.spawn(sleeper())
+        k.spawn(worker())
+        k.run()
+        assert order == ["worker", "sleeper"]
+
+
+class TestSpinlocks:
+    def test_uncontended_acquire(self):
+        k, seg = make_kernel()
+        lock = Spinlock("L", seg.base)
+
+        def work():
+            yield SpinAcquire(lock)
+            yield Compute(100)
+            yield SpinRelease(lock)
+            return None
+
+        p = k.spawn(work())
+        k.run()
+        assert p.done
+        assert lock.holder is None
+        assert lock.n_acquires == 1
+        assert lock.n_backoffs == 0
+
+    def test_contended_acquire_backs_off(self):
+        k, seg = make_kernel()
+        lock = Spinlock("L", seg.base)
+
+        def holder():
+            yield SpinAcquire(lock)
+            yield Compute(30_000)  # hold for a long time
+            yield SpinRelease(lock)
+            return None
+
+        def waiter():
+            yield Compute(10)  # start just after the holder
+            yield SpinAcquire(lock)
+            yield SpinRelease(lock)
+            return None
+
+        ph = k.spawn(holder())
+        pw = k.spawn(waiter())
+        k.run()
+        assert ph.done and pw.done
+        assert lock.n_backoffs >= 1
+        assert pw.vol_switches >= 1
+        assert lock.holder is None
+
+    def test_mutual_exclusion(self):
+        """The critical section is never executed concurrently."""
+        k, seg = make_kernel()
+        lock = Spinlock("L", seg.base)
+        inside = []
+
+        def worker(name):
+            def gen():
+                yield SpinAcquire(lock)
+                inside.append(name)
+                assert len(inside) == 1
+                yield Compute(2_000)
+                inside.remove(name)
+                yield SpinRelease(lock)
+                return None
+
+            return gen()
+
+        for i in range(4):
+            k.spawn(worker(i))
+        k.run()
+        assert inside == []
+        assert lock.n_acquires == 4
+
+    def test_release_by_non_holder_rejected(self):
+        k, seg = make_kernel()
+        lock = Spinlock("L", seg.base)
+
+        def work():
+            yield SpinRelease(lock)
+
+        k.spawn(work())
+        with pytest.raises(SchedulerError):
+            k.run()
+
+
+class TestPreemptionNoise:
+    def test_noise_adds_switches_under_load(self):
+        sim = SIM.with_(
+            time_slice_cycles=10_000_000, preempt_noise_per_mcycles=50.0
+        )
+        k, _ = make_kernel(sim)
+
+        def work():
+            for _ in range(100):
+                yield Compute(1000)
+            return None
+
+        p0 = k.spawn(work())
+        p1 = k.spawn(work())
+        k.run()
+        assert p0.invol_switches + p1.invol_switches > 0
+
+    def test_no_noise_single_process(self):
+        sim = SIM.with_(
+            time_slice_cycles=10_000_000, preempt_noise_per_mcycles=50.0
+        )
+        k, _ = make_kernel(sim)
+
+        def work():
+            for _ in range(100):
+                yield Compute(1000)
+            return None
+
+        p = k.spawn(work())
+        k.run()
+        assert p.invol_switches == 0
+
+
+class TestWallClock:
+    def test_wall_cycles_is_max(self):
+        k, _ = make_kernel()
+
+        def short():
+            yield Compute(100)
+            return None
+
+        def long():
+            yield Compute(100_000)
+            return None
+
+        k.spawn(short())
+        p = k.spawn(long())
+        k.run()
+        assert k.wall_cycles() == p.clock
+
+    def test_refbatch_advances_clock(self):
+        k, seg = make_kernel()
+
+        def work():
+            yield single(seg.base, write=False, instrs=100, cls=DataClass.LOCK)
+            return None
+
+        p = k.spawn(work())
+        k.run()
+        assert p.thread_cycles > 0
+        assert p.state == STATE_DONE

@@ -1,0 +1,54 @@
+"""DBMS shared-memory layout."""
+
+from repro.db.shmem import SharedMemory
+from repro.trace.classify import DataClass
+
+
+class TestSharedAlloc:
+    def test_shared_segments_tagged(self):
+        sh = SharedMemory()
+        seg = sh.alloc("x", 4096, DataClass.META)
+        assert seg.shared
+        assert seg.cls == DataClass.META
+
+    def test_private_segments_per_pid(self):
+        sh = SharedMemory()
+        a = sh.private(0, cpu=0)
+        b = sh.private(1, cpu=1)
+        assert a.base != b.base
+        assert a.owner_cpu == 0
+        assert b.owner_cpu == 1
+        assert not a.shared
+
+    def test_private_cached_per_pid(self):
+        sh = SharedMemory()
+        assert sh.private(3, cpu=3) is sh.private(3, cpu=3)
+
+
+class TestSpinlocks:
+    def test_named_lock_is_singleton(self):
+        sh = SharedMemory()
+        a = sh.spinlock("BufMgrLock")
+        b = sh.spinlock("BufMgrLock")
+        assert a is b
+
+    def test_locks_on_distinct_lines(self):
+        sh = SharedMemory()
+        a = sh.spinlock("A")
+        b = sh.spinlock("B")
+        # 128 bytes apart: no false sharing even at Origin L2 grain.
+        assert abs(a.addr - b.addr) >= 128
+
+    def test_lock_addr_in_lock_segment(self):
+        sh = SharedMemory()
+        lock = sh.spinlock("L")
+        seg = sh.aspace.segment("shmem.spinlocks")
+        assert seg.contains(lock.addr)
+        assert seg.cls == DataClass.LOCK
+
+    def test_reset_locks(self):
+        sh = SharedMemory()
+        lock = sh.spinlock("L")
+        lock.holder = 5
+        sh.reset_locks()
+        assert lock.holder is None

@@ -1,0 +1,81 @@
+"""MESI state helpers and the latency model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.latency import LatencyModel
+from repro.mem.states import (
+    EXCLUSIVE,
+    INVALID,
+    MODIFIED,
+    SHARED,
+    STATE_NAMES,
+    can_write,
+    is_valid,
+)
+
+
+class TestStates:
+    def test_ordering_constants(self):
+        assert INVALID == 0
+        assert (INVALID, SHARED, EXCLUSIVE, MODIFIED) == (0, 1, 2, 3)
+
+    def test_is_valid(self):
+        assert not is_valid(INVALID)
+        for s in (SHARED, EXCLUSIVE, MODIFIED):
+            assert is_valid(s)
+
+    def test_can_write(self):
+        assert can_write(MODIFIED)
+        assert can_write(EXCLUSIVE)
+        assert not can_write(SHARED)
+        assert not can_write(INVALID)
+
+    def test_names(self):
+        assert STATE_NAMES[MODIFIED] == "M"
+        assert len(STATE_NAMES) == 4
+
+
+def lat(**over):
+    base = dict(
+        l2_hit=10,
+        mem_base=100,
+        hop_cost=20,
+        intervention_base=80,
+        upgrade_base=60,
+        inval_per_sharer=10,
+        bank_service=30,
+        speculative_reply=False,
+        exposure=0.4,
+    )
+    base.update(over)
+    return LatencyModel(**base)
+
+
+class TestLatencyModel:
+    def test_valid(self):
+        lat()
+
+    @pytest.mark.parametrize("field", [
+        "l2_hit", "mem_base", "hop_cost", "intervention_base",
+        "upgrade_base", "inval_per_sharer", "bank_service",
+    ])
+    def test_negative_rejected(self, field):
+        with pytest.raises(ConfigError):
+            lat(**{field: -1})
+
+    @pytest.mark.parametrize("exposure", [0.0, -0.1, 1.5])
+    def test_exposure_range(self, exposure):
+        with pytest.raises(ConfigError):
+            lat(exposure=exposure)
+
+    def test_exposure_one_allowed(self):
+        assert lat(exposure=1.0).exposure == 1.0
+
+    def test_intervention_cost_plain(self):
+        m = lat()
+        assert m.intervention_cost(100) == 180
+
+    def test_intervention_cost_speculative(self):
+        m = lat(speculative_reply=True)
+        assert m.intervention_cost(100) == 140  # half the penalty hidden

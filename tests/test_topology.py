@@ -1,0 +1,70 @@
+"""Topologies: CPU placement and hop distances."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.topology import CrossbarTopology, HypercubeTopology
+
+
+class TestCrossbar:
+    def test_uniform_distance(self):
+        t = CrossbarTopology(16)
+        for a in range(t.n_nodes):
+            for b in range(t.n_nodes):
+                assert t.hops(a, b) == 0
+
+    def test_node_assignment(self):
+        t = CrossbarTopology(16, cpus_per_node=2)
+        assert t.node_of_cpu(0) == 0
+        assert t.node_of_cpu(1) == 0
+        assert t.node_of_cpu(2) == 1
+        assert t.node_of_cpu(15) == 7
+
+    def test_bad_cpu_rejected(self):
+        t = CrossbarTopology(16)
+        with pytest.raises(ConfigError):
+            t.node_of_cpu(16)
+        with pytest.raises(ConfigError):
+            t.node_of_cpu(-1)
+
+
+class TestHypercube:
+    def test_origin_32_is_4d(self):
+        t = HypercubeTopology(32)
+        assert t.n_nodes == 16
+        assert t.dim == 4
+        assert t.max_hops() == 4
+
+    def test_hops_is_hamming_distance(self):
+        t = HypercubeTopology(32)
+        assert t.hops(0, 0) == 0
+        assert t.hops(0, 1) == 1
+        assert t.hops(0b0101, 0b1010) == 4
+        assert t.hops(3, 1) == 1
+
+    def test_hops_symmetric(self):
+        t = HypercubeTopology(16)
+        for a in range(t.n_nodes):
+            for b in range(t.n_nodes):
+                assert t.hops(a, b) == t.hops(b, a)
+
+    def test_triangle_inequality(self):
+        t = HypercubeTopology(16)
+        n = t.n_nodes
+        for a in range(n):
+            for b in range(n):
+                for c in range(n):
+                    assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+
+    def test_non_pow2_nodes_rejected(self):
+        with pytest.raises(ConfigError):
+            HypercubeTopology(6, cpus_per_node=1)
+
+    def test_node_range_checked(self):
+        t = HypercubeTopology(8)
+        with pytest.raises(ConfigError):
+            t.hops(0, t.n_nodes)
+
+    def test_describe(self):
+        assert "hypercube" in HypercubeTopology(32).describe()
+        assert "crossbar" in CrossbarTopology(16).describe()

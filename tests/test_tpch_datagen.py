@@ -1,0 +1,131 @@
+"""TPC-H data generation: determinism, integrity, scaling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tpch import schema
+from repro.tpch.datagen import TPCHConfig, build_database, generate_tables
+
+CFG = TPCHConfig(sf=0.0004, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tables(CFG)
+
+
+class TestConfig:
+    def test_counts_scale(self):
+        big = TPCHConfig(sf=0.01)
+        small = TPCHConfig(sf=0.001)
+        assert big.n_orders > small.n_orders
+
+    def test_floors_applied(self):
+        tiny = TPCHConfig(sf=1e-6)
+        assert tiny.n_supplier == tiny.min_supplier
+        assert tiny.n_orders == tiny.min_orders
+
+    def test_bad_sf(self):
+        with pytest.raises(ConfigError):
+            TPCHConfig(sf=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_tables(CFG)
+        b = generate_tables(CFG)
+        for name in a:
+            assert a[name] == b[name]
+
+    def test_different_seed_different_data(self):
+        b = generate_tables(TPCHConfig(sf=0.0004, seed=8))
+        a = generate_tables(CFG)
+        assert a["lineitem"] != b["lineitem"]
+
+
+class TestReferentialIntegrity:
+    def test_lineitem_orders(self, tables):
+        okeys = {r[0] for r in tables["orders"]}
+        for r in tables["lineitem"]:
+            assert r[0] in okeys
+
+    def test_lineitem_supplier_part(self, tables):
+        skeys = {r[0] for r in tables["supplier"]}
+        pkeys = {r[0] for r in tables["part"]}
+        for r in tables["lineitem"]:
+            assert r[2] in skeys
+            assert r[1] in pkeys
+
+    def test_orders_customer(self, tables):
+        ckeys = {r[0] for r in tables["customer"]}
+        for r in tables["orders"]:
+            assert r[1] in ckeys
+
+    def test_supplier_nation(self, tables):
+        for r in tables["supplier"]:
+            assert 0 <= r[3] < 25
+
+    def test_partsupp_links(self, tables):
+        skeys = {r[0] for r in tables["supplier"]}
+        for r in tables["partsupp"]:
+            assert r[1] in skeys
+
+    def test_every_order_has_lines(self, tables):
+        with_lines = {r[0] for r in tables["lineitem"]}
+        for r in tables["orders"]:
+            assert r[0] in with_lines
+
+
+class TestValueDomains:
+    def test_lineitem_dates_consistent(self, tables):
+        li = tables["lineitem"]
+        cols = schema.columns("lineitem")
+        ship = cols.index("l_shipdate")
+        receipt = cols.index("l_receiptdate")
+        for r in li:
+            assert r[receipt] > r[ship]  # received after shipping
+
+    def test_discounts_in_range(self, tables):
+        disc = schema.columns("lineitem").index("l_discount")
+        for r in tables["lineitem"]:
+            assert 0.0 <= r[disc] <= 0.10
+
+    def test_quantity_in_range(self, tables):
+        qty = schema.columns("lineitem").index("l_quantity")
+        assert all(1 <= r[qty] <= 50 for r in tables["lineitem"])
+
+    def test_shipmodes_valid(self, tables):
+        mode = schema.columns("lineitem").index("l_shipmode")
+        assert {r[mode] for r in tables["lineitem"]} <= set(schema.SHIPMODES)
+
+    def test_orderstatus_values(self, tables):
+        status = schema.columns("orders").index("o_orderstatus")
+        statuses = {r[status] for r in tables["orders"]}
+        assert statuses <= {"F", "O", "P"}
+        assert "F" in statuses  # Q21 needs finished orders
+
+    def test_lines_per_order_1_to_7(self, tables):
+        counts = {}
+        for r in tables["lineitem"]:
+            counts[r[0]] = counts.get(r[0], 0) + 1
+        assert all(1 <= c <= 7 for c in counts.values())
+
+    def test_nation_region_static(self, tables):
+        assert tables["region"] == [
+            (i, name, "") for i, name in enumerate(schema.REGIONS)
+        ]
+        assert len(tables["nation"]) == 25
+
+
+class TestBuildDatabase:
+    def test_all_tables_and_indexes(self):
+        db = build_database(CFG)
+        assert set(db.tables) == set(schema.TABLES)
+        assert "idx_lineitem_orderkey" in db.indexes
+        for idx in db.indexes.values():
+            idx.check_invariants()
+
+    def test_footprint_reasonable(self):
+        db = build_database(CFG)
+        # database must dwarf the scaled V-Class cache (64 KB)
+        assert db.footprint_bytes() > 8 * 64 * 1024

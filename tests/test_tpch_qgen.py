@@ -1,0 +1,50 @@
+"""Query parameter generation."""
+
+import pytest
+
+from repro.tpch import schema
+from repro.tpch.qgen import default_params, random_params
+
+
+class TestDefaults:
+    def test_validation_values(self):
+        assert default_params("Q6") == {"year": 1994, "discount": 0.06, "quantity": 24}
+        assert default_params("Q12") == {"mode1": "MAIL", "mode2": "SHIP", "year": 1994}
+        assert default_params("Q21") == {"nation": "SAUDI ARABIA"}
+        assert default_params("Q1") == {"delta_days": 90}
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            default_params("Q99")
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        assert random_params("Q6", 5) == random_params("Q6", 5)
+        assert random_params("Q6", 5) != random_params("Q6", 6)
+
+    def test_q6_domains(self):
+        for seed in range(20):
+            p = random_params("Q6", seed)
+            assert 1993 <= p["year"] <= 1997
+            assert 0.02 <= p["discount"] <= 0.09
+            assert p["quantity"] in (24, 25)
+
+    def test_q12_modes_distinct(self):
+        for seed in range(20):
+            p = random_params("Q12", seed)
+            assert p["mode1"] != p["mode2"]
+            assert p["mode1"] in schema.SHIPMODES
+            assert p["mode2"] in schema.SHIPMODES
+
+    def test_q21_nation_valid(self):
+        for seed in range(20):
+            assert random_params("Q21", seed)["nation"] in schema.NATIONS
+
+    def test_q1_delta(self):
+        for seed in range(20):
+            assert 60 <= random_params("Q1", seed)["delta_days"] <= 120
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            random_params("Q0", 1)

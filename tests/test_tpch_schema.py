@@ -1,0 +1,61 @@
+"""TPC-H schema constants."""
+
+from repro.tpch import schema
+
+
+class TestDates:
+    def test_epoch(self):
+        assert schema.date(1992, 1, 1) == 0
+
+    def test_ordering(self):
+        assert schema.date(1994, 1, 1) < schema.date(1995, 1, 1)
+
+    def test_enddate(self):
+        assert schema.ENDDATE == schema.date(1998, 12, 31)
+
+
+class TestDomains:
+    def test_seven_shipmodes(self):
+        assert len(schema.SHIPMODES) == 7
+        assert "MAIL" in schema.SHIPMODES and "SHIP" in schema.SHIPMODES
+
+    def test_25_nations_5_regions(self):
+        assert len(schema.NATIONS) == 25
+        assert len(schema.REGIONS) == 5
+        assert len(schema.NATION_REGION) == 25
+        assert set(schema.NATION_REGION) <= set(range(5))
+
+    def test_priorities(self):
+        assert len(schema.ORDER_PRIORITIES) == 5
+        assert set(schema.URGENT_PRIORITIES) < set(schema.ORDER_PRIORITIES)
+
+    def test_saudi_arabia_present(self):
+        # Q21's default substitution parameter
+        assert "SAUDI ARABIA" in schema.NATIONS
+
+
+class TestTables:
+    def test_all_eight_tables(self):
+        assert set(schema.TABLES) == {
+            "region",
+            "nation",
+            "supplier",
+            "customer",
+            "part",
+            "partsupp",
+            "orders",
+            "lineitem",
+        }
+
+    def test_lineitem_has_16_columns(self):
+        assert len(schema.columns("lineitem")) == 16
+
+    def test_row_widths_positive(self):
+        for name in schema.TABLES:
+            assert schema.row_width(name) > 0
+
+    def test_key_columns_present(self):
+        assert "l_orderkey" in schema.columns("lineitem")
+        assert "o_orderkey" in schema.columns("orders")
+        assert "s_suppkey" in schema.columns("supplier")
+        assert "n_nationkey" in schema.columns("nation")

@@ -1,0 +1,82 @@
+"""Address-space segment allocation and lookup."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.address import SEGMENT_ALIGN, AddressSpace
+from repro.trace.classify import DataClass
+
+
+class TestAlloc:
+    def test_segments_do_not_overlap(self):
+        a = AddressSpace()
+        segs = [a.alloc(f"s{i}", 100 + i, DataClass.RECORD) for i in range(20)]
+        for s1, s2 in zip(segs, segs[1:]):
+            assert s1.end <= s2.base
+
+    def test_alignment(self):
+        a = AddressSpace()
+        for i in range(5):
+            seg = a.alloc(f"s{i}", 33, DataClass.META)
+            assert seg.base % SEGMENT_ALIGN == 0
+
+    def test_address_zero_unmapped(self):
+        a = AddressSpace()
+        seg = a.alloc("first", 64, DataClass.RECORD)
+        assert seg.base >= SEGMENT_ALIGN
+
+    def test_duplicate_name_rejected(self):
+        a = AddressSpace()
+        a.alloc("dup", 64, DataClass.RECORD)
+        with pytest.raises(TraceError):
+            a.alloc("dup", 64, DataClass.RECORD)
+
+    def test_nonpositive_size_rejected(self):
+        a = AddressSpace()
+        with pytest.raises(TraceError):
+            a.alloc("zero", 0, DataClass.RECORD)
+        with pytest.raises(TraceError):
+            a.alloc("neg", -4, DataClass.RECORD)
+
+    def test_private_segment_attributes(self):
+        a = AddressSpace()
+        seg = a.alloc("priv", 64, DataClass.PRIVATE, shared=False, owner_cpu=3)
+        assert not seg.shared
+        assert seg.owner_cpu == 3
+
+
+class TestLookup:
+    def test_find_hits_right_segment(self):
+        a = AddressSpace()
+        segs = [a.alloc(f"s{i}", 256, DataClass.RECORD) for i in range(10)]
+        for seg in segs:
+            assert a.find(seg.base) is seg
+            assert a.find(seg.end - 1) is seg
+
+    def test_find_miss_raises(self):
+        a = AddressSpace()
+        seg = a.alloc("only", 256, DataClass.RECORD)
+        with pytest.raises(TraceError):
+            a.find(seg.end + 10_000)
+        with pytest.raises(TraceError):
+            a.find(0)
+
+    def test_segment_by_name(self):
+        a = AddressSpace()
+        seg = a.alloc("named", 64, DataClass.INDEX)
+        assert a.segment("named") is seg
+        with pytest.raises(TraceError):
+            a.segment("nope")
+
+    def test_contains(self):
+        a = AddressSpace()
+        seg = a.alloc("c", 100, DataClass.LOCK)
+        assert seg.contains(seg.base)
+        assert seg.contains(seg.base + 99)
+        assert not seg.contains(seg.base + 100)
+
+    def test_total_allocated_grows(self):
+        a = AddressSpace()
+        before = a.total_allocated
+        a.alloc("x", 1000, DataClass.RECORD)
+        assert a.total_allocated >= before + 1000

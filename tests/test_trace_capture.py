@@ -1,0 +1,117 @@
+"""Trace capture and trace-driven replay."""
+
+import pytest
+
+from repro.config import TEST_SIM
+from repro.core.experiment import ExperimentSpec, _normalize, run_experiment
+from repro.errors import TraceError
+from repro.mem.machine import hp_v_class, sgi_origin_2000
+from repro.trace.capture import capture_query, replay_trace
+from repro.trace.tracefile import load_trace, save_trace
+from repro.tpch.queries import QUERIES
+
+from tests.conftest import TINY_TPCH
+
+
+@pytest.fixture(scope="module")
+def q6_trace(small_db):
+    qdef = QUERIES["Q6"]
+    return capture_query(small_db, qdef, qdef.params())
+
+
+class TestCapture:
+    def test_result_matches_reference(self, small_db, q6_trace):
+        _, result = q6_trace
+        qdef = QUERIES["Q6"]
+        assert _normalize(result) == _normalize(qdef.reference(small_db, qdef.params()))
+
+    def test_batches_nonempty(self, q6_trace):
+        batches, _ = q6_trace
+        assert len(batches) > 10
+        assert sum(b.total_instrs for b in batches) > 100_000
+
+    def test_capture_releases_locks(self, small_db, q6_trace):
+        for lock in small_db.shmem._locks.values():
+            assert lock.holder is None
+
+    def test_capture_deterministic(self, small_db):
+        qdef = QUERIES["Q6"]
+        a, _ = capture_query(small_db, qdef, qdef.params())
+        b, _ = capture_query(small_db, qdef, qdef.params())
+        assert len(a) == len(b)
+        assert all(list(x) == list(y) for x, y in zip(a, b))
+
+    def test_contended_capture_rejected(self, small_db):
+        lock = small_db.shmem.spinlock("BufMgrLock")
+        small_db.reset_runtime()
+        lock.holder = 99  # simulate another backend holding it
+        qdef = QUERIES["Q6"]
+        ctx_err = False
+        try:
+            # reset_runtime inside capture clears holders, so re-hold
+            # through a monkeypatched reset
+            original = small_db.reset_runtime
+            small_db.reset_runtime = lambda: None  # type: ignore[assignment]
+            with pytest.raises(TraceError):
+                capture_query(small_db, qdef, qdef.params())
+            ctx_err = True
+        finally:
+            small_db.reset_runtime = original  # type: ignore[assignment]
+            small_db.reset_runtime()
+        assert ctx_err
+
+
+class TestReplay:
+    def test_replay_miss_counts_match_live_run(self, small_db, q6_trace):
+        """Replaying the captured stream must reproduce the live
+        1-process run's coherent miss count on the same machine."""
+        batches, _ = q6_trace
+        machine = hp_v_class().scaled(TEST_SIM.cache_scale_log2)
+        replay = replay_trace(small_db, batches, machine)
+
+        from tests.conftest import SMALL_TPCH
+
+        live = run_experiment(
+            ExperimentSpec(
+                query="Q6", platform="hpv", n_procs=1, sim=TEST_SIM,
+                tpch=SMALL_TPCH, verify_results=False,
+            ),
+            db=small_db,
+        ).mean
+        assert replay.instructions == live.instructions
+        # miss counts agree within the small difference caused by the
+        # scheduler's lock/context-switch accounting
+        assert abs(replay.stats.coherent_misses - live.coherent_misses) < 100
+
+    def test_replay_across_machines(self, small_db, q6_trace):
+        batches, _ = q6_trace
+        hpv = replay_trace(small_db, batches, hp_v_class().scaled(5))
+        sgi = replay_trace(small_db, batches, sgi_origin_2000().scaled(5))
+        assert sgi.stats.level1_misses > hpv.stats.level1_misses
+        assert sgi.stats.coherent_misses < hpv.stats.coherent_misses
+
+    def test_replay_cache_scaling_monotone(self, small_db, q6_trace):
+        batches, _ = q6_trace
+        misses = [
+            replay_trace(small_db, batches, hp_v_class().scaled(s)).stats.coherent_misses
+            for s in (7, 5, 3)
+        ]
+        assert misses[0] >= misses[1] >= misses[2]
+
+    def test_replay_cpi_reasonable(self, small_db, q6_trace):
+        batches, _ = q6_trace
+        r = replay_trace(small_db, batches, hp_v_class().scaled(5))
+        assert 1.2 < r.cpi < 2.0
+
+
+class TestRoundtripThroughFile(object):
+    def test_save_load_replay(self, small_db, q6_trace, tmp_path):
+        batches, _ = q6_trace
+        path = tmp_path / "q6.npz"
+        save_trace(path, batches)
+        loaded = load_trace(path)
+        machine = hp_v_class().scaled(5)
+        a = replay_trace(small_db, batches, machine)
+        b = replay_trace(small_db, loaded, machine)
+        assert a.cycles == b.cycles
+        assert a.stats.level1_misses == b.stats.level1_misses

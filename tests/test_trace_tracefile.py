@@ -1,0 +1,44 @@
+"""Trace save/load roundtrips."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.stream import RefBatch
+from repro.trace.tracefile import load_trace, save_trace
+
+
+def _batches():
+    return [
+        RefBatch([1, 2, 3], [True, False, True], [4, 5, 6], [0, 1, 2]),
+        RefBatch([10], [False], [100], [4]),
+        RefBatch([], [], [], []),
+    ]
+
+
+class TestTraceFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.npz"
+        batches = _batches()
+        save_trace(path, batches)
+        loaded = load_trace(path)
+        assert len(loaded) == len(batches)
+        for a, b in zip(loaded, batches):
+            assert list(a) == list(b)
+
+    def test_batch_boundaries_preserved(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(path, _batches())
+        loaded = load_trace(path)
+        assert [len(b) for b in loaded] == [3, 1, 0]
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            save_trace(tmp_path / "e.npz", [])
+
+    def test_bad_file_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bogus.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(TraceError):
+            load_trace(path)

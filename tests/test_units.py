@@ -1,0 +1,54 @@
+"""Unit helpers in repro.units."""
+
+import pytest
+
+from repro.units import KB, MB, fmt_bytes, fmt_count, is_pow2, log2_int, round_up
+
+
+class TestPow2:
+    def test_powers_are_pow2(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, -1, -2, 3, 5, 6, 7, 9, 100, 1023):
+            assert not is_pow2(n)
+
+    def test_log2_exact(self):
+        for k in range(20):
+            assert log2_int(1 << k) == k
+
+    def test_log2_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_int(3)
+        with pytest.raises(ValueError):
+            log2_int(0)
+
+
+class TestRoundUp:
+    def test_already_aligned(self):
+        assert round_up(128, 32) == 128
+
+    def test_rounds_up(self):
+        assert round_up(129, 32) == 160
+        assert round_up(1, 32) == 32
+
+    def test_zero(self):
+        assert round_up(0, 32) == 0
+
+    def test_bad_multiple(self):
+        with pytest.raises(ValueError):
+            round_up(10, 0)
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(2 * MB) == "2.0MB"
+        assert fmt_bytes(32 * KB) == "32.0KB"
+        assert fmt_bytes(17) == "17B"
+
+    def test_fmt_count(self):
+        assert fmt_count(9_400_000) == "9.40M"
+        assert fmt_count(12_500) == "12.50K"
+        assert fmt_count(42) == "42"
+        assert fmt_count(2_100_000_000) == "2.10G"
