@@ -1,0 +1,95 @@
+"""Sweep-engine throughput: serial vs parallel vs warm persistent cache.
+
+Measures the full Fig. 2-10 grid (3 queries x 2 platforms x 5 process
+counts = 30 cells) three ways:
+
+1. **serial** — a fresh :class:`SweepRunner`, the seed code path;
+2. **parallel (cold)** — :class:`ParallelSweepRunner` with ``jobs``
+   workers and a cold persistent cache;
+3. **parallel (warm)** — the same, re-run against the now-populated
+   cache (the "re-run figures after an unrelated edit" case).
+
+Each run appends a datapoint (cells/sec and speedups) to
+``BENCH_sweep.json`` via ``scripts/bench_to_json.py`` so the perf
+trajectory is tracked across PRs.  Results are also checked for
+bitwise equality — a throughput optimisation that changed a counter
+would fail here before it mislead a figure.
+
+Knobs: ``REPRO_BENCH_JOBS`` (worker count, default ``os.cpu_count()``),
+plus the harness-wide ``REPRO_BENCH_SF`` / ``REPRO_BENCH_SEED``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.config import DEFAULT_SIM
+from repro.core.parallel import ParallelSweepRunner
+from repro.core.resultcache import ResultCache
+from repro.core.sweep import SweepRunner, figure_grid_cells
+
+from conftest import BENCH_TPCH
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+from bench_to_json import append_datapoint  # noqa: E402
+
+
+def _snap(res):
+    return [
+        (run.wall_cycles, [s.cycles for s in run.per_process])
+        for run in res.runs
+    ]
+
+
+def test_sweep_parallel_speedup(tmp_path, benchmark):
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+    cells = figure_grid_cells()
+
+    serial = SweepRunner(sim=DEFAULT_SIM, tpch=BENCH_TPCH)
+    t0 = time.perf_counter()
+    serial.prewarm(cells)
+    serial_s = time.perf_counter() - t0
+
+    cache_dir = tmp_path / "cache"
+    cold = ParallelSweepRunner(
+        sim=DEFAULT_SIM, tpch=BENCH_TPCH, cache=ResultCache(cache_dir), jobs=jobs
+    )
+    t0 = time.perf_counter()
+    cold.prewarm(cells)
+    parallel_s = time.perf_counter() - t0
+
+    warm = ParallelSweepRunner(
+        sim=DEFAULT_SIM, tpch=BENCH_TPCH, cache=ResultCache(cache_dir), jobs=jobs
+    )
+    t0 = time.perf_counter()
+    benchmark.pedantic(lambda: warm.prewarm(cells), rounds=1, iterations=1)
+    warm_s = time.perf_counter() - t0
+
+    # equality before speed: all three paths, one set of numbers
+    for key in cells:
+        a, b, c = serial.cell(*key), cold.cell(*key), warm.cell(*key)
+        assert _snap(a) == _snap(b) == _snap(c), key
+
+    assert warm.cache.stats["hits"] == len(cells)
+    speedup_warm = serial_s / max(warm_s, 1e-9)
+    record = {
+        "bench": "full_figure_grid",
+        "cells": len(cells),
+        "jobs": jobs,
+        "sf": BENCH_TPCH.sf,
+        "serial_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_s, 3),
+        "parallel_warm_s": round(warm_s, 3),
+        "cells_per_sec_serial": round(len(cells) / serial_s, 3),
+        "cells_per_sec_parallel": round(len(cells) / parallel_s, 3),
+        "speedup_parallel_cold": round(serial_s / max(parallel_s, 1e-9), 2),
+        "speedup_parallel_warm": round(speedup_warm, 2),
+    }
+    append_datapoint("sweep", record)
+    print(f"\nsweep benchmark: {record}")
+
+    # acceptance: parallel + warm cache beats the seed serial path >= 2x
+    assert speedup_warm >= 2.0

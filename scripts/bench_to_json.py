@@ -1,0 +1,83 @@
+"""Append benchmark datapoints to the repo's ``BENCH_*.json`` files.
+
+Each ``BENCH_<name>.json`` is a JSON array of run records — the perf
+trajectory of one benchmark across PRs.  Importable
+(``append_datapoint``) from the benchmark harness, or usable directly:
+
+    python scripts/bench_to_json.py sweep cells_per_sec=1.8 speedup=3.2
+
+Records always gain a ``date`` (UTC, ISO) and a ``code`` field (the
+content hash from :func:`repro.core.resultcache.code_version`) so a
+datapoint is attributable to the tree that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_path(name: str, root: Path = REPO_ROOT) -> Path:
+    return root / f"BENCH_{name}.json"
+
+
+def _code_version() -> str:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.core.resultcache import code_version
+        return code_version()
+    except Exception:
+        return "unknown"
+    finally:
+        sys.path.pop(0)
+
+
+def append_datapoint(name: str, record: dict, root: Path = REPO_ROOT) -> Path:
+    """Append one record to ``BENCH_<name>.json`` (created on demand)."""
+    path = bench_path(name, root)
+    try:
+        history = json.loads(path.read_text())
+        if not isinstance(history, list):
+            history = [history]
+    except (OSError, ValueError):
+        history = []
+    stamped = {
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "code": _code_version(),
+    }
+    stamped.update(record)
+    history.append(stamped)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return path
+
+
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) < 2 or "=" not in argv[1]:
+        print(__doc__)
+        return 2
+    name, pairs = argv[0], argv[1:]
+    record = {}
+    for pair in pairs:
+        key, _, value = pair.partition("=")
+        record[key] = _parse_value(value)
+    path = append_datapoint(name, record)
+    print(f"appended to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

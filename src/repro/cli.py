@@ -20,9 +20,11 @@ from typing import List, Optional
 from .config import DEFAULT_SIM
 from .core import metrics
 from .core.experiment import ExperimentSpec, run_experiment
-from .core.figures import FIGURES, regenerate_figure
+from .core.figures import FIGURES, cells_for, regenerate_figure
+from .core.parallel import ParallelSweepRunner
 from .core.report import render_table
-from .core.sweep import SweepRunner
+from .core.resultcache import ResultCache
+from .core.sweep import SweepRunner, figure_grid_cells
 from .core.validate import scoreboard, validate_all
 from .mem.machine import PLATFORMS, platform
 from .tpch.datagen import TPCHConfig, build_database
@@ -36,6 +38,34 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 
 def _tpch(args) -> TPCHConfig:
     return TPCHConfig(sf=args.sf, seed=args.seed)
+
+
+def _add_sweep_opts(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run sweep cells on N worker processes (default: serial)",
+    )
+    p.add_argument(
+        "--cache-dir", nargs="?", const="", default=None, metavar="DIR",
+        help="persist results on disk; with no DIR uses ~/.cache/repro",
+    )
+
+
+def _make_runner(args) -> SweepRunner:
+    """Build the sweep runner the --jobs/--cache-dir flags describe."""
+    cache = None
+    if args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir or None)
+    if args.jobs > 1:
+        return ParallelSweepRunner(
+            sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, jobs=args.jobs
+        )
+    return SweepRunner(sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache)
+
+
+def _report_cache(runner: SweepRunner) -> None:
+    if runner.cache is not None:
+        print(runner.cache.describe())
 
 
 def cmd_run(args) -> int:
@@ -69,20 +99,27 @@ def cmd_run(args) -> int:
 
 def cmd_figures(args) -> int:
     """``repro figures``: regenerate the selected paper figures."""
-    runner = SweepRunner(sim=DEFAULT_SIM, tpch=_tpch(args))
+    runner = _make_runner(args)
     fig_ids = args.fig if args.fig else sorted(FIGURES)
+    # fan the needed cells out first; the builders then only read memos
+    runner.prewarm(cells_for(fig_ids))
     for fig_id in fig_ids:
         fig = regenerate_figure(fig_id, runner)
         print(render_table(fig))
         print()
+    _report_cache(runner)
     return 0
 
 
 def cmd_validate(args) -> int:
     """``repro validate``: claim scoreboard; exit 1 on any miss."""
-    runner = SweepRunner(sim=DEFAULT_SIM, tpch=_tpch(args))
+    runner = _make_runner(args)
+    if args.jobs > 1:
+        # the claim checks read all over the matrix; warm it in parallel
+        runner.prewarm(figure_grid_cells())
     results = validate_all(runner)
     print(scoreboard(results))
+    _report_cache(runner)
     return 0 if all(r.holds for r in results) else 1
 
 
@@ -176,10 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fig", action="append", choices=sorted(FIGURES),
                    help="figure id (repeatable); default: all")
     _add_common(p)
+    _add_sweep_opts(p)
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("validate", help="evaluate the paper-claim scoreboard")
     _add_common(p)
+    _add_sweep_opts(p)
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("microbench", help="run calibration microbenchmarks")

@@ -11,9 +11,11 @@ from .experiment import (
 )
 from .figures import FIGURES, FigureData, regenerate_all, regenerate_figure
 from .mixed import MixedResult, MixedSpec, run_mixed_experiment
+from .parallel import ParallelSweepRunner
 from .report import render_markdown, render_series, render_table
+from .resultcache import ResultCache, code_version, default_cache_dir, spec_fingerprint
 from .stats import Summary, summarize, summarize_metric
-from .sweep import NPROC_SWEEP, SweepRunner
+from .sweep import NPROC_SWEEP, SweepRunner, figure_grid_cells, normalize_cell
 from .timeline import FIELDS, TimelineRecorder, TimelineSample, record_timeline
 from .validate import CLAIMS, Claim, ClaimResult, scoreboard, validate_all
 from .workload import make_query_process, snapshot_process
@@ -34,7 +36,14 @@ __all__ = [
     "render_series",
     "render_markdown",
     "SweepRunner",
+    "ParallelSweepRunner",
+    "ResultCache",
     "NPROC_SWEEP",
+    "figure_grid_cells",
+    "normalize_cell",
+    "spec_fingerprint",
+    "code_version",
+    "default_cache_dir",
     "make_query_process",
     "snapshot_process",
     "Claim",

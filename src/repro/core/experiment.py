@@ -170,7 +170,7 @@ def run_experiment(
             if spec.verify_results and qdef.mutates
             else None
         )
-        memsys = MemorySystem(machine, db.aspace)
+        memsys = MemorySystem(machine, db.aspace, fast_path=spec.sim.fast_path)
         kernel = Kernel(machine, memsys, spec.sim)
         db.reset_runtime()
         backoffs_before = sum(l.n_backoffs for l in db.shmem._locks.values())

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..tpch.queries import PAPER_QUERIES
 from . import metrics
-from .sweep import NPROC_SWEEP, SweepRunner
+from .sweep import NPROC_SWEEP, CellKey, SweepRunner, normalize_cell
 
 
 @dataclass
@@ -288,6 +288,40 @@ FIGURES: Dict[str, Callable] = {
 }
 
 
+#: Which (platforms, nprocs) slice of the matrix each figure reads.
+_FIG_SLICE: Dict[str, tuple] = {
+    "fig2": (("hpv", "sgi"), (1, 8)),
+    "fig3": (("hpv", "sgi"), (1, 8)),
+    "fig4": (("hpv", "sgi"), (1, 8)),
+    "fig5": (("sgi",), NPROC_SWEEP),
+    "fig6": (("sgi",), NPROC_SWEEP),
+    "fig7": (("hpv",), NPROC_SWEEP),
+    "fig8": (("hpv",), NPROC_SWEEP),
+    "fig9": (("hpv",), NPROC_SWEEP),
+    "fig10": (("hpv",), NPROC_SWEEP),
+}
+
+
+def cells_for(fig_ids: Sequence[str], queries=PAPER_QUERIES) -> List[CellKey]:
+    """Union of sweep cells the given figures consume — the work list a
+    :class:`~repro.core.parallel.ParallelSweepRunner` should prewarm
+    before the (serial, cache-reading) figure builders run."""
+    cells: List[CellKey] = []
+    seen = set()
+    for fig_id in fig_ids:
+        if fig_id not in _FIG_SLICE:
+            raise KeyError(f"unknown figure {fig_id!r}; available: {sorted(FIGURES)}")
+        platforms, nprocs = _FIG_SLICE[fig_id]
+        for q in queries:
+            for p in platforms:
+                for n in nprocs:
+                    key = normalize_cell((q, p, n))
+                    if key not in seen:
+                        seen.add(key)
+                        cells.append(key)
+    return cells
+
+
 def regenerate_figure(
     fig_id: str, runner: Optional[SweepRunner] = None, **kwargs
 ) -> FigureData:
@@ -300,7 +334,12 @@ def regenerate_figure(
 
 
 def regenerate_all(runner: Optional[SweepRunner] = None) -> Dict[str, FigureData]:
-    """Regenerate every figure, sharing one sweep."""
+    """Regenerate every figure, sharing one sweep.
+
+    The grid is prewarmed first so a parallel runner fans the cells out
+    before the (serial, memo-reading) builders walk them.
+    """
     if runner is None:
         runner = SweepRunner()
+    runner.prewarm(cells_for(list(FIGURES)))
     return {fig_id: FIGURES[fig_id](runner) for fig_id in FIGURES}

@@ -90,7 +90,7 @@ def run_mixed_experiment(
         raise ConfigError(
             f"{len(spec.queries)} processes exceed {machine.name}'s CPUs"
         )
-    memsys = MemorySystem(machine, db.aspace)
+    memsys = MemorySystem(machine, db.aspace, fast_path=spec.sim.fast_path)
     kernel = Kernel(machine, memsys, spec.sim)
     db.reset_runtime()
     params_of: List[Dict] = []

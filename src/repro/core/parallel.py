@@ -1,0 +1,92 @@
+"""Parallel sweep execution.
+
+Every cell of the paper's (query x platform x n_procs) matrix is an
+independent, deterministic simulation — a pure function of its
+:class:`ExperimentSpec` — so the grid is embarrassingly parallel.
+:class:`ParallelSweepRunner` fans missing cells out over a
+``concurrent.futures.ProcessPoolExecutor``; only the frozen spec
+crosses the process boundary (workers rebuild the deterministic TPC-H
+database from ``TPCHConfig`` via the per-interpreter
+:class:`~repro.core.experiment.DatabaseCache`), and only plain
+dataclasses come back, so nothing unpicklable is ever shipped.
+
+Because each cell is deterministic, parallel results are bitwise
+identical to serial ones — the equivalence test in
+``tests/test_parallel_sweep.py`` asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, Optional, Sequence
+
+from ..config import DEFAULT_SIM, SimConfig
+from ..tpch.datagen import TPCHConfig
+from .experiment import DEFAULT_TPCH, ExperimentResult, ExperimentSpec, run_experiment
+from .resultcache import ResultCache
+from .sweep import SweepRunner, normalize_cell
+
+
+def _run_cell(spec: ExperimentSpec) -> ExperimentResult:
+    """Worker entry point (module-level so it pickles by reference)."""
+    return run_experiment(spec)
+
+
+class ParallelSweepRunner(SweepRunner):
+    """Drop-in :class:`SweepRunner` whose :meth:`prewarm` (and therefore
+    :meth:`grid`) runs missing cells on ``jobs`` worker processes.
+
+    ``cell()`` stays serial — a single miss is not worth a pool — so
+    figure builders should :meth:`prewarm` their grid first (the CLI's
+    ``--jobs`` path does this automatically).
+    """
+
+    def __init__(
+        self,
+        sim: SimConfig = DEFAULT_SIM,
+        tpch: TPCHConfig = DEFAULT_TPCH,
+        verify_results: bool = False,
+        cache: Optional[ResultCache] = None,
+        jobs: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, tpch, verify_results, cache=cache)
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+
+    def prewarm(self, cells: Iterable[Sequence]) -> int:
+        missing = []
+        seen = set()
+        for cell in cells:
+            key = normalize_cell(cell)
+            if key in seen:
+                continue
+            seen.add(key)
+            if self._lookup(key) is None:
+                missing.append(key)
+        if not missing:
+            return 0
+        if self.jobs == 1 or len(missing) == 1:
+            for key in missing:
+                self._store(key, run_experiment(self._spec(key)))
+            return len(missing)
+        workers = min(self.jobs, len(missing))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_cell, self._spec(key)): key for key in missing
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    # .result() re-raises worker exceptions here, in the
+                    # parent, with the cell attached for context.
+                    try:
+                        result = fut.result()
+                    except Exception as exc:
+                        for f in pending:
+                            f.cancel()
+                        raise RuntimeError(
+                            f"sweep cell {futures[fut]} failed in worker"
+                        ) from exc
+                    self._store(futures[fut], result)
+        return len(missing)

@@ -1,0 +1,166 @@
+"""Persistent, content-addressed experiment-result cache.
+
+Regenerating the paper's figures costs one pass over the (query x
+platform x n_procs) grid; after an unrelated edit it costs the same
+pass again.  :class:`ResultCache` makes re-runs incremental: every
+finished :class:`~repro.core.experiment.ExperimentResult` is serialized
+to JSON under a key derived from everything that can change its
+numbers — the full :class:`ExperimentSpec` (which embeds ``SimConfig``
+and ``TPCHConfig``) plus a content hash of the ``repro`` package's
+sources.  Any code edit therefore invalidates the whole cache; any
+config change invalidates exactly the affected cells.
+
+The cache stores only results produced through the platform lookup
+(``platform(spec.platform).scaled(...)``) — the path every sweep uses.
+Ablation runs that inject a custom :class:`MachineConfig` bypass the
+sweep layer and are never cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+from ..cpu.counters import CounterSnapshot
+from ..mem.machine import platform
+from .experiment import ExperimentResult, ExperimentSpec, RunResult
+
+#: Cache format version; bump on any serialization change.
+FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/repro`` (or ``~/.cache/repro``)."""
+    root = os.environ.get("XDG_CACHE_HOME")
+    base = Path(root) if root else Path.home() / ".cache"
+    return base / "repro"
+
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of every ``.py`` file in the ``repro`` package.
+
+    Computed once per interpreter; editing any source file yields a new
+    version and therefore a cold cache, which is what makes cached
+    counters trustworthy without comparing simulator internals.
+    """
+    global _code_version
+    if _code_version is None:
+        pkg_root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            h.update(str(path.relative_to(pkg_root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+        _code_version = h.hexdigest()[:16]
+    return _code_version
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """Stable content address for one experiment cell."""
+    payload = {
+        "format": FORMAT,
+        "code": code_version(),
+        "spec": asdict(spec),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+def _snapshot_to_dict(snap: CounterSnapshot) -> dict:
+    return asdict(snap)
+
+
+def _snapshot_from_dict(d: dict) -> CounterSnapshot:
+    return CounterSnapshot(**d)
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable form of one result (machine omitted: it is a
+    pure function of the spec on the sweep path)."""
+    return {
+        "format": FORMAT,
+        "code": code_version(),
+        "spec": asdict(result.spec),
+        "runs": [
+            {
+                "per_process": [_snapshot_to_dict(s) for s in run.per_process],
+                "wall_cycles": run.wall_cycles,
+                "interconnect_queue_delay_mean": run.interconnect_queue_delay_mean,
+                "n_backoffs": run.n_backoffs,
+                "query_rows": run.query_rows,
+            }
+            for run in result.runs
+        ],
+    }
+
+
+def result_from_dict(spec: ExperimentSpec, d: dict) -> ExperimentResult:
+    """Rebuild a result for ``spec`` from its serialized form."""
+    machine = platform(spec.platform).scaled(spec.sim.cache_scale_log2)
+    runs = [
+        RunResult(
+            per_process=[_snapshot_from_dict(s) for s in run["per_process"]],
+            wall_cycles=run["wall_cycles"],
+            interconnect_queue_delay_mean=run["interconnect_queue_delay_mean"],
+            n_backoffs=run["n_backoffs"],
+            query_rows=run["query_rows"],
+        )
+        for run in d["runs"]
+    ]
+    return ExperimentResult(spec=spec, machine=machine, runs=runs)
+
+
+class ResultCache:
+    """On-disk result store: one JSON file per experiment cell."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec: ExperimentSpec) -> Path:
+        return self.directory / f"{spec_fingerprint(spec)}.json"
+
+    def get(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+        path = self._path(spec)
+        try:
+            d = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if d.get("format") != FORMAT or d.get("code") != code_version():
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_dict(spec, d)
+
+    def put(self, spec: ExperimentSpec, result: ExperimentResult) -> Path:
+        path = self._path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result_to_dict(result)))
+        tmp.replace(path)  # atomic: concurrent writers race benignly
+        return path
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def describe(self) -> str:
+        return (
+            f"result cache {self.directory}: "
+            f"{self.hits} hits, {self.misses} misses"
+        )
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.directory.glob("*.json"))
+        except OSError:
+            return 0

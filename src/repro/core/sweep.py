@@ -3,19 +3,52 @@
 Several figures share cells of the (query x n_procs x platform)
 matrix; :class:`SweepRunner` runs each cell at most once per
 configuration so regenerating all nine figures costs one pass over the
-grid.
+grid.  A cell is keyed by everything settable per-call — ``(query,
+platform, n_procs, repetitions, param_mode)`` — and an optional
+:class:`~repro.core.resultcache.ResultCache` makes the memo persistent
+across interpreter runs.  :class:`~repro.core.parallel
+.ParallelSweepRunner` subclasses this to fan :meth:`prewarm` out over
+worker processes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import DEFAULT_SIM, SimConfig
 from ..tpch.datagen import TPCHConfig
+from ..tpch.queries import PAPER_QUERIES
 from .experiment import DEFAULT_TPCH, ExperimentResult, ExperimentSpec, run_experiment
+from .resultcache import ResultCache
 
 #: Process counts on the x-axis of Figs. 5-10.
 NPROC_SWEEP: Tuple[int, ...] = (1, 2, 4, 6, 8)
+
+#: A fully-specified sweep cell (the SweepRunner memo key).
+CellKey = Tuple[str, str, int, int, str]
+
+
+def normalize_cell(cell: Sequence) -> CellKey:
+    """Pad a ``(query, platform, n_procs[, repetitions[, param_mode]])``
+    tuple with the per-cell defaults."""
+    query, platform, n_procs = cell[0], cell[1], int(cell[2])
+    repetitions = int(cell[3]) if len(cell) > 3 else 1
+    param_mode = cell[4] if len(cell) > 4 else "default"
+    return (query, platform, n_procs, repetitions, param_mode)
+
+
+def figure_grid_cells(
+    queries: Iterable[str] = PAPER_QUERIES,
+    platforms: Iterable[str] = ("hpv", "sgi"),
+    nprocs: Iterable[int] = NPROC_SWEEP,
+) -> List[CellKey]:
+    """Every cell Figs. 2-10 consume: the full paper test matrix."""
+    return [
+        normalize_cell((q, p, n))
+        for q in queries
+        for p in platforms
+        for n in nprocs
+    ]
 
 
 class SweepRunner:
@@ -26,27 +59,71 @@ class SweepRunner:
         sim: SimConfig = DEFAULT_SIM,
         tpch: TPCHConfig = DEFAULT_TPCH,
         verify_results: bool = False,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         self.sim = sim
         self.tpch = tpch
         self.verify_results = verify_results
-        self._cache: Dict[Tuple[str, str, int], ExperimentResult] = {}
+        self.cache = cache
+        self._cache: Dict[CellKey, ExperimentResult] = {}
 
-    def cell(self, query: str, platform: str, n_procs: int) -> ExperimentResult:
-        key = (query, platform, n_procs)
+    def _spec(self, key: CellKey) -> ExperimentSpec:
+        query, platform, n_procs, repetitions, param_mode = key
+        return ExperimentSpec(
+            query=query,
+            platform=platform,
+            n_procs=n_procs,
+            repetitions=repetitions,
+            param_mode=param_mode,
+            sim=self.sim,
+            tpch=self.tpch,
+            verify_results=self.verify_results,
+        )
+
+    def _lookup(self, key: CellKey) -> Optional[ExperimentResult]:
+        """In-memory memo first, then the persistent cache."""
         result = self._cache.get(key)
-        if result is None:
-            spec = ExperimentSpec(
-                query=query,
-                platform=platform,
-                n_procs=n_procs,
-                sim=self.sim,
-                tpch=self.tpch,
-                verify_results=self.verify_results,
-            )
-            result = run_experiment(spec)
-            self._cache[key] = result
+        if result is None and self.cache is not None:
+            result = self.cache.get(self._spec(key))
+            if result is not None:
+                self._cache[key] = result
         return result
+
+    def _store(self, key: CellKey, result: ExperimentResult) -> None:
+        self._cache[key] = result
+        if self.cache is not None:
+            self.cache.put(result.spec, result)
+
+    def cell(
+        self,
+        query: str,
+        platform: str,
+        n_procs: int,
+        repetitions: int = 1,
+        param_mode: str = "default",
+    ) -> ExperimentResult:
+        key = (query, platform, n_procs, repetitions, param_mode)
+        result = self._lookup(key)
+        if result is None:
+            result = run_experiment(self._spec(key))
+            self._store(key, result)
+        return result
+
+    def prewarm(self, cells: Iterable[Sequence]) -> int:
+        """Ensure every cell is memoized; return how many had to run.
+
+        The serial implementation just walks the cells; the parallel
+        runner overrides this to run the missing ones concurrently, so
+        call it before a read-heavy phase (figure building) to get the
+        fan-out.
+        """
+        ran = 0
+        for cell in cells:
+            key = normalize_cell(cell)
+            if self._lookup(key) is None:
+                self._store(key, run_experiment(self._spec(key)))
+                ran += 1
+        return ran
 
     def grid(
         self,
@@ -54,13 +131,22 @@ class SweepRunner:
         platforms: Iterable[str],
         nprocs: Iterable[int],
     ) -> List[ExperimentResult]:
-        return [
-            self.cell(q, p, n)
+        cells = [
+            normalize_cell((q, p, n))
             for q in queries
             for p in platforms
             for n in nprocs
         ]
+        self.prewarm(cells)
+        return [self.cell(*key) for key in cells]
 
     @property
     def n_cached(self) -> int:
         return len(self._cache)
+
+    @property
+    def cache_stats(self) -> dict:
+        """Persistent-cache hit/miss counts (zeros when not enabled)."""
+        if self.cache is None:
+            return {"hits": 0, "misses": 0}
+        return self.cache.stats

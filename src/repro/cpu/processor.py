@@ -30,17 +30,28 @@ class Processor:
     def run_batch(self, batch: RefBatch, now: int) -> int:
         """Execute ``batch`` starting at cycle ``now``; return the cycles
         it consumed.  ``now`` feeds the interconnect's bank-queueing
-        model, so it must be the owning process's current CPU clock."""
+        model, so it must be the owning process's current CPU clock.
+
+        With ``memsys.fast_path`` (the default) the whole batch is
+        handed to :meth:`MemorySystem.access_batch`, which resolves
+        private L1 hits in bulk; the slow per-reference loop below is
+        kept as the reference implementation and produces bitwise
+        identical counters and timing.
+        """
         base_cpi = self.machine.base_cpi
-        access = self.memsys.access
+        memsys = self.memsys
         cpu = self.cpu_id
-        cycles = 0.0
-        t = now
-        for addr, is_write, instrs, cls in batch:
-            cost = instrs * base_cpi
-            cost += access(cpu, addr, is_write, cls, int(t + cost))
-            cycles += cost
-            t += cost
+        if memsys.fast_path:
+            cycles = memsys.access_batch(cpu, batch, now, base_cpi)
+        else:
+            access = memsys.access
+            cycles = 0.0
+            t = now
+            for addr, is_write, instrs, cls in batch:
+                cost = instrs * base_cpi
+                cost += access(cpu, addr, is_write, cls, int(t + cost))
+                cycles += cost
+                t += cost
         total = int(cycles)
         self.instrs_retired += batch.total_instrs
         self.cycles_executed += total

@@ -95,9 +95,15 @@ class MemorySystem:
     """All caches, the directory protocol, and the interconnect of one
     machine instance.  ``machine`` should already be scaled."""
 
-    def __init__(self, machine: MachineConfig, aspace: AddressSpace) -> None:
+    def __init__(
+        self,
+        machine: MachineConfig,
+        aspace: AddressSpace,
+        fast_path: bool = True,
+    ) -> None:
         self.machine = machine
         self.aspace = aspace
+        self.fast_path = fast_path
         self.topology = machine.build_topology()
         self.interconnect = machine.build_interconnect(self.topology)
         self.hierarchies: List[CacheHierarchy] = [
@@ -165,7 +171,20 @@ class MemorySystem:
             # write hit on SHARED: ownership upgrade
             return self._do_upgrade(cpu, addr, now, st, h)
 
-        # level-1 miss
+        return self._miss(cpu, addr, is_write, cls, now, st, h)
+
+    def _miss(
+        self,
+        cpu: int,
+        addr: int,
+        is_write: bool,
+        cls: int,
+        now: int,
+        st: CpuMemStats,
+        h: CacheHierarchy,
+    ) -> int:
+        """Everything below the L1: L2 hit, or directory transaction.
+        Shared by :meth:`access` and :meth:`access_batch`."""
         st.level1_misses += 1
         st.level1_misses_by_class[cls] += 1
 
@@ -215,6 +234,74 @@ class MemorySystem:
         stall = int(lat * self._exposure)
         st.stall_cycles += stall
         return stall
+
+    def access_batch(self, cpu: int, batch, now: int, base_cpi: float) -> float:
+        """Run a whole :class:`~repro.trace.stream.RefBatch`; return the
+        float cycles it consumed (the caller truncates once per batch).
+
+        References whose lines are already resident in the issuing
+        CPU's L1 in a private state (E/M, or S for reads) cost zero
+        stall and generate no protocol traffic, so they are resolved
+        here with the L1's set structure accessed directly and their
+        read/write counts applied in one bulk update at the end.
+        Upgrades and misses go straight to the same :meth:`_do_upgrade`
+        / :meth:`_miss` helpers :meth:`access` uses, with the L1 probe
+        already done.  The cost accumulation mirrors
+        :meth:`Processor.run_batch`'s slow loop operation-for-operation
+        (same float additions in the same order), so counters and
+        timing are bitwise identical either way;
+        ``SimConfig.fast_path=False`` forces the slow loop and the
+        equivalence suite compares the two counter-for-counter.
+        """
+        st = self.stats[cpu]
+        h = self.hierarchies[cpu]
+        l1_sets = h.l1._sets
+        line_shift = h.l1._line_shift
+        set_mask = h.l1._set_mask
+        miss = self._miss
+        modified = MODIFIED
+        exclusive = EXCLUSIVE
+        n_reads = 0
+        n_writes = 0
+        cycles = 0.0
+        t = float(now)
+        for addr, is_write, instrs, cls in zip(
+            batch.addrs, batch.writes, batch.instrs, batch.classes
+        ):
+            cost = instrs * base_cpi
+            line = addr >> line_shift
+            cset = l1_sets[line & set_mask]
+            state = cset.get(line, 0)
+            if state:
+                cset.move_to_end(line)  # the MRU promotion probe() does
+                if not is_write or state == modified:
+                    # private hit: no stall, no protocol traffic
+                    if is_write:
+                        n_writes += 1
+                    else:
+                        n_reads += 1
+                    cycles += cost
+                    t += cost
+                    continue
+                n_writes += 1
+                if state == exclusive:
+                    h.set_state(addr, modified)
+                    self.engine.note_silent_upgrade(cpu, addr)
+                    st.silent_upgrades += 1
+                else:
+                    # write hit on SHARED: ownership upgrade
+                    cost += self._do_upgrade(cpu, addr, int(t + cost), st, h)
+            else:
+                if is_write:
+                    n_writes += 1
+                else:
+                    n_reads += 1
+                cost += miss(cpu, addr, is_write, cls, int(t + cost), st, h)
+            cycles += cost
+            t += cost
+        st.reads += n_reads
+        st.writes += n_writes
+        return cycles
 
     def _do_upgrade(
         self, cpu: int, addr: int, now: int, st: CpuMemStats, h: CacheHierarchy

@@ -1,0 +1,144 @@
+"""Parallel sweep execution and the persistent result cache.
+
+The grid is embarrassingly parallel and every cell is a deterministic
+function of its spec, so a :class:`ParallelSweepRunner` must produce
+results bitwise-equal to the serial :class:`SweepRunner` — same
+counters, same wall cycles, same by-class breakdowns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.parallel import ParallelSweepRunner
+from repro.core.resultcache import ResultCache, code_version, spec_fingerprint
+from repro.core.sweep import SweepRunner, figure_grid_cells, normalize_cell
+
+
+def result_key(res):
+    """Everything an ExperimentResult carries, as comparable data."""
+    return [
+        (
+            run.wall_cycles,
+            run.interconnect_queue_delay_mean,
+            run.n_backoffs,
+            run.query_rows,
+            [dataclasses.astuple(s) for s in run.per_process],
+            [sorted(s.level1_by_class.items()) for s in run.per_process],
+            [sorted(s.coherent_by_class.items()) for s in run.per_process],
+        )
+        for run in res.runs
+    ]
+
+
+GRID = dict(queries=("Q6", "Q12"), platforms=("hpv", "sgi"), nprocs=(1, 2))
+
+
+class TestParallelEqualsSerial:
+    def test_grid_bitwise_equal(self):
+        serial = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+        parallel = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        a = serial.grid(**GRID)
+        b = parallel.grid(**GRID)
+        assert len(a) == len(b) == 8
+        for ra, rb in zip(a, b):
+            assert ra.spec == rb.spec
+            assert result_key(ra) == result_key(rb)
+
+    def test_prewarm_then_cell_hits_memo(self):
+        runner = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        ran = runner.prewarm([("Q6", "hpv", 1), ("Q6", "hpv", 2)])
+        assert ran == 2
+        assert runner.n_cached == 2
+        before = runner.cell("Q6", "hpv", 1)
+        assert runner.cell("Q6", "hpv", 1) is before  # memo, not a re-run
+        assert runner.prewarm([("Q6", "hpv", 1)]) == 0
+
+    def test_worker_failure_surfaces_cell(self):
+        runner = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        with pytest.raises(Exception):
+            # RF1 mutates: n_procs > 1 is a ConfigError, raised in the
+            # parent while building the spec or in the worker.
+            runner.prewarm([("Q6", "hpv", 1), ("Q6", "nosuch", 1)])
+
+
+class TestCellKey:
+    def test_key_includes_repetitions_and_param_mode(self):
+        runner = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+        a = runner.cell("Q6", "hpv", 1)
+        b = runner.cell("Q6", "hpv", 1, repetitions=2)
+        c = runner.cell("Q6", "hpv", 1, param_mode="random")
+        assert runner.n_cached == 3
+        assert a is not b and a is not c
+        assert len(b.runs) == 2
+        assert b.spec.repetitions == 2 and c.spec.param_mode == "random"
+
+    def test_normalize_cell_pads_defaults(self):
+        assert normalize_cell(("Q6", "hpv", 1)) == ("Q6", "hpv", 1, 1, "default")
+        assert normalize_cell(("Q6", "hpv", 1, 4, "random")) == (
+            "Q6", "hpv", 1, 4, "random"
+        )
+
+    def test_figure_grid_cells_cover_full_matrix(self):
+        cells = figure_grid_cells()
+        assert len(cells) == 3 * 2 * 5
+        assert ("Q21", "sgi", 8, 1, "default") in cells
+
+
+class TestResultCache:
+    def test_roundtrip_across_runners(self, tmp_path):
+        c1 = ResultCache(tmp_path)
+        r1 = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, cache=c1)
+        a = r1.cell("Q6", "sgi", 2)
+        assert c1.stats == {"hits": 0, "misses": 1}
+        assert len(c1) == 1
+
+        c2 = ResultCache(tmp_path)
+        r2 = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, cache=c2)
+        b = r2.cell("Q6", "sgi", 2)
+        assert c2.stats == {"hits": 1, "misses": 0}
+        assert result_key(a) == result_key(b)
+        assert b.machine.name == a.machine.name
+
+    def test_fingerprint_sensitive_to_config(self):
+        spec_a = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)._spec(
+            normalize_cell(("Q6", "hpv", 1))
+        )
+        spec_b = spec_a.with_(n_procs=2)
+        spec_c = spec_a.with_(sim=TEST_SIM.with_(cache_scale_log2=6))
+        fps = {spec_fingerprint(s) for s in (spec_a, spec_b, spec_c)}
+        assert len(fps) == 3
+        assert spec_fingerprint(spec_a) == spec_fingerprint(spec_a)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, cache=cache)
+        runner.cell("Q6", "hpv", 1)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{not json")
+        fresh = ResultCache(tmp_path)
+        r2 = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, cache=fresh)
+        r2.cell("Q6", "hpv", 1)  # silently re-runs
+        assert fresh.stats == {"hits": 0, "misses": 1}
+
+    def test_code_version_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_parallel_runner_populates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelSweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, cache=cache, jobs=2
+        )
+        runner.prewarm([("Q6", "hpv", 1), ("Q6", "sgi", 1)])
+        assert len(cache) == 2
+        warm = ParallelSweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, cache=ResultCache(tmp_path), jobs=2
+        )
+        assert warm.prewarm([("Q6", "hpv", 1), ("Q6", "sgi", 1)]) == 0
+        assert warm.cache.stats["hits"] == 2
