@@ -1,0 +1,85 @@
+"""Observer-hook overhead: disabled verification must cost nothing.
+
+The invariant checker attaches by shadowing the coherence transition
+helpers with instance attributes, so a :class:`MemorySystem` that never
+had a checker — or had one attached and then detached — executes the
+exact seed bytecode.  This benchmark asserts that claim with a clock:
+
+* **pristine** — a fresh memory system, the seed hot path;
+* **cycled** — same, after an attach/detach round trip;
+* **checked** — checker attached (informational; allowed to be slow).
+
+Pristine and cycled runs are interleaved A/B so machine drift hits both
+sides equally, and each side keeps its min-of-N.  Acceptance: the
+cycled side is within 2% of pristine.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.mem.machine import platform
+from repro.mem.memsys import MemorySystem
+from repro.trace.synthetic import SyntheticSpec, generate
+from repro.verify.fuzz import FUZZ_SCALE_LOG2, drive_trace
+from repro.verify.invariants import attach, checking
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+from bench_to_json import append_datapoint  # noqa: E402
+
+SPEC = SyntheticSpec(seed=0xCAFE, n_cpus=4, n_batches=60, refs_per_batch=60)
+ROUNDS = 9
+
+
+def _drive(ms, machine, trace) -> float:
+    t0 = time.perf_counter()
+    drive_trace(ms, trace, machine.base_cpi)
+    return time.perf_counter() - t0
+
+
+def test_detached_observer_overhead(benchmark):
+    aspace, trace = generate(SPEC)
+    machine = platform("hpv", n_cpus=SPEC.n_cpus).scaled(FUZZ_SCALE_LOG2)
+
+    def pristine() -> MemorySystem:
+        return MemorySystem(machine, aspace, fast_path=True)
+
+    def cycled() -> MemorySystem:
+        ms = MemorySystem(machine, aspace, fast_path=True)
+        attach(ms)
+        ms.detach_observer()
+        return ms
+
+    best_pristine = best_cycled = best_checked = float("inf")
+    for _ in range(ROUNDS):
+        best_pristine = min(best_pristine, _drive(pristine(), machine, trace))
+        best_cycled = min(best_cycled, _drive(cycled(), machine, trace))
+    benchmark.pedantic(
+        lambda: drive_trace(pristine(), trace, machine.base_cpi),
+        rounds=1, iterations=1,
+    )
+
+    for _ in range(3):
+        ms = MemorySystem(machine, aspace, fast_path=True)
+        with checking(ms):
+            best_checked = min(best_checked, _drive(ms, machine, trace))
+
+    overhead = best_cycled / best_pristine
+    slowdown = best_checked / best_pristine
+    record = {
+        "bench": "verify_observer_overhead",
+        "refs": SPEC.n_cpus * SPEC.n_batches * SPEC.refs_per_batch,
+        "rounds": ROUNDS,
+        "pristine_s": round(best_pristine, 6),
+        "attach_detach_s": round(best_cycled, 6),
+        "checked_s": round(best_checked, 6),
+        "detached_overhead": round(overhead, 4),
+        "checker_slowdown": round(slowdown, 2),
+    }
+    append_datapoint("verify_overhead", record)
+    print(f"\nverify overhead benchmark: {record}")
+
+    # acceptance: verification is free when off
+    assert overhead <= 1.02

@@ -5,6 +5,7 @@
 * ``run``        — run one experiment cell and print its counters
 * ``figures``    — regenerate paper figures (all or a selection)
 * ``validate``   — evaluate the paper-claim scoreboard
+* ``verify``     — coherence invariants + differential fuzz + goldens
 * ``microbench`` — run the calibration microbenchmarks
 * ``describe``   — print machine and database configurations
 * ``capture``    — record one query's reference trace to a file
@@ -123,6 +124,30 @@ def cmd_validate(args) -> int:
     return 0 if all(r.holds for r in results) else 1
 
 
+def cmd_verify(args) -> int:
+    """``repro verify``: run the correctness-verification stack and
+    exit nonzero on any invariant violation, fuzz divergence, or golden
+    drift."""
+    from pathlib import Path
+
+    from .verify import run_verification
+
+    report = run_verification(
+        fuzz_budget=args.fuzz_budget,
+        fuzz_seed=args.fuzz_seed,
+        golden_dir=Path(args.golden_dir) if args.golden_dir else None,
+        update_golden=args.update_golden,
+        artifacts_dir=Path(args.artifacts_dir) if args.artifacts_dir else None,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if report.ok:
+        print("verification: PASS")
+        return 0
+    print("verification: FAIL")
+    return 1
+
+
 def cmd_microbench(args) -> int:
     """``repro microbench``: latency + ping-pong calibration runs."""
     from .micro.latency import latency_curve
@@ -220,6 +245,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_sweep_opts(p)
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "verify",
+        help="run coherence invariants, differential fuzz, and golden checks",
+    )
+    p.add_argument(
+        "--fuzz-budget", type=int, default=50, metavar="N",
+        help="differential fuzz rounds (0 disables fuzzing; default 50)",
+    )
+    p.add_argument(
+        "--fuzz-seed", type=lambda s: int(s, 0), default=0xF422,
+        help="campaign seed (the whole campaign is deterministic in it)",
+    )
+    p.add_argument(
+        "--golden-dir", default=None, metavar="DIR",
+        help="golden snapshot directory (default: tests/golden)",
+    )
+    p.add_argument(
+        "--update-golden", action="store_true",
+        help="re-bless the golden snapshots instead of comparing",
+    )
+    p.add_argument(
+        "--artifacts-dir", default=None, metavar="DIR",
+        help="write machine-readable failure detail here (for CI upload)",
+    )
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("microbench", help="run calibration microbenchmarks")
     _add_common(p)

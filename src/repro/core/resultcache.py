@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Optional
@@ -31,6 +32,10 @@ from .experiment import ExperimentResult, ExperimentSpec, RunResult
 
 #: Cache format version; bump on any serialization change.
 FORMAT = 1
+
+
+class ResultCacheWarning(UserWarning):
+    """A persistent-cache entry could not be used (corrupt or stale)."""
 
 
 def default_cache_dir() -> Path:
@@ -73,14 +78,6 @@ def spec_fingerprint(spec: ExperimentSpec) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
 
-def _snapshot_to_dict(snap: CounterSnapshot) -> dict:
-    return asdict(snap)
-
-
-def _snapshot_from_dict(d: dict) -> CounterSnapshot:
-    return CounterSnapshot(**d)
-
-
 def result_to_dict(result: ExperimentResult) -> dict:
     """JSON-serializable form of one result (machine omitted: it is a
     pure function of the spec on the sweep path)."""
@@ -90,7 +87,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "spec": asdict(result.spec),
         "runs": [
             {
-                "per_process": [_snapshot_to_dict(s) for s in run.per_process],
+                "per_process": [s.to_dict() for s in run.per_process],
                 "wall_cycles": run.wall_cycles,
                 "interconnect_queue_delay_mean": run.interconnect_queue_delay_mean,
                 "n_backoffs": run.n_backoffs,
@@ -106,7 +103,7 @@ def result_from_dict(spec: ExperimentSpec, d: dict) -> ExperimentResult:
     machine = platform(spec.platform).scaled(spec.sim.cache_scale_log2)
     runs = [
         RunResult(
-            per_process=[_snapshot_from_dict(s) for s in run["per_process"]],
+            per_process=[CounterSnapshot.from_dict(s) for s in run["per_process"]],
             wall_cycles=run["wall_cycles"],
             interconnect_queue_delay_mean=run["interconnect_queue_delay_mean"],
             n_backoffs=run["n_backoffs"],
@@ -124,22 +121,61 @@ class ResultCache:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Entries that existed but could not be parsed/rebuilt
+        #: (truncated files, garbage bytes, missing fields).
+        self.corrupt = 0
+        #: Well-formed entries written by a different code/format
+        #: version (the normal invalidate-on-edit path, but counted so
+        #: an unexpectedly cold cache is explainable).
+        self.stale = 0
 
     def _path(self, spec: ExperimentSpec) -> Path:
         return self.directory / f"{spec_fingerprint(spec)}.json"
 
     def get(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+        """Load a cached result, or ``None`` (a miss).  A broken entry
+        is never fatal: truncated/garbage/stale files all degrade to a
+        miss with a counted :class:`ResultCacheWarning`."""
         path = self._path(spec)
         try:
-            d = json.loads(path.read_text())
-        except (OSError, ValueError):
-            self.misses += 1
+            text = path.read_text()
+        except OSError:
+            self.misses += 1  # plain miss: nothing cached for this cell
             return None
+        except UnicodeDecodeError:
+            return self._reject(path, "corrupt", "undecodable bytes")
+        try:
+            d = json.loads(text)
+            if not isinstance(d, dict):
+                raise ValueError("entry is not a JSON object")
+        except ValueError:
+            return self._reject(path, "corrupt", "unparsable JSON")
         if d.get("format") != FORMAT or d.get("code") != code_version():
-            self.misses += 1
-            return None
+            return self._reject(
+                path, "stale",
+                f"written by code={d.get('code')!r} format={d.get('format')!r}",
+            )
+        try:
+            result = result_from_dict(spec, d)
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            return self._reject(path, "corrupt", f"bad structure ({exc})")
         self.hits += 1
-        return result_from_dict(spec, d)
+        return result
+
+    def _reject(self, path: Path, kind: str, why: str) -> None:
+        """Count a bad entry as a miss; warn (stale entries warn only on
+        the first occurrence — every code edit makes the whole cache
+        stale, and one summary line beats thirty)."""
+        self.misses += 1
+        first_stale = kind == "stale" and self.stale == 0
+        setattr(self, kind, getattr(self, kind) + 1)
+        if kind == "corrupt" or first_stale:
+            warnings.warn(
+                f"result cache: {kind} entry {path.name} ignored ({why})",
+                ResultCacheWarning,
+                stacklevel=3,
+            )
+        return None
 
     def put(self, spec: ExperimentSpec, result: ExperimentResult) -> Path:
         path = self._path(spec)
@@ -151,12 +187,20 @@ class ResultCache:
 
     @property
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stale": self.stale,
+        }
 
     def describe(self) -> str:
+        extra = ""
+        if self.corrupt or self.stale:
+            extra = f" ({self.corrupt} corrupt, {self.stale} stale)"
         return (
             f"result cache {self.directory}: "
-            f"{self.hits} hits, {self.misses} misses"
+            f"{self.hits} hits, {self.misses} misses{extra}"
         )
 
     def __len__(self) -> int:

@@ -41,6 +41,18 @@ class CounterSnapshot:
     level1_by_class: Dict[str, int] = field(default_factory=dict)
     coherent_by_class: Dict[str, int] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict:
+        """Plain-JSON form (result cache, golden snapshots, reports)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "CounterSnapshot":
+        """Inverse of :meth:`to_dict`; raises on missing/extra fields so
+        truncated serialized snapshots surface as errors, not zeros."""
+        return cls(**d)
+
     def add(self, other: "CounterSnapshot") -> None:
         self.cycles += other.cycles
         self.instructions += other.instructions

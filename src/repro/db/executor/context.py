@@ -9,6 +9,7 @@ plan nodes compose them with ``yield from``.
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
 from typing import Generator, Sequence, Tuple, Union
 
@@ -22,6 +23,19 @@ from ..engine import Database
 from ..heap import HeapTable
 
 Relation = Union[HeapTable, BTreeIndex]
+
+
+def _stable_hash(key) -> int:
+    """Process-independent hash for simulated bucket addressing.
+
+    Python's ``hash()`` is randomized per interpreter for strings
+    (PYTHONHASHSEED), so using it for group-by bucket addresses made
+    any string-keyed aggregation trace — and every counter downstream —
+    unreproducible across processes, breaking both the golden-metrics
+    harness and cross-interpreter result-cache reuse."""
+    if isinstance(key, int):
+        return key
+    return zlib.crc32(repr(key).encode())
 
 
 class Workspace:
@@ -64,7 +78,7 @@ class Workspace:
         self.sort_base = self.scratch_base + self.scratch_lines * 32
 
     def hash_bucket_addr(self, key) -> int:
-        return self.hash_base + (hash(key) % self.hash_buckets) * 32
+        return self.hash_base + (_stable_hash(key) % self.hash_buckets) * 32
 
     def scratch_addr(self, counter: int) -> int:
         return self.scratch_base + (counter % self.scratch_lines) * 32

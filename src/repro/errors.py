@@ -34,3 +34,8 @@ class DatabaseError(ReproError):
 
 class TraceError(ReproError):
     """A reference trace is malformed or inconsistent."""
+
+
+class VerificationError(ReproError):
+    """The correctness-verification layer found a divergence or a
+    stale/broken golden snapshot (see :mod:`repro.verify`)."""

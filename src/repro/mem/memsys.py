@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from ..errors import CoherenceError
 from ..trace.address import AddressSpace
 from ..trace.classify import NUM_CLASSES
 from .coherence import KIND_INTERVENTION, CoherenceEngine
@@ -70,6 +71,32 @@ class CpuMemStats:
     def accesses(self) -> int:
         return self.reads + self.writes
 
+    def to_dict(self) -> Dict:
+        """Plain-JSON form of every counter, breakdowns included (used
+        by the golden-metrics snapshots and the fuzzer's fingerprints)."""
+        out: Dict = {}
+        for name in self.__slots__:
+            v = getattr(self, name)
+            if name == "miss_kind_by_class":
+                v = [list(row) for row in v]
+            elif isinstance(v, list):
+                v = list(v)
+            out[name] = v
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "CpuMemStats":
+        """Inverse of :meth:`to_dict` (golden snapshots read back)."""
+        st = cls()
+        for name in cls.__slots__:
+            v = d[name]
+            if name == "miss_kind_by_class":
+                v = [list(row) for row in v]
+            elif isinstance(v, list):
+                v = list(v)
+            setattr(st, name, v)
+        return st
+
     def merge(self, other: "CpuMemStats") -> None:
         """Accumulate ``other`` into self (for run aggregation)."""
         self.reads += other.reads
@@ -115,6 +142,8 @@ class MemorySystem:
             migratory_enabled=machine.migratory_enabled,
         )
         self.stats: List[CpuMemStats] = [CpuMemStats() for _ in range(machine.n_cpus)]
+        #: Attached transition observer (invariant checker), or ``None``.
+        self._observer = None
         # hot-path caching of config values
         self._uma = machine.topology_kind == TOPOLOGY_CROSSBAR
         self._exposure = machine.latency.exposure
@@ -334,6 +363,58 @@ class MemorySystem:
         self._ever_cached[cpu].add(line)
         st.miss_kind[mk] += 1
         st.miss_kind_by_class[cls][mk] += 1
+
+    # -- observation -------------------------------------------------------------
+    def attach_observer(self, observer) -> None:
+        """Attach a transition observer (see :mod:`repro.verify`).
+
+        The observer is notified after every completed coherence
+        transition: ``after_transaction(cpu, addr)`` for misses,
+        upgrades and their evictions, ``after_silent_upgrade(cpu,
+        addr)`` for silent E→M writes.  Attachment works by shadowing
+        the transition helpers with observing wrappers (instance
+        attributes win the lookup), so a :class:`MemorySystem` that
+        never had an observer attached executes exactly the unhooked
+        bytecode — disabled observation costs nothing.
+        """
+        if self._observer is not None:
+            raise CoherenceError("an observer is already attached")
+        self._observer = observer
+        self._miss = self._miss_observed
+        self._do_upgrade = self._do_upgrade_observed
+        engine = self.engine
+        orig_note = engine.note_silent_upgrade
+        after = observer.after_silent_upgrade
+
+        def observed_note(cpu: int, addr: int) -> None:
+            orig_note(cpu, addr)
+            after(cpu, addr)
+
+        engine.note_silent_upgrade = observed_note
+
+    def detach_observer(self) -> None:
+        """Remove the attached observer, restoring the unhooked path."""
+        if self._observer is None:
+            return
+        del self._miss
+        del self._do_upgrade
+        del self.engine.note_silent_upgrade
+        self._observer = None
+
+    def _miss_observed(
+        self, cpu: int, addr: int, is_write: bool, cls: int, now: int,
+        st: CpuMemStats, h: CacheHierarchy,
+    ) -> int:
+        stall = type(self)._miss(self, cpu, addr, is_write, cls, now, st, h)
+        self._observer.after_transaction(cpu, addr)
+        return stall
+
+    def _do_upgrade_observed(
+        self, cpu: int, addr: int, now: int, st: CpuMemStats, h: CacheHierarchy
+    ) -> int:
+        stall = type(self)._do_upgrade(self, cpu, addr, now, st, h)
+        self._observer.after_transaction(cpu, addr)
+        return stall
 
     # -- lifecycle ---------------------------------------------------------------
     def flush_caches(self) -> None:

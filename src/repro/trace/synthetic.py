@@ -1,0 +1,151 @@
+"""Synthetic sharing-trace generation for the verification fuzzer.
+
+The differential fuzzer (:mod:`repro.verify.fuzz`) needs workloads
+that exercise every coherence corner — migratory lock handoffs,
+write-shared metadata, read-shared index pages, streaming private scans
+— without paying for a TPC-H database build per round.  This module
+generates such traces synthetically: a seeded RNG draws classified
+:class:`~repro.trace.stream.RefBatch` streams, one per CPU, over a
+small purpose-built :class:`~repro.trace.address.AddressSpace` whose
+segments mirror the §3.3 data-class taxonomy.
+
+Generation is a pure function of :class:`SyntheticSpec`, so a failing
+round is reproducible from its seed alone, and the shrinker can re-run
+reduced traces deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .address import AddressSpace
+from .classify import DataClass
+from .stream import Ref, RefBatch
+
+#: Pattern weights: (pattern, relative probability).  Patterns map to
+#: the paper's data classes; ``lock`` emits a read-modify-write pair so
+#: migratory detection has something to find.
+_PATTERNS: Tuple[Tuple[str, int], ...] = (
+    ("private", 30),
+    ("stream", 20),
+    ("shared_read", 25),
+    ("hot_write", 15),
+    ("lock", 10),
+)
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Everything that determines one synthetic trace, seed included."""
+
+    seed: int
+    n_cpus: int = 4
+    n_batches: int = 10          # per CPU
+    refs_per_batch: int = 40
+    n_shared_lines: int = 24     # per shared segment
+    n_private_lines: int = 32    # per CPU
+    n_locks: int = 4
+    p_write: float = 0.3         # write probability for non-lock refs
+    #: Address pool granularity.  128 B (the largest coherence line in
+    #: any machine model) guarantees distinct pool slots are distinct
+    #: coherence lines on both platforms.
+    line_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.n_cpus < 1 or self.n_batches < 0 or self.refs_per_batch < 1:
+            raise ValueError("malformed SyntheticSpec")
+
+
+def build_address_space(spec: SyntheticSpec) -> AddressSpace:
+    """The segment layout the generated trace references."""
+    aspace = AddressSpace()
+    size = spec.n_shared_lines * spec.line_size
+    aspace.alloc("syn.record", size, DataClass.RECORD, shared=True)
+    aspace.alloc("syn.index", size, DataClass.INDEX, shared=True)
+    aspace.alloc("syn.meta", size, DataClass.META, shared=True)
+    aspace.alloc(
+        "syn.lock", spec.n_locks * spec.line_size, DataClass.LOCK, shared=True
+    )
+    for cpu in range(spec.n_cpus):
+        aspace.alloc(
+            f"syn.private{cpu}",
+            spec.n_private_lines * spec.line_size,
+            DataClass.PRIVATE,
+            shared=False,
+            owner_cpu=cpu,
+        )
+    return aspace
+
+
+def generate(spec: SyntheticSpec) -> Tuple[AddressSpace, List[List[RefBatch]]]:
+    """Generate ``(address_space, batches)``, ``batches[cpu]`` being the
+    ordered :class:`RefBatch` stream CPU ``cpu`` executes."""
+    aspace = build_address_space(spec)
+    rng = random.Random(spec.seed)
+    record = aspace.segment("syn.record")
+    index = aspace.segment("syn.index")
+    meta = aspace.segment("syn.meta")
+    lock = aspace.segment("syn.lock")
+    privates = [aspace.segment(f"syn.private{c}") for c in range(spec.n_cpus)]
+
+    patterns = [p for p, _ in _PATTERNS]
+    weights = [w for _, w in _PATTERNS]
+    step = spec.line_size
+    cursors = [0] * spec.n_cpus  # per-CPU streaming position
+    out: List[List[RefBatch]] = []
+    for cpu in range(spec.n_cpus):
+        batches: List[RefBatch] = []
+        for _ in range(spec.n_batches):
+            refs: List[Ref] = []
+            while len(refs) < spec.refs_per_batch:
+                pat = rng.choices(patterns, weights)[0]
+                instrs = rng.randint(1, 6)
+                if pat == "private":
+                    addr = privates[cpu].base + step * rng.randrange(
+                        spec.n_private_lines
+                    )
+                    refs.append((addr, rng.random() < spec.p_write, instrs,
+                                 int(DataClass.PRIVATE)))
+                elif pat == "stream":
+                    addr = record.base + step * (cursors[cpu] % spec.n_shared_lines)
+                    cursors[cpu] += 1
+                    refs.append((addr, False, instrs, int(DataClass.RECORD)))
+                elif pat == "shared_read":
+                    # Zipf-ish reuse near the "root" of the pool.
+                    slot = min(
+                        rng.randrange(spec.n_shared_lines),
+                        rng.randrange(spec.n_shared_lines),
+                    )
+                    refs.append((index.base + step * slot, False, instrs,
+                                 int(DataClass.INDEX)))
+                elif pat == "hot_write":
+                    slot = rng.randrange(spec.n_shared_lines)
+                    refs.append((meta.base + step * slot,
+                                 rng.random() < 0.7, instrs,
+                                 int(DataClass.META)))
+                else:  # lock: read-modify-write on a contended word
+                    addr = lock.base + step * rng.randrange(spec.n_locks)
+                    refs.append((addr, False, instrs, int(DataClass.LOCK)))
+                    refs.append((addr, True, 2, int(DataClass.LOCK)))
+            refs = refs[: spec.refs_per_batch]
+            batches.append(batch_from_refs(refs))
+        out.append(batches)
+    return aspace, out
+
+
+def batch_from_refs(refs: Sequence[Ref]) -> RefBatch:
+    """Build a :class:`RefBatch` from ``(addr, write, instrs, cls)``
+    tuples (also used by the shrinker to rebuild reduced batches)."""
+    return RefBatch(
+        [r[0] for r in refs],
+        [r[1] for r in refs],
+        [r[2] for r in refs],
+        [r[3] for r in refs],
+    )
+
+
+def count_refs(trace: List[List[RefBatch]]) -> int:
+    """Total references across every CPU's stream."""
+    return sum(len(b) for batches in trace for b in batches)

@@ -1,0 +1,298 @@
+"""Coherence invariant checker.
+
+An :class:`InvariantChecker` observes a live :class:`MemorySystem`
+through the observer hooks (:meth:`MemorySystem.attach_observer`) and
+asserts, after every completed coherence transition, the properties a
+correct MESI directory protocol can never violate:
+
+* **SWMR** — at most one cache holds a line writable (E/M), and a
+  writable copy excludes every other valid copy.
+* **Directory–cache agreement** — the directory's holder bookkeeping
+  matches the caches exactly: the owner really holds the line E/M,
+  recorded sharers really hold it S, and nobody else holds it at all.
+* **Inclusion** — on a two-level hierarchy (Origin), a valid L1 line is
+  always covered by a valid coherent-level line, and the L1's
+  permission never exceeds the coherent level's (E/M in the L1 requires
+  E/M below; the converse is allowed — a silent coherent-level upgrade
+  leaves untouched L1 sub-lines in E).
+* **Migratory / transfer bookkeeping** — migratory marks only appear
+  when the machine's optimization is on; ``written_since_transfer`` is
+  impossible in sharers mode; writer/owner ids are in range.
+* **Counter identities** — per-CPU stats satisfy the structural
+  identities of the accounting (L1 misses split into L2 hits and
+  coherent misses, the cold/capacity/comm kinds partition the coherent
+  misses, per-class breakdowns sum to their totals, ...).
+
+Checks fire *between* transitions, never inside one, so transient
+mid-transaction states cause no false positives.  Attachment works by
+method shadowing, so a detached memory system pays nothing — the hot
+path runs the exact unhooked bytecode (asserted by the overhead
+benchmark and the structural tests).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+from ..errors import CoherenceError
+from ..mem.directory import NO_OWNER
+from ..mem.memsys import CpuMemStats, MemorySystem
+from ..mem.states import EXCLUSIVE, INVALID, MODIFIED, SHARED
+
+_STATE_NAMES = {INVALID: "I", SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
+_WRITABLE = (EXCLUSIVE, MODIFIED)
+
+
+class InvariantViolation(CoherenceError):
+    """A coherence invariant does not hold — always a simulator bug."""
+
+
+class InvariantChecker:
+    """Checks one :class:`MemorySystem`'s invariants transition by
+    transition.  Construct it, then :func:`attach` it (or use the
+    :func:`checking` context manager)."""
+
+    def __init__(self, memsys: MemorySystem, full_every: int = 0) -> None:
+        self.memsys = memsys
+        #: Every ``full_every`` transitions run :meth:`check_all` as
+        #: well as the per-line check (0 = line checks only).
+        self.full_every = full_every
+        self.n_transitions = 0
+        self.n_line_checks = 0
+        self.n_full_checks = 0
+        self._mask = memsys._coh_mask
+        self._n_cpus = memsys.machine.n_cpus
+
+    # -- observer protocol (called by the MemorySystem hooks) ---------------
+    def after_transaction(self, cpu: int, addr: int) -> None:
+        """A miss/upgrade transaction (and any eviction it caused) is
+        complete; the touched line and the issuing CPU's stats must be
+        consistent now."""
+        self.n_transitions += 1
+        self.check_line(addr)
+        self.check_stats(cpu)
+        if self.full_every and self.n_transitions % self.full_every == 0:
+            self.check_all()
+
+    def after_silent_upgrade(self, cpu: int, addr: int) -> None:
+        """A silent E→M write happened (no directory transaction)."""
+        self.n_transitions += 1
+        self.check_line(addr)
+
+    # -- single-line checks -------------------------------------------------
+    def _holder_states(self, line: int) -> Dict[int, int]:
+        """Coherent-level state of ``line`` in every cache that has it."""
+        out: Dict[int, int] = {}
+        for cpu, h in enumerate(self.memsys.hierarchies):
+            state = h.coherent.peek(line)
+            if state != INVALID:
+                out[cpu] = state
+        return out
+
+    def check_line(self, addr: int) -> None:
+        """Assert every per-line invariant for the coherence line
+        containing ``addr``."""
+        self.n_line_checks += 1
+        ms = self.memsys
+        line = addr & self._mask
+        held = self._holder_states(line)
+
+        def fail(msg: str) -> None:
+            states = ", ".join(
+                f"cpu{c}={_STATE_NAMES[s]}" for c, s in sorted(held.items())
+            )
+            raise InvariantViolation(
+                f"line {line:#x}: {msg} [cache states: {states or 'none'}]"
+            )
+
+        # SWMR, from the caches alone.
+        writers = [c for c, s in held.items() if s in _WRITABLE]
+        if len(writers) > 1:
+            fail(f"multiple writable copies (cpus {writers})")
+        if writers and len(held) > 1:
+            fail(f"writable copy at cpu{writers[0]} coexists with other copies")
+
+        # Directory agreement.
+        directory = ms.engine.directory
+        if not directory.known(line):
+            if held:
+                fail("caches hold a line the directory has never seen")
+            return
+        e = directory.peek(line)
+        if e.excl_owner != NO_OWNER and e.sharers:
+            fail(f"directory has owner {e.excl_owner} and sharers {e.sharers:b}")
+        dir_holders = e.holders()
+        cache_holders = 0
+        for c in held:
+            cache_holders |= 1 << c
+        if dir_holders != cache_holders:
+            fail(
+                f"directory holders {dir_holders:b} != cache holders "
+                f"{cache_holders:b}"
+            )
+        if e.excl_owner != NO_OWNER:
+            if not 0 <= e.excl_owner < self._n_cpus:
+                fail(f"owner {e.excl_owner} out of range")
+            if held.get(e.excl_owner) not in _WRITABLE:
+                fail(
+                    f"directory owner cpu{e.excl_owner} holds the line "
+                    f"{_STATE_NAMES.get(held.get(e.excl_owner, INVALID))}, not E/M"
+                )
+        else:
+            for c, s in held.items():
+                if s != SHARED:
+                    fail(f"sharers-mode line held {_STATE_NAMES[s]} by cpu{c}")
+            if e.sharers and e.written_since_transfer:
+                fail("written_since_transfer set on a sharers-mode line")
+
+        # Migratory bookkeeping.
+        if e.migratory and not ms.engine.migratory_enabled:
+            fail("migratory mark on a machine without the optimization")
+        if e.last_writer != NO_OWNER and not 0 <= e.last_writer < self._n_cpus:
+            fail(f"last_writer {e.last_writer} out of range")
+
+        # Inclusion + permission ordering for two-level hierarchies.
+        for cpu, h in enumerate(ms.hierarchies):
+            if not h.has_l2:
+                continue
+            coh_state = held.get(cpu, INVALID)
+            step = h.l1.config.line_size
+            for a in range(line, line + h.coherent_line_size, step):
+                l1_state = h.l1.peek(a)
+                if l1_state == INVALID:
+                    continue
+                if coh_state == INVALID:
+                    fail(f"cpu{cpu} L1 holds {a:#x} with no coherent copy")
+                if l1_state in _WRITABLE and coh_state not in _WRITABLE:
+                    fail(
+                        f"cpu{cpu} L1 permission {_STATE_NAMES[l1_state]} at "
+                        f"{a:#x} exceeds coherent {_STATE_NAMES[coh_state]}"
+                    )
+
+    # -- stats checks -------------------------------------------------------
+    def check_stats(self, cpu: int) -> None:
+        """Assert the structural counter identities for one CPU."""
+        st = self.memsys.stats[cpu]
+        self._check_stats_obj(st, f"cpu{cpu}")
+
+    def _check_stats_obj(self, st: CpuMemStats, who: str) -> None:
+        def fail(msg: str) -> None:
+            raise InvariantViolation(f"{who} stats: {msg}")
+
+        for name in CpuMemStats.__slots__:
+            v = getattr(st, name)
+            flat: List[int] = []
+            if isinstance(v, list):
+                for item in v:
+                    flat.extend(item if isinstance(item, list) else [item])
+            else:
+                flat.append(v)
+            if any(x < 0 for x in flat):
+                fail(f"negative counter {name}={v}")
+
+        if st.level1_misses != st.l2_hits + st.coherent_misses:
+            fail(
+                f"level1_misses {st.level1_misses} != l2_hits {st.l2_hits} "
+                f"+ coherent_misses {st.coherent_misses}"
+            )
+        if st.mem_accesses != st.coherent_misses + st.upgrades:
+            fail(
+                f"mem_accesses {st.mem_accesses} != coherent_misses "
+                f"{st.coherent_misses} + upgrades {st.upgrades}"
+            )
+        if sum(st.miss_kind) != st.coherent_misses:
+            fail(
+                f"miss kinds {st.miss_kind} do not partition "
+                f"{st.coherent_misses} coherent misses"
+            )
+        if sum(st.level1_misses_by_class) != st.level1_misses:
+            fail("per-class level-1 misses do not sum to the total")
+        if sum(st.coherent_misses_by_class) != st.coherent_misses:
+            fail("per-class coherent misses do not sum to the total")
+        for k in range(3):
+            by_class = sum(row[k] for row in st.miss_kind_by_class)
+            if by_class != st.miss_kind[k]:
+                fail(f"per-class miss kind {k} sums to {by_class}, total {st.miss_kind[k]}")
+
+    def check_stats_at_rest(self, cpu: int) -> None:
+        """Identities that relate miss counters to access counts.  Only
+        valid *between* batches: the fast path bulk-applies read/write
+        counts at batch end, so these lag mid-batch by design."""
+        self.check_stats(cpu)
+        st = self.memsys.stats[cpu]
+
+        def fail(msg: str) -> None:
+            raise InvariantViolation(f"cpu{cpu} stats: {msg}")
+
+        if st.level1_misses > st.reads + st.writes:
+            fail("more level-1 misses than accesses")
+        if st.upgrades + st.silent_upgrades > st.writes:
+            fail("more upgrades than writes")
+
+    # -- whole-system check -------------------------------------------------
+    def _all_lines(self) -> Iterator[int]:
+        seen = set()
+        for line, _ in self.memsys.engine.directory.items():
+            seen.add(line)
+        for h in self.memsys.hierarchies:
+            for ln, state in h.coherent.resident():
+                if state != INVALID:
+                    seen.add(h.coherent.line_base(ln))
+        return iter(sorted(seen))
+
+    def check_all(self, at_rest: bool = False) -> None:
+        """Check every known line, every CPU's stats, and the engine's
+        global counters.  O(directory size) — use sparingly inline, or
+        once at end of run (then pass ``at_rest=True`` to include the
+        batch-boundary access-count identities too)."""
+        self.n_full_checks += 1
+        for line in self._all_lines():
+            self.check_line(line)
+        for cpu in range(self._n_cpus):
+            if at_rest:
+                self.check_stats_at_rest(cpu)
+            else:
+                self.check_stats(cpu)
+        engine = self.memsys.engine
+        for name in (
+            "n_interventions",
+            "n_migratory_transfers",
+            "n_migratory_detected",
+            "n_invalidations",
+            "n_writebacks",
+            "n_downgrades",
+        ):
+            if getattr(engine, name) < 0:
+                raise InvariantViolation(f"engine counter {name} negative")
+        if not engine.migratory_enabled and (
+            engine.n_migratory_transfers or engine.n_migratory_detected
+        ):
+            raise InvariantViolation(
+                "migratory counters nonzero with the optimization disabled"
+            )
+        if engine.n_migratory_transfers > engine.n_interventions:
+            raise InvariantViolation(
+                "more migratory transfers than interventions"
+            )
+        for cpu, h in enumerate(self.memsys.hierarchies):
+            if not h.check_inclusion():
+                raise InvariantViolation(f"cpu{cpu}: L1/L2 inclusion broken")
+
+
+def attach(memsys: MemorySystem, full_every: int = 0) -> InvariantChecker:
+    """Create a checker and hook it into ``memsys``."""
+    checker = InvariantChecker(memsys, full_every=full_every)
+    memsys.attach_observer(checker)
+    return checker
+
+
+@contextmanager
+def checking(memsys: MemorySystem, full_every: int = 0):
+    """``with checking(ms) as chk:`` — attach for the duration of the
+    block, detach on the way out (even on failure)."""
+    checker = attach(memsys, full_every=full_every)
+    try:
+        yield checker
+    finally:
+        memsys.detach_observer()

@@ -13,7 +13,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "run", "figures", "validate", "microbench", "describe",
-            "capture", "replay",
+            "capture", "replay", "verify",
         }
 
     def test_requires_command(self):

@@ -6,7 +6,7 @@ import pytest
 from tests.conftest import TINY_TPCH
 
 from repro.config import TEST_SIM
-from repro.core.figures import FIGURES, FigureData, regenerate_figure
+from repro.core.figures import FIGURES, FigureData, cells_for, regenerate_figure
 from repro.core.report import render_series, render_table
 from repro.core.sweep import SweepRunner
 
@@ -67,6 +67,22 @@ class TestSmallRegeneration:
         regenerate_figure("fig8", runner, queries=("Q6",), nprocs=(1, 2))
         assert runner.n_cached == mid  # fig8 reused fig7's cells
         assert mid > before
+
+    def test_prewarm_covers_exactly_the_figure_cells(self):
+        """Regression for prewarm/figures cell sharing: ``cells_for``
+        must be the precise work list, and a prewarmed runner must
+        reproduce the cold runner's rows without a single extra run."""
+        cold = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+        cold_fig = regenerate_figure("fig3", cold, queries=("Q6",))
+
+        warmed = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+        cells = cells_for(["fig3"], queries=("Q6",))
+        assert warmed.prewarm(cells) == len(cells)
+        pre_keys = set(warmed._cache)
+        assert pre_keys == set(cells)
+        fig = regenerate_figure("fig3", warmed, queries=("Q6",))
+        assert set(warmed._cache) == pre_keys  # builder only read memos
+        assert fig.rows == cold_fig.rows
 
     def test_fig10_has_both_switch_kinds(self, runner):
         fig = regenerate_figure("fig10", runner, queries=("Q6",), nprocs=(1, 2))

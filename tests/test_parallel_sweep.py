@@ -67,6 +67,49 @@ class TestParallelEqualsSerial:
             runner.prewarm([("Q6", "hpv", 1), ("Q6", "nosuch", 1)])
 
 
+class TestWorkerFailurePaths:
+    """A raising worker must produce a clear parent-side error, leave no
+    hung pool behind, and keep every cache layer consistent."""
+
+    def test_in_worker_exception_names_the_cell(self):
+        runner = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        # 64 procs passes spec validation in the parent but exceeds the
+        # machine's CPU count inside run_experiment — i.e. the error is
+        # raised *in the worker* and must come back wrapped.
+        with pytest.raises(RuntimeError, match=r"Q6.*hpv.*64") as exc_info:
+            runner.prewarm([("Q6", "hpv", 64), ("Q6", "hpv", 1)])
+        assert exc_info.value.__cause__ is not None  # original ConfigError
+
+    def test_pool_does_not_hang_and_runner_stays_usable(self):
+        runner = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        with pytest.raises(RuntimeError):
+            # two failing cells: the pool path runs, the first failure
+            # cancels the rest, and prewarm re-raises promptly
+            runner.prewarm([("Q6", "hpv", 64), ("Q6", "sgi", 64)])
+        # the failed cell was never memoized; good cells still run
+        assert normalize_cell(("Q6", "hpv", 64)) not in runner._cache
+        res = runner.cell("Q6", "hpv", 1)
+        assert res.runs and res.runs[0].wall_cycles > 0
+        assert runner.prewarm([("Q6", "hpv", 1)]) == 0  # memoized now
+
+    def test_failure_leaves_persistent_cache_consistent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelSweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, cache=cache, jobs=2
+        )
+        with pytest.raises(RuntimeError):
+            runner.prewarm([("Q6", "hpv", 64), ("Q6", "sgi", 1)])
+        # Whether the good cell finished before the failure or was
+        # cancelled, every entry on disk must be loadable and correct.
+        reread = SweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, cache=ResultCache(tmp_path)
+        )
+        a = reread.cell("Q6", "sgi", 1)
+        b = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH).cell("Q6", "sgi", 1)
+        assert result_key(a) == result_key(b)
+        assert reread.cache.stats["corrupt"] == 0
+
+
 class TestCellKey:
     def test_key_includes_repetitions_and_param_mode(self):
         runner = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
@@ -95,13 +138,13 @@ class TestResultCache:
         c1 = ResultCache(tmp_path)
         r1 = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, cache=c1)
         a = r1.cell("Q6", "sgi", 2)
-        assert c1.stats == {"hits": 0, "misses": 1}
+        assert c1.stats == {"hits": 0, "misses": 1, "corrupt": 0, "stale": 0}
         assert len(c1) == 1
 
         c2 = ResultCache(tmp_path)
         r2 = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, cache=c2)
         b = r2.cell("Q6", "sgi", 2)
-        assert c2.stats == {"hits": 1, "misses": 0}
+        assert c2.stats == {"hits": 1, "misses": 0, "corrupt": 0, "stale": 0}
         assert result_key(a) == result_key(b)
         assert b.machine.name == a.machine.name
 
@@ -123,8 +166,9 @@ class TestResultCache:
         entry.write_text("{not json")
         fresh = ResultCache(tmp_path)
         r2 = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, cache=fresh)
-        r2.cell("Q6", "hpv", 1)  # silently re-runs
-        assert fresh.stats == {"hits": 0, "misses": 1}
+        with pytest.warns(UserWarning, match="corrupt"):
+            r2.cell("Q6", "hpv", 1)  # warns, counts, re-runs
+        assert fresh.stats == {"hits": 0, "misses": 1, "corrupt": 1, "stale": 0}
 
     def test_code_version_stable(self):
         assert code_version() == code_version()

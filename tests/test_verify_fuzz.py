@@ -1,0 +1,117 @@
+"""Differential fuzzer: generator determinism, clean campaigns, and
+detection (with shrinking) of injected bugs."""
+
+import pytest
+
+from tests.verify_helpers import FastPathClockSkewMemSys, SkippedInvalidationMemSys
+
+from repro.trace.synthetic import SyntheticSpec, count_refs, generate
+from repro.verify.fuzz import fuzz
+
+
+def as_tuples(trace):
+    return [[list(b) for b in cpu_batches] for cpu_batches in trace]
+
+
+class TestGenerator:
+    def test_pure_function_of_spec(self):
+        spec = SyntheticSpec(seed=7, n_cpus=3, n_batches=5, refs_per_batch=20)
+        _, a = generate(spec)
+        _, b = generate(spec)
+        assert as_tuples(a) == as_tuples(b)
+        _, c = generate(
+            SyntheticSpec(seed=8, n_cpus=3, n_batches=5, refs_per_batch=20)
+        )
+        assert as_tuples(a) != as_tuples(c)
+
+    def test_shape_and_budget(self):
+        spec = SyntheticSpec(seed=3, n_cpus=2, n_batches=4, refs_per_batch=15)
+        _, trace = generate(spec)
+        assert len(trace) == 2
+        assert all(len(batches) == 4 for batches in trace)
+        assert all(len(b) == 15 for batches in trace for b in batches)
+        assert count_refs(trace) == 2 * 4 * 15
+
+    def test_addresses_stay_in_the_synthetic_segments(self):
+        spec = SyntheticSpec(seed=5, n_cpus=2, n_batches=3, refs_per_batch=25)
+        aspace, trace = generate(spec)
+        for batches in trace:
+            for batch in batches:
+                for addr, _w, instrs, _cls in batch:
+                    assert aspace.find(addr) is not None  # raises if unmapped
+                    assert instrs >= 1
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(seed=1, n_cpus=0)
+
+
+class TestCleanCampaign:
+    def test_small_budget_passes(self):
+        report = fuzz(budget=4, seed=0x51EED, parallel_checks=0)
+        assert report.ok
+        assert report.rounds == 4
+        assert report.transitions_checked > 0
+        assert report.parallel_checks == 0
+        assert report.failures == []
+
+    def test_campaign_is_deterministic(self):
+        a = fuzz(budget=3, seed=42, parallel_checks=0)
+        b = fuzz(budget=3, seed=42, parallel_checks=0)
+        assert (a.ok, a.rounds, a.transitions_checked) == (
+            b.ok,
+            b.rounds,
+            b.transitions_checked,
+        )
+
+
+class TestDetection:
+    def test_skipped_invalidation_caught_as_invariant(self):
+        """The same injected bug the checker test uses, found through
+        the campaign entry point — and shrunk to a small reproducer."""
+        report = fuzz(
+            budget=5,
+            seed=0xF422,
+            parallel_checks=0,
+            memsys_factory=SkippedInvalidationMemSys,
+        )
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.kind == "invariant"
+        assert "writable" in failure.detail
+        assert 0 < failure.n_refs <= 60
+        assert failure.seed != 0  # reproducible from the reported seed
+
+    def test_fast_slow_divergence_caught_and_shrunk(self):
+        report = fuzz(
+            budget=5,
+            seed=0xF422,
+            parallel_checks=0,
+            memsys_factory=FastPathClockSkewMemSys,
+        )
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.kind == "counter-divergence"
+        assert "clocks" in failure.detail
+        assert 0 < failure.n_refs <= 60
+
+    def test_failure_serializes_for_artifacts(self):
+        report = fuzz(
+            budget=2,
+            seed=0xF422,
+            parallel_checks=0,
+            memsys_factory=FastPathClockSkewMemSys,
+        )
+        d = report.failures[0].to_dict()
+        assert d["kind"] == "counter-divergence"
+        assert set(d) == {
+            "round_index", "seed", "platform", "kind", "detail",
+            "n_batches", "n_refs",
+        }
+
+
+class TestParallelCrossCheck:
+    def test_serial_and_pool_agree_on_a_real_cell(self):
+        report = fuzz(budget=1, seed=1, parallel_checks=1)
+        assert report.ok
+        assert report.parallel_checks == 1

@@ -1,0 +1,149 @@
+"""Invariant checker: attachment mechanics, clean runs, detection."""
+
+import pytest
+
+from tests.verify_helpers import SkippedInvalidationMemSys
+
+from repro.errors import CoherenceError
+from repro.mem.directory import NO_OWNER
+from repro.mem.machine import platform
+from repro.mem.memsys import MemorySystem
+from repro.trace.synthetic import SyntheticSpec, generate
+from repro.verify.fuzz import FUZZ_SCALE_LOG2, drive_trace, fingerprint
+from repro.verify.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    attach,
+    checking,
+)
+
+SPEC = SyntheticSpec(seed=0xBEEF, n_cpus=4, n_batches=6, refs_per_batch=40)
+
+
+def build(plat, memsys_cls=MemorySystem, fast_path=True, spec=SPEC):
+    aspace, trace = generate(spec)
+    machine = platform(plat, n_cpus=spec.n_cpus).scaled(FUZZ_SCALE_LOG2)
+    return memsys_cls(machine, aspace, fast_path=fast_path), machine, trace
+
+
+class TestAttachment:
+    def test_detached_memsys_has_no_instance_shadows(self):
+        """The zero-cost claim, structurally: a memory system that never
+        had an observer resolves every hook to the plain class method."""
+        ms, _, _ = build("hpv")
+        assert "_miss" not in ms.__dict__
+        assert "_do_upgrade" not in ms.__dict__
+        assert "note_silent_upgrade" not in ms.engine.__dict__
+        assert ms._observer is None
+
+    def test_attach_shadows_and_detach_restores(self):
+        ms, _, _ = build("hpv")
+        chk = attach(ms)
+        assert ms._observer is chk
+        assert "_miss" in ms.__dict__
+        assert "_do_upgrade" in ms.__dict__
+        assert "note_silent_upgrade" in ms.engine.__dict__
+        ms.detach_observer()
+        assert ms._observer is None
+        assert "_miss" not in ms.__dict__
+        assert "_do_upgrade" not in ms.__dict__
+        assert "note_silent_upgrade" not in ms.engine.__dict__
+
+    def test_double_attach_rejected(self):
+        ms, _, _ = build("hpv")
+        attach(ms)
+        with pytest.raises(CoherenceError, match="already attached"):
+            attach(ms)
+
+    def test_checking_detaches_even_on_error(self):
+        ms, _, _ = build("hpv")
+        with pytest.raises(RuntimeError):
+            with checking(ms):
+                raise RuntimeError("boom")
+        assert ms._observer is None
+        assert "_miss" not in ms.__dict__
+
+    def test_detach_without_attach_is_a_noop(self):
+        ms, _, _ = build("sgi")
+        ms.detach_observer()
+        assert ms._observer is None
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    @pytest.mark.parametrize("fast", [False, True], ids=["slow", "fast"])
+    def test_synthetic_trace_upholds_invariants(self, plat, fast):
+        ms, machine, trace = build(plat, fast_path=fast)
+        with checking(ms, full_every=32) as chk:
+            drive_trace(ms, trace, machine.base_cpi)
+            chk.check_all(at_rest=True)
+        assert chk.n_transitions > 0
+        assert chk.n_line_checks >= chk.n_transitions
+        assert chk.n_full_checks >= 1
+
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    def test_observation_does_not_perturb_counters(self, plat):
+        """The checker is observation-only: every counter, clock, and
+        resident set must be identical with and without it attached."""
+        plain, machine, trace = build(plat)
+        clocks_plain = drive_trace(plain, trace, machine.base_cpi)
+        observed, _, _ = build(plat)
+        with checking(observed, full_every=16):
+            clocks_obs = drive_trace(observed, trace, machine.base_cpi)
+        assert fingerprint(plain, clocks_plain, SPEC.n_cpus) == fingerprint(
+            observed, clocks_obs, SPEC.n_cpus
+        )
+
+
+class TestDetection:
+    def test_skipped_invalidation_is_caught(self):
+        """The acceptance-criteria injection: an engine that skips cache
+        invalidations must trip the SWMR check mid-run."""
+        ms, machine, trace = build("hpv", SkippedInvalidationMemSys)
+        with pytest.raises(InvariantViolation, match="writable"):
+            with checking(ms):
+                drive_trace(ms, trace, machine.base_cpi)
+
+    def test_skipped_invalidation_caught_on_sgi_too(self):
+        ms, machine, trace = build("sgi", SkippedInvalidationMemSys)
+        with pytest.raises(InvariantViolation):
+            with checking(ms):
+                drive_trace(ms, trace, machine.base_cpi)
+
+    def test_tampered_stats_are_caught(self):
+        ms, machine, trace = build("sgi")
+        drive_trace(ms, trace, machine.base_cpi)
+        chk = InvariantChecker(ms)
+        chk.check_all(at_rest=True)  # sanity: the run itself was clean
+        ms.stats[0].coherent_misses += 1
+        with pytest.raises(InvariantViolation, match="cpu0 stats"):
+            chk.check_stats(0)
+
+    def test_negative_counter_is_caught(self):
+        ms, _, _ = build("hpv")
+        ms.stats[1].reads = -1
+        with pytest.raises(InvariantViolation, match="negative"):
+            InvariantChecker(ms).check_stats(1)
+
+    def test_tampered_directory_is_caught(self):
+        ms, machine, trace = build("hpv")
+        drive_trace(ms, trace, machine.base_cpi)
+        chk = InvariantChecker(ms)
+        chk.check_all(at_rest=True)
+        line, entry = next(iter(ms.engine.directory.items()))
+        # An entry can never have an owner and sharers simultaneously.
+        entry.excl_owner, entry.sharers = 0, 0b10
+        with pytest.raises(InvariantViolation, match="owner"):
+            chk.check_line(line)
+
+    def test_directory_out_of_range_owner_is_caught(self):
+        ms, machine, trace = build("hpv")
+        drive_trace(ms, trace, machine.base_cpi)
+        chk = InvariantChecker(ms)
+        for line, entry in ms.engine.directory.items():
+            if entry.excl_owner != NO_OWNER:
+                entry.excl_owner = SPEC.n_cpus + 7
+                with pytest.raises(InvariantViolation):
+                    chk.check_line(line)
+                return
+        pytest.fail("trace produced no owned directory entry")

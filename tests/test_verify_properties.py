@@ -1,0 +1,201 @@
+"""Property-based tests under seeded random stimulus (no external
+property-testing dependency; the fuzzer's generator is the stimulus
+source, per the verification-subsystem design).
+
+Two state machines get executable specifications here:
+
+* :class:`~repro.mem.cache.SetAssocCache` against a deliberately naive
+  list-based LRU reference model — same observable behaviour on every
+  operation, including victim choice and eviction counters;
+* the MESI directory, driven by synthetic sharing traces with the
+  invariant checker attached, plus an independent end-state
+  recomputation of the holder bitmask.
+"""
+
+import random
+
+import pytest
+
+from repro.mem.cache import CacheConfig, SetAssocCache
+from repro.mem.machine import platform
+from repro.mem.memsys import MemorySystem
+from repro.mem.states import EXCLUSIVE, INVALID, MODIFIED, SHARED
+from repro.trace.synthetic import SyntheticSpec, generate
+from repro.verify.fuzz import FUZZ_SCALE_LOG2, drive_trace, fingerprint
+from repro.verify.invariants import checking
+
+STATES = (SHARED, EXCLUSIVE, MODIFIED)
+
+
+class LruModel:
+    """Reference model of :class:`SetAssocCache`: each set is a plain
+    list ordered LRU-first, updated with O(n) list surgery.  Slow and
+    obvious — exactly what a specification should be."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.sets = [[] for _ in range(config.n_sets)]
+        self.n_evictions = 0
+        self.n_dirty_evictions = 0
+
+    def _set(self, line):
+        return self.sets[line % self.config.n_sets]
+
+    @staticmethod
+    def _find(s, line):
+        for i, (ln, _st) in enumerate(s):
+            if ln == line:
+                return i
+        return -1
+
+    def _line(self, addr):
+        return addr // self.config.line_size
+
+    def probe(self, addr):
+        s = self._set(self._line(addr))
+        i = self._find(s, self._line(addr))
+        if i < 0:
+            return INVALID
+        entry = s.pop(i)
+        s.append(entry)  # promote to MRU
+        return entry[1]
+
+    def peek(self, addr):
+        s = self._set(self._line(addr))
+        i = self._find(s, self._line(addr))
+        return INVALID if i < 0 else s[i][1]
+
+    def insert(self, addr, state):
+        line = self._line(addr)
+        s = self._set(line)
+        i = self._find(s, line)
+        if i >= 0:
+            s.pop(i)
+            s.append([line, state])
+            return None
+        victim = None
+        if len(s) >= self.config.assoc:
+            vline, vstate = s.pop(0)  # LRU
+            self.n_evictions += 1
+            if vstate == MODIFIED:
+                self.n_dirty_evictions += 1
+            victim = (vline, vstate)
+        s.append([line, state])
+        return victim
+
+    def set_state(self, addr, state):
+        line = self._line(addr)
+        s = self._set(line)
+        i = self._find(s, line)
+        if i < 0:
+            raise KeyError(addr)
+        s[i][1] = state  # no LRU promotion
+
+    def invalidate(self, addr):
+        line = self._line(addr)
+        s = self._set(line)
+        i = self._find(s, line)
+        return INVALID if i < 0 else s.pop(i)[1]
+
+    def resident(self):
+        return sorted((ln, st) for s in self.sets for ln, st in s)
+
+
+GEOMETRIES = [
+    CacheConfig("direct-mapped", 8 * 1 * 32, 32, 1),
+    CacheConfig("two-way", 4 * 2 * 32, 32, 2),
+    CacheConfig("four-way", 2 * 4 * 64, 64, 4),
+]
+
+
+@pytest.mark.parametrize("config", GEOMETRIES, ids=lambda c: c.name)
+@pytest.mark.parametrize("seed", range(5))
+def test_cache_matches_reference_model(config, seed):
+    rng = random.Random(seed)
+    real, model = SetAssocCache(config), LruModel(config)
+    # 4x more lines than capacity => constant conflict pressure.
+    pool = [
+        line * config.line_size + rng.randrange(config.line_size)
+        for line in range(4 * config.n_lines)
+    ]
+    for _ in range(600):
+        addr = rng.choice(pool)
+        op = rng.randrange(5)
+        if op == 0:
+            assert real.probe(addr) == model.probe(addr)
+        elif op == 1:
+            assert real.peek(addr) == model.peek(addr)
+        elif op == 2:
+            state = rng.choice(STATES)
+            assert real.insert(addr, state) == model.insert(addr, state)
+        elif op == 3:
+            assert real.invalidate(addr) == model.invalidate(addr)
+        else:
+            state = rng.choice(STATES)
+            if model.peek(addr) != INVALID:
+                real.set_state(addr, state)
+                model.set_state(addr, state)
+            else:
+                with pytest.raises(KeyError):
+                    real.set_state(addr, state)
+    assert sorted(real.resident()) == model.resident()
+    assert real.occupancy() == len(model.resident())
+    assert real.n_evictions == model.n_evictions
+    assert real.n_dirty_evictions == model.n_dirty_evictions
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_invalidate_range_equals_per_line_invalidates(seed):
+    config = CacheConfig("two-way", 4 * 2 * 32, 32, 2)
+    rng = random.Random(seed)
+    a, b = SetAssocCache(config), SetAssocCache(config)
+    for _ in range(60):
+        addr = rng.randrange(16 * config.size)
+        state = rng.choice(STATES)
+        a.insert(addr, state)
+        b.insert(addr, state)
+    base = rng.randrange(8 * config.size)
+    nbytes = rng.randrange(1, 8 * config.line_size)
+    hit = a.invalidate_range(base, nbytes)
+    expected = 0
+    first = base // config.line_size
+    last = (base + nbytes - 1) // config.line_size
+    for line in range(first, last + 1):
+        if b.invalidate(line * config.line_size) != INVALID:
+            expected += 1
+    assert hit == expected
+    assert sorted(a.resident()) == sorted(b.resident())
+
+
+@pytest.mark.parametrize("plat", ["hpv", "sgi"])
+@pytest.mark.parametrize("seed", [11, 22, 33])
+def test_directory_state_machine_under_random_stimulus(plat, seed):
+    spec = SyntheticSpec(seed=seed, n_cpus=4, n_batches=5, refs_per_batch=30)
+    aspace, trace = generate(spec)
+    machine = platform(plat, n_cpus=spec.n_cpus).scaled(FUZZ_SCALE_LOG2)
+    ms = MemorySystem(machine, aspace, fast_path=True)
+    with checking(ms, full_every=8) as chk:
+        drive_trace(ms, trace, machine.base_cpi)
+        chk.check_all(at_rest=True)
+    assert chk.n_transitions > 0
+    # Independent of the checker's own code path: recompute the holder
+    # bitmask for every directory entry straight from the caches.
+    for line, entry in ms.engine.directory.items():
+        holders = 0
+        for cpu, h in enumerate(ms.hierarchies):
+            if h.coherent.peek(line) != INVALID:
+                holders |= 1 << cpu
+        assert entry.holders() == holders, f"line {line:#x}"
+
+
+@pytest.mark.parametrize("plat", ["hpv", "sgi"])
+def test_replaying_a_trace_is_deterministic(plat):
+    spec = SyntheticSpec(seed=99, n_cpus=3, n_batches=6, refs_per_batch=35)
+    aspace, trace = generate(spec)
+    machine = platform(plat, n_cpus=spec.n_cpus).scaled(FUZZ_SCALE_LOG2)
+    prints = []
+    for _ in range(2):
+        ms = MemorySystem(machine, aspace, fast_path=True)
+        clocks = drive_trace(ms, trace, machine.base_cpi)
+        prints.append(fingerprint(ms, clocks, spec.n_cpus))
+    assert prints[0] == prints[1]

@@ -1,0 +1,46 @@
+"""Deliberately broken MemorySystem subclasses for the verification
+self-tests.
+
+The acceptance bar for the verify subsystem is that injected bugs are
+*caught*: the invariant checker must flag a protocol violation and the
+differential fuzzer must flag a fast/slow divergence.  These classes
+are the injections — each models a realistic single-point mistake.
+"""
+
+from __future__ import annotations
+
+from repro.mem.memsys import MemorySystem
+
+
+class SkippedInvalidationMemSys(MemorySystem):
+    """Coherence bug: a write that should invalidate the other sharers
+    does all the bookkeeping (directory update, counters, latency) but
+    leaves the stale copies in the caches — the classic forgotten
+    invalidation, violating single-writer/multi-reader."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        engine = self.engine
+
+        def skip_invalidation(e, cpu, line):
+            losers = []
+            mask = e.sharers & ~(1 << cpu)
+            victim = 0
+            while mask:
+                if mask & 1:
+                    engine.n_invalidations += 1  # counted but not done
+                    losers.append(victim)
+                mask >>= 1
+                victim += 1
+            return losers
+
+        engine._invalidate_sharers = skip_invalidation
+
+
+class FastPathClockSkewMemSys(MemorySystem):
+    """Differential bug: the batched fast path charges one extra cycle
+    per batch, so it drifts from the reference per-reference loop
+    without breaking any coherence invariant."""
+
+    def access_batch(self, cpu, batch, now, base_cpi):
+        return super().access_batch(cpu, batch, now, base_cpi) + 1.0
