@@ -45,7 +45,13 @@ def _snap(res):
 
 
 def test_sweep_parallel_speedup(tmp_path, benchmark):
-    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+    # The parallel legs must actually run multi-worker: on a small host
+    # ``os.cpu_count()`` can be 1, which silently measured "parallel"
+    # with one worker (the seed's BENCH entry recorded ``jobs: 1``).
+    # Default to at least 2 (capped at 4 — the grid has 30 cells, more
+    # workers than that just measures spawn overhead at bench scale).
+    env_jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+    jobs = env_jobs if env_jobs > 0 else max(2, min(4, os.cpu_count() or 1))
     cells = figure_grid_cells()
 
     serial = SweepRunner(sim=DEFAULT_SIM, tpch=BENCH_TPCH)
@@ -79,6 +85,7 @@ def test_sweep_parallel_speedup(tmp_path, benchmark):
         "bench": "full_figure_grid",
         "cells": len(cells),
         "jobs": jobs,
+        "host_cpus": os.cpu_count(),
         "sf": BENCH_TPCH.sf,
         "serial_s": round(serial_s, 3),
         "parallel_cold_s": round(parallel_s, 3),

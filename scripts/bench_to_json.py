@@ -37,7 +37,13 @@ def _code_version() -> str:
 
 
 def append_datapoint(name: str, record: dict, root: Path = REPO_ROOT) -> Path:
-    """Append one record to ``BENCH_<name>.json`` (created on demand)."""
+    """Append one record to ``BENCH_<name>.json`` (created on demand).
+
+    The history is never overwritten: existing records are read back
+    and the new one is appended.  The write goes through a temp file +
+    ``os.replace`` so an interrupted benchmark run can't truncate the
+    trajectory.
+    """
     path = bench_path(name, root)
     try:
         history = json.loads(path.read_text())
@@ -51,7 +57,9 @@ def append_datapoint(name: str, record: dict, root: Path = REPO_ROOT) -> Path:
     }
     stamped.update(record)
     history.append(stamped)
-    path.write_text(json.dumps(history, indent=2) + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(history, indent=2) + "\n")
+    tmp.replace(path)
     return path
 
 

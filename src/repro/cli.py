@@ -3,6 +3,7 @@
 ``python -m repro <command>``:
 
 * ``run``        — run one experiment cell and print its counters
+* ``sweep``      — prewarm sweep cells (optionally under cProfile)
 * ``figures``    — regenerate paper figures (all or a selection)
 * ``validate``   — evaluate the paper-claim scoreboard
 * ``verify``     — coherence invariants + differential fuzz + goldens
@@ -95,6 +96,51 @@ def cmd_run(args) -> int:
           f"involuntary={m.invol_switches}")
     print(f"mem latency   : {metrics.mean_memory_latency_cycles(m):.1f} "
           f"cycles/transaction")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep``: run (prewarm) a selection of grid cells.
+
+    With ``--profile FILE`` the first selected cell runs alone under
+    :mod:`cProfile` and the stats are dumped to ``FILE`` (load them
+    with ``pstats.Stats(FILE)``), so perf work starts from data
+    instead of guesses.
+    """
+    import time
+
+    from .core.sweep import NPROC_SWEEP
+    from .tpch.queries import PAPER_QUERIES
+
+    queries = tuple(args.query) if args.query else tuple(PAPER_QUERIES)
+    platforms = tuple(args.platform) if args.platform else ("hpv", "sgi")
+    nprocs = tuple(args.procs) if args.procs else NPROC_SWEEP
+    cells = figure_grid_cells(queries, platforms, nprocs)
+    runner = _make_runner(args)
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        spec = runner._spec(cells[0])
+        prof = cProfile.Profile()
+        prof.enable()
+        run_experiment(spec)
+        prof.disable()
+        prof.dump_stats(args.profile)
+        print(f"profiled cell {cells[0]} -> {args.profile}")
+        pstats.Stats(prof).sort_stats("cumulative").print_stats(12)
+        return 0
+
+    t0 = time.perf_counter()
+    ran = runner.prewarm(cells)
+    dt = time.perf_counter() - t0
+    rate = ran / dt if dt > 0 else float("inf")
+    print(
+        f"sweep: {ran} of {len(cells)} cells ran ({len(cells) - ran} memoized) "
+        f"in {dt:.2f}s — {rate:.2f} cells/sec"
+    )
+    _report_cache(runner)
     return 0
 
 
@@ -233,6 +279,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=1)
     _add_common(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="run sweep cells (optionally profiled)")
+    p.add_argument("--query", action="append", choices=sorted(QUERIES),
+                   help="query (repeatable); default: the paper's three")
+    p.add_argument("--platform", action="append", choices=sorted(PLATFORMS),
+                   help="platform (repeatable); default: both")
+    p.add_argument("--procs", action="append", type=int, metavar="N",
+                   help="process count (repeatable); default: 1 2 4 6 8")
+    p.add_argument("--profile", default=None, metavar="FILE",
+                   help="cProfile the first selected cell into FILE and stop")
+    _add_common(p)
+    _add_sweep_opts(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("figures", help="regenerate paper figures")
     p.add_argument("--fig", action="append", choices=sorted(FIGURES),

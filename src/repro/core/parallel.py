@@ -4,11 +4,34 @@ Every cell of the paper's (query x platform x n_procs) matrix is an
 independent, deterministic simulation — a pure function of its
 :class:`ExperimentSpec` — so the grid is embarrassingly parallel.
 :class:`ParallelSweepRunner` fans missing cells out over a
-``concurrent.futures.ProcessPoolExecutor``; only the frozen spec
-crosses the process boundary (workers rebuild the deterministic TPC-H
-database from ``TPCHConfig`` via the per-interpreter
+``concurrent.futures.ProcessPoolExecutor``; only frozen specs cross
+the process boundary (workers rebuild the deterministic TPC-H database
+from ``TPCHConfig`` via the per-interpreter
 :class:`~repro.core.experiment.DatabaseCache`), and only plain
 dataclasses come back, so nothing unpicklable is ever shipped.
+
+Scheduling
+----------
+Cells differ in cost by more than an order of magnitude (cost grows
+roughly linearly with ``n_procs`` and the join-heavy queries dwarf the
+scan-only ones), so naive FIFO submission lets one straggler serialize
+the tail of the sweep.  Missing cells are therefore:
+
+1. **estimated** — ``n_procs x repetitions x per-query weight``
+   (weights calibrated from profiled cell runtimes);
+2. **packed largest-first (LPT)** into per-worker *chunks*, several
+   chunks per worker so the pool can still rebalance dynamically;
+3. **shipped heaviest-chunk-first**, so the most expensive work starts
+   earliest and finishes inside the envelope of the rest.
+
+Chunks (rather than single-cell tasks) amortize worker spawn and the
+TPC-H database rebuild: every cell in a chunk after the first reuses
+the worker interpreter's ``DatabaseCache`` entry.  When the runner has
+a persistent :class:`~repro.core.resultcache.ResultCache`, its
+directory is handed to the workers, which write each finished cell
+directly to disk — a crash or a failure in a later cell of a chunk
+never loses completed work, and warm workers skip cells another run
+already produced.
 
 Because each cell is deterministic, parallel results are bitwise
 identical to serial ones — the equivalence test in
@@ -19,18 +42,94 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..config import DEFAULT_SIM, SimConfig
 from ..tpch.datagen import TPCHConfig
-from .experiment import DEFAULT_TPCH, ExperimentResult, ExperimentSpec, run_experiment
+from .experiment import (
+    DEFAULT_TPCH,
+    DatabaseCache,
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
 from .resultcache import ResultCache
-from .sweep import SweepRunner, normalize_cell
+from .sweep import CellKey, SweepRunner, normalize_cell
+
+#: Relative single-process cost of one repetition of each query,
+#: calibrated from cProfile wall times of full-scale cells (Q6 is the
+#: pure-scan baseline; Q12 adds the join; Q21 is the four-way
+#: join/anti-join).  Unknown queries get the conservative middle
+#: weight so they neither hide at the tail nor hog the head.
+_QUERY_WEIGHT = {"Q6": 1.0, "Q12": 1.9, "Q21": 3.4}
+_DEFAULT_WEIGHT = 1.9
+
+#: Chunks per worker: >1 so the pool rebalances when estimates are off,
+#: small enough that spawn + database rebuild stays amortized.
+_CHUNKS_PER_WORKER = 3
+
+
+def _estimated_cost(key: CellKey) -> float:
+    """Estimated relative cost of a cell: the simulated CPUs each emit
+    a reference stream, so cost scales with ``n_procs x repetitions``
+    times the query's weight."""
+    query, _platform, n_procs, repetitions, _mode = key
+    return n_procs * repetitions * _QUERY_WEIGHT.get(query, _DEFAULT_WEIGHT)
+
+
+def _make_chunks(missing: Sequence[CellKey], n_chunks: int) -> List[List[CellKey]]:
+    """LPT-pack cells into at most ``n_chunks`` chunks, heaviest first.
+
+    Longest-processing-time-first greedy: walk cells in decreasing
+    estimated cost, always adding to the lightest chunk.  Returns the
+    non-empty chunks ordered heaviest-total-first, which is also the
+    submission order.
+    """
+    n_chunks = max(1, min(n_chunks, len(missing)))
+    ordered = sorted(missing, key=_estimated_cost, reverse=True)
+    chunks: List[List[CellKey]] = [[] for _ in range(n_chunks)]
+    loads = [0.0] * n_chunks
+    for key in ordered:
+        i = loads.index(min(loads))
+        chunks[i].append(key)
+        loads[i] += _estimated_cost(key)
+    pairs = [(load, chunk) for load, chunk in zip(loads, chunks) if chunk]
+    pairs.sort(key=lambda p: p[0], reverse=True)
+    return [chunk for _load, chunk in pairs]
 
 
 def _run_cell(spec: ExperimentSpec) -> ExperimentResult:
-    """Worker entry point (module-level so it pickles by reference)."""
+    """Single-cell worker entry point (module-level so it pickles by
+    reference).  Kept for API compatibility and tests."""
     return run_experiment(spec)
+
+
+def _run_chunk(
+    specs: Sequence[ExperimentSpec], cache_dir: Optional[str]
+) -> Tuple[List[ExperimentResult], Optional[Tuple[int, BaseException]]]:
+    """Chunk worker entry point: run ``specs`` in order.
+
+    Returns ``(results, failure)`` where ``failure`` is ``None`` on
+    success or ``(index, exception)`` for the first cell that raised —
+    the results of the cells before it are still returned, so the
+    parent can memoize partial progress.  With a ``cache_dir``, each
+    cell is first looked up in (and, when run, written to) the shared
+    on-disk result cache, so warm workers skip cells and a mid-chunk
+    failure never loses finished cells.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results: List[ExperimentResult] = []
+    for i, spec in enumerate(specs):
+        try:
+            result = cache.get(spec) if cache is not None else None
+            if result is None:
+                result = run_experiment(spec)
+                if cache is not None:
+                    cache.put(spec, result)
+        except Exception as exc:  # surfaced, with the cell, by the parent
+            return results, (i, exc)
+        results.append(result)
+    return results, None
 
 
 class ParallelSweepRunner(SweepRunner):
@@ -66,27 +165,42 @@ class ParallelSweepRunner(SweepRunner):
         if not missing:
             return 0
         if self.jobs == 1 or len(missing) == 1:
-            for key in missing:
+            # Heaviest-first even serially: a failure surfaces sooner on
+            # the cells most likely to be misconfigured (big n_procs).
+            for key in sorted(missing, key=_estimated_cost, reverse=True):
                 self._store(key, run_experiment(self._spec(key)))
             return len(missing)
+
         workers = min(self.jobs, len(missing))
+        chunks = _make_chunks(missing, workers * _CHUNKS_PER_WORKER)
+        cache_dir = str(self.cache.directory) if self.cache is not None else None
+        # Build the database in the parent first: fork-start workers
+        # then inherit the page images instead of regenerating TPC-H
+        # once per interpreter (spawn-start platforms still rebuild,
+        # but only once per worker thanks to chunking).
+        DatabaseCache.get(self.tpch)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_run_cell, self._spec(key)): key for key in missing
+                pool.submit(
+                    _run_chunk, [self._spec(k) for k in chunk], cache_dir
+                ): chunk
+                for chunk in chunks
             }
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in done:
-                    # .result() re-raises worker exceptions here, in the
-                    # parent, with the cell attached for context.
-                    try:
-                        result = fut.result()
-                    except Exception as exc:
+                    chunk = futures[fut]
+                    # .result() re-raises pool-level errors (e.g. a
+                    # killed worker) here in the parent.
+                    results, failure = fut.result()
+                    for key, result in zip(chunk, results):
+                        self._store(key, result)
+                    if failure is not None:
+                        index, exc = failure
                         for f in pending:
                             f.cancel()
                         raise RuntimeError(
-                            f"sweep cell {futures[fut]} failed in worker"
+                            f"sweep cell {chunk[index]} failed in worker"
                         ) from exc
-                    self._store(futures[fut], result)
         return len(missing)

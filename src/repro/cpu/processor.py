@@ -33,10 +33,12 @@ class Processor:
         model, so it must be the owning process's current CPU clock.
 
         With ``memsys.fast_path`` (the default) the whole batch is
-        handed to :meth:`MemorySystem.access_batch`, which resolves
-        private L1 hits in bulk; the slow per-reference loop below is
-        kept as the reference implementation and produces bitwise
-        identical counters and timing.
+        handed to :meth:`MemorySystem.access_batch` — the hierarchy-wide
+        batched engine that resolves private L1 hits, clean L2 hits,
+        silent E->M upgrades and same-line spatial runs inline with bulk
+        counter updates; the slow per-reference loop below is kept as
+        the reference implementation and produces bitwise identical
+        counters and timing.
         """
         base_cpi = self.machine.base_cpi
         memsys = self.memsys

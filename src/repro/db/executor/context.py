@@ -120,10 +120,14 @@ class ExecContext:
     def scratch_refs(self, rb, n: int, instrs_each: int) -> None:
         """Touch ``n`` lines of the private scratch ring (expression
         nodes, per-tuple memory context) charging ``instrs_each``."""
-        ws = self.ws
+        scratch_addr = self.ws.scratch_addr
         c = self._scratch_counter
-        for i in range(n):
-            rb.add(ws.scratch_addr(c + i), True, instrs_each, DataClass.PRIVATE)
+        rb.add_many(
+            [scratch_addr(c + i) for i in range(n)],
+            True,
+            instrs_each,
+            DataClass.PRIVATE,
+        )
         self._scratch_counter = c + n
 
     def hint_bit_write(self, table, row_idx: int) -> bool:

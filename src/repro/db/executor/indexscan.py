@@ -46,8 +46,13 @@ def _descend_refs(
             yield from ctx.read_buffer(index.relid, node.pageno)
         probes = _binary_search_slots(len(node.keys), slot)
         per_probe = max(1, costs.index_descend_level // len(probes))
-        for p in probes:
-            rb.add(index.entry_addr(node, p), False, per_probe, DataClass.INDEX)
+        entry_addr = index.entry_addr
+        rb.add_many(
+            [entry_addr(node, p) for p in probes],
+            False,
+            per_probe,
+            DataClass.INDEX,
+        )
         yield rb.build()
 
 

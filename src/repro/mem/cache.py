@@ -84,6 +84,7 @@ class SetAssocCache:
         "_sets",
         "_line_shift",
         "_set_mask",
+        "_assoc",
         "n_evictions",
         "n_dirty_evictions",
     )
@@ -92,6 +93,7 @@ class SetAssocCache:
         self.config = config
         self._line_shift = config.line_shift
         self._set_mask = config.n_sets - 1
+        self._assoc = config.assoc
         self._sets: List["OrderedDict[int, int]"] = [
             OrderedDict() for _ in range(config.n_sets)
         ]
@@ -106,6 +108,18 @@ class SetAssocCache:
     def line_base(self, line: int) -> int:
         """First byte address of line number ``line``."""
         return line << self._line_shift
+
+    def hot_view(self) -> Tuple[List["OrderedDict[int, int]"], int, int]:
+        """Batched-engine entry point: ``(sets, line_shift, set_mask)``.
+
+        A batch loop hoists these into locals once and then performs
+        probe/promote/set-state against the set dictionaries directly,
+        saving a method call per reference.  Callers must mirror
+        :meth:`probe` semantics exactly (``move_to_end`` on every hit);
+        anything that inserts or evicts still goes through
+        :meth:`insert` so the eviction counters stay correct.
+        """
+        return self._sets, self._line_shift, self._set_mask
 
     # -- core operations -------------------------------------------------
     def probe(self, addr: int) -> int:
@@ -137,7 +151,7 @@ class SetAssocCache:
             s.move_to_end(line)
             return None
         victim = None
-        if len(s) >= self.config.assoc:
+        if len(s) >= self._assoc:
             vline, vstate = s.popitem(last=False)  # LRU victim
             self.n_evictions += 1
             if vstate == 3:  # MODIFIED

@@ -34,6 +34,15 @@ class CacheHierarchy:
         self.coherent_line_size = self.coherent.config.line_size
         self.has_l2 = len(self.levels) == 2
 
+    def batch_views(self):
+        """Batched-engine entry point: the L1's hot view plus (for
+        two-level hierarchies) the coherent level's, else ``None``.
+        See :meth:`SetAssocCache.hot_view` for the contract."""
+        return (
+            self.l1.hot_view(),
+            self.coherent.hot_view() if self.has_l2 else None,
+        )
+
     # -- state maintenance -------------------------------------------------
     def fill(self, addr: int, state: int) -> Optional[Tuple[int, int]]:
         """Install the line(s) for ``addr`` in ``state`` at every level.

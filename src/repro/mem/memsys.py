@@ -15,7 +15,7 @@ maintains all counters the paper's figures need:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import CoherenceError
 from ..trace.address import AddressSpace
@@ -149,12 +149,54 @@ class MemorySystem:
         self._exposure = machine.latency.exposure
         self._l2_hit = machine.latency.l2_hit
         self._has_l2 = len(machine.caches) == 2
+        #: Exposed stall of a clean L2 hit — constant per machine, so
+        #: computed once instead of per hit.
+        self._l2_stall = int(self._l2_hit * self._exposure)
         self._coh_mask = ~(machine.coherence_line_size - 1)
         # miss-classification memory
         self._ever_cached: List[Set[int]] = [set() for _ in range(machine.n_cpus)]
         self._lost_to_inval: List[Set[int]] = [set() for _ in range(machine.n_cpus)]
         # NUMA home placement, resolved per segment
         self._home_by_seg: Dict[int, int] = {}
+        #: One-entry (base, end, home) span cache for :meth:`_home` —
+        #: coherent misses stream through segments, so consecutive
+        #: lookups almost always land in the same one.  Valid because a
+        #: segment's range and home never change once allocated.
+        self._home_span: Tuple[int, int, int] = (1, 0, 0)
+        #: Per-CPU hoisted state for :meth:`access_batch`: one tuple
+        #: unpack replaces ~15 attribute lookups and method binds per
+        #: batch (batches average tens of references, so the prologue
+        #: is a measurable share of the engine's time).  Everything in
+        #: here is structurally stable for the life of the memsys: the
+        #: stats/hierarchy objects are never replaced, ``flush`` clears
+        #: the set dicts in place, and the bound helpers captured here
+        #: are the *unobserved* ones — attaching an observer shadows
+        #: ``access_batch`` itself, so this context is never consulted
+        #: while observation is on.
+        self._batch_ctx = []
+        for cpu in range(machine.n_cpus):
+            h = self.hierarchies[cpu]
+            l1_sets, l1_shift, l1_mask = h.l1.hot_view()
+            if h.has_l2:
+                l2_sets, l2_shift, l2_mask = h.coherent.hot_view()
+            else:
+                l2_sets = l2_shift = l2_mask = None
+            self._batch_ctx.append((
+                self.stats[cpu],
+                h,
+                h.l1,
+                l1_sets,
+                l1_shift,
+                l1_mask,
+                h.l1.config.assoc,
+                l2_sets,
+                l2_shift,
+                l2_mask,
+                h.set_state,
+                self._coherent_miss,
+                self._do_upgrade,
+                self.engine.note_silent_upgrade,
+            ))
 
     # -- NUMA placement -------------------------------------------------------
     def _home(self, addr: int) -> int:
@@ -164,6 +206,9 @@ class MemorySystem:
         are first-touch homed on their owner's node."""
         if self._uma:
             return 0
+        lo, hi, home = self._home_span
+        if lo <= addr < hi:
+            return home
         seg = self.aspace.find(addr)
         home = self._home_by_seg.get(seg.base)
         if home is None:
@@ -176,6 +221,7 @@ class MemorySystem:
                 idx = self.aspace.segments.index(seg)
                 home = nodes[idx % len(nodes)] % self.topology.n_nodes
             self._home_by_seg[seg.base] = home
+        self._home_span = (seg.base, seg.end, home)
         return home
 
     # -- the hot path -----------------------------------------------------------
@@ -213,7 +259,7 @@ class MemorySystem:
         h: CacheHierarchy,
     ) -> int:
         """Everything below the L1: L2 hit, or directory transaction.
-        Shared by :meth:`access` and :meth:`access_batch`."""
+        Shared by :meth:`access` and the observed batch path."""
         st.level1_misses += 1
         st.level1_misses_by_class[cls] += 1
 
@@ -221,7 +267,7 @@ class MemorySystem:
             cstate = h.coherent.probe(addr)
             if cstate:
                 st.l2_hits += 1
-                stall = int(self._l2_hit * self._exposure)
+                stall = self._l2_stall
                 if is_write:
                     if cstate == SHARED:
                         stall += self._do_upgrade(cpu, addr, now, st, h)
@@ -235,7 +281,22 @@ class MemorySystem:
                 st.stall_cycles += stall
                 return stall
 
-        # coherent-level miss: directory transaction
+        return self._coherent_miss(cpu, addr, is_write, cls, now, st, h)
+
+    def _coherent_miss(
+        self,
+        cpu: int,
+        addr: int,
+        is_write: bool,
+        cls: int,
+        now: int,
+        st: CpuMemStats,
+        h: CacheHierarchy,
+    ) -> int:
+        """The directory transaction below every cache level.  Split
+        from :meth:`_miss` so the batched engine, which resolves the
+        L1-miss bookkeeping and the L2 probe inline, can enter the
+        hierarchy exactly here."""
         home = self._home(addr)
         if is_write:
             lat, kind, losers = self.engine.write_miss(cpu, addr, home, now)
@@ -268,25 +329,205 @@ class MemorySystem:
         """Run a whole :class:`~repro.trace.stream.RefBatch`; return the
         float cycles it consumed (the caller truncates once per batch).
 
-        References whose lines are already resident in the issuing
-        CPU's L1 in a private state (E/M, or S for reads) cost zero
-        stall and generate no protocol traffic, so they are resolved
-        here with the L1's set structure accessed directly and their
-        read/write counts applied in one bulk update at the end.
-        Upgrades and misses go straight to the same :meth:`_do_upgrade`
-        / :meth:`_miss` helpers :meth:`access` uses, with the L1 probe
-        already done.  The cost accumulation mirrors
-        :meth:`Processor.run_batch`'s slow loop operation-for-operation
-        (same float additions in the same order), so counters and
-        timing are bitwise identical either way;
-        ``SimConfig.fast_path=False`` forces the slow loop and the
-        equivalence suite compares the two counter-for-counter.
+        The hierarchy-wide batched engine.  Everything that generates
+        no directory transaction is resolved inline against the cache
+        set structures (via :meth:`SetAssocCache.hot_view`), with the
+        counters applied in bulk at the end of the batch:
+
+        * private L1 hits (E/M, or S for reads) — zero stall,
+        * spatial runs — consecutive references to the same L1 line
+          skip the set lookup and MRU promotion entirely (the line is
+          already MRU and its state is tracked in a local),
+        * silent E→M upgrades on L1 or L2 hits,
+        * clean L2 hits, including the L1 refill and the constant
+          exposed L2 stall.
+
+        Only ownership upgrades and coherent-level misses leave the
+        loop, entering the hierarchy at the same :meth:`_do_upgrade` /
+        :meth:`_coherent_miss` helpers :meth:`access` uses.  The cost
+        accumulation mirrors :meth:`Processor.run_batch`'s slow loop
+        operation-for-operation (same float additions in the same
+        order, same dictionary operations on every cache set), so
+        counters, timing, and final cache state are bitwise identical
+        either way; ``SimConfig.fast_path=False`` forces the slow loop
+        and the equivalence suites compare the two counter-for-counter.
+
+        When a transition observer is attached this method is shadowed
+        by :meth:`_access_batch_observed`, which routes every L1 miss
+        through :meth:`_miss` so the observer sees the exact per-
+        reference hook sequence of the slow path.
         """
+        (
+            st,
+            h,
+            l1,
+            l1_sets,
+            l1_shift,
+            l1_mask,
+            l1_assoc,
+            l2_sets,
+            l2_shift,
+            l2_mask,
+            set_state,
+            coherent_miss,
+            do_upgrade,
+            note_silent,
+        ) = self._batch_ctx[cpu]
+        has_l2 = l2_sets is not None
+        l2_stall = self._l2_stall
+        modified = MODIFIED
+        exclusive = EXCLUSIVE
+        shared = SHARED
+        n_reads = 0
+        n_writes = 0
+        n_l1_miss = 0
+        n_l2_hits = 0
+        n_silent = 0
+        n_l1_evict = 0
+        n_l1_dirty = 0
+        l2_stall_sum = 0
+        by_class = None  # lazily allocated: most batches never miss
+        run_line = -1  # spatial-run tracking: L1 line of the previous ref
+        run_state = 0
+        cycles = 0.0
+        t = float(now)
+        for addr, is_write, instrs, cls in zip(
+            batch.addrs, batch.writes, batch.instrs, batch.classes
+        ):
+            cost = instrs * base_cpi
+            line = addr >> l1_shift
+            if line == run_line:
+                # Same line as the previous reference: it is resident
+                # and already MRU, so no set lookup or promotion — the
+                # probe the slow path performs would be a no-op.
+                if not is_write:
+                    n_reads += 1
+                    cycles += cost
+                    t += cost
+                    continue
+                n_writes += 1
+                state = run_state
+                if state != modified:
+                    if state == exclusive:
+                        set_state(addr, modified)
+                        note_silent(cpu, addr)
+                        n_silent += 1
+                        run_state = modified
+                    else:
+                        # write hit on SHARED: ownership upgrade
+                        cost += do_upgrade(cpu, addr, int(t + cost), st, h)
+                        run_line = -1
+                cycles += cost
+                t += cost
+                continue
+            cset = l1_sets[line & l1_mask]
+            state = cset.get(line, 0)
+            if state:
+                cset.move_to_end(line)  # the MRU promotion probe() does
+                if not is_write or state == modified:
+                    # private hit: no stall, no protocol traffic
+                    if is_write:
+                        n_writes += 1
+                    else:
+                        n_reads += 1
+                    run_line = line
+                    run_state = state
+                    cycles += cost
+                    t += cost
+                    continue
+                n_writes += 1
+                if state == exclusive:
+                    set_state(addr, modified)
+                    note_silent(cpu, addr)
+                    n_silent += 1
+                    run_line = line
+                    run_state = modified
+                else:
+                    # write hit on SHARED: ownership upgrade
+                    cost += do_upgrade(cpu, addr, int(t + cost), st, h)
+                    run_line = -1
+                cycles += cost
+                t += cost
+                continue
+            # L1 miss.  An upgrade, refill, or eviction below may touch
+            # the tracked line, so the run ends here.
+            run_line = -1
+            if is_write:
+                n_writes += 1
+            else:
+                n_reads += 1
+            n_l1_miss += 1
+            if by_class is None:
+                by_class = [0] * NUM_CLASSES
+            by_class[cls] += 1
+            if has_l2:
+                l2_line = addr >> l2_shift
+                l2_set = l2_sets[l2_line & l2_mask]
+                cstate = l2_set.get(l2_line, 0)
+                if cstate:
+                    l2_set.move_to_end(l2_line)  # probe()'s promotion
+                    n_l2_hits += 1
+                    stall = l2_stall
+                    if is_write:
+                        if cstate == shared:
+                            stall += do_upgrade(
+                                cpu, addr, int(t + cost), st, h
+                            )
+                            cstate = modified
+                        elif cstate == exclusive:
+                            # silent E→M in the L2 (resident: no insert)
+                            l2_set[l2_line] = modified
+                            note_silent(cpu, addr)
+                            n_silent += 1
+                            cstate = modified
+                    # Inline L1 refill: the reference missed the L1
+                    # this very iteration, so the line is known absent
+                    # and :meth:`SetAssocCache.insert` reduces to the
+                    # eviction check + store (counters flushed below).
+                    if len(cset) >= l1_assoc:
+                        if cset.popitem(last=False)[1] == modified:
+                            n_l1_dirty += 1
+                        n_l1_evict += 1
+                    cset[line] = cstate
+                    run_line = line
+                    run_state = cstate
+                    l2_stall_sum += stall
+                    cost += stall
+                    cycles += cost
+                    t += cost
+                    continue
+            cost += coherent_miss(cpu, addr, is_write, cls, int(t + cost), st, h)
+            cycles += cost
+            t += cost
+        st.reads += n_reads
+        st.writes += n_writes
+        if n_l1_miss:
+            st.level1_misses += n_l1_miss
+            cls_counts = st.level1_misses_by_class
+            for i, n in enumerate(by_class):
+                if n:
+                    cls_counts[i] += n
+        if n_l2_hits:
+            st.l2_hits += n_l2_hits
+            st.stall_cycles += l2_stall_sum
+        if n_l1_evict:
+            l1.n_evictions += n_l1_evict
+            l1.n_dirty_evictions += n_l1_dirty
+        if n_silent:
+            st.silent_upgrades += n_silent
+        return cycles
+
+    def _access_batch_observed(
+        self, cpu: int, batch, now: int, base_cpi: float
+    ) -> float:
+        """Batch execution with an observer attached: private L1 hits
+        are still resolved inline (they trigger no observer hook), but
+        every L1 miss goes through :meth:`_miss` — shadowed to its
+        observing wrapper — so the observer sees the same transition
+        sequence as the per-reference slow path."""
         st = self.stats[cpu]
         h = self.hierarchies[cpu]
-        l1_sets = h.l1._sets
-        line_shift = h.l1._line_shift
-        set_mask = h.l1._set_mask
+        (l1_sets, line_shift, set_mask), _ = h.batch_views()
         miss = self._miss
         modified = MODIFIED
         exclusive = EXCLUSIVE
@@ -382,6 +623,7 @@ class MemorySystem:
         self._observer = observer
         self._miss = self._miss_observed
         self._do_upgrade = self._do_upgrade_observed
+        self.access_batch = self._access_batch_observed
         engine = self.engine
         orig_note = engine.note_silent_upgrade
         after = observer.after_silent_upgrade
@@ -398,6 +640,7 @@ class MemorySystem:
             return
         del self._miss
         del self._do_upgrade
+        del self.access_batch
         del self.engine.note_silent_upgrade
         self._observer = None
 

@@ -62,6 +62,15 @@ class Kernel:
             [] for _ in range(machine.n_cpus)
         ]
         self._cpu_clock: List[int] = [0] * machine.n_cpus
+        #: CPUs that have ever had a process pinned — processes never
+        #: migrate, so every other CPU stays idle for the whole run and
+        #: the scheduling scan can skip it (the paper's machines have
+        #: 16-32 CPUs but the experiments use at most 8 processes).
+        self._active_cpus: List[int] = []
+        #: Count of not-yet-done processes, maintained at spawn and at
+        #: process exit so the preemption-noise model doesn't rescan
+        #: the process table every step.
+        self._n_live = 0
         #: (interval, next_due, callback) registered via add_sampler.
         self._samplers: List[list] = []
         self.n_steps = 0
@@ -91,6 +100,10 @@ class Kernel:
         proc = SimProcess(pid, cpu, gen, Processor(cpu, self.machine, self.memsys))
         self.processes.append(proc)
         self._queues[cpu].append(proc)
+        if cpu not in self._active_cpus:
+            self._active_cpus.append(cpu)
+            self._active_cpus.sort()
+        self._n_live += 1
         return proc
 
     # -- time bookkeeping ---------------------------------------------------------
@@ -128,19 +141,36 @@ class Kernel:
     def run(self, max_steps: int = 500_000_000) -> None:
         """Run every process to completion."""
         steps = 0
+        # Hot-loop locals: the scan below runs once per delivered event.
+        queues = self._queues
+        sleeping = self._sleeping
+        cpu_clock = self._cpu_clock
+        active_cpus = self._active_cpus
+        samplers = self._samplers
         while True:
+            # Inline of _next_time over the active CPUs only: ascending
+            # CPU order with strict '<' keeps the seed's tie-breaking
+            # (lowest CPU id wins) bit-for-bit.
             best_cpu = -1
             best_time = None
-            for cpu in range(self.machine.n_cpus):
-                t = self._next_time(cpu)
-                if t is not None and (best_time is None or t < best_time):
+            for cpu in active_cpus:
+                if queues[cpu]:
+                    t = cpu_clock[cpu]
+                elif sleeping[cpu]:
+                    t = min(p.wake_at for p in sleeping[cpu])
+                    if t < cpu_clock[cpu]:
+                        t = cpu_clock[cpu]
+                else:
+                    continue
+                if best_time is None or t < best_time:
                     best_cpu, best_time = cpu, t
             if best_cpu < 0:
                 break  # everything is done
-            for sampler in self._samplers:
-                while sampler[1] <= best_time:
-                    sampler[2](sampler[1])
-                    sampler[1] += sampler[0]
+            if samplers:
+                for sampler in samplers:
+                    while sampler[1] <= best_time:
+                        sampler[2](sampler[1])
+                        sampler[1] += sampler[0]
             self._admit_sleepers(best_cpu)
             queue = self._queues[best_cpu]
             if not queue:
@@ -174,6 +204,7 @@ class Kernel:
             except StopIteration as stop:
                 proc.state = STATE_DONE
                 proc.result = stop.value
+                self._n_live -= 1
                 return
 
         if isinstance(ev, RefBatch):
@@ -246,7 +277,7 @@ class Kernel:
             # Daemon/system preemption noise grows with machine load.
             delta = proc.thread_cycles - proc.noise_mark
             proc.noise_mark = proc.thread_cycles
-            n_busy = sum(1 for p in self.processes if not p.done)
+            n_busy = self._n_live
             if n_busy > 1:
                 rate = self.sim.preempt_noise_per_mcycles * (n_busy - 1)
                 proc.noise_accum += delta * rate / 1e6

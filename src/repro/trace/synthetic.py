@@ -52,10 +52,26 @@ class SyntheticSpec:
     #: any machine model) guarantees distinct pool slots are distinct
     #: coherence lines on both platforms.
     line_size: int = 128
+    #: Weight of the ``l2_reuse`` pattern: a cyclic walk over a per-CPU
+    #: private pool sized to overflow the (scaled) L1 while fitting the
+    #: L2, so revisits produce clean L2 hits — the branch the batched
+    #: engine resolves inline on two-level machines.  ``0`` (the
+    #: default) disables the pattern *and* its segments, keeping traces
+    #: for pre-existing specs byte-identical.
+    w_l2_reuse: int = 0
+    #: Weight of the ``upgrade`` pattern: read-then-write pairs on a
+    #: mostly-per-CPU slice of a shared pool, driving silent E->M
+    #: upgrades (and, on the cross-CPU picks, S-write upgrade
+    #: transactions).  ``0`` disables it, as above.
+    w_upgrade: int = 0
+    n_l2_pool_lines: int = 96    # per CPU, used when w_l2_reuse > 0
+    n_upgrade_lines: int = 8     # per CPU, used when w_upgrade > 0
 
     def __post_init__(self) -> None:
         if self.n_cpus < 1 or self.n_batches < 0 or self.refs_per_batch < 1:
             raise ValueError("malformed SyntheticSpec")
+        if self.w_l2_reuse < 0 or self.w_upgrade < 0:
+            raise ValueError("pattern weights must be >= 0")
 
 
 def build_address_space(spec: SyntheticSpec) -> AddressSpace:
@@ -76,6 +92,24 @@ def build_address_space(spec: SyntheticSpec) -> AddressSpace:
             shared=False,
             owner_cpu=cpu,
         )
+    # Knob-gated segments go *after* the original layout so traces for
+    # specs with the knobs off keep their exact historical addresses.
+    if spec.w_upgrade > 0:
+        aspace.alloc(
+            "syn.upgrade",
+            spec.n_upgrade_lines * spec.n_cpus * spec.line_size,
+            DataClass.META,
+            shared=True,
+        )
+    if spec.w_l2_reuse > 0:
+        for cpu in range(spec.n_cpus):
+            aspace.alloc(
+                f"syn.l2pool{cpu}",
+                spec.n_l2_pool_lines * spec.line_size,
+                DataClass.PRIVATE,
+                shared=False,
+                owner_cpu=cpu,
+            )
     return aspace
 
 
@@ -92,8 +126,17 @@ def generate(spec: SyntheticSpec) -> Tuple[AddressSpace, List[List[RefBatch]]]:
 
     patterns = [p for p, _ in _PATTERNS]
     weights = [w for _, w in _PATTERNS]
+    if spec.w_upgrade > 0:
+        upgrade_seg = aspace.segment("syn.upgrade")
+        patterns.append("upgrade")
+        weights.append(spec.w_upgrade)
+    if spec.w_l2_reuse > 0:
+        l2pools = [aspace.segment(f"syn.l2pool{c}") for c in range(spec.n_cpus)]
+        patterns.append("l2_reuse")
+        weights.append(spec.w_l2_reuse)
     step = spec.line_size
     cursors = [0] * spec.n_cpus  # per-CPU streaming position
+    l2_cursors = [0] * spec.n_cpus  # per-CPU l2_reuse walk position
     out: List[List[RefBatch]] = []
     for cpu in range(spec.n_cpus):
         batches: List[RefBatch] = []
@@ -125,6 +168,30 @@ def generate(spec: SyntheticSpec) -> Tuple[AddressSpace, List[List[RefBatch]]]:
                     refs.append((meta.base + step * slot,
                                  rng.random() < 0.7, instrs,
                                  int(DataClass.META)))
+                elif pat == "upgrade":
+                    # Read-then-write: the read installs the line (E on
+                    # the private-slice picks, S on cross-CPU overlap),
+                    # the write then upgrades it — silently for E,
+                    # through the directory for S.
+                    if rng.random() < 0.9:
+                        slot = cpu * spec.n_upgrade_lines + rng.randrange(
+                            spec.n_upgrade_lines
+                        )
+                    else:
+                        slot = rng.randrange(spec.n_upgrade_lines * spec.n_cpus)
+                    addr = upgrade_seg.base + step * slot
+                    refs.append((addr, False, instrs, int(DataClass.META)))
+                    refs.append((addr, True, 2, int(DataClass.META)))
+                elif pat == "l2_reuse":
+                    # Cyclic walk: once the pool has been visited, every
+                    # revisit has fallen out of a small L1 but sits in
+                    # the L2 — a clean L2 hit (or an occasional dirty
+                    # one, via the rare writes).
+                    slot = l2_cursors[cpu] % spec.n_l2_pool_lines
+                    l2_cursors[cpu] += 1
+                    addr = l2pools[cpu].base + step * slot
+                    refs.append((addr, rng.random() < 0.15, instrs,
+                                 int(DataClass.PRIVATE)))
                 else:  # lock: read-modify-write on a contended word
                     addr = lock.base + step * rng.randrange(spec.n_locks)
                     refs.append((addr, False, instrs, int(DataClass.LOCK)))

@@ -361,6 +361,11 @@ def fuzz(
             n_shared_lines=rng.choice((8, 16, 24)),
             n_private_lines=rng.choice((16, 32)),
             p_write=rng.choice((0.1, 0.3, 0.5)),
+            # Push the batched engine's inline L2-hit and upgrade
+            # branches as hard as the L1 one: most rounds enable the
+            # dedicated patterns (0 keeps a share of pure-legacy mixes).
+            w_l2_reuse=rng.choice((0, 15, 30)),
+            w_upgrade=rng.choice((0, 10, 20)),
         )
         aspace, trace = generate(spec)
         report.rounds += 1

@@ -1,0 +1,122 @@
+"""Hierarchy-wide batched engine vs the per-reference slow path.
+
+``MemorySystem.access_batch`` resolves clean L2 hits, silent E->M
+upgrades, and same-line spatial runs inline — branches the TPC-H
+workloads exercise only incidentally.  This suite drives synthetic
+mixes built specifically to hammer those branches (the ``w_l2_reuse``
+and ``w_upgrade`` knobs of :class:`SyntheticSpec`) through the fast
+and slow paths and requires bitwise-identical fingerprints: every
+counter, both cache levels' contents, the directory, and the clocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.machine import platform
+from repro.mem.memsys import MemorySystem
+from repro.trace.synthetic import SyntheticSpec, build_address_space, generate
+from repro.verify.fuzz import FUZZ_SCALE_LOG2, drive_trace, fingerprint
+
+#: Pool of 40 coherence lines: overflows the scaled L1 (2 lines) while
+#: fitting the scaled sgi L2 (64 lines), so revisits are clean L2 hits.
+L2_HEAVY = dict(w_l2_reuse=60, n_l2_pool_lines=40, n_batches=16)
+UPGRADE_HEAVY = dict(w_upgrade=50, n_batches=16)
+
+
+def run_both(plat: str, spec: SyntheticSpec):
+    """Fast and slow fingerprints (plus the fast memsys) for one mix."""
+    aspace, trace = generate(spec)
+    machine = platform(plat, n_cpus=spec.n_cpus).scaled(FUZZ_SCALE_LOG2)
+    prints = {}
+    fast_ms = None
+    for fast in (False, True):
+        ms = MemorySystem(machine, aspace, fast_path=fast)
+        clocks = drive_trace(ms, trace, machine.base_cpi)
+        prints[fast] = fingerprint(ms, clocks, spec.n_cpus)
+        if fast:
+            fast_ms = ms
+    return prints[False], prints[True], fast_ms
+
+
+@pytest.mark.parametrize("plat", ["hpv", "sgi"])
+@pytest.mark.parametrize("seed", [7, 1013])
+def test_l2_heavy_mix_bitwise_equal(plat, seed):
+    spec = SyntheticSpec(seed=seed, n_cpus=3, **L2_HEAVY)
+    slow, fast, _ = run_both(plat, spec)
+    assert slow == fast
+
+
+@pytest.mark.parametrize("plat", ["hpv", "sgi"])
+@pytest.mark.parametrize("seed", [11, 2711])
+def test_upgrade_heavy_mix_bitwise_equal(plat, seed):
+    spec = SyntheticSpec(seed=seed, n_cpus=3, **UPGRADE_HEAVY)
+    slow, fast, _ = run_both(plat, spec)
+    assert slow == fast
+
+
+@pytest.mark.parametrize("plat", ["hpv", "sgi"])
+def test_combined_mix_bitwise_equal(plat):
+    spec = SyntheticSpec(
+        seed=42, n_cpus=4, w_l2_reuse=30, w_upgrade=25,
+        n_l2_pool_lines=40, n_batches=12, p_write=0.5,
+    )
+    slow, fast, _ = run_both(plat, spec)
+    assert slow == fast
+
+
+def test_l2_heavy_mix_actually_hits_the_l2():
+    """The mix must exercise the branch it exists to test."""
+    spec = SyntheticSpec(seed=7, n_cpus=3, **L2_HEAVY)
+    _, _, ms = run_both("sgi", spec)
+    assert sum(st.l2_hits for st in ms.stats) > 0
+
+
+def test_upgrade_heavy_mix_actually_upgrades():
+    spec = SyntheticSpec(seed=11, n_cpus=3, **UPGRADE_HEAVY)
+    _, _, ms = run_both("sgi", spec)
+    assert sum(st.silent_upgrades for st in ms.stats) > 0
+    assert sum(st.upgrades for st in ms.stats) > 0
+
+
+class TestKnobGating:
+    """Weight-0 knobs must leave pre-existing specs untouched: same
+    segments, same addresses, same trace, so fuzz seeds recorded before
+    the knobs existed still reproduce byte-identically."""
+
+    def test_no_gated_segments_at_weight_zero(self):
+        spec = SyntheticSpec(seed=3)
+        aspace = build_address_space(spec)
+        names = {seg.name for seg in aspace.segments}
+        assert "syn.upgrade" not in names
+        assert not any(n.startswith("syn.l2pool") for n in names)
+
+    def test_gated_segments_appear_after_legacy_layout(self):
+        base = build_address_space(SyntheticSpec(seed=3))
+        knobbed = build_address_space(
+            SyntheticSpec(seed=3, w_l2_reuse=10, w_upgrade=10)
+        )
+        n = len(base.segments)
+        assert [s.name for s in knobbed.segments[:n]] == [
+            s.name for s in base.segments
+        ]
+        assert [s.base for s in knobbed.segments[:n]] == [
+            s.base for s in base.segments
+        ]
+
+    def test_weight_zero_trace_identical_to_legacy(self):
+        _, legacy = generate(SyntheticSpec(seed=99, n_cpus=2))
+        _, gated = generate(
+            SyntheticSpec(seed=99, n_cpus=2, w_l2_reuse=0, w_upgrade=0)
+        )
+        assert [
+            [(b.addrs, b.writes, b.instrs, b.classes) for b in cpu]
+            for cpu in legacy
+        ] == [
+            [(b.addrs, b.writes, b.instrs, b.classes) for b in cpu]
+            for cpu in gated
+        ]
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(seed=1, w_l2_reuse=-1)

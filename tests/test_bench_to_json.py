@@ -1,0 +1,51 @@
+"""The benchmark-trajectory writer must append, never overwrite.
+
+``BENCH_*.json`` files are the repo's perf history across PRs; a
+writer that replaced the array instead of extending it (or that left a
+half-written file after an interrupt) would silently erase the
+trajectory the benchmarks exist to track.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from bench_to_json import append_datapoint, bench_path  # noqa: E402
+
+
+class TestAppendDatapoint:
+    def test_appends_not_overwrites(self, tmp_path):
+        append_datapoint("t", {"v": 1}, root=tmp_path)
+        append_datapoint("t", {"v": 2}, root=tmp_path)
+        history = json.loads(bench_path("t", tmp_path).read_text())
+        assert [r["v"] for r in history] == [1, 2]
+
+    def test_records_are_stamped(self, tmp_path):
+        append_datapoint("t", {"v": 1}, root=tmp_path)
+        (record,) = json.loads(bench_path("t", tmp_path).read_text())
+        assert "date" in record and "code" in record
+        assert record["v"] == 1
+
+    def test_wraps_legacy_single_object(self, tmp_path):
+        # A pre-history file holding one bare object is promoted to an
+        # array and then appended to, not clobbered.
+        bench_path("t", tmp_path).write_text(json.dumps({"v": 0}))
+        append_datapoint("t", {"v": 1}, root=tmp_path)
+        history = json.loads(bench_path("t", tmp_path).read_text())
+        assert [r["v"] for r in history] == [0, 1]
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        append_datapoint("t", {"v": 1}, root=tmp_path)
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["BENCH_t.json"]
+
+    def test_corrupt_history_starts_fresh(self, tmp_path):
+        bench_path("t", tmp_path).write_text("{not json")
+        append_datapoint("t", {"v": 5}, root=tmp_path)
+        history = json.loads(bench_path("t", tmp_path).read_text())
+        assert len(history) == 1 and history[0]["v"] == 5

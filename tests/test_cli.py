@@ -12,7 +12,7 @@ class TestParser:
             a for a in parser._actions if a.dest == "command"
         )
         assert set(sub.choices) == {
-            "run", "figures", "validate", "microbench", "describe",
+            "run", "sweep", "figures", "validate", "microbench", "describe",
             "capture", "replay", "verify",
         }
 
@@ -28,6 +28,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "--fig", "fig1"])
 
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--query", "Q6", "--platform", "sgi",
+             "--procs", "1", "--procs", "2", "--profile", "out.prof",
+             "--jobs", "2"]
+        )
+        assert args.query == ["Q6"]
+        assert args.procs == [1, 2]
+        assert args.profile == "out.prof"
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -37,6 +47,26 @@ class TestCommands:
         assert rc == 0
         assert "CPI" in out
         assert "thread time" in out
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "--query", "Q6", "--platform", "hpv",
+                   "--procs", "1", "--sf", "0.0004"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 of 1 cells ran" in out
+
+    def test_sweep_profile(self, capsys, tmp_path):
+        prof = tmp_path / "cell.prof"
+        rc = main(["sweep", "--query", "Q6", "--platform", "hpv",
+                   "--procs", "1", "--sf", "0.0004",
+                   "--profile", str(prof)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert prof.exists() and prof.stat().st_size > 0
+        assert "profiled cell" in out
+        import pstats
+
+        assert pstats.Stats(str(prof)).total_tt > 0
 
     def test_run_sgi_multiproc(self, capsys):
         rc = main(["run", "--query", "Q6", "--platform", "sgi",

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import TraceError
 from repro.trace.classify import DataClass
-from repro.trace.stream import RefBatch, RefBuilder, single
+from repro.trace.stream import RefBatch, RefBuilder, coalesce, single
 
 
 class TestRefBatch:
@@ -71,3 +71,45 @@ class TestRefBuilder:
         rb.add(1, False, 10, DataClass.RECORD)
         rb.add(2, False, 5, DataClass.RECORD)
         assert rb.total_instrs == 15
+
+
+class TestTakeAndCoalesce:
+    """The no-copy constructor and the opt-in chunk merger."""
+
+    def test_take_matches_init(self):
+        a = RefBatch([1, 2], [True, False], [3, 4], [0, 1])
+        b = RefBatch.take([1, 2], [True, False], [3, 4], [0, 1])
+        assert list(a) == list(b)
+        assert a.total_instrs == b.total_instrs == 7
+
+    def test_build_transfers_ownership(self):
+        rb = RefBuilder()
+        rb.add(1, False, 2, DataClass.RECORD)
+        batch = rb.build()
+        rb.add(9, True, 9, DataClass.META)  # must not alias the batch
+        assert batch.addrs == [1]
+        assert rb.build().addrs == [9]
+
+    def test_add_many_matches_repeated_add(self):
+        a, b = RefBuilder(), RefBuilder()
+        for addr in (10, 20, 30):
+            a.add(addr, True, 7, DataClass.INDEX)
+        b.add_many([10, 20, 30], True, 7, DataClass.INDEX)
+        assert list(a.build()) == list(b.build())
+
+    def test_coalesce_preserves_refs_in_order(self):
+        batches = [
+            single(i, write=bool(i % 2), instrs=i + 1, cls=DataClass.RECORD)
+            for i in range(10)
+        ]
+        merged = coalesce(batches, target_refs=4)
+        assert [len(b) for b in merged] == [4, 4, 2]
+        flat = [r for b in merged for r in b]
+        orig = [r for b in batches for r in b]
+        assert flat == orig
+        assert sum(b.total_instrs for b in merged) == sum(
+            b.total_instrs for b in batches
+        )
+
+    def test_coalesce_empty(self):
+        assert coalesce([], target_refs=8) == []
