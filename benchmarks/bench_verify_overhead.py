@@ -1,8 +1,8 @@
-"""Observer-hook overhead: disabled verification must cost nothing.
+"""Sink-bus overhead: disabled observation must cost nothing.
 
-The invariant checker attaches by shadowing the coherence transition
+The observer bus attaches sinks by shadowing the coherence transition
 helpers with instance attributes, so a :class:`MemorySystem` that never
-had a checker — or had one attached and then detached — executes the
+had a sink — or had one attached and then detached — executes the
 exact seed bytecode.  This benchmark asserts that claim with a clock:
 
 * **pristine** — a fresh memory system, the seed hot path;
@@ -48,8 +48,8 @@ def test_detached_observer_overhead(benchmark):
 
     def cycled() -> MemorySystem:
         ms = MemorySystem(machine, aspace, fast_path=True)
-        attach(ms)
-        ms.detach_observer()
+        chk = attach(ms)
+        ms.detach_sink(chk)
         return ms
 
     best_pristine = best_cycled = best_checked = float("inf")

@@ -1,0 +1,43 @@
+"""CI schema-drift gate.
+
+Cross-checks every artifact generated from the declarative counter
+schema (:mod:`repro.obs.schema`) against the schema itself — snapshot
+fields, hot-path accumulator slots, facade event maps, engine
+counters, and the metrics accessors' attribute reads.  Exits nonzero
+with one line per problem so a drifted consumer fails the build
+instead of reading back as a silent zero in a figure.
+
+Usage: python scripts/check_schema_drift.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import schema  # noqa: E402
+
+
+def main() -> int:
+    problems = schema.check_drift()
+    if problems:
+        print(f"schema drift: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    n_snap = len(schema.SNAPSHOT_FIELDS)
+    n_mem = len(schema.MEM_FIELDS)
+    n_engine = len(schema.ENGINE_FIELDS)
+    print(
+        f"schema v{schema.SCHEMA_VERSION} clean: {n_snap} snapshot fields, "
+        f"{n_mem} accumulator slots, {n_engine} engine counters — every "
+        "generated artifact agrees"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -106,6 +106,12 @@ def cmd_sweep(args) -> int:
     :mod:`cProfile` and the stats are dumped to ``FILE`` (load them
     with ``pstats.Stats(FILE)``), so perf work starts from data
     instead of guesses.
+
+    With ``--trace-out FILE`` the first selected cell runs alone with a
+    :class:`~repro.obs.sinks.ChromeTraceExporter` attached and the
+    resulting Chrome-trace JSON is written to ``FILE`` — open it at
+    ``chrome://tracing`` (or in Perfetto's legacy loader) to see every
+    scheduler quantum and coherence transaction on a timeline.
     """
     import time
 
@@ -130,6 +136,23 @@ def cmd_sweep(args) -> int:
         prof.dump_stats(args.profile)
         print(f"profiled cell {cells[0]} -> {args.profile}")
         pstats.Stats(prof).sort_stats("cumulative").print_stats(12)
+        return 0
+
+    if args.trace_out:
+        from .mem.machine import platform as _platform
+        from .obs.sinks import ChromeTraceExporter
+
+        spec = runner._spec(cells[0])
+        machine = _platform(spec.platform).scaled(spec.sim.cache_scale_log2)
+        exporter = ChromeTraceExporter(cycles_per_us=machine.clock_hz / 1e6)
+        run_experiment(spec, sinks=[exporter])
+        path = exporter.write(args.trace_out)
+        dropped = exporter.to_json()["otherData"]["dropped_events"]
+        note = f" ({dropped} dropped)" if dropped else ""
+        print(
+            f"traced cell {cells[0]} -> {path} "
+            f"({exporter.n_events} events{note}); open in chrome://tracing"
+        )
         return 0
 
     t0 = time.perf_counter()
@@ -289,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process count (repeatable); default: 1 2 4 6 8")
     p.add_argument("--profile", default=None, metavar="FILE",
                    help="cProfile the first selected cell into FILE and stop")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="export the first selected cell as Chrome-trace "
+                        "JSON (chrome://tracing) into FILE and stop")
     _add_common(p)
     _add_sweep_opts(p)
     p.set_defaults(func=cmd_sweep)

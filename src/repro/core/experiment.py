@@ -21,6 +21,7 @@ from ..db.engine import Database
 from ..errors import ConfigError
 from ..mem.machine import MachineConfig, platform
 from ..mem.memsys import MemorySystem
+from ..obs.bus import observed_run
 from ..osim.scheduler import Kernel
 from ..tpch.datagen import TPCHConfig, build_database
 from ..tpch.qgen import random_params
@@ -133,12 +134,19 @@ def run_experiment(
     spec: ExperimentSpec,
     db: Optional[Database] = None,
     machine: Optional[MachineConfig] = None,
+    sinks: Optional[List] = None,
 ) -> ExperimentResult:
     """Run one experiment cell and return averaged counters.
 
     ``machine`` overrides the platform lookup with a custom (already
     scaled) machine model — the ablation benchmarks use this to study
     protocol and geometry variants the real vendors never shipped.
+
+    ``sinks`` is an optional list of observer-bus sinks (profilers,
+    trace exporters, invariant checkers — see :mod:`repro.obs`), each
+    attached for the duration of every repetition's kernel run and
+    routed to the memory system and/or scheduler by the events it
+    implements.  With no sinks the run pays zero observation overhead.
     """
     qdef = QUERIES[spec.query]
     if qdef.mutates and spec.n_procs > 1:
@@ -177,7 +185,11 @@ def run_experiment(
         for pid in range(spec.n_procs):
             gen, _ctx = make_query_process(db, qdef, params, pid, cpu=pid)
             kernel.spawn(gen, cpu=pid)
-        kernel.run()
+        if sinks:
+            with observed_run(memsys, kernel, sinks):
+                kernel.run()
+        else:
+            kernel.run()
 
         if spec.verify_results and (rep == 0 or qdef.mutates):
             if expected is None:

@@ -5,6 +5,11 @@ absolute miss counts) or counters normalized per million instructions;
 Fig. 9 converts the un-overlapped latency counter to seconds using the
 bus/CPU clock.  The instruction-counter skew the paper mentions is
 applied here, when counters are *reported*, not when they are counted.
+
+Every accessor takes the snapshot through a ``CounterSnapshot``-
+annotated parameter; the schema drift check
+(:func:`repro.obs.schema.check_drift`) walks those annotations and
+fails CI if any accessor reads a counter the schema does not declare.
 """
 
 from __future__ import annotations

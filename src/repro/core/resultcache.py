@@ -28,6 +28,7 @@ from typing import Optional
 
 from ..cpu.counters import CounterSnapshot
 from ..mem.machine import platform
+from ..obs.schema import SCHEMA_VERSION
 from .experiment import ExperimentResult, ExperimentSpec, RunResult
 
 #: Cache format version; bump on any serialization change.
@@ -68,9 +69,15 @@ def code_version() -> str:
 
 
 def spec_fingerprint(spec: ExperimentSpec) -> str:
-    """Stable content address for one experiment cell."""
+    """Stable content address for one experiment cell.
+
+    Mixes in the counter-schema version as well as the code hash, so a
+    schema edit alone (reordered fields, a new counter) retires every
+    persisted counter vector even if no ``.py`` content change slipped
+    past ``code_version`` (e.g. a cache dir shared across checkouts)."""
     payload = {
         "format": FORMAT,
+        "schema": SCHEMA_VERSION,
         "code": code_version(),
         "spec": asdict(spec),
     }

@@ -16,8 +16,8 @@ from ..db.executor.context import ExecContext
 from ..db.executor.plan import run_query
 from ..mem.machine import MachineConfig
 from ..mem.memsys import CpuMemStats
+from ..obs import schema as _schema
 from ..osim.process import SimProcess
-from ..trace.classify import CLASS_NAMES
 from ..tpch.queries import QueryDef
 
 
@@ -34,27 +34,13 @@ def make_query_process(
 def snapshot_process(
     proc: SimProcess, mem: CpuMemStats, machine: MachineConfig
 ) -> CounterSnapshot:
-    """Read one backend's counters after its query completes."""
-    snap = CounterSnapshot(
-        cycles=proc.thread_cycles,
-        instructions=proc.processor.instrs_retired,
-        data_refs=mem.reads + mem.writes,
-        level1_misses=mem.level1_misses,
-        coherent_misses=mem.coherent_misses,
-        mem_latency_cycles=mem.raw_latency_cycles,
-        mem_accesses=mem.mem_accesses,
-        stall_cycles=mem.stall_cycles,
-        upgrades=mem.upgrades,
-        vol_switches=proc.vol_switches,
-        invol_switches=proc.invol_switches,
-        miss_cold=mem.miss_kind[0],
-        miss_capacity=mem.miss_kind[1],
-        miss_comm=mem.miss_kind[2],
-    )
-    snap.level1_by_class = {
-        CLASS_NAMES[i]: mem.level1_misses_by_class[i] for i in range(len(CLASS_NAMES))
-    }
-    snap.coherent_by_class = {
-        CLASS_NAMES[i]: mem.coherent_misses_by_class[i] for i in range(len(CLASS_NAMES))
-    }
+    """Read one backend's counters after its query completes.
+
+    The flush is driven entirely by the counter schema: every
+    :data:`~repro.obs.schema.SNAPSHOT_FIELDS` row names its source
+    (process clock, processor, or memory-system accumulator), so a
+    counter added to the schema is flushed here with no edit."""
+    snap = CounterSnapshot()
+    for f in _schema.SNAPSHOT_FIELDS:
+        setattr(snap, f.name, _schema.snapshot_value(f, proc, mem))
     return snap

@@ -7,93 +7,111 @@ counters through direct ``ioctl()`` calls on IRIX.  We reproduce both
 the experiment harness consumes counter values exactly the way the
 original instrumented PostgreSQL did.
 
-The portable :class:`CounterSnapshot` is what the harness actually
-stores; the façades exist so the per-platform event naming and the
-instruction-counter skew the paper mentions are modelled explicitly.
+Everything in this module is **generated from the declarative counter
+schema** (:mod:`repro.obs.schema`): the :class:`CounterSnapshot` field
+set, its ``add``/``scaled``/``to_dict``/``from_dict`` operations, and
+the per-platform facade event maps.  Adding a counter means adding one
+:class:`~repro.obs.schema.CounterField` row — the snapshot, the
+facades, the run-end flush and the serialization sites all pick it up,
+and the schema drift checks fail CI if any consumer references a
+counter the table doesn't carry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, field, make_dataclass
 from typing import Dict
 
 from ..errors import ConfigError
+from ..obs import schema as _schema
+
+_SCALARS = _schema.SCALAR_FIELD_NAMES
+_BY_CLASS = _schema.BY_CLASS_FIELD_NAMES
+_FIELD_NAMES = _schema.SNAPSHOT_FIELD_NAMES
+_FIELD_SET = frozenset(_FIELD_NAMES)
+_scale = _schema.scale_counter
 
 
-@dataclass
-class CounterSnapshot:
-    """Portable counter values for one process (or an aggregate)."""
+def _to_dict(self) -> Dict:
+    """Plain-JSON form (result cache, golden snapshots, reports)."""
+    return asdict(self)
 
-    cycles: int = 0                 # thread time in CPU cycles
-    instructions: int = 0           # retired instructions (un-skewed)
-    data_refs: int = 0              # loads + stores issued
-    level1_misses: int = 0          # D-cache misses (the only cache on HPV)
-    coherent_misses: int = 0        # L2 misses on SGI; == level1 on HPV
-    mem_latency_cycles: int = 0     # un-overlapped open-request latency
-    mem_accesses: int = 0
-    stall_cycles: int = 0
-    upgrades: int = 0            # ownership upgrades (S->M directory trips)
-    vol_switches: int = 0           # voluntary context switches
-    invol_switches: int = 0         # involuntary context switches
-    miss_cold: int = 0
-    miss_capacity: int = 0
-    miss_comm: int = 0
-    level1_by_class: Dict[str, int] = field(default_factory=dict)
-    coherent_by_class: Dict[str, int] = field(default_factory=dict)
 
-    def to_dict(self) -> Dict:
-        """Plain-JSON form (result cache, golden snapshots, reports)."""
-        from dataclasses import asdict
+def _from_dict(cls, d: Dict) -> "CounterSnapshot":
+    """Inverse of :meth:`to_dict`.  Strict: missing *and* extra keys
+    raise, so truncated or drifted serialized snapshots surface as
+    errors, not as silent zeros in a figure."""
+    got = set(d)
+    if got != _FIELD_SET:
+        missing = sorted(_FIELD_SET - got)
+        extra = sorted(got - _FIELD_SET)
+        detail = []
+        if missing:
+            detail.append(f"missing {missing}")
+        if extra:
+            detail.append(f"extra {extra}")
+        raise ValueError(f"counter snapshot keys drifted: {', '.join(detail)}")
+    return cls(**d)
 
-        return asdict(self)
 
-    @classmethod
-    def from_dict(cls, d: Dict) -> "CounterSnapshot":
-        """Inverse of :meth:`to_dict`; raises on missing/extra fields so
-        truncated serialized snapshots surface as errors, not zeros."""
-        return cls(**d)
+def _add(self, other: "CounterSnapshot") -> None:
+    """Accumulate ``other`` into self (the schema's merge rule: every
+    counter is additive; per-class dicts sum key-wise)."""
+    for name in _SCALARS:
+        setattr(self, name, getattr(self, name) + getattr(other, name))
+    for name in _BY_CLASS:
+        mine = getattr(self, name)
+        for k, v in getattr(other, name).items():
+            mine[k] = mine.get(k, 0) + v
 
-    def add(self, other: "CounterSnapshot") -> None:
-        self.cycles += other.cycles
-        self.instructions += other.instructions
-        self.data_refs += other.data_refs
-        self.level1_misses += other.level1_misses
-        self.coherent_misses += other.coherent_misses
-        self.mem_latency_cycles += other.mem_latency_cycles
-        self.mem_accesses += other.mem_accesses
-        self.stall_cycles += other.stall_cycles
-        self.upgrades += other.upgrades
-        self.vol_switches += other.vol_switches
-        self.invol_switches += other.invol_switches
-        self.miss_cold += other.miss_cold
-        self.miss_capacity += other.miss_capacity
-        self.miss_comm += other.miss_comm
-        for k, v in other.level1_by_class.items():
-            self.level1_by_class[k] = self.level1_by_class.get(k, 0) + v
-        for k, v in other.coherent_by_class.items():
-            self.coherent_by_class[k] = self.coherent_by_class.get(k, 0) + v
 
-    def scaled(self, factor: float) -> "CounterSnapshot":
-        """Uniformly scale every counter (used for repetition averages)."""
-        out = CounterSnapshot(
-            cycles=int(self.cycles * factor),
-            instructions=int(self.instructions * factor),
-            data_refs=int(self.data_refs * factor),
-            level1_misses=int(self.level1_misses * factor),
-            coherent_misses=int(self.coherent_misses * factor),
-            mem_latency_cycles=int(self.mem_latency_cycles * factor),
-            mem_accesses=int(self.mem_accesses * factor),
-            stall_cycles=int(self.stall_cycles * factor),
-            upgrades=int(self.upgrades * factor),
-            vol_switches=int(self.vol_switches * factor),
-            invol_switches=int(self.invol_switches * factor),
-            miss_cold=int(self.miss_cold * factor),
-            miss_capacity=int(self.miss_capacity * factor),
-            miss_comm=int(self.miss_comm * factor),
+def _scaled(self, factor: float) -> "CounterSnapshot":
+    """Uniformly scale every counter (used for repetition averages).
+
+    Applies the schema's single rounding rule
+    (:func:`repro.obs.schema.scale_counter`: round half to even), so a
+    scaled counter is within half an event of the exact value — the
+    old per-field ``int()`` truncation dropped up to N-1 events per
+    counter when averaging N repetitions.
+    """
+    out = CounterSnapshot(
+        **{name: _scale(getattr(self, name), factor) for name in _SCALARS}
+    )
+    for name in _BY_CLASS:
+        setattr(
+            out,
+            name,
+            {k: _scale(v, factor) for k, v in getattr(self, name).items()},
         )
-        out.level1_by_class = {k: int(v * factor) for k, v in self.level1_by_class.items()}
-        out.coherent_by_class = {k: int(v * factor) for k, v in self.coherent_by_class.items()}
-        return out
+    return out
+
+
+CounterSnapshot = make_dataclass(
+    "CounterSnapshot",
+    [
+        (
+            (f.name, int, 0)
+            if f.kind == _schema.SCALAR
+            else (f.name, Dict[str, int], field(default_factory=dict))
+        )
+        for f in _schema.SNAPSHOT_FIELDS
+    ],
+    namespace={
+        "to_dict": _to_dict,
+        "from_dict": classmethod(_from_dict),
+        "add": _add,
+        "scaled": _scaled,
+    },
+)
+# Pin the identity so instances pickle by reference across the
+# parallel-sweep process pool on every supported Python version.
+CounterSnapshot.__module__ = __name__
+CounterSnapshot.__qualname__ = "CounterSnapshot"
+CounterSnapshot.__doc__ = (
+    "Portable counter values for one process (or an aggregate).\n\n"
+    "Fields (generated from the counter schema):\n"
+    + "\n".join(f"* ``{f.name}`` — {f.doc}" for f in _schema.SNAPSHOT_FIELDS)
+)
 
 
 class CounterFacade:
@@ -118,13 +136,7 @@ class CounterFacade:
 class PA8200Counters(CounterFacade):
     """PArSOL-library style named events for the HP PA-8200."""
 
-    EVENTS = {
-        "PCNT_CYCLES": "cycles",
-        "PCNT_INSTRS": "instructions",
-        "PCNT_DMISS": "level1_misses",
-        "PCNT_MEM_LATENCY": "mem_latency_cycles",
-        "PCNT_MEM_REQS": "mem_accesses",
-    }
+    EVENTS = _schema.pa8200_events()
 
     def read_counter(self, event: str) -> int:
         try:
@@ -141,12 +153,7 @@ class R10000Counters(CounterFacade):
     secondary-cache data misses.
     """
 
-    EVENTS_BY_NUMBER = {
-        0: "cycles",
-        17: "instructions",
-        25: "level1_misses",
-        26: "coherent_misses",
-    }
+    EVENTS_BY_NUMBER = _schema.r10000_events()
 
     def ioctl_read(self, event_number: int) -> int:
         try:

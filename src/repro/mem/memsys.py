@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import CoherenceError
+from ..obs import schema as _schema
+from ..obs.bus import MEMSYS_EVENTS, SinkRegistry
 from ..trace.address import AddressSpace
 from ..trace.classify import NUM_CLASSES
 from .coherence import KIND_INTERVENTION, CoherenceEngine
@@ -30,42 +31,22 @@ MISS_CAPACITY = 1
 MISS_COMM = 2
 MISS_KIND_NAMES = ("cold", "capacity", "comm")
 
+_MEM_FIELDS = _schema.MEM_FIELDS
+
 
 class CpuMemStats:
-    """Counters for one CPU.  Plain ints/lists for hot-path speed."""
+    """Counters for one CPU.  Plain ints/lists for hot-path speed.
 
-    __slots__ = (
-        "reads",
-        "writes",
-        "level1_misses",
-        "level1_misses_by_class",
-        "l2_hits",
-        "coherent_misses",
-        "coherent_misses_by_class",
-        "miss_kind",
-        "miss_kind_by_class",
-        "upgrades",
-        "silent_upgrades",
-        "raw_latency_cycles",
-        "mem_accesses",
-        "stall_cycles",
-    )
+    The field set and every shape-aware operation below are generated
+    from :data:`repro.obs.schema.MEM_FIELDS` — the same table that
+    drives the portable snapshot flush — so the hot-path accumulators
+    cannot drift from the serialized counter vector."""
+
+    __slots__ = _schema.MEM_FIELD_NAMES
 
     def __init__(self) -> None:
-        self.reads = 0
-        self.writes = 0
-        self.level1_misses = 0
-        self.level1_misses_by_class = [0] * NUM_CLASSES
-        self.l2_hits = 0
-        self.coherent_misses = 0
-        self.coherent_misses_by_class = [0] * NUM_CLASSES
-        self.miss_kind = [0, 0, 0]  # cold / capacity / comm
-        self.miss_kind_by_class = [[0, 0, 0] for _ in range(NUM_CLASSES)]
-        self.upgrades = 0
-        self.silent_upgrades = 0
-        self.raw_latency_cycles = 0
-        self.mem_accesses = 0
-        self.stall_cycles = 0
+        for f in _MEM_FIELDS:
+            setattr(self, f.name, _schema.mem_zero(f.shape))
 
     @property
     def accesses(self) -> int:
@@ -74,48 +55,34 @@ class CpuMemStats:
     def to_dict(self) -> Dict:
         """Plain-JSON form of every counter, breakdowns included (used
         by the golden-metrics snapshots and the fuzzer's fingerprints)."""
-        out: Dict = {}
-        for name in self.__slots__:
-            v = getattr(self, name)
-            if name == "miss_kind_by_class":
-                v = [list(row) for row in v]
-            elif isinstance(v, list):
-                v = list(v)
-            out[name] = v
-        return out
+        return {
+            f.name: _schema.mem_copy(f.shape, getattr(self, f.name))
+            for f in _MEM_FIELDS
+        }
 
     @classmethod
     def from_dict(cls, d: Dict) -> "CpuMemStats":
-        """Inverse of :meth:`to_dict` (golden snapshots read back)."""
+        """Inverse of :meth:`to_dict` (golden snapshots read back);
+        a missing counter raises rather than reading back as zero."""
         st = cls()
-        for name in cls.__slots__:
-            v = d[name]
-            if name == "miss_kind_by_class":
-                v = [list(row) for row in v]
-            elif isinstance(v, list):
-                v = list(v)
-            setattr(st, name, v)
+        for f in _MEM_FIELDS:
+            setattr(st, f.name, _schema.mem_copy(f.shape, d[f.name]))
         return st
 
     def merge(self, other: "CpuMemStats") -> None:
         """Accumulate ``other`` into self (for run aggregation)."""
-        self.reads += other.reads
-        self.writes += other.writes
-        self.level1_misses += other.level1_misses
-        self.l2_hits += other.l2_hits
-        self.coherent_misses += other.coherent_misses
-        self.upgrades += other.upgrades
-        self.silent_upgrades += other.silent_upgrades
-        self.raw_latency_cycles += other.raw_latency_cycles
-        self.mem_accesses += other.mem_accesses
-        self.stall_cycles += other.stall_cycles
-        for i in range(NUM_CLASSES):
-            self.level1_misses_by_class[i] += other.level1_misses_by_class[i]
-            self.coherent_misses_by_class[i] += other.coherent_misses_by_class[i]
-            for k in range(3):
-                self.miss_kind_by_class[i][k] += other.miss_kind_by_class[i][k]
-        for k in range(3):
-            self.miss_kind[k] += other.miss_kind[k]
+        for f in _MEM_FIELDS:
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if f.shape == _schema.SHAPE_SCALAR:
+                setattr(self, f.name, mine + theirs)
+            elif f.shape == _schema.SHAPE_KIND_MATRIX:
+                for row, orow in zip(mine, theirs):
+                    for k, v in enumerate(orow):
+                        row[k] += v
+            else:
+                for i, v in enumerate(theirs):
+                    mine[i] += v
 
 
 class MemorySystem:
@@ -142,8 +109,12 @@ class MemorySystem:
             migratory_enabled=machine.migratory_enabled,
         )
         self.stats: List[CpuMemStats] = [CpuMemStats() for _ in range(machine.n_cpus)]
-        #: Attached transition observer (invariant checker), or ``None``.
-        self._observer = None
+        #: Registered transition sinks (see :mod:`repro.obs.bus`).  The
+        #: callback lists are captured once by the observing wrappers,
+        #: so attach/detach of further sinks needs no reinstall.
+        self._sinks = SinkRegistry(MEMSYS_EVENTS)
+        self._after_tx_cbs = self._sinks.callbacks["after_transaction"]
+        self._after_silent_cbs = self._sinks.callbacks["after_silent_upgrade"]
         # hot-path caching of config values
         self._uma = machine.topology_kind == TOPOLOGY_CROSSBAR
         self._exposure = machine.latency.exposure
@@ -170,7 +141,7 @@ class MemorySystem:
         #: here is structurally stable for the life of the memsys: the
         #: stats/hierarchy objects are never replaced, ``flush`` clears
         #: the set dicts in place, and the bound helpers captured here
-        #: are the *unobserved* ones — attaching an observer shadows
+        #: are the *unobserved* ones — attaching a sink shadows
         #: ``access_batch`` itself, so this context is never consulted
         #: while observation is on.
         self._batch_ctx = []
@@ -352,9 +323,9 @@ class MemorySystem:
         either way; ``SimConfig.fast_path=False`` forces the slow loop
         and the equivalence suites compare the two counter-for-counter.
 
-        When a transition observer is attached this method is shadowed
+        When transition sinks are attached this method is shadowed
         by :meth:`_access_batch_observed`, which routes every L1 miss
-        through :meth:`_miss` so the observer sees the exact per-
+        through :meth:`_miss` so the sinks see the exact per-
         reference hook sequence of the slow path.
         """
         (
@@ -520,11 +491,11 @@ class MemorySystem:
     def _access_batch_observed(
         self, cpu: int, batch, now: int, base_cpi: float
     ) -> float:
-        """Batch execution with an observer attached: private L1 hits
-        are still resolved inline (they trigger no observer hook), but
-        every L1 miss goes through :meth:`_miss` — shadowed to its
-        observing wrapper — so the observer sees the same transition
-        sequence as the per-reference slow path."""
+        """Batch execution with sinks attached: private L1 hits are
+        still resolved inline (they trigger no sink event), but every
+        L1 miss goes through :meth:`_miss` — shadowed to its observing
+        wrapper — so the sinks see the same transition sequence as the
+        per-reference slow path."""
         st = self.stats[cpu]
         h = self.hierarchies[cpu]
         (l1_sets, line_shift, set_mask), _ = h.batch_views()
@@ -606,57 +577,59 @@ class MemorySystem:
         st.miss_kind_by_class[cls][mk] += 1
 
     # -- observation -------------------------------------------------------------
-    def attach_observer(self, observer) -> None:
-        """Attach a transition observer (see :mod:`repro.verify`).
+    def attach_sink(self, sink) -> None:
+        """Register a transition sink (see :mod:`repro.obs.bus`).
 
-        The observer is notified after every completed coherence
-        transition: ``after_transaction(cpu, addr)`` for misses,
-        upgrades and their evictions, ``after_silent_upgrade(cpu,
-        addr)`` for silent E→M writes.  Attachment works by shadowing
-        the transition helpers with observing wrappers (instance
-        attributes win the lookup), so a :class:`MemorySystem` that
-        never had an observer attached executes exactly the unhooked
-        bytecode — disabled observation costs nothing.
+        A sink receives the :data:`~repro.obs.bus.MEMSYS_EVENTS` it
+        implements: ``after_transaction(cpu, addr, now)`` after every
+        completed miss/upgrade directory transaction (and any eviction
+        it caused), ``after_silent_upgrade(cpu, addr)`` after a silent
+        E→M write.  The first sink installs observing wrappers over the
+        transition helpers by instance-attribute shadowing; later sinks
+        just join the dispatch lists the wrappers already iterate.  A
+        :class:`MemorySystem` with no sink attached (or whose last sink
+        detached) executes exactly the unhooked bytecode — disabled
+        observation costs nothing.
         """
-        if self._observer is not None:
-            raise CoherenceError("an observer is already attached")
-        self._observer = observer
-        self._miss = self._miss_observed
-        self._do_upgrade = self._do_upgrade_observed
-        self.access_batch = self._access_batch_observed
-        engine = self.engine
-        orig_note = engine.note_silent_upgrade
-        after = observer.after_silent_upgrade
+        if self._sinks.add(sink):
+            self._miss = self._miss_observed
+            self._do_upgrade = self._do_upgrade_observed
+            self.access_batch = self._access_batch_observed
+            engine = self.engine
+            orig_note = engine.note_silent_upgrade
+            silent_cbs = self._after_silent_cbs
 
-        def observed_note(cpu: int, addr: int) -> None:
-            orig_note(cpu, addr)
-            after(cpu, addr)
+            def observed_note(cpu: int, addr: int) -> None:
+                orig_note(cpu, addr)
+                for cb in silent_cbs:
+                    cb(cpu, addr)
 
-        engine.note_silent_upgrade = observed_note
+            engine.note_silent_upgrade = observed_note
 
-    def detach_observer(self) -> None:
-        """Remove the attached observer, restoring the unhooked path."""
-        if self._observer is None:
-            return
-        del self._miss
-        del self._do_upgrade
-        del self.access_batch
-        del self.engine.note_silent_upgrade
-        self._observer = None
+    def detach_sink(self, sink) -> None:
+        """Deregister ``sink``; the last one out restores the unhooked
+        hot path (deletes every observing shadow)."""
+        if self._sinks.remove(sink):
+            del self._miss
+            del self._do_upgrade
+            del self.access_batch
+            del self.engine.note_silent_upgrade
 
     def _miss_observed(
         self, cpu: int, addr: int, is_write: bool, cls: int, now: int,
         st: CpuMemStats, h: CacheHierarchy,
     ) -> int:
         stall = type(self)._miss(self, cpu, addr, is_write, cls, now, st, h)
-        self._observer.after_transaction(cpu, addr)
+        for cb in self._after_tx_cbs:
+            cb(cpu, addr, now)
         return stall
 
     def _do_upgrade_observed(
         self, cpu: int, addr: int, now: int, st: CpuMemStats, h: CacheHierarchy
     ) -> int:
         stall = type(self)._do_upgrade(self, cpu, addr, now, st, h)
-        self._observer.after_transaction(cpu, addr)
+        for cb in self._after_tx_cbs:
+            cb(cpu, addr, now)
         return stall
 
     # -- lifecycle ---------------------------------------------------------------

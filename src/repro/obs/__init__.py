@@ -1,0 +1,35 @@
+"""Observation subsystem: counter schema registry + observer/sink bus.
+
+* :mod:`repro.obs.schema` — the declarative table every counter
+  artifact is generated from (snapshot fields, hot-path accumulator
+  shapes, facade event maps, engine counters, merge/scale rules).
+* :mod:`repro.obs.bus` — the registered-sink protocol components
+  publish run events through (zero overhead with no sink attached).
+* :mod:`repro.obs.sinks` — shipped sinks: the per-phase timing
+  profiler and the Chrome-trace (``chrome://tracing``) exporter.
+"""
+
+from .bus import KERNEL_EVENTS, MEMSYS_EVENTS, SinkError, SinkRegistry, observed_run
+from .schema import (
+    ENGINE_FIELDS,
+    MEM_FIELDS,
+    SCHEMA_VERSION,
+    SNAPSHOT_FIELDS,
+    scale_counter,
+)
+from .sinks import ChromeTraceExporter, PhaseProfiler
+
+__all__ = [
+    "ChromeTraceExporter",
+    "ENGINE_FIELDS",
+    "KERNEL_EVENTS",
+    "MEM_FIELDS",
+    "MEMSYS_EVENTS",
+    "PhaseProfiler",
+    "SCHEMA_VERSION",
+    "SinkError",
+    "SinkRegistry",
+    "SNAPSHOT_FIELDS",
+    "observed_run",
+    "scale_counter",
+]

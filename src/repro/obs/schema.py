@@ -1,0 +1,400 @@
+"""Declarative counter schema — the single source of truth for every
+counter the reproduction maintains, serializes, or reports.
+
+Every figure in the paper is a counter-level comparison (§2.3, Figs.
+2-10), and before this module existed the counter set lived in three
+hand-synchronized copies: the per-CPU hot-path accumulators
+(:class:`~repro.mem.memsys.CpuMemStats`), the portable per-process
+snapshot (:class:`~repro.cpu.counters.CounterSnapshot`) with its
+hand-written ``add``/``scaled``/``to_dict``, and the per-platform
+facade event maps.  Adding one counter meant editing ~6 places, and an
+omission was a silent zero in a figure.
+
+This module is the one table everything else is generated from:
+
+* :data:`SNAPSHOT_FIELDS` — every :class:`CounterSnapshot` field:
+  its kind (scalar or per-class), the *source* expression that fills it
+  from a finished run (process clock, processor, or memory-system
+  counter), and the native facade event that exposes it (PA-8200 event
+  name and/or R10000 event number).
+* :data:`MEM_FIELDS` — every :class:`CpuMemStats` slot and its shape
+  (scalar, per-class vector, miss-kind vector, or per-class x kind
+  matrix), from which ``__slots__``, zero-init, ``to_dict``,
+  ``from_dict`` and ``merge`` are generated.
+* :data:`ENGINE_FIELDS` — the coherence engine's global counters as
+  they appear in golden snapshots and the invariant checker.
+
+Merge rule: every counter is additive (scalars sum; per-class dicts
+sum key-wise).  Scale rule: :func:`scale_counter` — see its docstring
+for the single documented rounding policy.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..trace.classify import CLASS_NAMES, NUM_CLASSES
+
+#: Bump on any change to the field tables below; serialization sites
+#: (result cache) mix this into their content address so a schema edit
+#: alone invalidates persisted counter vectors.
+SCHEMA_VERSION = 1
+
+# -- field kinds (CounterSnapshot) ------------------------------------------
+SCALAR = "scalar"
+BY_CLASS = "by_class"
+
+# -- source kinds: how one snapshot field is filled after a run -------------
+SRC_PROC = "proc"  # attribute of the SimProcess
+SRC_PROCESSOR = "processor"  # attribute of the process's Processor
+SRC_MEM = "mem"  # attribute of the CPU's CpuMemStats
+SRC_MEM_SUM = "mem_sum"  # sum of several CpuMemStats attributes
+SRC_MEM_KIND = "mem_kind"  # one slot of CpuMemStats.miss_kind
+SRC_MEM_CLASSES = "mem_classes"  # a per-class vector, keyed by CLASS_NAMES
+
+
+@dataclass(frozen=True)
+class CounterField:
+    """One :class:`CounterSnapshot` field, declaratively."""
+
+    name: str
+    kind: str  # SCALAR or BY_CLASS
+    source: Tuple[str, object]  # (source kind, argument)
+    doc: str
+    #: PArSOL-library event name on the PA-8200, if exposed there.
+    pa_event: Optional[str] = None
+    #: ``ioctl()`` event number on the R10000, if exposed there.
+    r10k_event: Optional[int] = None
+
+
+#: The portable counter set, in declaration (= serialization) order.
+SNAPSHOT_FIELDS: Tuple[CounterField, ...] = (
+    CounterField(
+        "cycles", SCALAR, (SRC_PROC, "thread_cycles"),
+        "thread time in CPU cycles",
+        pa_event="PCNT_CYCLES", r10k_event=0,
+    ),
+    CounterField(
+        "instructions", SCALAR, (SRC_PROCESSOR, "instrs_retired"),
+        "retired instructions (un-skewed)",
+        pa_event="PCNT_INSTRS", r10k_event=17,
+    ),
+    CounterField(
+        "data_refs", SCALAR, (SRC_MEM_SUM, ("reads", "writes")),
+        "loads + stores issued",
+    ),
+    CounterField(
+        "level1_misses", SCALAR, (SRC_MEM, "level1_misses"),
+        "D-cache misses (the only cache on HPV)",
+        pa_event="PCNT_DMISS", r10k_event=25,
+    ),
+    CounterField(
+        "coherent_misses", SCALAR, (SRC_MEM, "coherent_misses"),
+        "L2 misses on SGI; == level1 on HPV",
+        r10k_event=26,
+    ),
+    CounterField(
+        "mem_latency_cycles", SCALAR, (SRC_MEM, "raw_latency_cycles"),
+        "un-overlapped open-request latency",
+        pa_event="PCNT_MEM_LATENCY",
+    ),
+    CounterField(
+        "mem_accesses", SCALAR, (SRC_MEM, "mem_accesses"),
+        "directory transactions issued",
+        pa_event="PCNT_MEM_REQS",
+    ),
+    CounterField(
+        "stall_cycles", SCALAR, (SRC_MEM, "stall_cycles"),
+        "exposed memory stall after out-of-order overlap",
+    ),
+    CounterField(
+        "upgrades", SCALAR, (SRC_MEM, "upgrades"),
+        "ownership upgrades (S->M directory trips)",
+    ),
+    CounterField(
+        "vol_switches", SCALAR, (SRC_PROC, "vol_switches"),
+        "voluntary context switches",
+    ),
+    CounterField(
+        "invol_switches", SCALAR, (SRC_PROC, "invol_switches"),
+        "involuntary context switches",
+    ),
+    CounterField(
+        "miss_cold", SCALAR, (SRC_MEM_KIND, 0),
+        "coherent misses to never-cached lines",
+    ),
+    CounterField(
+        "miss_capacity", SCALAR, (SRC_MEM_KIND, 1),
+        "coherent misses to self-evicted lines",
+    ),
+    CounterField(
+        "miss_comm", SCALAR, (SRC_MEM_KIND, 2),
+        "coherent misses caused by communication",
+    ),
+    CounterField(
+        "level1_by_class", BY_CLASS, (SRC_MEM_CLASSES, "level1_misses_by_class"),
+        "level-1 misses per data class",
+    ),
+    CounterField(
+        "coherent_by_class", BY_CLASS, (SRC_MEM_CLASSES, "coherent_misses_by_class"),
+        "coherent-level misses per data class",
+    ),
+)
+
+SNAPSHOT_FIELD_NAMES: Tuple[str, ...] = tuple(f.name for f in SNAPSHOT_FIELDS)
+SCALAR_FIELD_NAMES: Tuple[str, ...] = tuple(
+    f.name for f in SNAPSHOT_FIELDS if f.kind == SCALAR
+)
+BY_CLASS_FIELD_NAMES: Tuple[str, ...] = tuple(
+    f.name for f in SNAPSHOT_FIELDS if f.kind == BY_CLASS
+)
+FIELD_BY_NAME: Dict[str, CounterField] = {f.name: f for f in SNAPSHOT_FIELDS}
+
+
+# -- CpuMemStats shapes -----------------------------------------------------
+SHAPE_SCALAR = "scalar"
+SHAPE_CLASS_VECTOR = "class_vector"  # one int per DataClass
+SHAPE_KIND_VECTOR = "kind_vector"  # cold / capacity / comm
+SHAPE_KIND_MATRIX = "kind_matrix"  # per DataClass x miss kind
+
+
+@dataclass(frozen=True)
+class MemField:
+    """One :class:`CpuMemStats` slot and its shape."""
+
+    name: str
+    shape: str
+
+
+#: The hot-path accumulator set, in slot (= serialization) order.
+MEM_FIELDS: Tuple[MemField, ...] = (
+    MemField("reads", SHAPE_SCALAR),
+    MemField("writes", SHAPE_SCALAR),
+    MemField("level1_misses", SHAPE_SCALAR),
+    MemField("level1_misses_by_class", SHAPE_CLASS_VECTOR),
+    MemField("l2_hits", SHAPE_SCALAR),
+    MemField("coherent_misses", SHAPE_SCALAR),
+    MemField("coherent_misses_by_class", SHAPE_CLASS_VECTOR),
+    MemField("miss_kind", SHAPE_KIND_VECTOR),
+    MemField("miss_kind_by_class", SHAPE_KIND_MATRIX),
+    MemField("upgrades", SHAPE_SCALAR),
+    MemField("silent_upgrades", SHAPE_SCALAR),
+    MemField("raw_latency_cycles", SHAPE_SCALAR),
+    MemField("mem_accesses", SHAPE_SCALAR),
+    MemField("stall_cycles", SHAPE_SCALAR),
+)
+
+MEM_FIELD_NAMES: Tuple[str, ...] = tuple(f.name for f in MEM_FIELDS)
+MEM_SHAPES: Dict[str, str] = {f.name: f.shape for f in MEM_FIELDS}
+
+#: Number of miss kinds (cold / capacity / comm) a kind vector holds.
+N_MISS_KINDS = 3
+
+
+def mem_zero(shape: str):
+    """Fresh zero value for one :data:`MEM_FIELDS` shape."""
+    if shape == SHAPE_SCALAR:
+        return 0
+    if shape == SHAPE_CLASS_VECTOR:
+        return [0] * NUM_CLASSES
+    if shape == SHAPE_KIND_VECTOR:
+        return [0] * N_MISS_KINDS
+    if shape == SHAPE_KIND_MATRIX:
+        return [[0] * N_MISS_KINDS for _ in range(NUM_CLASSES)]
+    raise ValueError(f"unknown mem-field shape {shape!r}")
+
+
+def mem_copy(shape: str, value):
+    """Deep copy of one field value (serialization must not alias)."""
+    if shape == SHAPE_SCALAR:
+        return value
+    if shape == SHAPE_KIND_MATRIX:
+        return [list(row) for row in value]
+    return list(value)
+
+
+# -- engine counters --------------------------------------------------------
+#: ``(snapshot key, CoherenceEngine attribute)`` for every global
+#: engine counter the golden snapshots freeze and the invariant checker
+#: range-checks.
+ENGINE_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("interventions", "n_interventions"),
+    ("migratory_transfers", "n_migratory_transfers"),
+    ("migratory_detected", "n_migratory_detected"),
+    ("invalidations", "n_invalidations"),
+    ("writebacks", "n_writebacks"),
+    ("downgrades", "n_downgrades"),
+)
+
+
+# -- the scale rule ---------------------------------------------------------
+def scale_counter(value: int, factor: float) -> int:
+    """The schema's single rounding rule for scaled counters.
+
+    Round half to even (Python's ``round``), applied once per counter.
+    The previous per-field ``int()`` truncation made repetition
+    averaging lossy — averaging N runs could silently drop up to N-1
+    events per counter, and ``s.scaled(0.5).add(s.scaled(0.5))`` lost
+    odd events deterministically.  Rounding bounds the error of any
+    single scaled counter by half an event, with no systematic
+    downward bias.
+    """
+    return round(value * factor)
+
+
+# -- facade event maps ------------------------------------------------------
+def pa8200_events() -> Dict[str, str]:
+    """PArSOL event name -> snapshot field, generated from the schema."""
+    return {f.pa_event: f.name for f in SNAPSHOT_FIELDS if f.pa_event is not None}
+
+
+def r10000_events() -> Dict[int, str]:
+    """R10000 event number -> snapshot field, generated from the schema."""
+    return {f.r10k_event: f.name for f in SNAPSHOT_FIELDS if f.r10k_event is not None}
+
+
+# -- filling a snapshot from a finished run ---------------------------------
+def snapshot_value(field: CounterField, proc, mem):
+    """Evaluate one field's source against a finished run.
+
+    ``proc`` is the :class:`SimProcess` (duck-typed: needs the
+    attributes the schema names plus ``.processor``); ``mem`` is the
+    CPU's :class:`CpuMemStats`.
+    """
+    src, arg = field.source
+    if src == SRC_PROC:
+        return getattr(proc, arg)
+    if src == SRC_PROCESSOR:
+        return getattr(proc.processor, arg)
+    if src == SRC_MEM:
+        return getattr(mem, arg)
+    if src == SRC_MEM_SUM:
+        return sum(getattr(mem, a) for a in arg)
+    if src == SRC_MEM_KIND:
+        return mem.miss_kind[arg]
+    if src == SRC_MEM_CLASSES:
+        vec = getattr(mem, arg)
+        return {CLASS_NAMES[i]: vec[i] for i in range(len(CLASS_NAMES))}
+    raise ValueError(f"unknown source kind {src!r} for field {field.name!r}")
+
+
+# -- drift checks -----------------------------------------------------------
+def counter_attrs_used(module) -> Set[str]:
+    """Snapshot attributes a module's functions read.
+
+    Walks the module source for attribute accesses on any function
+    parameter annotated ``CounterSnapshot`` — the convention every
+    metrics accessor follows — so a derived metric naming a counter
+    that left the schema is caught structurally, not as a silent zero.
+    """
+    tree = ast.parse(inspect.getsource(module))
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        snap_params = {
+            a.arg
+            for a in node.args.args + node.args.kwonlyargs
+            if a.annotation is not None
+            and "CounterSnapshot" in ast.unparse(a.annotation)
+        }
+        if not snap_params:
+            continue
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id in snap_params
+            ):
+                used.add(sub.attr)
+    return used
+
+
+def check_drift(extra_modules: Iterable = ()) -> List[str]:
+    """Cross-check every generated artifact against the schema.
+
+    Returns a list of human-readable drift descriptions (empty when the
+    schema, the hot-path accumulators, the facades, the snapshot
+    sources, the engine counters, and the metrics accessors all agree).
+    Used by the property tests and the CI schema-drift job.
+    """
+    problems: List[str] = []
+
+    # Snapshot sources must name real CpuMemStats fields.
+    for f in SNAPSHOT_FIELDS:
+        src, arg = f.source
+        refs: Tuple[str, ...] = ()
+        if src in (SRC_MEM, SRC_MEM_CLASSES):
+            refs = (arg,)
+        elif src == SRC_MEM_SUM:
+            refs = tuple(arg)
+        elif src == SRC_MEM_KIND:
+            refs = ("miss_kind",)
+        for name in refs:
+            if name not in MEM_SHAPES:
+                problems.append(
+                    f"snapshot field {f.name!r} sources unknown mem field {name!r}"
+                )
+
+    # The generated classes must expose exactly the schema's fields.
+    from ..cpu import counters
+    from ..mem.memsys import CpuMemStats
+
+    snap_fields = tuple(
+        f.name for f in counters.CounterSnapshot.__dataclass_fields__.values()
+    )
+    if snap_fields != SNAPSHOT_FIELD_NAMES:
+        problems.append(
+            f"CounterSnapshot fields {snap_fields} != schema {SNAPSHOT_FIELD_NAMES}"
+        )
+    if tuple(CpuMemStats.__slots__) != MEM_FIELD_NAMES:
+        problems.append(
+            f"CpuMemStats slots {CpuMemStats.__slots__} != schema {MEM_FIELD_NAMES}"
+        )
+
+    # Facade maps must name schema fields (they are generated, but a
+    # facade subclass overriding EVENTS by hand is still caught here).
+    for event, attr in counters.PA8200Counters.EVENTS.items():
+        if attr not in FIELD_BY_NAME:
+            problems.append(f"PA-8200 event {event!r} names unknown field {attr!r}")
+    for num, attr in counters.R10000Counters.EVENTS_BY_NUMBER.items():
+        if attr not in FIELD_BY_NAME:
+            problems.append(f"R10000 event {num} names unknown field {attr!r}")
+
+    # Engine counters must exist on the engine.
+    from ..mem.coherence import CoherenceEngine
+
+    engine_attrs = set(getattr(CoherenceEngine, "__slots__", ())) | set(
+        vars(CoherenceEngine)
+    )
+    for key, attr in ENGINE_FIELDS:
+        if attr not in engine_attrs and not _engine_has_attr(attr):
+            problems.append(f"engine counter {key!r} -> missing attribute {attr!r}")
+
+    # Every metrics accessor must read schema fields only.
+    from ..core import metrics
+
+    for module in (metrics, *extra_modules):
+        for attr in counter_attrs_used(module):
+            if attr not in FIELD_BY_NAME:
+                problems.append(
+                    f"{module.__name__} reads snap.{attr}, absent from the schema"
+                )
+    return problems
+
+
+def _engine_has_attr(attr: str) -> bool:
+    """Engine counters are plain instance attributes; probe a tiny
+    constructed engine rather than the class namespace."""
+    import io
+    import tokenize
+    from ..mem import coherence
+
+    source = inspect.getsource(coherence)
+    for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+        if tok.type == tokenize.NAME and tok.string == attr:
+            return True
+    return False

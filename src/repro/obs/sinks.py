@@ -1,0 +1,227 @@
+"""Shipped observer sinks: phase profiler and Chrome-trace exporter.
+
+Both are pure consumers of the bus protocol in :mod:`repro.obs.bus` —
+they observe, never mutate, so attaching them cannot perturb counters
+or scheduling decisions (the golden snapshots pin this).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+class PhaseProfiler:
+    """Per-phase timing profile of a kernel run.
+
+    A *phase* is the kind of work one scheduler quantum performed — the
+    delivered syscall event's type (``RefBatch``, ``Compute``,
+    ``SpinAcquire``, ``Sleep``, ...) or ``exit`` for the final quantum.
+    For every ``(pid, phase)`` the profiler accumulates the quantum
+    count, the simulated cycles consumed, and the host wall time the
+    simulator spent producing them — so "where do the cycles go" and
+    "where does the *simulator's* time go" are answered by one attach.
+    """
+
+    def __init__(self) -> None:
+        #: (pid, phase) -> [quanta, simulated cycles, host seconds]
+        self._acc: Dict[Tuple[int, str], List] = {}
+        self._host_t0 = 0.0
+
+    # -- kernel sink protocol ----------------------------------------------
+    def before_step(self, proc, t) -> None:
+        self._host_t0 = time.perf_counter()
+
+    def after_step(self, proc, ev, t0: int, t1: int) -> None:
+        host = time.perf_counter() - self._host_t0
+        phase = type(ev).__name__ if ev is not None else "exit"
+        rec = self._acc.get((proc.pid, phase))
+        if rec is None:
+            rec = self._acc[(proc.pid, phase)] = [0, 0, 0.0]
+        rec[0] += 1
+        rec[1] += t1 - t0
+        rec[2] += host
+
+    # -- reporting ----------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """``{pid: {phase: {quanta, cycles, host_s}}}`` (pids as str
+        so the summary is JSON-ready)."""
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for (pid, phase), (n, cyc, host) in sorted(self._acc.items()):
+            out.setdefault(str(pid), {})[phase] = {
+                "quanta": n,
+                "cycles": cyc,
+                "host_s": round(host, 6),
+            }
+        return out
+
+    def lines(self) -> List[str]:
+        """Human-readable profile, one line per (pid, phase)."""
+        out = []
+        for pid, phases in self.summary().items():
+            total = sum(p["cycles"] for p in phases.values()) or 1
+            for phase, rec in sorted(
+                phases.items(), key=lambda kv: -kv[1]["cycles"]
+            ):
+                out.append(
+                    f"pid {pid} {phase:<12} {rec['quanta']:>7} quanta  "
+                    f"{rec['cycles']:>12,} cycles ({rec['cycles'] / total:5.1%})  "
+                    f"{rec['host_s']:.3f}s host"
+                )
+        return out
+
+
+class ChromeTraceExporter:
+    """Exports a run as Chrome-trace JSON (``chrome://tracing`` /
+    Perfetto's legacy loader).
+
+    Two event streams share the timeline:
+
+    * **Scheduler quanta** — one complete (``"ph": "X"``) slice per
+      kernel step, named after the delivered event kind, on the row of
+      the CPU that ran it; context switches appear as instants.
+    * **Coherence transactions** — one instant (``"ph": "i"``) per
+      completed miss/upgrade directory transaction, at the simulated
+      time the transaction was issued.
+
+    Timestamps are simulated cycles divided by ``cycles_per_us`` (pass
+    ``machine.clock_hz / 1e6`` to get true microseconds; the default 1.0
+    leaves them in raw cycles, which Chrome renders fine — only the
+    absolute units differ).  The event list is bounded by
+    ``max_events``; overflow is dropped *and counted honestly* in the
+    exported ``otherData.dropped_events``.
+    """
+
+    def __init__(
+        self, cycles_per_us: float = 1.0, max_events: int = 250_000
+    ) -> None:
+        self.cycles_per_us = float(cycles_per_us)
+        self.max_events = max_events
+        self._events: List[dict] = []
+        self._dropped = 0
+        self._seen_cpus: Dict[int, bool] = {}
+
+    # -- shared plumbing ----------------------------------------------------
+    def _ts(self, cycles: float) -> float:
+        return cycles / self.cycles_per_us
+
+    def _emit(self, event: dict) -> None:
+        if len(self._events) >= self.max_events:
+            self._dropped += 1
+            return
+        self._events.append(event)
+
+    def _note_cpu(self, cpu: int) -> None:
+        if cpu not in self._seen_cpus:
+            self._seen_cpus[cpu] = True
+
+    # -- kernel sink protocol ----------------------------------------------
+    def after_step(self, proc, ev, t0: int, t1: int) -> None:
+        self._note_cpu(proc.cpu)
+        name = type(ev).__name__ if ev is not None else "exit"
+        self._emit(
+            {
+                "name": name,
+                "cat": "sched",
+                "ph": "X",
+                "pid": 0,
+                "tid": proc.cpu,
+                "ts": self._ts(t0),
+                "dur": self._ts(t1 - t0),
+                "args": {"sim_pid": proc.pid},
+            }
+        )
+
+    def on_voluntary_switch(self, proc, t: int) -> None:
+        self._switch(proc, t, "voluntary")
+
+    def on_involuntary_switch(self, proc, t: int) -> None:
+        self._switch(proc, t, "involuntary")
+
+    def _switch(self, proc, t: int, kind: str) -> None:
+        self._note_cpu(proc.cpu)
+        self._emit(
+            {
+                "name": f"switch:{kind}",
+                "cat": "sched",
+                "ph": "i",
+                "pid": 0,
+                "tid": proc.cpu,
+                "ts": self._ts(t),
+                "s": "t",
+                "args": {"sim_pid": proc.pid},
+            }
+        )
+
+    # -- memory-system sink protocol ----------------------------------------
+    def after_transaction(self, cpu: int, addr: int, now: int) -> None:
+        self._note_cpu(cpu)
+        self._emit(
+            {
+                "name": "coherence",
+                "cat": "mem",
+                "ph": "i",
+                "pid": 0,
+                "tid": cpu,
+                "ts": self._ts(now),
+                "s": "t",
+                "args": {"addr": hex(addr)},
+            }
+        )
+
+    # -- output -------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The full trace object (JSON-serializable)."""
+        meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "args": {"name": "simulated machine"},
+            }
+        ]
+        for cpu in sorted(self._seen_cpus):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": cpu,
+                    "args": {"name": f"cpu{cpu}"},
+                }
+            )
+        return {
+            "traceEvents": meta + self._events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "cycles_per_us": self.cycles_per_us,
+                "emitted_events": len(self._events),
+                "dropped_events": self._dropped,
+            },
+        }
+
+    def write(self, path) -> Path:
+        """Serialize to ``path``; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json()))
+        return path
+
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+
+def load_chrome_trace(path) -> dict:
+    """Read back a trace file, validating the structural contract the
+    exporter promises (used by tests and sanity checks)."""
+    d = json.loads(Path(path).read_text())
+    if not isinstance(d, dict) or "traceEvents" not in d:
+        raise ValueError(f"{path}: not a Chrome trace object")
+    for ev in d["traceEvents"]:
+        if "ph" not in ev or "name" not in ev:
+            raise ValueError(f"{path}: malformed trace event {ev!r}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            raise ValueError(f"{path}: complete event without dur: {ev!r}")
+    return d

@@ -36,6 +36,7 @@ from ..cpu.processor import Processor
 from ..errors import SchedulerError
 from ..mem.machine import MachineConfig
 from ..mem.memsys import MemorySystem
+from ..obs.bus import KERNEL_EVENTS, SinkRegistry
 from ..trace.classify import DataClass
 from ..trace.stream import RefBatch
 from .process import STATE_DONE, STATE_READY, STATE_SLEEPING, SimProcess
@@ -74,6 +75,31 @@ class Kernel:
         #: (interval, next_due, callback) registered via add_sampler.
         self._samplers: List[list] = []
         self.n_steps = 0
+        #: Registered scheduler sinks (see :mod:`repro.obs.bus`).  The
+        #: per-event callback lists are captured once; the registry
+        #: mutates them in place on attach/detach.
+        self._sinks = SinkRegistry(KERNEL_EVENTS)
+        cbs = self._sinks.callbacks
+        self._before_cbs = cbs["before_step"]
+        self._after_cbs = cbs["after_step"]
+        self._vol_cbs = cbs["on_voluntary_switch"]
+        self._invol_cbs = cbs["on_involuntary_switch"]
+        self._done_cbs = cbs["on_process_done"]
+
+    # -- observation ------------------------------------------------------------
+    def attach_sink(self, sink) -> None:
+        """Register a scheduler sink (any object implementing one or
+        more :data:`~repro.obs.bus.KERNEL_EVENTS` methods).  The first
+        attach shadows :meth:`_step` with its observing wrapper; with
+        no sinks the scheduler runs the exact unhooked bytecode."""
+        if self._sinks.add(sink):
+            self._step = self._step_observed
+
+    def detach_sink(self, sink) -> None:
+        """Deregister ``sink``; the last detach restores the unhooked
+        :meth:`_step`."""
+        if self._sinks.remove(sink):
+            del self._step
 
     # -- sampling ---------------------------------------------------------------
     def add_sampler(self, interval_cycles: int, callback) -> None:
@@ -193,8 +219,9 @@ class Kernel:
                 raise SchedulerError("scheduler exceeded max_steps; livelock?")
         self.n_steps += steps
 
-    def _step(self, proc: SimProcess) -> None:
-        """Deliver one event of ``proc``."""
+    def _step(self, proc: SimProcess) -> Optional[object]:
+        """Deliver one event of ``proc``.  Returns the delivered syscall
+        event, or ``None`` when the process ran to completion."""
         if proc.pending is not None:
             ev = proc.pending
             proc.pending = None
@@ -205,7 +232,7 @@ class Kernel:
                 proc.state = STATE_DONE
                 proc.result = stop.value
                 self._n_live -= 1
-                return
+                return None
 
         if isinstance(ev, RefBatch):
             cycles = proc.processor.run_batch(ev, proc.clock)
@@ -222,6 +249,32 @@ class Kernel:
             raise SchedulerError(f"process {proc.pid} yielded unknown event {ev!r}")
 
         self._check_preemption(proc)
+        return ev
+
+    def _step_observed(self, proc: SimProcess) -> Optional[object]:
+        """:meth:`_step` with sinks attached: brackets the quantum with
+        ``before_step``/``after_step`` and derives the switch and
+        completion events from the process's own accounting, so the
+        unobserved step body stays byte-identical to the seed."""
+        t0 = proc.clock
+        vol0 = proc.vol_switches
+        invol0 = proc.invol_switches
+        for cb in self._before_cbs:
+            cb(proc, t0)
+        ev = type(self)._step(self, proc)
+        t1 = proc.clock
+        for cb in self._after_cbs:
+            cb(proc, ev, t0, t1)
+        if proc.vol_switches != vol0:
+            for cb in self._vol_cbs:
+                cb(proc, t1)
+        if proc.invol_switches != invol0:
+            for cb in self._invol_cbs:
+                cb(proc, t1)
+        if proc.done:
+            for cb in self._done_cbs:
+                cb(proc, t1)
+        return ev
 
     # -- syscall handling --------------------------------------------------------------
     def _charge_lock_ref(self, proc: SimProcess, addr: int, instrs: int) -> None:

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SimConfig
+from ..obs import schema as _schema
 from ..tpch.datagen import TPCHConfig
 
 #: Bump when the snapshot schema changes (old files then read as diffs
@@ -109,12 +110,7 @@ def capture_cell(cell: Cell) -> Dict:
         "wall_cycles": kernel.wall_cycles(),
         "mean_queue_delay": memsys.interconnect.mean_queue_delay,
         "engine": {
-            "interventions": engine.n_interventions,
-            "migratory_transfers": engine.n_migratory_transfers,
-            "migratory_detected": engine.n_migratory_detected,
-            "invalidations": engine.n_invalidations,
-            "writebacks": engine.n_writebacks,
-            "downgrades": engine.n_downgrades,
+            key: getattr(engine, attr) for key, attr in _schema.ENGINE_FIELDS
         },
         "stats": [memsys.stats[cpu].to_dict() for cpu in range(n_procs)],
     }

@@ -1,9 +1,10 @@
 """Coherence invariant checker.
 
-An :class:`InvariantChecker` observes a live :class:`MemorySystem`
-through the observer hooks (:meth:`MemorySystem.attach_observer`) and
-asserts, after every completed coherence transition, the properties a
-correct MESI directory protocol can never violate:
+An :class:`InvariantChecker` is a sink on the observer bus
+(:mod:`repro.obs.bus`): attach it to a live :class:`MemorySystem`
+(:meth:`MemorySystem.attach_sink`) and it asserts, after every
+completed coherence transition, the properties a correct MESI
+directory protocol can never violate:
 
 * **SWMR** — at most one cache holds a line writable (E/M), and a
   writable copy excludes every other valid copy.
@@ -25,9 +26,9 @@ correct MESI directory protocol can never violate:
 
 Checks fire *between* transitions, never inside one, so transient
 mid-transaction states cause no false positives.  Attachment works by
-method shadowing, so a detached memory system pays nothing — the hot
-path runs the exact unhooked bytecode (asserted by the overhead
-benchmark and the structural tests).
+the bus's method shadowing, so a memory system with no sinks pays
+nothing — the hot path runs the exact unhooked bytecode (asserted by
+the overhead benchmark and the structural tests).
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ from typing import Dict, Iterator, List
 from ..errors import CoherenceError
 from ..mem.directory import NO_OWNER
 from ..mem.memsys import CpuMemStats, MemorySystem
+from ..obs import schema as _schema
 from ..mem.states import EXCLUSIVE, INVALID, MODIFIED, SHARED
 
 _STATE_NAMES = {INVALID: "I", SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
@@ -64,11 +66,12 @@ class InvariantChecker:
         self._mask = memsys._coh_mask
         self._n_cpus = memsys.machine.n_cpus
 
-    # -- observer protocol (called by the MemorySystem hooks) ---------------
-    def after_transaction(self, cpu: int, addr: int) -> None:
+    # -- sink protocol (called by the MemorySystem bus) ---------------------
+    def after_transaction(self, cpu: int, addr: int, now: int = 0) -> None:
         """A miss/upgrade transaction (and any eviction it caused) is
         complete; the touched line and the issuing CPU's stats must be
-        consistent now."""
+        consistent now.  ``now`` is the transaction's simulated issue
+        time (unused by the checks, carried by the bus)."""
         self.n_transitions += 1
         self.check_line(addr)
         self.check_stats(cpu)
@@ -180,7 +183,7 @@ class InvariantChecker:
         def fail(msg: str) -> None:
             raise InvariantViolation(f"{who} stats: {msg}")
 
-        for name in CpuMemStats.__slots__:
+        for name in _schema.MEM_FIELD_NAMES:
             v = getattr(st, name)
             flat: List[int] = []
             if isinstance(v, list):
@@ -210,7 +213,7 @@ class InvariantChecker:
             fail("per-class level-1 misses do not sum to the total")
         if sum(st.coherent_misses_by_class) != st.coherent_misses:
             fail("per-class coherent misses do not sum to the total")
-        for k in range(3):
+        for k in range(_schema.N_MISS_KINDS):
             by_class = sum(row[k] for row in st.miss_kind_by_class)
             if by_class != st.miss_kind[k]:
                 fail(f"per-class miss kind {k} sums to {by_class}, total {st.miss_kind[k]}")
@@ -255,14 +258,7 @@ class InvariantChecker:
             else:
                 self.check_stats(cpu)
         engine = self.memsys.engine
-        for name in (
-            "n_interventions",
-            "n_migratory_transfers",
-            "n_migratory_detected",
-            "n_invalidations",
-            "n_writebacks",
-            "n_downgrades",
-        ):
+        for _key, name in _schema.ENGINE_FIELDS:
             if getattr(engine, name) < 0:
                 raise InvariantViolation(f"engine counter {name} negative")
         if not engine.migratory_enabled and (
@@ -283,7 +279,7 @@ class InvariantChecker:
 def attach(memsys: MemorySystem, full_every: int = 0) -> InvariantChecker:
     """Create a checker and hook it into ``memsys``."""
     checker = InvariantChecker(memsys, full_every=full_every)
-    memsys.attach_observer(checker)
+    memsys.attach_sink(checker)
     return checker
 
 
@@ -295,4 +291,4 @@ def checking(memsys: MemorySystem, full_every: int = 0):
     try:
         yield checker
     finally:
-        memsys.detach_observer()
+        memsys.detach_sink(checker)

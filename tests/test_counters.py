@@ -38,6 +38,32 @@ class TestSnapshot:
         a.coherent_by_class = {"index": 9}
         assert a.scaled(1 / 3).coherent_by_class == {"index": 3}
 
+    def test_scaled_rounds_instead_of_truncating(self):
+        """Regression: scaled() used int(), so averaging N repetitions
+        silently dropped up to N-1 events per counter.  The schema's
+        single rule is round-half-even."""
+        s = snap(cycles=3, instructions=7)
+        half = s.scaled(0.5)
+        assert half.cycles == 2  # int() gave 1
+        assert half.instructions == 4  # int() gave 3
+        # half-to-even: .5 cases round to the even neighbour, no bias
+        assert snap(cycles=5).scaled(0.5).cycles == 2
+        assert snap(cycles=7).scaled(0.5).cycles == 4
+
+    def test_scaled_rounding_rule_covers_class_dicts(self):
+        a = snap()
+        a.level1_by_class = {"record": 3}
+        assert a.scaled(0.5).level1_by_class == {"record": 2}
+
+    def test_third_scaling_error_bounded_by_half_event(self):
+        """Averaging 3 runs of 100 events each now reports 100, and any
+        scaled counter is within half an event of the exact value."""
+        total = snap(cycles=300)
+        assert total.scaled(1 / 3).cycles == 100
+        for value in range(0, 50):
+            got = snap(cycles=value).scaled(1 / 3).cycles
+            assert abs(got - value / 3) <= 0.5
+
 
 class TestPA8200:
     def test_named_events(self):

@@ -1,0 +1,175 @@
+"""The observer bus and the shipped sinks (profiler, Chrome trace)."""
+
+import json
+
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.obs.bus import KERNEL_EVENTS, MEMSYS_EVENTS, SinkError, SinkRegistry
+from repro.obs.sinks import ChromeTraceExporter, PhaseProfiler, load_chrome_trace
+
+
+def spec(**kw):
+    base = dict(
+        query="Q6", platform="hpv", n_procs=1, sim=TEST_SIM, tpch=TINY_TPCH
+    )
+    base.update(kw)
+    return ExperimentSpec(**base)
+
+
+class MemSink:
+    def __init__(self):
+        self.transactions = []
+        self.silents = []
+
+    def after_transaction(self, cpu, addr, now):
+        self.transactions.append((cpu, addr, now))
+
+    def after_silent_upgrade(self, cpu, addr):
+        self.silents.append((cpu, addr))
+
+
+class KernelSink:
+    def __init__(self):
+        self.steps = 0
+        self.done = []
+
+    def after_step(self, proc, ev, t0, t1):
+        self.steps += 1
+
+    def on_process_done(self, proc, t):
+        self.done.append(proc.pid)
+
+
+class TestSinkRegistry:
+    def test_interest_is_structural(self):
+        reg = SinkRegistry(MEMSYS_EVENTS)
+        assert reg.interests(MemSink()) == list(MEMSYS_EVENTS)
+        assert reg.interests(KernelSink()) == []
+
+    def test_zero_interest_sink_rejected(self):
+        reg = SinkRegistry(MEMSYS_EVENTS)
+        with pytest.raises(SinkError, match="implements none"):
+            reg.add(KernelSink())
+
+    def test_first_and_last_flags(self):
+        reg = SinkRegistry(MEMSYS_EVENTS)
+        a, b = MemSink(), MemSink()
+        assert reg.add(a) is True
+        assert reg.add(b) is False
+        assert reg.remove(a) is False
+        assert reg.remove(b) is True
+
+    def test_callback_lists_mutate_in_place(self):
+        """The contract the components' wrappers depend on: capture the
+        list once, see every later attach/detach."""
+        reg = SinkRegistry(MEMSYS_EVENTS)
+        captured = reg.callbacks["after_transaction"]
+        sink = MemSink()
+        reg.add(sink)
+        assert len(captured) == 1
+        reg.remove(sink)
+        assert captured == []
+
+
+class TestObservedExperiment:
+    def test_kernel_and_mem_sinks_fire(self):
+        mem, ker = MemSink(), KernelSink()
+        run_experiment(spec(), sinks=[mem, ker])
+        assert ker.steps > 0
+        assert ker.done == [0]
+        assert len(mem.transactions) > 0
+        # transaction timestamps are plausible simulated times
+        assert all(now >= 0 for _, _, now in mem.transactions)
+
+    def test_sinks_do_not_perturb_counters(self):
+        """Observation-only: the counter vector must be identical with
+        and without sinks attached (the golden snapshots pin the same
+        property for the invariant checker)."""
+        plain = run_experiment(spec())
+        observed = run_experiment(
+            spec(), sinks=[PhaseProfiler(), ChromeTraceExporter()]
+        )
+        assert plain.mean == observed.mean
+        assert plain.runs[0].wall_cycles == observed.runs[0].wall_cycles
+
+    def test_components_detached_after_run(self):
+        sink = KernelSink()
+        run_experiment(spec(), sinks=[sink])
+        before = sink.steps
+        run_experiment(spec())
+        assert sink.steps == before
+
+
+class TestPhaseProfiler:
+    def test_profile_accounts_the_whole_run(self):
+        prof = PhaseProfiler()
+        result = run_experiment(spec(), sinks=[prof])
+        summary = prof.summary()
+        assert "0" in summary
+        phases = summary["0"]
+        assert "RefBatch" in phases
+        assert "exit" in phases
+        total_cycles = sum(rec["cycles"] for rec in phases.values())
+        # the profiled quanta cover the process's whole clock (the
+        # spans are wall deltas, so sleeps would only add to them)
+        assert total_cycles >= result.runs[0].per_process[0].cycles > 0
+        assert all(rec["quanta"] > 0 for rec in phases.values())
+        assert len(prof.lines()) == len(phases)
+
+
+class TestChromeTraceExporter:
+    def test_q6_single_proc_trace_is_valid(self, tmp_path):
+        """The acceptance-criteria cell: Q6, 1 process, traced."""
+        exporter = ChromeTraceExporter(cycles_per_us=200.0)
+        run_experiment(spec(), sinks=[exporter])
+        path = exporter.write(tmp_path / "trace.json")
+        trace = load_chrome_trace(path)
+        events = trace["traceEvents"]
+        phs = {ev["ph"] for ev in events}
+        assert {"M", "X", "i"} <= phs
+        names = {ev["name"] for ev in events}
+        assert "RefBatch" in names
+        assert "coherence" in names
+        assert "cpu0" in {
+            ev["args"]["name"] for ev in events if ev["ph"] == "M"
+        }
+        slices = [ev for ev in events if ev["ph"] == "X"]
+        assert all(ev["dur"] >= 0 and ev["ts"] >= 0 for ev in slices)
+        assert trace["otherData"]["dropped_events"] == 0
+        assert trace["otherData"]["emitted_events"] == exporter.n_events
+        # the file is plain JSON Chrome can open
+        json.loads(path.read_text())
+
+    def test_overflow_is_counted_not_silent(self):
+        exporter = ChromeTraceExporter(max_events=5)
+        run_experiment(spec(), sinks=[exporter])
+        assert exporter.n_events == 5
+        assert exporter.to_json()["otherData"]["dropped_events"] > 0
+
+    def test_validator_rejects_malformed_trace(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "X", "name": "x"}]}))
+        with pytest.raises(ValueError, match="without dur"):
+            load_chrome_trace(bad)
+        bad.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="not a Chrome trace"):
+            load_chrome_trace(bad)
+
+
+class TestCliTraceOut:
+    def test_sweep_trace_out(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_file = tmp_path / "q6.json"
+        rc = main(["sweep", "--query", "Q6", "--platform", "hpv",
+                   "--procs", "1", "--sf", "0.0004",
+                   "--trace-out", str(out_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "traced cell" in out
+        trace = load_chrome_trace(out_file)
+        assert trace["otherData"]["cycles_per_us"] == pytest.approx(200.0)

@@ -4,8 +4,8 @@ import pytest
 
 from tests.verify_helpers import SkippedInvalidationMemSys
 
-from repro.errors import CoherenceError
 from repro.mem.directory import NO_OWNER
+from repro.obs.bus import SinkError
 from repro.mem.machine import platform
 from repro.mem.memsys import MemorySystem
 from repro.trace.synthetic import SyntheticSpec, generate
@@ -29,44 +29,58 @@ def build(plat, memsys_cls=MemorySystem, fast_path=True, spec=SPEC):
 class TestAttachment:
     def test_detached_memsys_has_no_instance_shadows(self):
         """The zero-cost claim, structurally: a memory system that never
-        had an observer resolves every hook to the plain class method."""
+        had a sink resolves every hook to the plain class method."""
         ms, _, _ = build("hpv")
         assert "_miss" not in ms.__dict__
         assert "_do_upgrade" not in ms.__dict__
         assert "note_silent_upgrade" not in ms.engine.__dict__
-        assert ms._observer is None
+        assert ms._sinks.sinks == []
 
     def test_attach_shadows_and_detach_restores(self):
         ms, _, _ = build("hpv")
         chk = attach(ms)
-        assert ms._observer is chk
+        assert ms._sinks.sinks == [chk]
         assert "_miss" in ms.__dict__
         assert "_do_upgrade" in ms.__dict__
         assert "note_silent_upgrade" in ms.engine.__dict__
-        ms.detach_observer()
-        assert ms._observer is None
+        ms.detach_sink(chk)
+        assert ms._sinks.sinks == []
         assert "_miss" not in ms.__dict__
         assert "_do_upgrade" not in ms.__dict__
         assert "note_silent_upgrade" not in ms.engine.__dict__
 
-    def test_double_attach_rejected(self):
+    def test_second_sink_shares_the_shadows(self):
+        """The bus upgrade over the PR 2 observer: several sinks can
+        listen at once, and the wrappers installed for the first keep
+        dispatching to all of them via the in-place callback lists."""
         ms, _, _ = build("hpv")
-        attach(ms)
-        with pytest.raises(CoherenceError, match="already attached"):
-            attach(ms)
+        first = attach(ms)
+        second = attach(ms)
+        assert ms._sinks.sinks == [first, second]
+        ms.detach_sink(first)
+        # the shadows stay while any sink remains
+        assert "_miss" in ms.__dict__
+        ms.detach_sink(second)
+        assert "_miss" not in ms.__dict__
+
+    def test_double_attach_of_same_sink_rejected(self):
+        ms, _, _ = build("hpv")
+        chk = attach(ms)
+        with pytest.raises(SinkError, match="already attached"):
+            ms.attach_sink(chk)
 
     def test_checking_detaches_even_on_error(self):
         ms, _, _ = build("hpv")
         with pytest.raises(RuntimeError):
             with checking(ms):
                 raise RuntimeError("boom")
-        assert ms._observer is None
+        assert ms._sinks.sinks == []
         assert "_miss" not in ms.__dict__
 
-    def test_detach_without_attach_is_a_noop(self):
+    def test_detach_without_attach_raises(self):
         ms, _, _ = build("sgi")
-        ms.detach_observer()
-        assert ms._observer is None
+        with pytest.raises(SinkError, match="not attached"):
+            ms.detach_sink(InvariantChecker(ms))
 
 
 class TestCleanRuns:
