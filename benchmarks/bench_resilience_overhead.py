@@ -1,0 +1,123 @@
+"""Resilience-engine overhead and crash-recovery cost.
+
+The resilient engine (`ParallelSweepRunner.execute`) wraps every cell
+in retry/validation/manifest bookkeeping; this benchmark pins that the
+bookkeeping is noise:
+
+1. **baseline** — a plain serial sweep of a small grid (the seed path);
+2. **resilient** — the same grid through ``execute`` with a retry
+   policy, a checkpoint manifest, and an event sink attached;
+3. **crash recovery** — the same grid with a crash
+   :class:`~repro.core.resilience.FaultPlan` injected into one cell,
+   measuring what one worker death and pool rebuild actually costs.
+
+Each run appends a datapoint to ``BENCH_resilience.json`` so the
+engine's overhead is tracked across PRs.  Equality is asserted before
+speed: the fault-ridden grid must be bitwise-equal to the baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.api import (
+    DEFAULT_SIM,
+    FaultPlan,
+    ParallelSweepRunner,
+    ResultCache,
+    RetryPolicy,
+    SweepEventRecorder,
+    SweepRunner,
+)
+from repro.core.resilience import FAULT_ENV, CheckpointManifest
+from repro.core.resultcache import spec_fingerprint
+from repro.core.sweep import normalize_cell
+
+from conftest import BENCH_TPCH
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+from bench_to_json import append_datapoint  # noqa: E402
+
+#: Small but heterogeneous: both platforms, two weights of query.
+GRID = [
+    ("Q6", "hpv", 1), ("Q6", "hpv", 2), ("Q6", "sgi", 1), ("Q6", "sgi", 2),
+    ("Q12", "hpv", 1), ("Q12", "sgi", 1),
+]
+
+
+def _snap(res):
+    return [
+        (run.wall_cycles, [s.cycles for s in run.per_process])
+        for run in res.runs
+    ]
+
+
+def test_resilience_overhead(tmp_path, benchmark, monkeypatch):
+    monkeypatch.delenv(FAULT_ENV, raising=False)
+
+    baseline = SweepRunner(sim=DEFAULT_SIM, tpch=BENCH_TPCH)
+    t0 = time.perf_counter()
+    baseline.prewarm(GRID)
+    baseline_s = time.perf_counter() - t0
+
+    resilient = ParallelSweepRunner(
+        sim=DEFAULT_SIM, tpch=BENCH_TPCH,
+        cache=ResultCache(tmp_path / "cache"), jobs=1,
+    )
+    keys = [normalize_cell(c) for c in GRID]
+    manifest = CheckpointManifest.open(
+        tmp_path / "cache", keys,
+        [spec_fingerprint(resilient._spec(k)) for k in keys],
+    )
+    t0 = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: resilient.execute(
+            GRID, policy=RetryPolicy(), manifest=manifest,
+            sinks=[SweepEventRecorder()],
+        ),
+        rounds=1, iterations=1,
+    )
+    resilient_s = time.perf_counter() - t0
+    assert report.ok and report.ran == len(GRID)
+
+    # crash recovery: one cell dies once in a worker, pool rebuilds
+    plan = FaultPlan(
+        kind="crash", ledger=str(tmp_path / "ledger"), match="Q6:sgi:2",
+    )
+    monkeypatch.setenv(FAULT_ENV, plan.to_env())
+    injected = ParallelSweepRunner(sim=DEFAULT_SIM, tpch=BENCH_TPCH, jobs=2)
+    t0 = time.perf_counter()
+    crash_report = injected.execute(GRID)
+    crash_s = time.perf_counter() - t0
+    monkeypatch.delenv(FAULT_ENV)
+    assert crash_report.ok and crash_report.crashes >= 1
+    assert crash_report.pool_rebuilds >= 1
+
+    # equality before speed: faults may change *how*, never *what*
+    for key in keys:
+        assert _snap(baseline.cell(key)) == _snap(resilient.cell(key)), key
+        assert _snap(baseline.cell(key)) == _snap(injected.cell(key)), key
+
+    overhead = resilient_s / max(baseline_s, 1e-9) - 1.0
+    record = {
+        "bench": "resilience_overhead",
+        "cells": len(GRID),
+        "host_cpus": os.cpu_count(),
+        "sf": BENCH_TPCH.sf,
+        "baseline_serial_s": round(baseline_s, 3),
+        "resilient_serial_s": round(resilient_s, 3),
+        "engine_overhead_frac": round(overhead, 4),
+        "crash_recovery_s": round(crash_s, 3),
+        "crash_retries": crash_report.retries,
+        "crash_pool_rebuilds": crash_report.pool_rebuilds,
+    }
+    append_datapoint("resilience", record)
+    print(f"\nresilience benchmark: {record}")
+
+    # acceptance: retry/manifest/event bookkeeping stays under 15% of
+    # a serial sweep even at this tiny per-cell cost (at paper scale
+    # the same absolute bookkeeping is far below 1%)
+    assert overhead < 0.15

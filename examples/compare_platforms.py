@@ -11,11 +11,8 @@ Usage:
 
 import argparse
 
-from repro.config import DEFAULT_SIM
+from repro.api import DEFAULT_SIM, SweepRunner, TPCHConfig, render_table
 from repro.core.figures import fig2_thread_time, fig3_cpi, fig4_dcache
-from repro.core.report import render_table
-from repro.core.sweep import SweepRunner
-from repro.tpch.datagen import TPCHConfig
 
 
 def main() -> None:

@@ -13,10 +13,13 @@ Usage:
 
 import argparse
 
-from repro.config import DEFAULT_SIM
-from repro.core.experiment import ExperimentSpec, run_experiment
-from repro.mem.machine import platform
-from repro.tpch.datagen import TPCHConfig
+from repro.api import (
+    DEFAULT_SIM,
+    ExperimentSpec,
+    TPCHConfig,
+    platform,
+    run_experiment,
+)
 
 
 def main() -> None:

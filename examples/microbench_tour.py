@@ -11,8 +11,7 @@ Usage:
     python examples/microbench_tour.py
 """
 
-from repro.config import DEFAULT_SIM
-from repro.mem.machine import hp_v_class, sgi_origin_2000
+from repro.api import DEFAULT_SIM, hp_v_class, sgi_origin_2000
 from repro.micro.bandwidth import stream
 from repro.micro.latency import latency_curve, measure_latency
 from repro.micro.sharing import pingpong, producer_consumers

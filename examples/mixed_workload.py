@@ -13,10 +13,8 @@ Usage:
 
 import argparse
 
-from repro.config import DEFAULT_SIM
-from repro.core import metrics
+from repro.api import DEFAULT_SIM, TPCHConfig, metrics
 from repro.core.mixed import MixedSpec, run_mixed_experiment
-from repro.tpch.datagen import TPCHConfig
 
 
 def main() -> None:

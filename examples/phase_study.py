@@ -12,10 +12,9 @@ Usage:
 
 import argparse
 
-from repro.config import DEFAULT_SIM
+from repro.api import DEFAULT_SIM, platform
 from repro.core.timeline import record_timeline
 from repro.core.workload import make_query_process
-from repro.mem.machine import platform
 from repro.mem.memsys import MemorySystem
 from repro.osim.scheduler import Kernel
 from repro.tpch.datagen import TPCHConfig, build_database

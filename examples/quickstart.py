@@ -12,10 +12,8 @@ Usage:
 
 import sys
 
-from repro import ExperimentSpec, run_experiment
-from repro.core import metrics
+from repro.api import ExperimentSpec, TPCHConfig, metrics, run_experiment
 from repro.cpu.counters import facade_for
-from repro.tpch.datagen import TPCHConfig
 
 QUERY = sys.argv[1] if len(sys.argv) > 1 else "Q6"
 TPCH = TPCHConfig(sf=0.001)

@@ -11,8 +11,7 @@ Usage:
 
 import argparse
 
-from repro.config import DEFAULT_SIM
-from repro.core import metrics
+from repro.api import DEFAULT_SIM, SweepRunner, TPCHConfig, metrics, render_table
 from repro.core.figures import (
     fig5_origin_thread_time,
     fig6_origin_l2,
@@ -21,9 +20,7 @@ from repro.core.figures import (
     fig9_vclass_latency,
     fig10_context_switches,
 )
-from repro.core.report import render_series, render_table
-from repro.core.sweep import SweepRunner
-from repro.tpch.datagen import TPCHConfig
+from repro.core.report import render_series
 
 
 def main() -> None:

@@ -1,0 +1,39 @@
+"""Deprecation shims for API transitions.
+
+PR 5 froze the public construction surface of the core config
+dataclasses: fields are passed by keyword, so the field order stops
+being API and new fields can be inserted where they belong.  Positional
+construction keeps working through :func:`keyword_only_init`, but warns
+— downstream code gets one deprecation cycle to migrate.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+
+def keyword_only_init(cls):
+    """Make ``cls.__init__`` warn (``DeprecationWarning``) on positional
+    arguments while still accepting them.
+
+    Applied *after* the ``@dataclass`` decorator so the generated
+    ``__init__`` (including a frozen class's ``object.__setattr__``
+    plumbing) is reused unchanged; the wrapper only inspects ``args``.
+    Returns ``cls`` so it composes as a decorator or a plain call.
+    """
+    orig_init = cls.__init__
+
+    @functools.wraps(orig_init)
+    def __init__(self, *args, **kwargs):
+        if args:
+            warnings.warn(
+                f"positional arguments to {cls.__name__}() are deprecated "
+                f"and will be removed; pass fields by keyword",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        orig_init(self, *args, **kwargs)
+
+    cls.__init__ = __init__
+    return cls

@@ -1,0 +1,82 @@
+"""Stable public facade — ``from repro.api import ...``.
+
+The package grew layer by layer (``repro.core.experiment``,
+``repro.core.parallel``, ``repro.core.sweep``, ``repro.obs``, ...) and
+every example and downstream script used to reach into whichever module
+happened to define what it needed.  This module is the supported import
+surface instead: one curated, snapshot-tested ``__all__`` covering the
+experiment runner, the sweep engines (serial, parallel, resilient), the
+persistent cache and checkpoint types, and the observer-bus attach
+helpers.  Internal modules stay importable for power users, but only
+the names below are API — ``tests/test_api_surface.py`` pins the exact
+list so the surface cannot drift silently.
+
+>>> from repro.api import ExperimentSpec, run_experiment
+>>> result = run_experiment(ExperimentSpec(query="Q6", platform="hpv"))
+>>> result.mean.cycles > 0
+True
+"""
+
+from ._version import __version__
+from .config import DEFAULT_SIM, TEST_SIM, SimConfig
+from .core import metrics
+from .core.experiment import ExperimentResult, ExperimentSpec, run_experiment
+from .core.figures import FIGURES, regenerate_figure
+from .core.parallel import ParallelSweepRunner
+from .core.report import render_table
+from .core.resilience import (
+    CellFailure,
+    CheckpointManifest,
+    FaultPlan,
+    RetryPolicy,
+    SweepReport,
+)
+from .core.resultcache import ResultCache
+from .core.sweep import NPROC_SWEEP, SweepRunner, figure_grid_cells
+from .mem.machine import PLATFORMS, hp_v_class, platform, sgi_origin_2000
+from .obs import (
+    ChromeTraceExporter,
+    PhaseProfiler,
+    SweepEventRecorder,
+    observed_run,
+)
+from .tpch.datagen import TPCHConfig
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimConfig",
+    "DEFAULT_SIM",
+    "TEST_SIM",
+    "TPCHConfig",
+    # one experiment cell
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    # sweeps: serial, parallel/resilient, persistence
+    "SweepRunner",
+    "ParallelSweepRunner",
+    "ResultCache",
+    "RetryPolicy",
+    "FaultPlan",
+    "CheckpointManifest",
+    "SweepReport",
+    "CellFailure",
+    "figure_grid_cells",
+    "NPROC_SWEEP",
+    # figures and reporting
+    "FIGURES",
+    "regenerate_figure",
+    "render_table",
+    "metrics",
+    # machine models
+    "platform",
+    "PLATFORMS",
+    "hp_v_class",
+    "sgi_origin_2000",
+    # observer-bus attach helpers
+    "observed_run",
+    "PhaseProfiler",
+    "ChromeTraceExporter",
+    "SweepEventRecorder",
+]

@@ -3,7 +3,7 @@
 ``python -m repro <command>``:
 
 * ``run``        — run one experiment cell and print its counters
-* ``sweep``      — prewarm sweep cells (optionally under cProfile)
+* ``sweep``      — run sweep cells resiliently (checkpoint/resume)
 * ``figures``    — regenerate paper figures (all or a selection)
 * ``validate``   — evaluate the paper-claim scoreboard
 * ``verify``     — coherence invariants + differential fuzz + goldens
@@ -11,11 +11,20 @@
 * ``describe``   — print machine and database configurations
 * ``capture``    — record one query's reference trace to a file
 * ``replay``     — drive a saved trace through a machine model
+
+Exit codes (the machine contract; ``--json`` on ``sweep``/``verify``
+adds a structured summary on stdout):
+
+* ``0`` — success
+* ``1`` — the command ran but work failed (quarantined sweep cells, a
+  failed verification, a missed paper claim)
+* ``2`` — bad usage (unknown flags, invalid configuration)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -25,10 +34,13 @@ from .core.experiment import ExperimentSpec, run_experiment
 from .core.figures import FIGURES, cells_for, regenerate_figure
 from .core.parallel import ParallelSweepRunner
 from .core.report import render_table
-from .core.resultcache import ResultCache
+from .core.resilience import CheckpointManifest, RetryPolicy
+from .core.resultcache import ResultCache, spec_fingerprint
 from .core.sweep import SweepRunner, figure_grid_cells
 from .core.validate import scoreboard, validate_all
+from .errors import ConfigError
 from .mem.machine import PLATFORMS, platform
+from .obs.sinks import SweepEventRecorder
 from .tpch.datagen import TPCHConfig, build_database
 from .tpch.queries import QUERIES
 
@@ -100,35 +112,52 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    """``repro sweep``: run (prewarm) a selection of grid cells.
+    """``repro sweep``: run a selection of grid cells resiliently.
+
+    The sweep survives worker crashes, stragglers, and corrupted
+    results (see :mod:`repro.core.resilience`); cells whose retries are
+    exhausted are quarantined and reported, and the exit code is ``1``
+    when any cell failed.  With ``--cache-dir`` a checkpoint manifest
+    is persisted next to the result cache, so after a ``kill -9`` the
+    same command with ``--resume`` recomputes only unfinished cells.
+    ``--json`` prints a machine-readable summary instead of prose.
 
     With ``--profile FILE`` the first selected cell runs alone under
     :mod:`cProfile` and the stats are dumped to ``FILE`` (load them
     with ``pstats.Stats(FILE)``), so perf work starts from data
     instead of guesses.
 
-    With ``--trace-out FILE`` the first selected cell runs alone with a
-    :class:`~repro.obs.sinks.ChromeTraceExporter` attached and the
-    resulting Chrome-trace JSON is written to ``FILE`` — open it at
-    ``chrome://tracing`` (or in Perfetto's legacy loader) to see every
-    scheduler quantum and coherence transaction on a timeline.
+    With ``--trace-out FILE`` the first selected cell runs with a
+    :class:`~repro.obs.sinks.ChromeTraceExporter` attached, the sweep
+    then continues with the exporter listening to the sweep engine's
+    retry/timeout/degradation events, and the combined Chrome-trace
+    JSON is written to ``FILE`` — open it at ``chrome://tracing`` (or
+    in Perfetto's legacy loader).
     """
-    import time
-
-    from .core.sweep import NPROC_SWEEP
+    from .core.sweep import NPROC_SWEEP, normalize_cell
     from .tpch.queries import PAPER_QUERIES
 
     queries = tuple(args.query) if args.query else tuple(PAPER_QUERIES)
     platforms = tuple(args.platform) if args.platform else ("hpv", "sgi")
     nprocs = tuple(args.procs) if args.procs else NPROC_SWEEP
     cells = figure_grid_cells(queries, platforms, nprocs)
-    runner = _make_runner(args)
+
+    cache = None
+    if args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir or None)
+    if args.resume and cache is None:
+        print("error: --resume needs --cache-dir (that is where the "
+              "checkpoint manifest lives)", file=sys.stderr)
+        return 2
+    runner = ParallelSweepRunner(
+        sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, jobs=args.jobs
+    )
 
     if args.profile:
         import cProfile
         import pstats
 
-        spec = runner._spec(cells[0])
+        spec = runner._spec(normalize_cell(cells[0]))
         prof = cProfile.Profile()
         prof.enable()
         run_experiment(spec)
@@ -138,33 +167,70 @@ def cmd_sweep(args) -> int:
         pstats.Stats(prof).sort_stats("cumulative").print_stats(12)
         return 0
 
+    exporter = None
+    sinks: List = [SweepEventRecorder()]
     if args.trace_out:
         from .mem.machine import platform as _platform
         from .obs.sinks import ChromeTraceExporter
 
-        spec = runner._spec(cells[0])
+        key = normalize_cell(cells[0])
+        spec = runner._spec(key)
         machine = _platform(spec.platform).scaled(spec.sim.cache_scale_log2)
         exporter = ChromeTraceExporter(cycles_per_us=machine.clock_hz / 1e6)
-        run_experiment(spec, sinks=[exporter])
+        result = run_experiment(spec, sinks=[exporter])
+        runner._store(key, result)  # the sweep reuses the traced run
+        sinks.append(exporter)
+
+    manifest = None
+    if cache is not None:
+        manifest = CheckpointManifest.open(
+            cache.directory,
+            [normalize_cell(c) for c in cells],
+            [spec_fingerprint(runner._spec(normalize_cell(c))) for c in cells],
+        )
+        if args.resume:
+            print(
+                f"resume: {manifest.n_done} of {len(cells)} cells already "
+                f"complete in {manifest.path}"
+            )
+
+    report = runner.execute(
+        cells,
+        policy=RetryPolicy(max_attempts=args.retries),
+        timeout_s=args.timeout,
+        manifest=manifest,
+        sinks=sinks,
+    )
+
+    if exporter is not None:
         path = exporter.write(args.trace_out)
         dropped = exporter.to_json()["otherData"]["dropped_events"]
         note = f" ({dropped} dropped)" if dropped else ""
         print(
-            f"traced cell {cells[0]} -> {path} "
+            f"traced cell {cells[0]} + sweep events -> {path} "
             f"({exporter.n_events} events{note}); open in chrome://tracing"
         )
-        return 0
 
-    t0 = time.perf_counter()
-    ran = runner.prewarm(cells)
-    dt = time.perf_counter() - t0
-    rate = ran / dt if dt > 0 else float("inf")
+    rc = 0 if report.ok else 1
+    if args.json:
+        payload = report.to_dict()
+        payload["cache"] = runner.cache_stats
+        if manifest is not None:
+            payload["manifest"] = str(manifest.path)
+        payload["exit_code"] = rc
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return rc
+
+    rate = report.ran / report.duration_s if report.duration_s > 0 else float("inf")
     print(
-        f"sweep: {ran} of {len(cells)} cells ran ({len(cells) - ran} memoized) "
-        f"in {dt:.2f}s — {rate:.2f} cells/sec"
+        f"sweep: {report.ran} of {report.total} cells ran "
+        f"({report.memoized} memoized) "
+        f"in {report.duration_s:.2f}s — {rate:.2f} cells/sec"
     )
+    for line in report.summary_lines():
+        print(line)
     _report_cache(runner)
-    return 0
+    return rc
 
 
 def cmd_figures(args) -> int:
@@ -208,13 +274,22 @@ def cmd_verify(args) -> int:
         update_golden=args.update_golden,
         artifacts_dir=Path(args.artifacts_dir) if args.artifacts_dir else None,
     )
+    rc = 0 if report.ok else 1
+    if args.json:
+        print(json.dumps({
+            "ok": report.ok,
+            "smoke_ok": report.smoke_ok,
+            "fuzz_ok": report.fuzz.ok if report.fuzz is not None else None,
+            "golden_ok": report.golden.ok if report.golden is not None else None,
+            "updated_golden": report.updated,
+            "summary": report.summary_lines(),
+            "exit_code": rc,
+        }, indent=2, sort_keys=True))
+        return rc
     for line in report.summary_lines():
         print(line)
-    if report.ok:
-        print("verification: PASS")
-        return 0
-    print("verification: FAIL")
-    return 1
+    print("verification: PASS" if report.ok else "verification: FAIL")
+    return rc
 
 
 def cmd_microbench(args) -> int:
@@ -313,8 +388,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", default=None, metavar="FILE",
                    help="cProfile the first selected cell into FILE and stop")
     p.add_argument("--trace-out", default=None, metavar="FILE",
-                   help="export the first selected cell as Chrome-trace "
-                        "JSON (chrome://tracing) into FILE and stop")
+                   help="export the first selected cell plus the sweep "
+                        "engine's retry/timeout events as Chrome-trace "
+                        "JSON (chrome://tracing) into FILE")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="attempts per cell before quarantine (default 3)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-unit-cost chunk deadline in host seconds "
+                        "(default: no deadline)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells the checkpoint manifest already marks "
+                        "done (needs --cache-dir)")
+    p.add_argument("--json", action="store_true",
+                   help="print a machine-readable sweep summary")
     _add_common(p)
     _add_sweep_opts(p)
     p.set_defaults(func=cmd_sweep)
@@ -355,6 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifacts-dir", default=None, metavar="DIR",
         help="write machine-readable failure detail here (for CI upload)",
     )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable verification summary",
+    )
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("microbench", help="run calibration microbenchmarks")
@@ -383,7 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,12 +20,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ._deprecations import keyword_only_init
 from .errors import ConfigError
 
 
+@keyword_only_init
 @dataclass(frozen=True)
 class SimConfig:
     """Knobs shared by every layer of the simulator.
+
+    Construct with keyword arguments; positional construction is
+    deprecated (the field order is not API).
 
     Attributes
     ----------

@@ -33,18 +33,49 @@ directly to disk — a crash or a failure in a later cell of a chunk
 never loses completed work, and warm workers skip cells another run
 already produced.
 
+Resilience
+----------
+:meth:`ParallelSweepRunner.execute` is the fault-tolerant engine (see
+:mod:`repro.core.resilience` for the policy/fault/manifest types):
+
+* **Worker crashes** break the whole ``ProcessPoolExecutor``; the
+  engine re-queues every unfinished cell *at cell granularity*,
+  rebuilds the pool, and retries the crash-penalized cells under the
+  :class:`~repro.core.resilience.RetryPolicy`'s backoff.
+* **Stragglers** are bounded by per-chunk deadlines (``timeout_s``
+  seconds per unit of estimated cost); an expired chunk's cells are
+  re-queued individually and the hung pool is torn down (a hung worker
+  cannot be cancelled, only abandoned).
+* **Corrupted results** — anything failing
+  :func:`~repro.core.resilience.validate_result` — are transient
+  faults: retried, never stored.
+* **Quarantine**: a cell that exhausts its attempts (or raises a
+  deterministic application error) lands in the report's
+  ``failed`` list and the sweep *completes* instead of aborting.
+* **Graceful degradation**: when the pool breaks more than
+  ``max_pool_rebuilds`` times, the remaining cells run serially
+  in-process — which also disarms worker-scoped fault plans.
+
+Every retry/timeout/quarantine/degradation is published on the
+observer bus (:data:`~repro.obs.bus.SWEEP_EVENTS`) and totalled in the
+returned :class:`~repro.core.resilience.SweepReport`.
+
 Because each cell is deterministic, parallel results are bitwise
 identical to serial ones — the equivalence test in
-``tests/test_parallel_sweep.py`` asserts exactly that.
+``tests/test_parallel_sweep.py`` asserts exactly that, and
+``tests/test_resilience.py`` asserts it again *under injected faults*.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import DEFAULT_SIM, SimConfig
+from ..obs.bus import SWEEP_EVENTS, SinkRegistry
 from ..tpch.datagen import TPCHConfig
 from .experiment import (
     DEFAULT_TPCH,
@@ -53,8 +84,19 @@ from .experiment import (
     ExperimentSpec,
     run_experiment,
 )
+from .resilience import (
+    CellFailure,
+    CheckpointManifest,
+    RetryPolicy,
+    SweepReport,
+    key_str,
+    run_cell_guarded,
+    validate_result,
+)
 from .resultcache import ResultCache
 from .sweep import CellKey, SweepRunner, normalize_cell
+
+logger = logging.getLogger("repro.sweep")
 
 #: Relative single-process cost of one repetition of each query,
 #: calibrated from cProfile wall times of full-scale cells (Q6 is the
@@ -115,21 +157,38 @@ def _run_chunk(
     parent can memoize partial progress.  With a ``cache_dir``, each
     cell is first looked up in (and, when run, written to) the shared
     on-disk result cache, so warm workers skip cells and a mid-chunk
-    failure never loses finished cells.
+    failure never loses finished cells.  Each cell goes through
+    :func:`~repro.core.resilience.run_cell_guarded`, the choke point
+    where an ambient :class:`~repro.core.resilience.FaultPlan` injects
+    crash/hang/corrupt faults.
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     results: List[ExperimentResult] = []
     for i, spec in enumerate(specs):
         try:
-            result = cache.get(spec) if cache is not None else None
-            if result is None:
-                result = run_experiment(spec)
-                if cache is not None:
-                    cache.put(spec, result)
+            result = run_cell_guarded(spec, cache)
         except Exception as exc:  # surfaced, with the cell, by the parent
             return results, (i, exc)
         results.append(result)
     return results, None
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a broken or hung pool without waiting on it.
+
+    A hung worker cannot be cancelled through the executor API, so the
+    pool is shut down without waiting and its processes terminated
+    directly — any cells it finished are already in the on-disk result
+    cache, so nothing durable is lost."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - Python < 3.9
+        pool.shutdown(wait=False)
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
 
 
 class ParallelSweepRunner(SweepRunner):
@@ -138,7 +197,11 @@ class ParallelSweepRunner(SweepRunner):
 
     ``cell()`` stays serial — a single miss is not worth a pool — so
     figure builders should :meth:`prewarm` their grid first (the CLI's
-    ``--jobs`` path does this automatically).
+    ``--jobs`` path does this automatically).  :meth:`execute` is the
+    resilient engine underneath: :meth:`prewarm` is its strict wrapper
+    (first quarantined cell re-raised), while the CLI consumes the
+    :class:`~repro.core.resilience.SweepReport` directly so a campaign
+    with failed cells still completes the rest of the grid.
     """
 
     def __init__(
@@ -153,54 +216,286 @@ class ParallelSweepRunner(SweepRunner):
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
 
     def prewarm(self, cells: Iterable[Sequence]) -> int:
-        missing = []
+        report = self.execute(cells)
+        if report.failed:
+            first = report.failed[0]
+            raise RuntimeError(
+                f"sweep cell {first.key} failed in worker "
+                f"({first.kind}: {first.error})"
+            ) from first.cause
+        return report.ran
+
+    def execute(
+        self,
+        cells: Iterable[Sequence],
+        policy: Optional[RetryPolicy] = None,
+        timeout_s: Optional[float] = None,
+        manifest: Optional[CheckpointManifest] = None,
+        sinks: Sequence = (),
+        max_pool_rebuilds: int = 2,
+    ) -> SweepReport:
+        """Run every missing cell, riding out transient faults.
+
+        ``timeout_s`` bounds each chunk at ``timeout_s`` host seconds
+        per unit of estimated cell cost (``None`` disables deadlines).
+        ``manifest`` checkpoints per-cell progress for ``--resume``.
+        ``sinks`` receive :data:`~repro.obs.bus.SWEEP_EVENTS`.  Returns
+        a :class:`~repro.core.resilience.SweepReport`; quarantined
+        cells are reported, not raised.
+        """
+        t0 = time.perf_counter()
+        policy = policy if policy is not None else RetryPolicy()
+        registry = SinkRegistry(SWEEP_EVENTS)
+        for sink in sinks:
+            registry.add(sink)
+
+        def emit(event: str, *args) -> None:
+            for cb in registry.callbacks[event]:
+                cb(*args)
+
+        keys: List[CellKey] = []
         seen = set()
         for cell in cells:
             key = normalize_cell(cell)
-            if key in seen:
-                continue
-            seen.add(key)
-            if self._lookup(key) is None:
-                missing.append(key)
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        missing = [k for k in keys if self._lookup(k) is None]
+        missing_set = set(missing)
+        report = SweepReport(total=len(keys), memoized=len(keys) - len(missing))
+        if manifest is not None or registry.sinks:
+            for key in keys:
+                if key not in missing_set:
+                    if manifest is not None:
+                        state = manifest.cells.setdefault(
+                            key_str(key),
+                            {"status": "pending", "attempts": 0, "error": None},
+                        )
+                        state["status"], state["error"] = "done", None
+                    emit("on_cell_done", key, "cache")
+            if manifest is not None:
+                manifest.save()
         if not missing:
-            return 0
+            report.duration_s = time.perf_counter() - t0
+            return report
+
+        #: failed attempts so far, per missing cell
+        attempts: Dict[CellKey, int] = {k: 0 for k in missing}
+
+        def finish(key: CellKey, result: ExperimentResult) -> None:
+            self._store(key, result)
+            report.ran += 1
+            if manifest is not None:
+                manifest.mark(key, "done", attempts=attempts[key] + 1)
+            emit("on_cell_done", key, "ran")
+
+        def quarantine(
+            key: CellKey, kind: str, error: str, cause=None
+        ) -> None:
+            report.failed.append(
+                CellFailure(
+                    key=key, kind=kind, attempts=attempts[key],
+                    error=error, cause=cause,
+                )
+            )
+            if manifest is not None:
+                manifest.mark(
+                    key, "quarantined", attempts=attempts[key],
+                    error=f"{kind}: {error}",
+                )
+            emit("on_cell_quarantined", key, kind, error)
+
+        def transient_failure(
+            key: CellKey, kind: str, error: str, cause=None
+        ) -> Optional[float]:
+            """Record one failed attempt.  Returns the backoff delay
+            when the cell should be retried, ``None`` when it just got
+            quarantined."""
+            attempts[key] += 1
+            if kind == "crash":
+                report.crashes += 1
+            elif kind == "timeout":
+                report.timeouts += 1
+            if attempts[key] >= policy.max_attempts:
+                quarantine(key, kind, error, cause)
+                return None
+            delay = policy.delay_s(attempts[key], key_str(key))
+            report.retries += 1
+            emit("on_cell_retry", key, attempts[key], kind, delay)
+            return delay
+
+        def run_serial(keys_to_run: List[CellKey]) -> None:
+            # Heaviest-first even serially: a failure surfaces sooner
+            # on the cells most likely to be misconfigured (big
+            # n_procs).  Deterministic application errors quarantine
+            # immediately; only corrupt results (possible under an
+            # "any"-scoped fault plan) are retried.
+            for key in sorted(keys_to_run, key=_estimated_cost, reverse=True):
+                spec = self._spec(key)
+                while True:
+                    try:
+                        result = run_cell_guarded(spec, self.cache)
+                    except Exception as exc:
+                        attempts[key] += 1
+                        quarantine(key, "error", repr(exc), exc)
+                        break
+                    err = validate_result(spec, result)
+                    if err is None:
+                        finish(key, result)
+                        break
+                    delay = transient_failure(key, "corrupt", err)
+                    if delay is None:
+                        break
+                    time.sleep(delay)
+
         if self.jobs == 1 or len(missing) == 1:
-            # Heaviest-first even serially: a failure surfaces sooner on
-            # the cells most likely to be misconfigured (big n_procs).
-            for key in sorted(missing, key=_estimated_cost, reverse=True):
-                self._store(key, run_experiment(self._spec(key)))
-            return len(missing)
+            logger.info(
+                "sweep: %d missing cell(s) routed to serial in-process "
+                "execution (jobs=%d) — skipping pool/pickle overhead",
+                len(missing), self.jobs,
+            )
+            run_serial(missing)
+            report.duration_s = time.perf_counter() - t0
+            return report
 
         workers = min(self.jobs, len(missing))
-        chunks = _make_chunks(missing, workers * _CHUNKS_PER_WORKER)
         cache_dir = str(self.cache.directory) if self.cache is not None else None
         # Build the database in the parent first: fork-start workers
         # then inherit the page images instead of regenerating TPC-H
         # once per interpreter (spawn-start platforms still rebuild,
         # but only once per worker thanks to chunking).
         DatabaseCache.get(self.tpch)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
+
+        to_run = list(missing)
+        first_generation = True
+        degrade_reason: Optional[str] = None
+        while to_run:
+            if first_generation:
+                chunks = _make_chunks(to_run, workers * _CHUNKS_PER_WORKER)
+            else:
+                # Retries and straggler re-queues go back at cell
+                # granularity so one bad chunk-mate cannot starve the
+                # rest again.
+                chunks = [
+                    [k] for k in sorted(to_run, key=_estimated_cost, reverse=True)
+                ]
+            first_generation = False
+            to_run = []
+            max_delay = 0.0
+            broken = False
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures: Dict[object, List[CellKey]] = {}
+            deadlines: Dict[object, float] = {}
+            submitted: Dict[object, float] = {}
+            for chunk in chunks:
+                fut = pool.submit(
                     _run_chunk, [self._spec(k) for k in chunk], cache_dir
-                ): chunk
-                for chunk in chunks
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                )
+                futures[fut] = chunk
+                submitted[fut] = time.monotonic()
+                if timeout_s is not None:
+                    cost = sum(max(1.0, _estimated_cost(k)) for k in chunk)
+                    deadlines[fut] = submitted[fut] + timeout_s * cost
+
+            while futures:
+                wait_for = None
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines.values()) - time.monotonic())
+                done, _pending = wait(
+                    set(futures), timeout=wait_for, return_when=FIRST_COMPLETED
+                )
                 for fut in done:
-                    chunk = futures[fut]
-                    # .result() re-raises pool-level errors (e.g. a
-                    # killed worker) here in the parent.
-                    results, failure = fut.result()
+                    chunk = futures.pop(fut)
+                    deadlines.pop(fut, None)
+                    try:
+                        results, failure = fut.result()
+                    except Exception as exc:
+                        # The pool is broken — this chunk's worker (or
+                        # a sibling's) died mid-flight.  Penalize the
+                        # chunk's cells as crashes; siblings still in
+                        # flight re-queue unpenalized below.
+                        broken = True
+                        for key in chunk:
+                            delay = transient_failure(
+                                key, "crash", f"worker died ({exc!r})", exc
+                            )
+                            if delay is not None:
+                                max_delay = max(max_delay, delay)
+                                to_run.append(key)
+                        continue
                     for key, result in zip(chunk, results):
-                        self._store(key, result)
+                        err = validate_result(self._spec(key), result)
+                        if err is None:
+                            finish(key, result)
+                        else:
+                            delay = transient_failure(key, "corrupt", err)
+                            if delay is not None:
+                                max_delay = max(max_delay, delay)
+                                to_run.append(key)
                     if failure is not None:
                         index, exc = failure
-                        for f in pending:
-                            f.cancel()
-                        raise RuntimeError(
-                            f"sweep cell {chunk[index]} failed in worker"
-                        ) from exc
-        return len(missing)
+                        bad = chunk[index]
+                        attempts[bad] += 1
+                        quarantine(bad, "error", repr(exc), exc)
+                        # cells behind the failure never ran: re-queue
+                        # without penalty
+                        to_run.extend(chunk[index + 1:])
+                if broken:
+                    break
+                if deadlines:
+                    now = time.monotonic()
+                    expired = [
+                        f for f, dl in deadlines.items()
+                        if dl <= now and not f.done()
+                    ]
+                    if expired:
+                        broken = True
+                        for fut in expired:
+                            chunk = futures.pop(fut)
+                            deadlines.pop(fut, None)
+                            elapsed = now - submitted[fut]
+                            for key in chunk:
+                                emit(
+                                    "on_cell_timeout",
+                                    key, attempts[key] + 1, elapsed,
+                                )
+                                delay = transient_failure(
+                                    key, "timeout",
+                                    f"chunk still running after {elapsed:.1f}s",
+                                )
+                                if delay is not None:
+                                    max_delay = max(max_delay, delay)
+                                    to_run.append(key)
+                        break
+
+            if broken:
+                # Whatever is still in flight re-queues unpenalized;
+                # results its workers already cached make the re-run
+                # cheap.  The pool itself is unsalvageable (broken, or
+                # wedged on a hung worker).
+                for chunk in futures.values():
+                    to_run.extend(chunk)
+                futures.clear()
+                _kill_pool(pool)
+                report.pool_rebuilds += 1
+                if report.pool_rebuilds > max_pool_rebuilds:
+                    degrade_reason = (
+                        f"worker pool torn down {report.pool_rebuilds} times "
+                        f"(limit {max_pool_rebuilds})"
+                    )
+                    break
+            else:
+                pool.shutdown()
+            if to_run and max_delay > 0:
+                time.sleep(max_delay)  # batched backoff for this generation
+
+        if degrade_reason is not None and to_run:
+            report.degraded = True
+            emit("on_sweep_degraded", degrade_reason)
+            logger.warning(
+                "sweep: %s — degrading %d remaining cell(s) to in-process "
+                "serial execution", degrade_reason, len(to_run),
+            )
+            run_serial(to_run)
+        report.duration_s = time.perf_counter() - t0
+        return report

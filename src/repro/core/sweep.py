@@ -96,13 +96,29 @@ class SweepRunner:
 
     def cell(
         self,
-        query: str,
-        platform: str,
-        n_procs: int,
+        query,
+        platform: Optional[str] = None,
+        n_procs: Optional[int] = None,
         repetitions: int = 1,
         param_mode: str = "default",
     ) -> ExperimentResult:
-        key = (query, platform, n_procs, repetitions, param_mode)
+        """One memoized cell.
+
+        Accepts either expanded arguments — ``cell("Q6", "hpv", 2)`` —
+        or a raw cell tuple / :data:`CellKey` as the single argument —
+        ``cell(("Q6", "hpv", 2))`` — so callers never need to import
+        :func:`normalize_cell` themselves.
+        """
+        if not isinstance(query, str):
+            if platform is not None or n_procs is not None:
+                raise TypeError(
+                    "pass either one cell tuple or expanded arguments, not both"
+                )
+            key = normalize_cell(query)
+        else:
+            if platform is None or n_procs is None:
+                raise TypeError("cell() needs query, platform, and n_procs")
+            key = (query, platform, int(n_procs), repetitions, param_mode)
         result = self._lookup(key)
         if result is None:
             result = run_experiment(self._spec(key))

@@ -9,7 +9,14 @@
   profiler and the Chrome-trace (``chrome://tracing``) exporter.
 """
 
-from .bus import KERNEL_EVENTS, MEMSYS_EVENTS, SinkError, SinkRegistry, observed_run
+from .bus import (
+    KERNEL_EVENTS,
+    MEMSYS_EVENTS,
+    SWEEP_EVENTS,
+    SinkError,
+    SinkRegistry,
+    observed_run,
+)
 from .schema import (
     ENGINE_FIELDS,
     MEM_FIELDS,
@@ -17,7 +24,7 @@ from .schema import (
     SNAPSHOT_FIELDS,
     scale_counter,
 )
-from .sinks import ChromeTraceExporter, PhaseProfiler
+from .sinks import ChromeTraceExporter, PhaseProfiler, SweepEventRecorder
 
 __all__ = [
     "ChromeTraceExporter",
@@ -30,6 +37,8 @@ __all__ = [
     "SinkError",
     "SinkRegistry",
     "SNAPSHOT_FIELDS",
+    "SWEEP_EVENTS",
+    "SweepEventRecorder",
     "observed_run",
     "scale_counter",
 ]

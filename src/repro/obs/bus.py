@@ -59,6 +59,28 @@ KERNEL_EVENTS: Tuple[str, ...] = (
     "on_process_done",
 )
 
+#: Events the resilient sweep engine publishes (see
+#: :mod:`repro.core.resilience`).  Unlike the memory-system and kernel
+#: events these happen in *host* time, between simulations:
+#:
+#: * ``on_cell_done(key, source)`` — a cell completed; ``source`` is
+#:   ``"ran"`` (computed now) or ``"cache"`` (persisted result reused).
+#: * ``on_cell_retry(key, attempt, kind, delay_s)`` — a transient fault
+#:   (``crash``/``timeout``/``corrupt``) scheduled a re-run.
+#: * ``on_cell_timeout(key, attempt, elapsed_s)`` — the cell's chunk
+#:   exceeded its deadline and was re-queued at cell granularity.
+#: * ``on_cell_quarantined(key, kind, error)`` — retries exhausted (or a
+#:   deterministic error); the sweep continues without the cell.
+#: * ``on_sweep_degraded(reason)`` — the worker pool was declared
+#:   unhealthy and the remaining cells run serially in-process.
+SWEEP_EVENTS: Tuple[str, ...] = (
+    "on_cell_done",
+    "on_cell_retry",
+    "on_cell_timeout",
+    "on_cell_quarantined",
+    "on_sweep_degraded",
+)
+
 
 class SinkError(ReproError):
     """Sink registration misuse (double attach, unknown sink, ...)."""

@@ -73,6 +73,65 @@ class PhaseProfiler:
         return out
 
 
+class SweepEventRecorder:
+    """Collects :data:`~repro.obs.bus.SWEEP_EVENTS` for a sweep-end
+    summary.
+
+    The resilient sweep engine publishes retries, timeouts,
+    quarantines, and degradations as they happen; this sink keeps the
+    running counts plus a bounded human-readable log so the CLI (and
+    tests) can show *what the engine rode out* without scraping stdout.
+    """
+
+    def __init__(self, max_lines: int = 200) -> None:
+        self.max_lines = max_lines
+        self.counts: Dict[str, int] = {
+            "done": 0, "retry": 0, "timeout": 0, "quarantined": 0,
+            "degraded": 0,
+        }
+        self._lines: List[str] = []
+        self._dropped = 0
+
+    def _log(self, line: str) -> None:
+        if len(self._lines) >= self.max_lines:
+            self._dropped += 1
+            return
+        self._lines.append(line)
+
+    # -- sweep sink protocol ------------------------------------------------
+    def on_cell_done(self, key, source: str) -> None:
+        self.counts["done"] += 1
+        if source != "ran":  # cache reuse is the interesting case
+            self._log(f"cell {key}: reused {source} result")
+
+    def on_cell_retry(self, key, attempt: int, kind: str, delay_s: float) -> None:
+        self.counts["retry"] += 1
+        self._log(
+            f"cell {key}: {kind} on attempt {attempt}, retrying in "
+            f"{delay_s:.3f}s"
+        )
+
+    def on_cell_timeout(self, key, attempt: int, elapsed_s: float) -> None:
+        self.counts["timeout"] += 1
+        self._log(f"cell {key}: attempt {attempt} timed out after {elapsed_s:.1f}s")
+
+    def on_cell_quarantined(self, key, kind: str, error: str) -> None:
+        self.counts["quarantined"] += 1
+        self._log(f"cell {key}: quarantined ({kind}: {error})")
+
+    def on_sweep_degraded(self, reason: str) -> None:
+        self.counts["degraded"] += 1
+        self._log(f"sweep degraded to serial execution: {reason}")
+
+    # -- reporting ----------------------------------------------------------
+    def lines(self) -> List[str]:
+        """The event log, oldest first (overflow counted, not silent)."""
+        out = list(self._lines)
+        if self._dropped:
+            out.append(f"... {self._dropped} further events dropped")
+        return out
+
+
 class ChromeTraceExporter:
     """Exports a run as Chrome-trace JSON (``chrome://tracing`` /
     Perfetto's legacy loader).
@@ -92,6 +151,13 @@ class ChromeTraceExporter:
     absolute units differ).  The event list is bounded by
     ``max_events``; overflow is dropped *and counted honestly* in the
     exported ``otherData.dropped_events``.
+
+    The exporter also implements the sweep-engine sink protocol
+    (:data:`~repro.obs.bus.SWEEP_EVENTS`): retries, timeouts,
+    quarantines, and degradations land as instants on a separate
+    ``pid=1`` "sweep engine" track, stamped with *host* microseconds
+    since the exporter was created (sweep events happen between
+    simulations, so simulated time does not apply to them).
     """
 
     def __init__(
@@ -102,6 +168,8 @@ class ChromeTraceExporter:
         self._events: List[dict] = []
         self._dropped = 0
         self._seen_cpus: Dict[int, bool] = {}
+        self._sweep_t0 = time.perf_counter()
+        self._saw_sweep_events = False
 
     # -- shared plumbing ----------------------------------------------------
     def _ts(self, cycles: float) -> float:
@@ -171,6 +239,46 @@ class ChromeTraceExporter:
             }
         )
 
+    # -- sweep-engine sink protocol -----------------------------------------
+    def _sweep_instant(self, name: str, args: dict) -> None:
+        self._saw_sweep_events = True
+        self._emit(
+            {
+                "name": name,
+                "cat": "sweep",
+                "ph": "i",
+                "pid": 1,
+                "tid": 0,
+                "ts": (time.perf_counter() - self._sweep_t0) * 1e6,
+                "s": "p",
+                "args": args,
+            }
+        )
+
+    def on_cell_done(self, key, source: str) -> None:
+        self._sweep_instant("cell:done", {"cell": str(key), "source": source})
+
+    def on_cell_retry(self, key, attempt: int, kind: str, delay_s: float) -> None:
+        self._sweep_instant(
+            f"cell:retry:{kind}",
+            {"cell": str(key), "attempt": attempt, "delay_s": delay_s},
+        )
+
+    def on_cell_timeout(self, key, attempt: int, elapsed_s: float) -> None:
+        self._sweep_instant(
+            "cell:timeout",
+            {"cell": str(key), "attempt": attempt, "elapsed_s": elapsed_s},
+        )
+
+    def on_cell_quarantined(self, key, kind: str, error: str) -> None:
+        self._sweep_instant(
+            "cell:quarantined",
+            {"cell": str(key), "kind": kind, "error": error},
+        )
+
+    def on_sweep_degraded(self, reason: str) -> None:
+        self._sweep_instant("sweep:degraded", {"reason": reason})
+
     # -- output -------------------------------------------------------------
     def to_json(self) -> dict:
         """The full trace object (JSON-serializable)."""
@@ -190,6 +298,15 @@ class ChromeTraceExporter:
                     "pid": 0,
                     "tid": cpu,
                     "args": {"name": f"cpu{cpu}"},
+                }
+            )
+        if self._saw_sweep_events:
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "args": {"name": "sweep engine (host time)"},
                 }
             )
         return {

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -37,6 +39,23 @@ class TestParser:
         assert args.query == ["Q6"]
         assert args.procs == [1, 2]
         assert args.profile == "out.prof"
+
+    def test_sweep_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--retries", "5", "--timeout", "2.5",
+             "--resume", "--json", "--cache-dir", "d"]
+        )
+        assert args.retries == 5 and args.timeout == 2.5
+        assert args.resume and args.json and args.cache_dir == "d"
+        defaults = build_parser().parse_args(["sweep"])
+        assert defaults.retries == 3 and defaults.timeout is None
+        assert not defaults.resume and not defaults.json
+
+    def test_unknown_flag_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["sweep", "--no-such-flag"])
+        assert exc_info.value.code == 2
+        capsys.readouterr()
 
 
 class TestCommands:
@@ -92,6 +111,58 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "pingpong" in out
+
+    def test_sweep_json_payload(self, capsys):
+        rc = main(["sweep", "--query", "Q6", "--platform", "hpv",
+                   "--procs", "1", "--sf", "0.0004", "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert rc == 0
+        assert payload["ok"] and payload["exit_code"] == 0
+        assert payload["total"] == 1 and payload["failed_cells"] == []
+        assert "cache" in payload
+
+    def test_sweep_failed_cell_exits_1(self, capsys):
+        # 64 procs exceeds the machine CPU count: the cell quarantines
+        # and the exit-code contract says 1, with the failure named in
+        # the JSON payload.
+        rc = main(["sweep", "--query", "Q6", "--platform", "hpv",
+                   "--procs", "64", "--sf", "0.0004", "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert rc == 1
+        assert not payload["ok"] and payload["exit_code"] == 1
+        (failed,) = payload["failed_cells"]
+        assert failed["cell"] == "Q6:hpv:64:1:default"
+        assert failed["kind"] == "error"
+
+    def test_sweep_resume_needs_cache_dir(self, capsys):
+        rc = main(["sweep", "--query", "Q6", "--platform", "hpv",
+                   "--procs", "1", "--sf", "0.0004", "--resume"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--cache-dir" in err
+
+    def test_config_error_exits_2(self, capsys):
+        # a structurally valid command line whose configuration is
+        # rejected downstream: refresh streams cannot run multi-process
+        rc = main(["run", "--query", "RF1", "--procs", "2",
+                   "--sf", "0.0004"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "error:" in err and "RF1" in err
+
+    def test_sweep_trace_out_includes_sweep_events(self, capsys, tmp_path):
+        trace = tmp_path / "cell.trace.json"
+        rc = main(["sweep", "--query", "Q6", "--platform", "hpv",
+                   "--procs", "1", "--sf", "0.0004",
+                   "--trace-out", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "traced cell" in out and "sweep events" in out
+        d = json.loads(trace.read_text())
+        cats = {e.get("cat") for e in d["traceEvents"]}
+        assert "sweep" in cats  # engine events share the timeline
 
     def test_capture_replay_roundtrip(self, capsys, tmp_path):
         trace = str(tmp_path / "q6.npz")
