@@ -80,7 +80,12 @@ def test_sweep_parallel_speedup(tmp_path, benchmark):
         assert _snap(a) == _snap(b) == _snap(c), key
 
     assert warm.cache.stats["hits"] == len(cells)
-    speedup_warm = serial_s / max(warm_s, 1e-9)
+    # The warm leg never simulates anything — every cell is a
+    # ResultCache hit — so dividing serial time by it manufactures a
+    # "speedup" that only measures cache deserialization (a past record
+    # claimed 12984x).  Report the warm leg as its own throughput
+    # number instead; it is comparable across PRs but not against the
+    # simulating legs.
     record = {
         "bench": "full_figure_grid",
         "cells": len(cells),
@@ -93,10 +98,11 @@ def test_sweep_parallel_speedup(tmp_path, benchmark):
         "cells_per_sec_serial": round(len(cells) / serial_s, 3),
         "cells_per_sec_parallel": round(len(cells) / parallel_s, 3),
         "speedup_parallel_cold": round(serial_s / max(parallel_s, 1e-9), 2),
-        "speedup_parallel_warm": round(speedup_warm, 2),
+        "cache_hit_cells_per_sec": round(len(cells) / max(warm_s, 1e-9), 1),
     }
     append_datapoint("sweep", record)
     print(f"\nsweep benchmark: {record}")
 
-    # acceptance: parallel + warm cache beats the seed serial path >= 2x
-    assert speedup_warm >= 2.0
+    # acceptance: a warm cache must still be far faster than simulating
+    # (sanity for the cache path, not a parallelism claim)
+    assert serial_s / max(warm_s, 1e-9) >= 2.0

@@ -34,11 +34,14 @@ class Processor:
 
         With ``memsys.fast_path`` (the default) the whole batch is
         handed to :meth:`MemorySystem.access_batch` — the hierarchy-wide
-        batched engine that resolves private L1 hits, clean L2 hits,
-        silent E->M upgrades and same-line spatial runs inline with bulk
-        counter updates; the slow per-reference loop below is kept as
-        the reference implementation and produces bitwise identical
-        counters and timing.
+        batched engine.  Short batches run its flattened scalar loop;
+        long ones enter the columnar NumPy kernel, which classifies
+        eviction-free prefixes against the batch's column arrays
+        (:meth:`RefBatch.columns` — zero-copy when the batch was built
+        columnar, as the synthetic generator and trace loader do) and
+        retires them in bulk array operations.  The slow per-reference
+        loop below is kept as the reference implementation and produces
+        bitwise identical counters and timing on every path.
         """
         base_cpi = self.machine.base_cpi
         memsys = self.memsys

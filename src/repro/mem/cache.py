@@ -188,6 +188,34 @@ class SetAssocCache:
                 hit += 1
         return hit
 
+    def soa_view(self):
+        """Struct-of-arrays snapshot of the cache state.
+
+        Returns ``(tags, states, lru_rank)`` — three ``[n_sets, assoc]``
+        NumPy arrays: line numbers (``int64``, ``-1`` in empty ways),
+        MESI states (``int8``, :data:`INVALID` in empty ways) and LRU
+        position within the set (``int8``; 0 = least recent, increasing
+        toward MRU, ``-1`` in empty ways).  Built on demand in
+        O(resident lines) from the authoritative ``OrderedDict`` sets —
+        the dict form stays the single source of truth for mutation, so
+        the snapshot can never be stale by construction.  This is the
+        gather the batched invariant checker and any columnar analysis
+        run their array passes over.
+        """
+        import numpy as np
+
+        n_sets = len(self._sets)
+        assoc = self._assoc
+        tags = np.full((n_sets, assoc), -1, dtype=np.int64)
+        states = np.zeros((n_sets, assoc), dtype=np.int8)
+        rank = np.full((n_sets, assoc), -1, dtype=np.int8)
+        for si, s in enumerate(self._sets):
+            for way, (line, state) in enumerate(s.items()):
+                tags[si, way] = line
+                states[si, way] = state
+                rank[si, way] = way  # OrderedDict order IS recency order
+        return tags, states, rank
+
     # -- introspection ---------------------------------------------------
     def resident(self) -> Iterator[Tuple[int, int]]:
         """Yield ``(line_number, state)`` for every resident line."""

@@ -43,6 +43,17 @@ class CacheHierarchy:
             self.coherent.hot_view() if self.has_l2 else None,
         )
 
+    def soa_views(self):
+        """Columnar snapshot of the whole hierarchy: the coherent
+        level's struct-of-arrays view plus (for two-level hierarchies)
+        the L1's, else ``None``.  The array-verification checker sweeps
+        these instead of walking per-line dicts; see
+        :meth:`SetAssocCache.soa_view` for the layout contract."""
+        return (
+            self.coherent.soa_view(),
+            self.l1.soa_view() if self.has_l2 else None,
+        )
+
     # -- state maintenance -------------------------------------------------
     def fill(self, addr: int, state: int) -> Optional[Tuple[int, int]]:
         """Install the line(s) for ``addr`` in ``state`` at every level.

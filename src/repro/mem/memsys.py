@@ -11,17 +11,35 @@ maintains all counters the paper's figures need:
 * the un-overlapped memory-latency accumulator that emulates the
   PA-8200's open-request counter (Fig. 9),
 * upgrade and intervention counts.
+
+Batched execution (:meth:`MemorySystem.access_batch`) dispatches
+between two engines, both bitwise-equivalent to the per-reference
+slow path:
+
+* a **flattened scalar engine** that, besides resolving private hits
+  inline, executes the *common-case* directory transactions (unowned
+  and shared fetches with no intervention and no sharer invalidation)
+  against the directory dict, bank-queue dicts and cache sets directly
+  — only interventions, sharer invalidations and upgrades fall back to
+  the full :meth:`_coherent_miss` / :meth:`_do_upgrade` helpers;
+* a **columnar NumPy kernel** for long batches that classifies the
+  eviction-free prefix of the reference stream in one vectorized
+  pre-pass and bulk-applies it, leaving a scalar residue loop for only
+  the references the masks flag as leaving the fast path.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..obs import schema as _schema
 from ..obs.bus import MEMSYS_EVENTS, SinkRegistry
 from ..trace.address import AddressSpace
 from ..trace.classify import NUM_CLASSES
 from .coherence import KIND_INTERVENTION, CoherenceEngine
+from .directory import NO_OWNER, DirEntry
 from .hierarchy import CacheHierarchy
 from .machine import TOPOLOGY_CROSSBAR, MachineConfig
 from .states import EXCLUSIVE, MODIFIED, SHARED
@@ -89,6 +107,18 @@ class MemorySystem:
     """All caches, the directory protocol, and the interconnect of one
     machine instance.  ``machine`` should already be scaled."""
 
+    #: Batches at least this long go through the columnar NumPy kernel;
+    #: shorter ones (the executor's per-page emission averages ~12
+    #: references) stay on the flattened scalar engine, whose per-batch
+    #: prologue is cheaper than a single NumPy dispatch.  Both engines
+    #: are bitwise-identical, so the threshold is a pure tuning knob.
+    VECTOR_MIN_REFS = 48
+    #: The vectorized pre-pass re-classifies the remainder of a batch
+    #: after each slow reference; when the next eviction-free prefix is
+    #: shorter than this, classification costs more than it saves and
+    #: the residue is handed to the scalar engine instead.
+    VECTOR_MIN_PREFIX = 16
+
     def __init__(
         self,
         machine: MachineConfig,
@@ -115,6 +145,13 @@ class MemorySystem:
         self._sinks = SinkRegistry(MEMSYS_EVENTS)
         self._after_tx_cbs = self._sinks.callbacks["after_transaction"]
         self._after_silent_cbs = self._sinks.callbacks["after_silent_upgrade"]
+        #: Deferred observation (see :meth:`attach_deferred_sink`):
+        #: when set, the batched engines append the byte address of
+        #: every completed transaction here and hand the log to the
+        #: sink at each batch boundary — no method shadowing, so the
+        #: fast engines keep running.
+        self._txlog: Optional[List[int]] = None
+        self._deferred_sink = None
         # hot-path caching of config values
         self._uma = machine.topology_kind == TOPOLOGY_CROSSBAR
         self._exposure = machine.latency.exposure
@@ -134,24 +171,53 @@ class MemorySystem:
         #: lookups almost always land in the same one.  Valid because a
         #: segment's range and home never change once allocated.
         self._home_span: Tuple[int, int, int] = (1, 0, 0)
-        #: Per-CPU hoisted state for :meth:`access_batch`: one tuple
-        #: unpack replaces ~15 attribute lookups and method binds per
+        # Inline-lane constants (the flattened scalar engine executes
+        # common-case directory transactions without entering the
+        # engine/interconnect methods; see `_access_batch_scalar`).
+        ic = self.interconnect
+        lat = machine.latency
+        self._mem_base = lat.mem_base
+        self._bank_service = lat.bank_service
+        self._epoch_shift = ic.EPOCH_SHIFT
+        self._epoch_len = 1 << ic.EPOCH_SHIFT
+        self._max_delay = ic.MAX_DELAY
+        self._bank_load = ic._load
+        self._bank_spill = ic._spill
+        self._dir_entries = self.engine.directory._entries
+        #: Per-CPU hoisted state for the batched engines: one tuple
+        #: unpack replaces ~20 attribute lookups and method binds per
         #: batch (batches average tens of references, so the prologue
         #: is a measurable share of the engine's time).  Everything in
         #: here is structurally stable for the life of the memsys: the
-        #: stats/hierarchy objects are never replaced, ``flush`` clears
-        #: the set dicts in place, and the bound helpers captured here
-        #: are the *unobserved* ones — attaching a sink shadows
-        #: ``access_batch`` itself, so this context is never consulted
-        #: while observation is on.
+        #: stats/hierarchy objects are never replaced, ``flush`` and
+        #: ``reset_contention`` clear their dicts in place, and the
+        #: bound helpers captured here are the *unobserved* ones —
+        #: attaching a sink shadows ``access_batch`` itself, so this
+        #: context is never consulted while observation is on.
         self._batch_ctx = []
+        #: Per-CPU opener size for the vector kernel's adaptive
+        #: classification window.  Carried across batches so sustained
+        #: hit streams keep cruising at large windows; purely a
+        #: performance state, a function of the reference stream only.
+        self._vec_window = [64] * machine.n_cpus
         for cpu in range(machine.n_cpus):
             h = self.hierarchies[cpu]
             l1_sets, l1_shift, l1_mask = h.l1.hot_view()
             if h.has_l2:
                 l2_sets, l2_shift, l2_mask = h.coherent.hot_view()
+                l2_assoc = h.coherent.config.assoc
             else:
-                l2_sets = l2_shift = l2_mask = None
+                l2_sets = l2_shift = l2_mask = l2_assoc = None
+            if self._uma:
+                bank_mod = ic.n_banks
+                dist_row: Optional[List[int]] = None
+            else:
+                bank_mod = None
+                node = self.topology.node_of_cpu(cpu)
+                dist_row = [
+                    lat.hop_cost * self.topology.hops(node, hm)
+                    for hm in range(self.topology.n_nodes)
+                ]
             self._batch_ctx.append((
                 self.stats[cpu],
                 h,
@@ -160,13 +226,20 @@ class MemorySystem:
                 l1_shift,
                 l1_mask,
                 h.l1.config.assoc,
+                h.coherent,
                 l2_sets,
                 l2_shift,
                 l2_mask,
+                l2_assoc,
+                machine.coherence_line_size >> l1_shift,
                 h.set_state,
                 self._coherent_miss,
                 self._do_upgrade,
                 self.engine.note_silent_upgrade,
+                self._ever_cached[cpu],
+                self._lost_to_inval[cpu],
+                dist_row,
+                bank_mod,
             ))
 
     # -- NUMA placement -------------------------------------------------------
@@ -213,6 +286,8 @@ class MemorySystem:
                 h.set_state(addr, MODIFIED)
                 self.engine.note_silent_upgrade(cpu, addr)
                 st.silent_upgrades += 1
+                if self._txlog is not None:
+                    self._txlog.append(addr)
                 return 0
             # write hit on SHARED: ownership upgrade
             return self._do_upgrade(cpu, addr, now, st, h)
@@ -247,6 +322,8 @@ class MemorySystem:
                         h.coherent.set_state(addr, MODIFIED)
                         self.engine.note_silent_upgrade(cpu, addr)
                         st.silent_upgrades += 1
+                        if self._txlog is not None:
+                            self._txlog.append(addr)
                         cstate = MODIFIED
                 h.fill_l1(addr, cstate)
                 st.stall_cycles += stall
@@ -265,7 +342,7 @@ class MemorySystem:
         h: CacheHierarchy,
     ) -> int:
         """The directory transaction below every cache level.  Split
-        from :meth:`_miss` so the batched engine, which resolves the
+        from :meth:`_miss` so the batched engines, which resolve the
         L1-miss bookkeeping and the L2 probe inline, can enter the
         hierarchy exactly here."""
         home = self._home(addr)
@@ -294,16 +371,50 @@ class MemorySystem:
         st.mem_accesses += 1
         stall = int(lat * self._exposure)
         st.stall_cycles += stall
+        if self._txlog is not None:
+            self._txlog.append(addr)
         return stall
 
     def access_batch(self, cpu: int, batch, now: int, base_cpi: float) -> float:
         """Run a whole :class:`~repro.trace.stream.RefBatch`; return the
         float cycles it consumed (the caller truncates once per batch).
 
-        The hierarchy-wide batched engine.  Everything that generates
-        no directory transaction is resolved inline against the cache
-        set structures (via :meth:`SetAssocCache.hot_view`), with the
-        counters applied in bulk at the end of the batch:
+        Dispatches on batch length: long batches go through the
+        columnar NumPy kernel (:meth:`_access_batch_vector`), short
+        ones through the flattened scalar engine
+        (:meth:`_access_batch_scalar`).  Both mirror the per-reference
+        slow path operation-for-operation (same float additions in the
+        same order, same dictionary operations on every cache set and
+        directory entry), so counters, timing, and final cache state
+        are bitwise identical across all three; ``SimConfig.
+        fast_path=False`` forces the slow loop and the equivalence
+        suites compare the paths counter-for-counter.
+
+        When transition sinks are attached this method is shadowed
+        by :meth:`_access_batch_observed`, which routes every L1 miss
+        through :meth:`_miss` so the sinks see the exact per-
+        reference hook sequence of the slow path.
+        """
+        if len(batch) >= self.VECTOR_MIN_REFS:
+            return self._access_batch_vector(cpu, batch, now, base_cpi)
+        return self._access_batch_scalar(cpu, batch, now, base_cpi)
+
+    def _access_batch_scalar(
+        self,
+        cpu: int,
+        batch,
+        now: int,
+        base_cpi: float,
+        start: int = 0,
+        t0: Optional[float] = None,
+        cycles0: float = 0.0,
+    ) -> float:
+        """The flattened scalar engine.
+
+        Everything that generates no directory transaction is resolved
+        inline against the cache set structures (via
+        :meth:`SetAssocCache.hot_view`), with the counters applied in
+        bulk at the end of the batch:
 
         * private L1 hits (E/M, or S for reads) — zero stall,
         * spatial runs — consecutive references to the same L1 line
@@ -313,20 +424,22 @@ class MemorySystem:
         * clean L2 hits, including the L1 refill and the constant
           exposed L2 stall.
 
-        Only ownership upgrades and coherent-level misses leave the
-        loop, entering the hierarchy at the same :meth:`_do_upgrade` /
-        :meth:`_coherent_miss` helpers :meth:`access` uses.  The cost
-        accumulation mirrors :meth:`Processor.run_batch`'s slow loop
-        operation-for-operation (same float additions in the same
-        order, same dictionary operations on every cache set), so
-        counters, timing, and final cache state are bitwise identical
-        either way; ``SimConfig.fast_path=False`` forces the slow loop
-        and the equivalence suites compare the two counter-for-counter.
+        Coherent misses take an inline lane too, provided the
+        transaction is *simple*: the line is not exclusive in another
+        cache, and a write finds no other sharer.  Those transactions
+        (the vast majority — streaming scans fetch unowned lines) are
+        transcriptions of :meth:`CoherenceEngine.read_miss` /
+        :meth:`~CoherenceEngine.write_miss`'s no-intervention branches,
+        :meth:`Interconnect._enter_bank`'s epoch queueing,
+        :meth:`_classify_miss` and the fill/evict path, executed
+        against the directory dict, bank dicts and set dicts directly.
+        Interventions, sharer invalidations and S-write upgrades leave
+        the loop through the same :meth:`_do_upgrade` /
+        :meth:`_coherent_miss` helpers :meth:`access` uses, preserving
+        the exact transition semantics by construction.
 
-        When transition sinks are attached this method is shadowed
-        by :meth:`_access_batch_observed`, which routes every L1 miss
-        through :meth:`_miss` so the sinks see the exact per-
-        reference hook sequence of the slow path.
+        ``start``/``t0``/``cycles0`` let the vectorized kernel hand
+        over mid-batch with the float accumulator chain intact.
         """
         (
             st,
@@ -336,19 +449,45 @@ class MemorySystem:
             l1_shift,
             l1_mask,
             l1_assoc,
+            l2,
             l2_sets,
             l2_shift,
             l2_mask,
+            l2_assoc,
+            l1_per_coh,
             set_state,
             coherent_miss,
             do_upgrade,
             note_silent,
+            ever_cached,
+            lost_inval,
+            dist_row,
+            bank_mod,
         ) = self._batch_ctx[cpu]
         has_l2 = l2_sets is not None
         l2_stall = self._l2_stall
         modified = MODIFIED
         exclusive = EXCLUSIVE
         shared = SHARED
+        coh_mask = self._coh_mask
+        cpu_bit = 1 << cpu
+        mem_base = self._mem_base
+        service = self._bank_service
+        epoch_shift = self._epoch_shift
+        epoch_len = self._epoch_len
+        max_delay = self._max_delay
+        bank_load = self._bank_load
+        bank_spill = self._bank_spill
+        entries = self._dir_entries
+        dir_entry = DirEntry
+        exposure = self._exposure
+        l2_hit_lat = self._l2_hit
+        engine = self.engine
+        ic = self.interconnect
+        txlog = self._txlog
+        miss_kind = st.miss_kind
+        miss_kind_by_class = st.miss_kind_by_class
+        coh_by_class = st.coherent_misses_by_class
         n_reads = 0
         n_writes = 0
         n_l1_miss = 0
@@ -356,15 +495,30 @@ class MemorySystem:
         n_silent = 0
         n_l1_evict = 0
         n_l1_dirty = 0
+        n_l2_evict = 0
+        n_l2_dirty = 0
         l2_stall_sum = 0
+        n_cohm = 0
+        raw_sum = 0
+        coh_stall_sum = 0
+        ic_requests = 0
+        ic_queued = 0
+        ic_qdelay = 0
         by_class = None  # lazily allocated: most batches never miss
         run_line = -1  # spatial-run tracking: L1 line of the previous ref
         run_state = 0
-        cycles = 0.0
-        t = float(now)
-        for addr, is_write, instrs, cls in zip(
-            batch.addrs, batch.writes, batch.instrs, batch.classes
-        ):
+        cycles = cycles0
+        t = float(now) if t0 is None else t0
+        if start:
+            refs = zip(
+                batch.addrs[start:],
+                batch.writes[start:],
+                batch.instrs[start:],
+                batch.classes[start:],
+            )
+        else:
+            refs = zip(batch.addrs, batch.writes, batch.instrs, batch.classes)
+        for addr, is_write, instrs, cls in refs:
             cost = instrs * base_cpi
             line = addr >> l1_shift
             if line == run_line:
@@ -384,6 +538,8 @@ class MemorySystem:
                         note_silent(cpu, addr)
                         n_silent += 1
                         run_state = modified
+                        if txlog is not None:
+                            txlog.append(addr)
                     else:
                         # write hit on SHARED: ownership upgrade
                         cost += do_upgrade(cpu, addr, int(t + cost), st, h)
@@ -413,6 +569,8 @@ class MemorySystem:
                     n_silent += 1
                     run_line = line
                     run_state = modified
+                    if txlog is not None:
+                        txlog.append(addr)
                 else:
                     # write hit on SHARED: ownership upgrade
                     cost += do_upgrade(cpu, addr, int(t + cost), st, h)
@@ -451,6 +609,8 @@ class MemorySystem:
                             note_silent(cpu, addr)
                             n_silent += 1
                             cstate = modified
+                            if txlog is not None:
+                                txlog.append(addr)
                     # Inline L1 refill: the reference missed the L1
                     # this very iteration, so the line is known absent
                     # and :meth:`SetAssocCache.insert` reduces to the
@@ -467,7 +627,148 @@ class MemorySystem:
                     cycles += cost
                     t += cost
                     continue
-            cost += coherent_miss(cpu, addr, is_write, cls, int(t + cost), st, h)
+            # Coherent miss.  The inline lane transcribes the
+            # no-intervention branches of the protocol; anything that
+            # must touch another CPU's cache falls back to the helper.
+            lbase = addr & coh_mask
+            e = entries.get(lbase)
+            if e is None:
+                e = dir_entry()
+                entries[lbase] = e
+                owner = -1
+                sharers = 0
+            else:
+                owner = e.excl_owner
+                sharers = e.sharers
+            if (owner != -1 and owner != cpu) or (
+                is_write and sharers & ~cpu_bit
+            ):
+                cost += coherent_miss(cpu, addr, is_write, cls, int(t + cost), st, h)
+                cycles += cost
+                t += cost
+                continue
+            # home node (span cache, same as _home())
+            if self._uma:
+                home = 0
+                dist = 0
+                bank = (lbase >> 6) % bank_mod
+            else:
+                lo, hi, home = self._home_span
+                if not lo <= addr < hi:
+                    home = self._home(addr)
+                dist = dist_row[home]
+                bank = home
+            # memory_fetch: epoch-queued bank entry (_enter_bank)
+            now_i = int(t + cost)
+            epoch = now_i >> epoch_shift
+            key = (bank, epoch)
+            cnt = bank_load.get(key, 0)
+            if cnt == 0:
+                prevk = (bank, epoch - 1)
+                backlog = (
+                    bank_spill.get(prevk, 0)
+                    + bank_load.get(prevk, 0) * service
+                    - epoch_len
+                )
+                if backlog > 0:
+                    bank_spill[key] = backlog
+            delay = bank_spill.get(key, 0) + cnt * service
+            if delay > max_delay:
+                delay = max_delay
+            bank_load[key] = cnt + 1
+            ic_requests += 1
+            if delay:
+                ic_queued += 1
+                ic_qdelay += delay
+            lat = mem_base + dist + delay
+            # directory transition + fill state (no-intervention cases)
+            if is_write:
+                # no other holder: plain ownership fetch
+                e.excl_owner = cpu
+                e.sharers = 0
+                e.last_writer = cpu
+                e.written_since_transfer = True
+                fill_state = modified
+                comm = lbase in lost_inval
+            else:
+                holders = sharers if owner == -1 else cpu_bit
+                if holders == 0 or holders == cpu_bit:
+                    e.excl_owner = cpu
+                    e.sharers = 0
+                    e.written_since_transfer = False
+                    fill_state = exclusive
+                else:
+                    e.sharers = sharers | cpu_bit
+                    fill_state = shared
+                comm = lbase in lost_inval
+            # cold / capacity / comm classification (_classify_miss)
+            if comm:
+                mk = 2
+                lost_inval.discard(lbase)
+            elif lbase in ever_cached:
+                mk = 1
+            else:
+                mk = 0
+            ever_cached.add(lbase)
+            miss_kind[mk] += 1
+            miss_kind_by_class[cls][mk] += 1
+            # fill + victim notification (CacheHierarchy.fill + evict)
+            if has_l2:
+                if len(l2_set) >= l2_assoc:
+                    vline, vstate = l2_set.popitem(last=False)
+                    n_l2_evict += 1
+                    if vstate == modified:
+                        n_l2_dirty += 1
+                    vbase = vline << l2_shift
+                    # inclusion sweep of the covered L1 lines
+                    vl = vbase >> l1_shift
+                    for k in range(l1_per_coh):
+                        l1_sets[(vl + k) & l1_mask].pop(vl + k, None)
+                    ve = entries.get(vbase)
+                    if ve is not None:
+                        if ve.excl_owner == cpu:
+                            ve.excl_owner = -1
+                            ve.sharers = 0
+                        else:
+                            ve.sharers &= ~cpu_bit
+                        if vstate == modified:
+                            engine.n_writebacks += 1
+                            ic.post_writeback(vbase, self._home(vbase), now_i)
+                l2_set[l2_line] = fill_state
+                if len(cset) >= l1_assoc:
+                    if cset.popitem(last=False)[1] == modified:
+                        n_l1_dirty += 1
+                    n_l1_evict += 1
+                cset[line] = fill_state
+                lat += l2_hit_lat
+            else:
+                if len(cset) >= l1_assoc:
+                    vline, vstate = cset.popitem(last=False)
+                    n_l1_evict += 1
+                    if vstate == modified:
+                        n_l1_dirty += 1
+                    vbase = vline << l1_shift
+                    ve = entries.get(vbase)
+                    if ve is not None:
+                        if ve.excl_owner == cpu:
+                            ve.excl_owner = -1
+                            ve.sharers = 0
+                        else:
+                            ve.sharers &= ~cpu_bit
+                        if vstate == modified:
+                            engine.n_writebacks += 1
+                            ic.post_writeback(vbase, self._home(vbase), now_i)
+                cset[line] = fill_state
+            run_line = line
+            run_state = fill_state
+            n_cohm += 1
+            coh_by_class[cls] += 1
+            raw_sum += lat
+            stall = int(lat * exposure)
+            coh_stall_sum += stall
+            if txlog is not None:
+                txlog.append(addr)
+            cost += stall
             cycles += cost
             t += cost
         st.reads += n_reads
@@ -484,8 +785,200 @@ class MemorySystem:
         if n_l1_evict:
             l1.n_evictions += n_l1_evict
             l1.n_dirty_evictions += n_l1_dirty
+        if n_l2_evict:
+            l2.n_evictions += n_l2_evict
+            l2.n_dirty_evictions += n_l2_dirty
         if n_silent:
             st.silent_upgrades += n_silent
+        if n_cohm:
+            st.coherent_misses += n_cohm
+            st.mem_accesses += n_cohm
+            st.raw_latency_cycles += raw_sum
+            st.stall_cycles += coh_stall_sum
+        if ic_requests:
+            ic.n_requests += ic_requests
+            if ic_queued:
+                ic.n_queued += ic_queued
+                ic.total_queue_delay += ic_qdelay
+        if txlog:
+            self._deferred_sink.on_batch_end(cpu, txlog)
+            del txlog[:]
+        return cycles
+
+    def _access_batch_vector(
+        self, cpu: int, batch, now: int, base_cpi: float
+    ) -> float:
+        """The columnar NumPy kernel for long batches.
+
+        One vectorized pre-pass classifies the *eviction-free prefix*
+        of the (remaining) reference stream against a struct-of-arrays
+        gather of the L1 state: line extraction (``addrs >> l1_shift``),
+        a per-unique-line state gather, and boolean masks for private
+        hits, silent E→M upgrades (the first E-write per coherence
+        line — a silent upgrade restates every resident sub-line of
+        its coherence line to M, so later E-writes are plain hits) and
+        slow references (absent lines, S-writes).  Within that prefix
+        nothing changes residency, so batch-start classification is
+        exact; the prefix is applied in bulk — counters via
+        ``count_nonzero``, the float cycle chain via
+        ``np.add.accumulate`` (sequential, so the accumulation order
+        matches the scalar loop bit for bit), and LRU by promoting
+        each touched line once in last-touch order, which yields the
+        same final recency order as per-reference promotion.
+
+        The reference that ends the prefix goes through the
+        per-reference :meth:`access` path — the original reference
+        implementation — after which the remainder is re-classified
+        from a fresh gather (so any eviction, fill or invalidation it
+        caused is naturally accounted).  When the next prefix is too
+        short to pay for its pre-pass, the whole residue is handed to
+        the flattened scalar engine with the accumulator chain intact.
+
+        Classification runs over a bounded *adaptive window*, not the
+        whole remainder: re-gathering everything after each slow
+        reference would make miss-heavy batches quadratic in exchange
+        for prefixes they never yield.  The window starts small,
+        doubles each time a window turns out to be all-fast (so
+        hit-heavy streams converge to large, cheap sweeps), and shrinks
+        back to twice the observed prefix after a slow reference (so
+        the work a gather can waste stays proportional to the work it
+        buys).  Windowed application is exact: every window is applied
+        from a fresh gather, so cross-window staleness cannot occur,
+        and window-by-window bulk LRU promotion composes to the same
+        final recency order as per-reference promotion.
+        """
+        (
+            st,
+            h,
+            l1,
+            l1_sets,
+            l1_shift,
+            l1_mask,
+            l1_assoc,
+            l2,
+            l2_sets,
+            l2_shift,
+            l2_mask,
+            l2_assoc,
+            l1_per_coh,
+            set_state,
+            coherent_miss,
+            do_upgrade,
+            note_silent,
+            ever_cached,
+            lost_inval,
+            dist_row,
+            bank_mod,
+        ) = self._batch_ctx[cpu]
+        a_np, w_np, i_np, c_np = batch.columns()
+        n = a_np.shape[0]
+        costs = i_np * base_cpi
+        lines_np = a_np >> l1_shift
+        addrs = batch.addrs  # Python lists for the scalar residue refs
+        writes = batch.writes
+        instrs = batch.instrs
+        classes = batch.classes
+        access = self.access
+        txlog = self._txlog
+        modified = MODIFIED
+        min_prefix = self.VECTOR_MIN_PREFIX
+        n_reads = 0
+        n_writes = 0
+        n_silent = 0
+        pos = 0
+        cycles = 0.0
+        t = float(now)
+        # The opener window carries over from this CPU's previous
+        # batch: replay-scale hit streams keep cruising at large
+        # windows instead of re-paying six doublings of fixed numpy
+        # gather cost per batch, while miss-heavy streams stay small.
+        # Window size is a pure function of the reference stream, so
+        # this stays deterministic; it cannot affect results — every
+        # window is applied from a fresh gather regardless of size.
+        window = self._vec_window[cpu]
+        while n - pos >= min_prefix:
+            end = pos + window
+            if end > n:
+                end = n
+            rl = lines_np[pos:end]
+            uniq, inv = np.unique(rl, return_inverse=True)
+            ul = uniq.tolist()
+            st0u = np.fromiter(
+                (l1_sets[l & l1_mask].get(l, 0) for l in ul),
+                dtype=np.int8,
+                count=len(ul),
+            )
+            st0 = st0u[inv.reshape(-1)]
+            wseg = w_np[pos:end]
+            slow = (st0 == 0) | (wseg & (st0 == SHARED))
+            sidx = np.flatnonzero(slow)
+            if sidx.size:
+                s = int(sidx[0])
+                # shrink toward the observed prefix length: a gather
+                # should never cost much more than the refs it retires
+                window = 64 if s < 32 else (4096 if s > 2048 else 2 * s)
+            else:
+                s = end - pos
+                if window < 4096:
+                    window *= 2  # all-fast: sweep bigger chunks
+            if s < min_prefix:
+                break
+            # -- bulk-apply the eviction-free prefix [pos, pos+s) --------
+            nw = int(np.count_nonzero(wseg[:s]))
+            n_writes += nw
+            n_reads += s - nw
+            ew = np.flatnonzero(wseg[:s] & (st0[:s] == EXCLUSIVE))
+            if ew.size:
+                coh_ew = a_np[pos + ew] & self._coh_mask
+                _, first = np.unique(coh_ew, return_index=True)
+                n_silent += first.size
+                for k in np.sort(first).tolist():
+                    addr = addrs[pos + int(ew[k])]
+                    set_state(addr, modified)
+                    note_silent(cpu, addr)
+                    if txlog is not None:
+                        txlog.append(addr)
+            # LRU: one promotion per touched line, in last-touch order —
+            # the same final recency order per-reference promotion gives.
+            seg = rl[:s]
+            u2, r2 = np.unique(seg[::-1], return_index=True)
+            for l in u2[np.argsort(-r2)].tolist():
+                l1_sets[l & l1_mask].move_to_end(l)
+            # float timing: np.add.accumulate is sequential, so seeding
+            # it with the running accumulator reproduces the scalar
+            # loop's left-to-right association exactly.
+            buf = np.empty(s + 1)
+            buf[0] = cycles
+            buf[1:] = costs[pos:pos + s]
+            cycles = float(np.add.accumulate(buf)[-1])
+            buf[0] = t
+            t = float(np.add.accumulate(buf)[-1])
+            pos += s
+            if pos >= n:
+                break
+            if not sidx.size:
+                continue  # all-fast window: nothing slow consumed yet
+            # -- the slow reference, through the reference path ----------
+            addr = addrs[pos]
+            cost = instrs[pos] * base_cpi
+            cost += access(cpu, addr, writes[pos], classes[pos], int(t + cost))
+            cycles += cost
+            t += cost
+            pos += 1
+        st.reads += n_reads
+        st.writes += n_writes
+        if n_silent:
+            st.silent_upgrades += n_silent
+        self._vec_window[cpu] = window
+        if pos < n:
+            # scalar residue (flushes its own bulk counters and drains
+            # the deferred log at its end)
+            return self._access_batch_scalar(
+                cpu, batch, now, base_cpi, start=pos, t0=t, cycles0=cycles
+            )
+        if txlog:
+            self._deferred_sink.on_batch_end(cpu, txlog)
+            del txlog[:]
         return cycles
 
     def _access_batch_observed(
@@ -529,6 +1022,8 @@ class MemorySystem:
                     h.set_state(addr, modified)
                     self.engine.note_silent_upgrade(cpu, addr)
                     st.silent_upgrades += 1
+                    if self._txlog is not None:
+                        self._txlog.append(addr)
                 else:
                     # write hit on SHARED: ownership upgrade
                     cost += self._do_upgrade(cpu, addr, int(t + cost), st, h)
@@ -542,6 +1037,10 @@ class MemorySystem:
             t += cost
         st.reads += n_reads
         st.writes += n_writes
+        txlog = self._txlog
+        if txlog:
+            self._deferred_sink.on_batch_end(cpu, txlog)
+            del txlog[:]
         return cycles
 
     def _do_upgrade(
@@ -558,6 +1057,8 @@ class MemorySystem:
         st.mem_accesses += 1
         stall = int(lat * self._exposure)
         st.stall_cycles += stall
+        if self._txlog is not None:
+            self._txlog.append(addr)
         return stall
 
     def _classify_miss(
@@ -614,6 +1115,35 @@ class MemorySystem:
             del self._do_upgrade
             del self.access_batch
             del self.engine.note_silent_upgrade
+
+    def attach_deferred_sink(self, sink) -> None:
+        """Register a *deferred* observation sink.
+
+        Unlike :meth:`attach_sink`, no method is shadowed and the fast
+        batched engines keep running: they append the byte address of
+        every completed transaction (miss, upgrade, or silent upgrade)
+        to an internal log and call ``sink.on_batch_end(cpu, log)`` at
+        each batch boundary, after the bulk counters are flushed.  The
+        sink must consume the log during the call (it is cleared right
+        after).  This is the hook for the batched array-verification
+        mode of :class:`repro.verify.invariants.BatchedInvariantChecker`
+        — observation cost is one list append per transaction instead
+        of a per-transition Python callback.  Detection granularity is
+        the batch, not the transition; use :meth:`attach_sink` when a
+        violation must be caught at the exact reference that caused it.
+        """
+        if self._deferred_sink is not None:
+            raise ValueError("a deferred sink is already attached")
+        self._deferred_sink = sink
+        self._txlog = []
+
+    def detach_deferred_sink(self, sink) -> None:
+        """Deregister the deferred sink registered by
+        :meth:`attach_deferred_sink`."""
+        if self._deferred_sink is not sink:
+            raise ValueError("sink is not the attached deferred sink")
+        self._deferred_sink = None
+        self._txlog = None
 
     def _miss_observed(
         self, cpu: int, addr: int, is_write: bool, cls: int, now: int,

@@ -12,11 +12,20 @@ A reference is the 4-tuple ``(byte address, is_write, instructions
 executed since previous reference, data class)``.  The instruction count
 is how CPI accounting works: the cost model charges base cycles for the
 instructions and adds the memory stall the reference incurs.
+
+A batch is *dual form*: it can be born from parallel Python lists (the
+executor's per-page emission, where list appends beat per-element NumPy
+indexing by a wide margin) or from NumPy columns (synthetic traces,
+trace files, replay).  Whichever representation a consumer asks for —
+:attr:`RefBatch.addrs` and friends for the scalar simulation loop,
+:meth:`RefBatch.columns` for the vectorized kernel and the on-disk
+trace format — is derived lazily from the other and cached, so a batch
+that never crosses worlds never pays a conversion.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,17 +34,15 @@ from .classify import DataClass
 
 Ref = Tuple[int, bool, int, int]
 
+#: Canonical dtypes of the four columns — shared by :meth:`RefBatch.columns`
+#: and the ``.npz`` trace format (:mod:`repro.trace.tracefile`).
+COLUMN_DTYPES = (np.int64, np.bool_, np.int64, np.uint8)
+
 
 class RefBatch:
-    """An immutable batch of classified memory references.
+    """An immutable batch of classified memory references."""
 
-    Stored as parallel Python lists: the simulator's inner loop iterates
-    them with ``zip``, which profiling showed beats per-element NumPy
-    indexing by a wide margin for the batch sizes we use (tens to a few
-    hundred references).
-    """
-
-    __slots__ = ("addrs", "writes", "instrs", "classes", "total_instrs")
+    __slots__ = ("_addrs", "_writes", "_instrs", "_classes", "_cols", "_total")
 
     def __init__(
         self,
@@ -47,11 +54,12 @@ class RefBatch:
         n = len(addrs)
         if not (len(writes) == len(instrs) == len(classes) == n):
             raise TraceError("RefBatch fields must have equal lengths")
-        self.addrs: List[int] = list(addrs)
-        self.writes: List[bool] = list(writes)
-        self.instrs: List[int] = list(instrs)
-        self.classes: List[int] = [int(c) for c in classes]
-        self.total_instrs = sum(self.instrs)
+        self._addrs: Optional[List[int]] = list(addrs)
+        self._writes: Optional[List[bool]] = list(writes)
+        self._instrs: Optional[List[int]] = list(instrs)
+        self._classes: Optional[List[int]] = [int(c) for c in classes]
+        self._cols = None
+        self._total: Optional[int] = sum(self._instrs)
 
     @classmethod
     def take(
@@ -71,35 +79,117 @@ class RefBatch:
         measurable win.
         """
         batch = object.__new__(cls)
-        batch.addrs = addrs
-        batch.writes = writes
-        batch.instrs = instrs
-        batch.classes = classes
-        batch.total_instrs = sum(instrs)
+        batch._addrs = addrs
+        batch._writes = writes
+        batch._instrs = instrs
+        batch._classes = classes
+        batch._cols = None
+        batch._total = sum(instrs)
         return batch
 
+    @classmethod
+    def from_columns(
+        cls,
+        addrs: np.ndarray,
+        writes: np.ndarray,
+        instrs: np.ndarray,
+        classes: np.ndarray,
+    ) -> "RefBatch":
+        """Ownership-transfer constructor from NumPy columns.
+
+        Arrays are normalized to the canonical dtypes (zero-copy when
+        they already match, as slices of a loaded trace file do) and
+        must not be mutated by the caller afterwards.  The Python-list
+        form is only materialized if a consumer asks for it.
+        """
+        cols = tuple(
+            np.ascontiguousarray(c, dtype=dt)
+            for c, dt in zip((addrs, writes, instrs, classes), COLUMN_DTYPES)
+        )
+        n = cols[0].shape[0]
+        if any(c.ndim != 1 or c.shape[0] != n for c in cols):
+            raise TraceError("RefBatch columns must be 1-D of equal lengths")
+        batch = object.__new__(cls)
+        batch._addrs = batch._writes = batch._instrs = batch._classes = None
+        batch._cols = cols
+        batch._total = None
+        return batch
+
+    # -- representation conversion (lazy, cached) -------------------------
+    def _materialize_lists(self) -> None:
+        a, w, i, c = self._cols
+        self._addrs = a.tolist()
+        self._writes = w.tolist()
+        self._instrs = i.tolist()
+        self._classes = c.tolist()
+
+    @property
+    def addrs(self) -> List[int]:
+        if self._addrs is None:
+            self._materialize_lists()
+        return self._addrs
+
+    @property
+    def writes(self) -> List[bool]:
+        if self._writes is None:
+            self._materialize_lists()
+        return self._writes
+
+    @property
+    def instrs(self) -> List[int]:
+        if self._instrs is None:
+            self._materialize_lists()
+        return self._instrs
+
+    @property
+    def classes(self) -> List[int]:
+        if self._classes is None:
+            self._materialize_lists()
+        return self._classes
+
+    @property
+    def total_instrs(self) -> int:
+        if self._total is None:
+            self._total = int(self._cols[2].sum())
+        return self._total
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(addrs, writes, instrs, classes)`` as NumPy arrays of the
+        canonical dtypes.  Zero-copy for a NumPy-born batch; built once
+        and cached for a list-born one.  Treat as read-only — the
+        arrays may share storage with the batch itself."""
+        if self._cols is None:
+            self._cols = (
+                np.asarray(self._addrs, dtype=np.int64),
+                np.asarray(self._writes, dtype=np.bool_),
+                np.asarray(self._instrs, dtype=np.int64),
+                np.asarray(self._classes, dtype=np.uint8),
+            )
+        return self._cols
+
     def __len__(self) -> int:
-        return len(self.addrs)
+        if self._addrs is not None:
+            return len(self._addrs)
+        return self._cols[0].shape[0]
 
     def __iter__(self) -> Iterator[Ref]:
         return zip(self.addrs, self.writes, self.instrs, self.classes)
 
     def to_numpy(self) -> dict:
-        """Columnar NumPy view (copies) for analysis and trace files."""
+        """Columnar NumPy form keyed by field name (analysis and trace
+        files).  Copies, so callers may mutate freely."""
+        a, w, i, c = self.columns()
         return {
-            "addrs": np.asarray(self.addrs, dtype=np.int64),
-            "writes": np.asarray(self.writes, dtype=np.bool_),
-            "instrs": np.asarray(self.instrs, dtype=np.int64),
-            "classes": np.asarray(self.classes, dtype=np.uint8),
+            "addrs": a.copy(),
+            "writes": w.copy(),
+            "instrs": i.copy(),
+            "classes": c.copy(),
         }
 
     @classmethod
     def from_numpy(cls, cols: dict) -> "RefBatch":
-        return cls(
-            cols["addrs"].tolist(),
-            cols["writes"].tolist(),
-            cols["instrs"].tolist(),
-            cols["classes"].tolist(),
+        return cls.from_columns(
+            cols["addrs"], cols["writes"], cols["instrs"], cols["classes"]
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -200,7 +290,8 @@ def coalesce(batches: Sequence[RefBatch], target_refs: int = 256) -> List[RefBat
     references (the final chunk may be smaller).
 
     Larger chunks amortize the per-batch dispatch overhead of
-    ``MemorySystem.access_batch``.  **This changes scheduling
+    ``MemorySystem.access_batch`` (and give the vectorized kernel long
+    enough runs to pay for its pre-pass).  **This changes scheduling
     granularity**: the OS model delivers one batch per kernel event and
     checks preemption between batches, so coalescing is only valid on
     paths with no scheduler in the loop — single-CPU trace replay,

@@ -12,13 +12,22 @@ segments mirror the §3.3 data-class taxonomy.
 Generation is a pure function of :class:`SyntheticSpec`, so a failing
 round is reproducible from its seed alone, and the shrinker can re-run
 reduced traces deterministically.
+
+Streams are generated **columnarly**: each batch draws its pattern
+choices, instruction counts, slots and write flags as NumPy arrays,
+expands the read-modify-write pairs with ``np.repeat``, and freezes the
+result via :meth:`RefBatch.from_columns` — no per-reference Python list
+append.  Generation used to dominate small-budget fuzz campaigns and
+benchmark setup; columnar batches also enter the simulator in exactly
+the form the vectorized kernel wants.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from .address import AddressSpace
 from .classify import DataClass
@@ -56,8 +65,8 @@ class SyntheticSpec:
     #: private pool sized to overflow the (scaled) L1 while fitting the
     #: L2, so revisits produce clean L2 hits — the branch the batched
     #: engine resolves inline on two-level machines.  ``0`` (the
-    #: default) disables the pattern *and* its segments, keeping traces
-    #: for pre-existing specs byte-identical.
+    #: default) disables the pattern *and* its segments, keeping the
+    #: address-space layout for pre-existing specs identical.
     w_l2_reuse: int = 0
     #: Weight of the ``upgrade`` pattern: read-then-write pairs on a
     #: mostly-per-CPU slice of a shared pool, driving silent E->M
@@ -115,89 +124,141 @@ def build_address_space(spec: SyntheticSpec) -> AddressSpace:
 
 def generate(spec: SyntheticSpec) -> Tuple[AddressSpace, List[List[RefBatch]]]:
     """Generate ``(address_space, batches)``, ``batches[cpu]`` being the
-    ordered :class:`RefBatch` stream CPU ``cpu`` executes."""
+    ordered :class:`RefBatch` stream CPU ``cpu`` executes.
+
+    Each batch is drawn as whole columns: one vector of pattern picks,
+    one of instruction counts, then per-pattern masked slot/write draws,
+    with the lock/upgrade read-modify-write pairs expanded by
+    ``np.repeat`` and the batch truncated to ``refs_per_batch``.  A
+    single seeded :class:`numpy.random.Generator` drives every draw, so
+    the trace remains a pure function of the spec.
+    """
     aspace = build_address_space(spec)
-    rng = random.Random(spec.seed)
+    rng = np.random.default_rng(spec.seed)
     record = aspace.segment("syn.record")
     index = aspace.segment("syn.index")
     meta = aspace.segment("syn.meta")
     lock = aspace.segment("syn.lock")
     privates = [aspace.segment(f"syn.private{c}") for c in range(spec.n_cpus)]
 
-    patterns = [p for p, _ in _PATTERNS]
     weights = [w for _, w in _PATTERNS]
+    # Pattern codes: 0..4 = the legacy five, 5 = upgrade, 6 = l2_reuse.
+    PRIVATE, STREAM, SHARED_READ, HOT_WRITE, LOCK, UPGRADE, L2_REUSE = range(7)
     if spec.w_upgrade > 0:
         upgrade_seg = aspace.segment("syn.upgrade")
-        patterns.append("upgrade")
         weights.append(spec.w_upgrade)
+    else:
+        weights.append(0)
     if spec.w_l2_reuse > 0:
         l2pools = [aspace.segment(f"syn.l2pool{c}") for c in range(spec.n_cpus)]
-        patterns.append("l2_reuse")
         weights.append(spec.w_l2_reuse)
+    else:
+        weights.append(0)
+    probs = np.asarray(weights, dtype=np.float64)
+    probs /= probs.sum()
+    #: Pairs (lock, upgrade) emit two refs per pick.
+    is_pair_code = np.zeros(7, dtype=np.bool_)
+    is_pair_code[LOCK] = is_pair_code[UPGRADE] = True
+    cls_of_code = np.array(
+        [
+            int(DataClass.PRIVATE),
+            int(DataClass.RECORD),
+            int(DataClass.INDEX),
+            int(DataClass.META),
+            int(DataClass.LOCK),
+            int(DataClass.META),
+            int(DataClass.PRIVATE),
+        ],
+        dtype=np.uint8,
+    )
     step = spec.line_size
+    B = spec.refs_per_batch
+    n_shared = spec.n_shared_lines
     cursors = [0] * spec.n_cpus  # per-CPU streaming position
     l2_cursors = [0] * spec.n_cpus  # per-CPU l2_reuse walk position
     out: List[List[RefBatch]] = []
     for cpu in range(spec.n_cpus):
         batches: List[RefBatch] = []
         for _ in range(spec.n_batches):
-            refs: List[Ref] = []
-            while len(refs) < spec.refs_per_batch:
-                pat = rng.choices(patterns, weights)[0]
-                instrs = rng.randint(1, 6)
-                if pat == "private":
-                    addr = privates[cpu].base + step * rng.randrange(
-                        spec.n_private_lines
-                    )
-                    refs.append((addr, rng.random() < spec.p_write, instrs,
-                                 int(DataClass.PRIVATE)))
-                elif pat == "stream":
-                    addr = record.base + step * (cursors[cpu] % spec.n_shared_lines)
-                    cursors[cpu] += 1
-                    refs.append((addr, False, instrs, int(DataClass.RECORD)))
-                elif pat == "shared_read":
-                    # Zipf-ish reuse near the "root" of the pool.
-                    slot = min(
-                        rng.randrange(spec.n_shared_lines),
-                        rng.randrange(spec.n_shared_lines),
-                    )
-                    refs.append((index.base + step * slot, False, instrs,
-                                 int(DataClass.INDEX)))
-                elif pat == "hot_write":
-                    slot = rng.randrange(spec.n_shared_lines)
-                    refs.append((meta.base + step * slot,
-                                 rng.random() < 0.7, instrs,
-                                 int(DataClass.META)))
-                elif pat == "upgrade":
-                    # Read-then-write: the read installs the line (E on
-                    # the private-slice picks, S on cross-CPU overlap),
-                    # the write then upgrades it — silently for E,
-                    # through the directory for S.
-                    if rng.random() < 0.9:
-                        slot = cpu * spec.n_upgrade_lines + rng.randrange(
-                            spec.n_upgrade_lines
-                        )
-                    else:
-                        slot = rng.randrange(spec.n_upgrade_lines * spec.n_cpus)
-                    addr = upgrade_seg.base + step * slot
-                    refs.append((addr, False, instrs, int(DataClass.META)))
-                    refs.append((addr, True, 2, int(DataClass.META)))
-                elif pat == "l2_reuse":
-                    # Cyclic walk: once the pool has been visited, every
-                    # revisit has fallen out of a small L1 but sits in
-                    # the L2 — a clean L2 hit (or an occasional dirty
-                    # one, via the rare writes).
-                    slot = l2_cursors[cpu] % spec.n_l2_pool_lines
-                    l2_cursors[cpu] += 1
-                    addr = l2pools[cpu].base + step * slot
-                    refs.append((addr, rng.random() < 0.15, instrs,
-                                 int(DataClass.PRIVATE)))
-                else:  # lock: read-modify-write on a contended word
-                    addr = lock.base + step * rng.randrange(spec.n_locks)
-                    refs.append((addr, False, instrs, int(DataClass.LOCK)))
-                    refs.append((addr, True, 2, int(DataClass.LOCK)))
-            refs = refs[: spec.refs_per_batch]
-            batches.append(batch_from_refs(refs))
+            pats = rng.choice(7, size=B, p=probs)
+            instrs = rng.integers(1, 7, size=B, dtype=np.int64)
+            addrs = np.zeros(B, dtype=np.int64)
+            writes = np.zeros(B, dtype=np.bool_)
+            m = pats == PRIVATE
+            k = int(np.count_nonzero(m))
+            if k:
+                addrs[m] = privates[cpu].base + step * rng.integers(
+                    0, spec.n_private_lines, size=k
+                )
+                writes[m] = rng.random(k) < spec.p_write
+            m = pats == STREAM
+            k = int(np.count_nonzero(m))
+            if k:
+                # sequential walk: occurrence order continues the cursor
+                pos = (cursors[cpu] + np.arange(k)) % n_shared
+                cursors[cpu] += k
+                addrs[m] = record.base + step * pos
+            m = pats == SHARED_READ
+            k = int(np.count_nonzero(m))
+            if k:
+                # Zipf-ish reuse near the "root" of the pool
+                slot = np.minimum(
+                    rng.integers(0, n_shared, size=k),
+                    rng.integers(0, n_shared, size=k),
+                )
+                addrs[m] = index.base + step * slot
+            m = pats == HOT_WRITE
+            k = int(np.count_nonzero(m))
+            if k:
+                addrs[m] = meta.base + step * rng.integers(0, n_shared, size=k)
+                writes[m] = rng.random(k) < 0.7
+            m = pats == LOCK
+            k = int(np.count_nonzero(m))
+            if k:  # read-modify-write on a contended word (pair below)
+                addrs[m] = lock.base + step * rng.integers(
+                    0, spec.n_locks, size=k
+                )
+            m = pats == UPGRADE
+            k = int(np.count_nonzero(m))
+            if k:
+                # Read-then-write: the read installs the line (E on the
+                # private-slice picks, S on cross-CPU overlap), the
+                # write then upgrades it — silently for E, through the
+                # directory for S.
+                own = cpu * spec.n_upgrade_lines + rng.integers(
+                    0, spec.n_upgrade_lines, size=k
+                )
+                anyslot = rng.integers(
+                    0, spec.n_upgrade_lines * spec.n_cpus, size=k
+                )
+                slot = np.where(rng.random(k) < 0.9, own, anyslot)
+                addrs[m] = upgrade_seg.base + step * slot
+            m = pats == L2_REUSE
+            k = int(np.count_nonzero(m))
+            if k:
+                # Cyclic walk: once the pool has been visited, every
+                # revisit has fallen out of a small L1 but sits in the
+                # L2 — a clean L2 hit (or an occasional dirty one).
+                pos = (l2_cursors[cpu] + np.arange(k)) % spec.n_l2_pool_lines
+                l2_cursors[cpu] += k
+                addrs[m] = l2pools[cpu].base + step * pos
+                writes[m] = rng.random(k) < 0.15
+            # Expand read-modify-write pairs: the second reference
+            # repeats the address as a 2-instruction write.
+            is_pair = is_pair_code[pats]
+            counts = 1 + is_pair.astype(np.int64)
+            e_addrs = np.repeat(addrs, counts)
+            e_writes = np.repeat(writes, counts)
+            e_instrs = np.repeat(instrs, counts)
+            e_cls = np.repeat(cls_of_code[pats], counts)
+            second = (np.cumsum(counts) - 1)[is_pair]
+            e_writes[second] = True
+            e_instrs[second] = 2
+            batches.append(
+                RefBatch.from_columns(
+                    e_addrs[:B], e_writes[:B], e_instrs[:B], e_cls[:B]
+                )
+            )
         out.append(batches)
     return aspace, out
 

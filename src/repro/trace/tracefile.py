@@ -22,24 +22,35 @@ _MAGIC = "repro-trace-v1"
 
 
 def save_trace(path: Union[str, Path], batches: List[RefBatch]) -> None:
-    """Write ``batches`` to ``path`` as a compressed npz trace file."""
+    """Write ``batches`` to ``path`` as a compressed npz trace file.
+
+    The on-disk columns are exactly :data:`repro.trace.stream.COLUMN_DTYPES`
+    — the same arrays :meth:`RefBatch.columns` exposes — so a NumPy-born
+    batch round-trips without any per-reference conversion.
+    """
     if not batches:
         raise TraceError("refusing to save an empty trace")
-    cols = [b.to_numpy() for b in batches]
+    cols = [b.columns() for b in batches]
     bounds = np.cumsum([len(b) for b in batches])
     np.savez_compressed(
         str(path),
         magic=np.array(_MAGIC),
-        addrs=np.concatenate([c["addrs"] for c in cols]),
-        writes=np.concatenate([c["writes"] for c in cols]),
-        instrs=np.concatenate([c["instrs"] for c in cols]),
-        classes=np.concatenate([c["classes"] for c in cols]),
+        addrs=np.concatenate([c[0] for c in cols]),
+        writes=np.concatenate([c[1] for c in cols]),
+        instrs=np.concatenate([c[2] for c in cols]),
+        classes=np.concatenate([c[3] for c in cols]),
         bounds=bounds,
     )
 
 
 def load_trace(path: Union[str, Path]) -> List[RefBatch]:
-    """Load a trace previously written by :func:`save_trace`."""
+    """Load a trace previously written by :func:`save_trace`.
+
+    Batches are rebuilt as column slices of the loaded arrays
+    (:meth:`RefBatch.from_columns`), so loading is O(batches), not
+    O(references); the scalar list form materializes lazily only where
+    a consumer iterates it.
+    """
     with np.load(str(path), allow_pickle=False) as data:
         if "magic" not in data or str(data["magic"]) != _MAGIC:
             raise TraceError(f"{path}: not a repro trace file")
@@ -52,11 +63,11 @@ def load_trace(path: Union[str, Path]) -> List[RefBatch]:
     start = 0
     for end in bounds.tolist():
         batches.append(
-            RefBatch(
-                addrs[start:end].tolist(),
-                writes[start:end].tolist(),
-                instrs[start:end].tolist(),
-                classes[start:end].tolist(),
+            RefBatch.from_columns(
+                addrs[start:end],
+                writes[start:end],
+                instrs[start:end],
+                classes[start:end],
             )
         )
         start = end

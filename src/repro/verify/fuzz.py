@@ -2,15 +2,17 @@
 
 Every round draws a random :class:`~repro.trace.synthetic.SyntheticSpec`
 (seeded — the whole campaign is a pure function of its seed), generates
-a synthetic sharing trace, and drives the *same* trace through four
+a synthetic sharing trace, and drives the *same* trace through five
 legs of the simulator:
 
 1. the reference per-reference slow loop,
-2. the batched L1 fast path,
+2. the batched fast path (scalar engine + columnar NumPy kernel),
 3. the slow loop with the invariant checker attached,
-4. the fast path with the invariant checker attached.
+4. the fast path with the invariant checker attached,
+5. the fast path with the *batched* array-verification checker on the
+   deferred observation channel.
 
-All four must produce identical *fingerprints* — every counter of every
+All legs must produce identical *fingerprints* — every counter of every
 CPU, the final resident set of every cache level, the full directory
 image, the engine's global counters and the interconnect's request
 count.  Any divergence is a bug in one of the paths (or in the checker
@@ -40,7 +42,7 @@ from ..mem.machine import platform
 from ..mem.memsys import MemorySystem
 from ..trace.stream import RefBatch
 from ..trace.synthetic import SyntheticSpec, batch_from_refs, count_refs, generate
-from .invariants import InvariantViolation, checking
+from .invariants import InvariantViolation, checking, checking_batched
 
 #: Extra cache shrink used by fuzz rounds: with the HPV D-cache at 4 KB
 #: (128 lines) and the Origin L2 at 8 KB (64 lines), a few hundred
@@ -199,7 +201,7 @@ def _run_round(
     aspace,
     memsys_factory: Callable[..., MemorySystem],
 ) -> _RoundOutcome:
-    """Drive one trace through all four legs; compare fingerprints."""
+    """Drive one trace through all five legs; compare fingerprints."""
     machine = platform(plat, n_cpus=spec.n_cpus).scaled(FUZZ_SCALE_LOG2)
     out = _RoundOutcome()
     prints: List[Tuple[str, Dict]] = []
@@ -220,6 +222,19 @@ def _run_round(
                 out.detail = f"leg {leg}: {exc}"
                 return out
             prints.append((leg, fingerprint(ms, clocks, spec.n_cpus)))
+    # Fifth leg: the deferred-channel batched checker must also be
+    # observation-only, and its array sweeps must agree with the scalar
+    # checker about the trace being clean.
+    ms = memsys_factory(machine, aspace, fast_path=True)
+    try:
+        with checking_batched(ms, check_every=64) as bchk:
+            clocks = drive_trace(ms, trace, machine.base_cpi)
+        out.transitions += bchk.n_transitions
+    except InvariantViolation as exc:
+        out.kind = "invariant"
+        out.detail = f"leg fast/batched-checked: {exc}"
+        return out
+    prints.append(("fast/batched-checked", fingerprint(ms, clocks, spec.n_cpus)))
     ref_leg, ref = prints[0]
     for leg, fp in prints[1:]:
         if fp != ref:

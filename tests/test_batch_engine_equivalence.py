@@ -11,10 +11,14 @@ counter, both cache levels' contents, the directory, and the clocks.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.mem.machine import platform
 from repro.mem.memsys import MemorySystem
+from repro.trace.address import AddressSpace
+from repro.trace.classify import DataClass
+from repro.trace.stream import RefBatch
 from repro.trace.synthetic import SyntheticSpec, build_address_space, generate
 from repro.verify.fuzz import FUZZ_SCALE_LOG2, drive_trace, fingerprint
 
@@ -120,3 +124,148 @@ class TestKnobGating:
     def test_negative_weight_rejected(self):
         with pytest.raises(ValueError):
             SyntheticSpec(seed=1, w_l2_reuse=-1)
+
+
+def _batch(addrs, writes=None, instrs=None, cls=DataClass.PRIVATE):
+    """Handcraft a columnar RefBatch from an address vector."""
+    a = np.asarray(addrs, dtype=np.int64)
+    n = a.shape[0]
+    w = (
+        np.zeros(n, dtype=np.bool_)
+        if writes is None
+        else np.asarray(writes, dtype=np.bool_)
+    )
+    i = (
+        np.ones(n, dtype=np.int64)
+        if instrs is None
+        else np.asarray(instrs, dtype=np.int64)
+    )
+    return RefBatch.from_columns(a, w, i, np.full(n, int(cls), dtype=np.uint8))
+
+
+def _run_engines(plat, aspace, trace, n_cpus):
+    """Fingerprints from all three engines over the same trace.
+
+    ``vector`` is forced with pathological kernel parameters — every
+    batch vectorized, one-reference prefixes retired in bulk — because
+    the equivalence claim is parameter-independent: window and prefix
+    thresholds may only move work between lanes, never change results.
+    """
+    machine = platform(plat, n_cpus=n_cpus).scaled(FUZZ_SCALE_LOG2)
+    out = {}
+    for mode in ("perref", "scalar", "vector"):
+        ms = MemorySystem(machine, aspace, fast_path=(mode != "perref"))
+        if mode == "scalar":
+            ms.VECTOR_MIN_REFS = 1 << 60
+        elif mode == "vector":
+            ms.VECTOR_MIN_REFS = 1
+            ms.VECTOR_MIN_PREFIX = 1
+        clocks = drive_trace(ms, trace, machine.base_cpi)
+        out[mode] = (fingerprint(ms, clocks, n_cpus), ms)
+    prints = {m: fp for m, (fp, _) in out.items()}
+    assert prints["perref"] == prints["scalar"] == prints["vector"]
+    return out["vector"][1]
+
+
+def _pool(n_lines, line_size=128):
+    aspace = AddressSpace()
+    seg = aspace.alloc(
+        "adv.pool", n_lines * line_size, DataClass.RECORD, shared=True
+    )
+    return aspace, [seg.base + k * line_size for k in range(n_lines)]
+
+
+class TestAdversarialBatches:
+    """Handcrafted worst-case batches for the columnar kernel: shapes
+    where the vectorized pre-pass degenerates (every reference slow,
+    no reference slow, prefixes of length one) and where the arithmetic
+    is most exposed (int64 edge addresses, float cost accumulation).
+    Every test drives all three engines and requires bitwise-equal
+    fingerprints; the branch-count asserts then pin that each batch
+    really exercised the branch it was built for.
+    """
+
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    def test_all_miss_batch(self, plat):
+        # 256 distinct coherence lines, revisited once: on the scaled
+        # machines this churns every set, so the vector pre-pass never
+        # finds a fast prefix and the inline miss lane does all work.
+        aspace, lines = _pool(256)
+        addrs = lines + lines
+        writes = [False] * 256 + [True] * 256
+        trace = [[_batch(addrs, writes)]]
+        ms = _run_engines(plat, aspace, trace, 1)
+        st = ms.stats[0]
+        assert st.reads == 256 and st.writes == 256
+        assert st.level1_misses == 512  # nothing survives the churn
+
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    def test_all_spatial_run_batch(self, plat):
+        # One line touched 300 times in a row: the scalar engine's
+        # same-line shortcut and the vector kernel's single-line
+        # windows must agree on 1 miss + 299 hits.
+        aspace, lines = _pool(1)
+        trace = [[_batch([lines[0]] * 300)]]
+        ms = _run_engines(plat, aspace, trace, 1)
+        st = ms.stats[0]
+        assert st.reads == 300
+        assert st.level1_misses == 1
+
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    def test_alternating_shared_write_batch(self, plat):
+        # Both CPUs read 4 lines into SHARED, then CPU0 alternates
+        # write/read over them: every write is an ownership upgrade —
+        # the branch the vector pre-pass must flag slow (a SHARED
+        # write) on every other reference, capping prefixes at one.
+        aspace, lines = _pool(4)
+        warm = _batch(lines * 2)
+        alt_addrs = [lines[k % 4] for k in range(64)]
+        alt_writes = [k % 2 == 0 for k in range(64)]
+        trace = [
+            [warm, _batch(alt_addrs, alt_writes)],
+            [warm, _batch([], [])],
+        ]
+        ms = _run_engines(plat, aspace, trace, 2)
+        st = ms.stats[0]
+        assert st.upgrades > 0
+        assert st.silent_upgrades == 0  # never EXCLUSIVE, always SHARED
+
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    @pytest.mark.parametrize("length", [0, 1])
+    def test_degenerate_lengths(self, plat, length):
+        aspace, lines = _pool(1)
+        trace = [[_batch(lines[:length], [True] * length)]]
+        ms = _run_engines(plat, aspace, trace, 1)
+        assert ms.stats[0].writes == length
+
+    def test_addresses_near_int64_top(self):
+        # Raw addresses just below 2^63: shifts, masks and coherence
+        # line arithmetic must not wrap.  UMA platform — homing never
+        # consults the address space, so no segment needs to exist.
+        top = 1 << 63
+        addrs = [top - 128 * k for k in range(1, 65)] * 2
+        writes = [False] * 64 + [True] * 64
+        trace = [[_batch(addrs, writes)]]
+        ms = _run_engines("hpv", AddressSpace(), trace, 1)
+        st = ms.stats[0]
+        assert st.reads == 64 and st.writes == 64
+
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    def test_float_accumulation_bitwise(self, plat):
+        # 4096 hits with varying instruction costs, compared as raw
+        # float returns from access_batch — per-batch clock truncation
+        # never gets a chance to hide an association difference.
+        aspace, lines = _pool(2)
+        rng = np.random.default_rng(5)
+        addrs = [lines[k % 2] for k in range(4096)]
+        instrs = rng.integers(1, 8, size=4096)
+        batch = _batch(addrs, None, instrs)
+        machine = platform(plat, n_cpus=1).scaled(FUZZ_SCALE_LOG2)
+        cycles = {}
+        for mode in ("scalar", "vector"):
+            ms = MemorySystem(machine, aspace, fast_path=True)
+            if mode == "scalar":
+                ms.VECTOR_MIN_REFS = 1 << 60
+            ms.access_batch(0, _batch(lines), 0, machine.base_cpi)  # warm
+            cycles[mode] = ms.access_batch(0, batch, 1000, machine.base_cpi)
+        assert cycles["scalar"] == cycles["vector"]

@@ -11,10 +11,12 @@ from repro.mem.memsys import MemorySystem
 from repro.trace.synthetic import SyntheticSpec, generate
 from repro.verify.fuzz import FUZZ_SCALE_LOG2, drive_trace, fingerprint
 from repro.verify.invariants import (
+    BatchedInvariantChecker,
     InvariantChecker,
     InvariantViolation,
     attach,
     checking,
+    checking_batched,
 )
 
 SPEC = SyntheticSpec(seed=0xBEEF, n_cpus=4, n_batches=6, refs_per_batch=40)
@@ -161,3 +163,77 @@ class TestDetection:
                     chk.check_line(line)
                 return
         pytest.fail("trace produced no owned directory entry")
+
+
+class TestBatchedChecker:
+    """Array-verification mode: deferred observation, sweep cadence,
+    and detection parity with the exact checker on static corruption."""
+
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    def test_clean_run_sweeps_and_passes(self, plat):
+        ms, machine, trace = build(plat)
+        with checking_batched(ms, check_every=32) as chk:
+            drive_trace(ms, trace, machine.base_cpi)
+        assert chk.n_transitions > 0
+        assert chk.n_sweeps >= 1
+
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    def test_deferred_sink_keeps_kernel_unshadowed(self, plat):
+        """The whole point of the deferred channel: the batched engine
+        (access_batch included) must stay the plain class method, so
+        the columnar kernel remains active while checking."""
+        ms, _, _ = build(plat)
+        with checking_batched(ms):
+            assert "access_batch" not in ms.__dict__
+            assert "_miss" not in ms.__dict__
+        assert ms._deferred_sink is None
+
+    @pytest.mark.parametrize("plat", ["hpv", "sgi"])
+    def test_observation_does_not_perturb_counters(self, plat):
+        plain, machine, trace = build(plat)
+        clocks_plain = drive_trace(plain, trace, machine.base_cpi)
+        observed, _, _ = build(plat)
+        with checking_batched(observed, check_every=16):
+            clocks_obs = drive_trace(observed, trace, machine.base_cpi)
+        assert fingerprint(plain, clocks_plain, SPEC.n_cpus) == fingerprint(
+            observed, clocks_obs, SPEC.n_cpus
+        )
+
+    def test_multiple_writable_copies_caught_by_sweep(self):
+        """Static corruption: force a second M copy of an owned line
+        into another CPU's cache and sweep — the SWMR array check must
+        trip and the diagnosis must come from the exact checker."""
+        ms, machine, trace = build("hpv")
+        drive_trace(ms, trace, machine.base_cpi)
+        chk = BatchedInvariantChecker(ms)
+        chk._array_sweep()  # sanity: the run itself was clean
+        for line, entry in ms.engine.directory.items():
+            if entry.excl_owner != NO_OWNER:
+                other = (entry.excl_owner + 1) % SPEC.n_cpus
+                ms.hierarchies[other].fill(line, 3)  # MODIFIED
+                with pytest.raises(InvariantViolation, match="writable"):
+                    chk._array_sweep()
+                return
+        pytest.fail("trace produced no owned directory entry")
+
+    def test_unknown_cached_line_caught_by_sweep(self):
+        """A cached line the directory has never seen must trip the
+        agreement check."""
+        ms, machine, trace = build("sgi")
+        drive_trace(ms, trace, machine.base_cpi)
+        chk = BatchedInvariantChecker(ms)
+        chk._array_sweep()
+        rogue = 1 << 40  # far outside every allocated segment
+        ms.hierarchies[0].fill(rogue, 1)  # SHARED, no directory entry
+        with pytest.raises(InvariantViolation):
+            chk._array_sweep()
+
+    def test_close_runs_at_rest_check(self):
+        ms, machine, trace = build("hpv")
+        chk = BatchedInvariantChecker(ms)
+        ms.attach_deferred_sink(chk)
+        drive_trace(ms, trace, machine.base_cpi)
+        ms.stats[0].coherent_misses += 1  # corrupt after the run
+        with pytest.raises(InvariantViolation):
+            chk.close()
+        ms.detach_deferred_sink(chk)
