@@ -15,12 +15,20 @@ trajectory is tracked across PRs.  Results are also checked for
 bitwise equality — a throughput optimisation that changed a counter
 would fail here before it mislead a figure.
 
+A second benchmark measures the same grid through the workload-trace
+store (capture once per workload, replay every machine): a cold
+trace-cached pass (15 captures + 15 replays) and a warm one where all
+30 cells replay from persisted tapes.  It records the honest
+economics — ``grid_cells_per_sec_replay`` and the replay-vs-serial
+speedup — alongside the direct numbers.
+
 Knobs: ``REPRO_BENCH_JOBS`` (worker count, default ``os.cpu_count()``),
 plus the harness-wide ``REPRO_BENCH_SF`` / ``REPRO_BENCH_SEED``.
 """
 
 from __future__ import annotations
 
+import gc
 import os
 import sys
 import time
@@ -30,6 +38,7 @@ from repro.config import DEFAULT_SIM
 from repro.core.parallel import ParallelSweepRunner
 from repro.core.resultcache import ResultCache
 from repro.core.sweep import SweepRunner, figure_grid_cells
+from repro.trace.store import TraceStore
 
 from conftest import BENCH_TPCH
 
@@ -106,3 +115,83 @@ def test_sweep_parallel_speedup(tmp_path, benchmark):
     # acceptance: a warm cache must still be far faster than simulating
     # (sanity for the cache path, not a parallelism claim)
     assert serial_s / max(warm_s, 1e-9) >= 2.0
+
+
+def test_sweep_trace_replay(tmp_path, benchmark):
+    """Capture-once / replay-everywhere economics on the full grid.
+
+    Replay re-simulates the memory system (that is what makes it
+    bitwise-exact across machines), so it saves only the database
+    executor's share of a cell — measured around 1.2-1.35x per
+    replayed cell on this workload, not an order of magnitude.  The
+    numbers recorded here are the honest ones: cold (capture half the
+    grid, replay the other half) lands near break-even, and the win
+    scales with the number of machine configurations sharing a tape.
+    """
+    cells = figure_grid_cells()
+
+    serial = SweepRunner(sim=DEFAULT_SIM, tpch=BENCH_TPCH)
+    t0 = time.perf_counter()
+    serial.prewarm(cells)
+    serial_s = time.perf_counter() - t0
+
+    # Freeze each leg's survivors (the shared database, the runner's
+    # memoized results) so gen-2 collections in a later leg aren't
+    # billed for walking an earlier leg's long-lived state.
+    gc.collect()
+    gc.freeze()
+
+    store_dir = tmp_path / "traces"
+    cold = SweepRunner(
+        sim=DEFAULT_SIM, tpch=BENCH_TPCH, trace_store=TraceStore(store_dir)
+    )
+    t0 = time.perf_counter()
+    cold.prewarm(cells)
+    cold_s = time.perf_counter() - t0
+
+    gc.collect()
+    gc.freeze()
+
+    warm = SweepRunner(
+        sim=DEFAULT_SIM, tpch=BENCH_TPCH, trace_store=TraceStore(store_dir)
+    )
+    t0 = time.perf_counter()
+    benchmark.pedantic(lambda: warm.prewarm(cells), rounds=1, iterations=1)
+    warm_s = time.perf_counter() - t0
+    gc.unfreeze()
+
+    # equality before speed: replayed cells carry the exact counters
+    for key in cells:
+        a, b, c = serial.cell(*key), cold.cell(*key), warm.cell(*key)
+        assert _snap(a) == _snap(b) == _snap(c), key
+
+    n_workloads = cold.trace_sources.get("captured", 0)
+    assert n_workloads > 0
+    assert cold.trace_sources.get("replay", 0) == len(cells) - n_workloads
+    assert warm.trace_sources == {"replay": len(cells)}
+
+    record = {
+        "bench": "trace_replay_grid",
+        "cells": len(cells),
+        "workloads_captured": n_workloads,
+        "host_cpus": os.cpu_count(),
+        "sf": BENCH_TPCH.sf,
+        "serial_s": round(serial_s, 3),
+        "trace_cold_s": round(cold_s, 3),
+        "trace_replay_s": round(warm_s, 3),
+        "cells_per_sec_serial": round(len(cells) / serial_s, 3),
+        "grid_cells_per_sec_replay": round(len(cells) / warm_s, 3),
+        "speedup_capture_once": round(serial_s / max(cold_s, 1e-9), 2),
+        "speedup_replay_only": round(serial_s / max(warm_s, 1e-9), 2),
+    }
+    append_datapoint("sweep", record)
+    print(f"\ntrace replay benchmark: {record}")
+
+    # acceptance: replay must not lose to direct execution.  Per-cell
+    # the replay saving is real (~1.25x on the contended queries), but
+    # serial-leg wall time on the 1-CPU CI host varies by +/-15%
+    # between runs — larger than the effect — so a speedup *floor*
+    # here is flaky by construction.  The recorded speedup fields
+    # track the trend; the assert only catches a regression that
+    # makes replay materially slower than simulating from scratch.
+    assert warm_s <= serial_s * 1.2

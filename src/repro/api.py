@@ -41,6 +41,8 @@ from .obs import (
     observed_run,
 )
 from .tpch.datagen import TPCHConfig
+from .trace.capture import capture_workload, replay_workload
+from .trace.store import TraceStore
 
 __all__ = [
     "__version__",
@@ -64,6 +66,10 @@ __all__ = [
     "CellFailure",
     "figure_grid_cells",
     "NPROC_SWEEP",
+    # workload trace capture/replay
+    "TraceStore",
+    "capture_workload",
+    "replay_workload",
     # figures and reporting
     "FIGURES",
     "regenerate_figure",

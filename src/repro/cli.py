@@ -9,6 +9,9 @@
 * ``verify``     — coherence invariants + differential fuzz + goldens
 * ``microbench`` — run the calibration microbenchmarks
 * ``describe``   — print machine and database configurations
+* ``trace``      — ``trace capture``/``trace replay``: record a whole
+  workload's per-process tapes into the trace store, or replay them
+  through any machine model (bitwise-identical counters)
 * ``capture``    — record one query's reference trace to a file
 * ``replay``     — drive a saved trace through a machine model
 
@@ -63,18 +66,39 @@ def _add_sweep_opts(p: argparse.ArgumentParser) -> None:
         "--cache-dir", nargs="?", const="", default=None, metavar="DIR",
         help="persist results on disk; with no DIR uses ~/.cache/repro",
     )
+    p.add_argument(
+        "--trace-cache", nargs="?", const="", default=None, metavar="DIR",
+        help="capture each workload's reference tape once and replay it "
+             "for every other machine (bitwise-identical results); with "
+             "no DIR uses <result cache>/traces",
+    )
+
+
+def _trace_store(args):
+    """The :class:`~repro.trace.store.TraceStore` the --trace-cache
+    flag describes (``None`` when the flag is absent)."""
+    if getattr(args, "trace_cache", None) is None:
+        return None
+    from .trace.store import TraceStore
+
+    return TraceStore(args.trace_cache or None)
 
 
 def _make_runner(args) -> SweepRunner:
-    """Build the sweep runner the --jobs/--cache-dir flags describe."""
+    """Build the sweep runner the --jobs/--cache-dir/--trace-cache
+    flags describe."""
     cache = None
     if args.cache_dir is not None:
         cache = ResultCache(args.cache_dir or None)
+    trace_store = _trace_store(args)
     if args.jobs > 1:
         return ParallelSweepRunner(
-            sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, jobs=args.jobs
+            sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, jobs=args.jobs,
+            trace_store=trace_store,
         )
-    return SweepRunner(sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache)
+    return SweepRunner(
+        sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, trace_store=trace_store
+    )
 
 
 def _report_cache(runner: SweepRunner) -> None:
@@ -150,7 +174,8 @@ def cmd_sweep(args) -> int:
               "checkpoint manifest lives)", file=sys.stderr)
         return 2
     runner = ParallelSweepRunner(
-        sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, jobs=args.jobs
+        sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, jobs=args.jobs,
+        trace_store=_trace_store(args),
     )
 
     if args.profile:
@@ -215,6 +240,9 @@ def cmd_sweep(args) -> int:
     if args.json:
         payload = report.to_dict()
         payload["cache"] = runner.cache_stats
+        payload["trace_sources"] = dict(runner.trace_sources)
+        if runner.trace_store is not None:
+            payload["trace_store"] = runner.trace_store.stats
         if manifest is not None:
             payload["manifest"] = str(manifest.path)
         payload["exit_code"] = rc
@@ -229,6 +257,12 @@ def cmd_sweep(args) -> int:
     )
     for line in report.summary_lines():
         print(line)
+    srcs = runner.trace_sources
+    if srcs.get("captured") or srcs.get("replay"):
+        print(
+            f"trace cache: {srcs.get('captured', 0)} workload(s) captured, "
+            f"{srcs.get('replay', 0)} cell(s) replayed"
+        )
     _report_cache(runner)
     return rc
 
@@ -347,6 +381,65 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def _workload_spec(args) -> ExperimentSpec:
+    return ExperimentSpec(
+        query=args.query,
+        platform=getattr(args, "platform", "hpv"),
+        n_procs=args.procs,
+        tpch=_tpch(args),
+        sim=DEFAULT_SIM,
+    )
+
+
+def cmd_trace_capture(args) -> int:
+    """``repro trace capture``: execute one workload, record its
+    per-process reference tapes, and persist them in the trace store."""
+    from .trace.capture import capture_workload, workload_replayable
+    from .trace.store import TraceStore
+
+    spec = _workload_spec(args)
+    if not workload_replayable(spec):
+        print(f"error: {args.query} mutates the database and cannot be "
+              f"captured for replay", file=sys.stderr)
+        return 2
+    store = TraceStore(args.store or None)
+    result, trace = capture_workload(spec)
+    path = store.put(spec, trace)
+    print(
+        f"captured {args.query} x {args.procs} proc(s): "
+        f"{trace.n_events:,} events, {trace.n_refs:,} refs, "
+        f"{result.runs[0].query_rows} result rows -> {path}"
+    )
+    return 0
+
+
+def cmd_trace_replay(args) -> int:
+    """``repro trace replay``: replay a stored workload tape through a
+    machine model (bitwise-identical counters, executor skipped)."""
+    from .core import metrics
+    from .trace.capture import replay_workload
+    from .trace.store import TraceStore
+
+    spec = _workload_spec(args)
+    store = TraceStore(args.store or None)
+    trace = store.get(spec)
+    if trace is None:
+        print(f"error: no stored trace for {args.query} x {args.procs} "
+              f"proc(s) (run `repro trace capture` first)", file=sys.stderr)
+        return 1
+    result = replay_workload(spec, trace)
+    m = result.mean
+    machine = result.machine
+    print(machine.describe())
+    print(f"replayed {args.query} x {args.procs} proc(s) on {args.platform}")
+    print(f"thread time   : {m.cycles:,} cycles "
+          f"({metrics.thread_time_seconds(m, machine) * 1e3:.2f} ms)")
+    print(f"CPI           : {metrics.cpi(m, machine):.3f}")
+    print(f"L1 misses     : {m.level1_misses:,}  "
+          f"coherent misses: {m.coherent_misses:,}")
+    return 0
+
+
 def cmd_describe(args) -> int:
     """``repro describe``: machine and database configurations."""
     for name in PLATFORMS:
@@ -454,6 +547,30 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("describe", help="print machine/database configs")
     _add_common(p)
     p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser(
+        "trace",
+        help="capture/replay whole workloads through the trace store",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    for name, func in (("capture", cmd_trace_capture), ("replay", cmd_trace_replay)):
+        tp = trace_sub.add_parser(
+            name,
+            help=(
+                "execute a workload and store its per-process tapes"
+                if name == "capture"
+                else "replay a stored workload tape on a machine model"
+            ),
+        )
+        tp.add_argument("--query", choices=sorted(QUERIES), default="Q6")
+        tp.add_argument("--procs", type=int, default=1)
+        tp.add_argument("--platform", choices=sorted(PLATFORMS), default="hpv")
+        tp.add_argument(
+            "--store", nargs="?", const="", default="", metavar="DIR",
+            help="trace store directory (default: <result cache>/traces)",
+        )
+        _add_common(tp)
+        tp.set_defaults(func=func)
 
     p = sub.add_parser("capture", help="capture a query's reference trace")
     p.add_argument("--query", choices=sorted(QUERIES), default="Q6")

@@ -141,6 +141,7 @@ def run_experiment(
     db: Optional[Database] = None,
     machine: Optional[MachineConfig] = None,
     sinks: Optional[List] = None,
+    capture: Optional["WorkloadCaptureHook"] = None,
 ) -> ExperimentResult:
     """Run one experiment cell and return averaged counters.
 
@@ -153,6 +154,14 @@ def run_experiment(
     attached for the duration of every repetition's kernel run and
     routed to the memory system and/or scheduler by the events it
     implements.  With no sinks the run pays zero observation overhead.
+
+    ``capture`` is an optional workload-capture hook
+    (:class:`repro.trace.capture.WorkloadCapture`): each backend
+    generator is wrapped by ``capture.record(rep, pid, gen)`` so its
+    event stream is recorded as it executes, and
+    ``capture.note_rep(rep, query_rows)`` is called after each
+    repetition.  Capture is pure observation — the run's counters are
+    identical with or without it.
     """
     qdef = QUERIES[spec.query]
     if qdef.mutates and spec.n_procs > 1:
@@ -190,6 +199,8 @@ def run_experiment(
         backoffs_before = sum(l.n_backoffs for l in db.shmem._locks.values())
         for pid in range(spec.n_procs):
             gen, _ctx = make_query_process(db, qdef, params, pid, cpu=pid)
+            if capture is not None:
+                gen = capture.record(rep, pid, gen)
             kernel.spawn(gen, cpu=pid)
         if sinks:
             with observed_run(memsys, kernel, sinks):
@@ -211,13 +222,16 @@ def run_experiment(
             sum(lock.n_backoffs for lock in db.shmem._locks.values())
             - backoffs_before
         )
+        query_rows = len(kernel.processes[0].result or [])
+        if capture is not None:
+            capture.note_rep(rep, query_rows)
         result.runs.append(
             RunResult(
                 per_process=snaps,
                 wall_cycles=kernel.wall_cycles(),
                 interconnect_queue_delay_mean=memsys.interconnect.mean_queue_delay,
                 n_backoffs=n_backoffs,
-                query_rows=len(kernel.processes[0].result or []),
+                query_rows=query_rows,
             )
         )
     return result

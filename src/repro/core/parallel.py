@@ -119,22 +119,42 @@ def _estimated_cost(key: CellKey) -> float:
     return n_procs * repetitions * _QUERY_WEIGHT.get(query, _DEFAULT_WEIGHT)
 
 
-def _make_chunks(missing: Sequence[CellKey], n_chunks: int) -> List[List[CellKey]]:
+def _make_chunks(
+    missing: Sequence[CellKey], n_chunks: int, group_key=None
+) -> List[List[CellKey]]:
     """LPT-pack cells into at most ``n_chunks`` chunks, heaviest first.
 
     Longest-processing-time-first greedy: walk cells in decreasing
     estimated cost, always adding to the lightest chunk.  Returns the
     non-empty chunks ordered heaviest-total-first, which is also the
     submission order.
+
+    ``group_key`` (optional) makes cells with equal keys indivisible —
+    they are packed as one unit into the same chunk.  Trace-routed
+    sweeps group the machine axis this way: both platforms of a
+    workload land on the same worker, so the first cell captures and
+    persists the tape and its siblings replay it from the store,
+    instead of every worker capturing the workload independently.
     """
-    n_chunks = max(1, min(n_chunks, len(missing)))
-    ordered = sorted(missing, key=_estimated_cost, reverse=True)
+    if group_key is None:
+        groups: List[List[CellKey]] = [[k] for k in missing]
+    else:
+        by_group: Dict[object, List[CellKey]] = {}
+        for key in missing:
+            by_group.setdefault(group_key(key), []).append(key)
+        groups = list(by_group.values())
+
+    def group_cost(group: List[CellKey]) -> float:
+        return sum(_estimated_cost(k) for k in group)
+
+    n_chunks = max(1, min(n_chunks, len(groups)))
+    ordered = sorted(groups, key=group_cost, reverse=True)
     chunks: List[List[CellKey]] = [[] for _ in range(n_chunks)]
     loads = [0.0] * n_chunks
-    for key in ordered:
+    for group in ordered:
         i = loads.index(min(loads))
-        chunks[i].append(key)
-        loads[i] += _estimated_cost(key)
+        chunks[i].extend(group)
+        loads[i] += group_cost(group)
     pairs = [(load, chunk) for load, chunk in zip(loads, chunks) if chunk]
     pairs.sort(key=lambda p: p[0], reverse=True)
     return [chunk for _load, chunk in pairs]
@@ -147,30 +167,47 @@ def _run_cell(spec: ExperimentSpec) -> ExperimentResult:
 
 
 def _run_chunk(
-    specs: Sequence[ExperimentSpec], cache_dir: Optional[str]
-) -> Tuple[List[ExperimentResult], Optional[Tuple[int, BaseException]]]:
+    specs: Sequence[ExperimentSpec],
+    cache_dir: Optional[str],
+    trace_dir: Optional[str] = None,
+) -> Tuple[
+    List[ExperimentResult], Optional[Tuple[int, BaseException]], List[str]
+]:
     """Chunk worker entry point: run ``specs`` in order.
 
-    Returns ``(results, failure)`` where ``failure`` is ``None`` on
-    success or ``(index, exception)`` for the first cell that raised —
-    the results of the cells before it are still returned, so the
-    parent can memoize partial progress.  With a ``cache_dir``, each
-    cell is first looked up in (and, when run, written to) the shared
-    on-disk result cache, so warm workers skip cells and a mid-chunk
-    failure never loses finished cells.  Each cell goes through
+    Returns ``(results, failure, sources)`` where ``failure`` is
+    ``None`` on success or ``(index, exception)`` for the first cell
+    that raised — the results of the cells before it are still
+    returned, so the parent can memoize partial progress — and
+    ``sources`` records how each returned cell was satisfied
+    (``cache``/``ran``/``captured``/``replay``).  With a ``cache_dir``,
+    each cell is first looked up in (and, when run, written to) the
+    shared on-disk result cache, so warm workers skip cells and a
+    mid-chunk failure never loses finished cells.  With a
+    ``trace_dir``, cells route through the shared on-disk
+    :class:`~repro.trace.store.TraceStore` — the first cell of a
+    workload captures its tape, every later cell (machine axis,
+    other workers, other runs) replays it.  Each cell goes through
     :func:`~repro.core.resilience.run_cell_guarded`, the choke point
     where an ambient :class:`~repro.core.resilience.FaultPlan` injects
     crash/hang/corrupt faults.
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    trace_store = None
+    if trace_dir is not None:
+        from ..trace.store import TraceStore
+
+        trace_store = TraceStore(trace_dir)
     results: List[ExperimentResult] = []
+    sources: List[str] = []
     for i, spec in enumerate(specs):
         try:
-            result = run_cell_guarded(spec, cache)
+            result, source = run_cell_guarded(spec, cache, trace_store)
         except Exception as exc:  # surfaced, with the cell, by the parent
-            return results, (i, exc)
+            return results, (i, exc), sources
         results.append(result)
-    return results, None
+        sources.append(source)
+    return results, None, sources
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -211,8 +248,11 @@ class ParallelSweepRunner(SweepRunner):
         verify_results: bool = False,
         cache: Optional[ResultCache] = None,
         jobs: Optional[int] = None,
+        trace_store=None,
     ) -> None:
-        super().__init__(sim, tpch, verify_results, cache=cache)
+        super().__init__(
+            sim, tpch, verify_results, cache=cache, trace_store=trace_store
+        )
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
 
     def prewarm(self, cells: Iterable[Sequence]) -> int:
@@ -282,12 +322,15 @@ class ParallelSweepRunner(SweepRunner):
         #: failed attempts so far, per missing cell
         attempts: Dict[CellKey, int] = {k: 0 for k in missing}
 
-        def finish(key: CellKey, result: ExperimentResult) -> None:
+        def finish(
+            key: CellKey, result: ExperimentResult, source: str = "ran"
+        ) -> None:
             self._store(key, result)
             report.ran += 1
+            self.count_source(source)
             if manifest is not None:
                 manifest.mark(key, "done", attempts=attempts[key] + 1)
-            emit("on_cell_done", key, "ran")
+            emit("on_cell_done", key, source)
 
         def quarantine(
             key: CellKey, kind: str, error: str, cause=None
@@ -334,14 +377,16 @@ class ParallelSweepRunner(SweepRunner):
                 spec = self._spec(key)
                 while True:
                     try:
-                        result = run_cell_guarded(spec, self.cache)
+                        result, source = run_cell_guarded(
+                            spec, self.cache, self.trace_store
+                        )
                     except Exception as exc:
                         attempts[key] += 1
                         quarantine(key, "error", repr(exc), exc)
                         break
                     err = validate_result(spec, result)
                     if err is None:
-                        finish(key, result)
+                        finish(key, result, source)
                         break
                     delay = transient_failure(key, "corrupt", err)
                     if delay is None:
@@ -360,6 +405,17 @@ class ParallelSweepRunner(SweepRunner):
 
         workers = min(self.jobs, len(missing))
         cache_dir = str(self.cache.directory) if self.cache is not None else None
+        trace_dir = (
+            str(self.trace_store.directory)
+            if self.trace_store is not None
+            else None
+        )
+        # Trace routing makes the machine axis of one workload nearly
+        # free *if* its cells share a worker; group them so each chunk
+        # captures once and replays its siblings.
+        group_key = (
+            (lambda k: (k[0], k[2], k[3], k[4])) if trace_dir is not None else None
+        )
         # Build the database in the parent first: fork-start workers
         # then inherit the page images instead of regenerating TPC-H
         # once per interpreter (spawn-start platforms still rebuild,
@@ -371,7 +427,9 @@ class ParallelSweepRunner(SweepRunner):
         degrade_reason: Optional[str] = None
         while to_run:
             if first_generation:
-                chunks = _make_chunks(to_run, workers * _CHUNKS_PER_WORKER)
+                chunks = _make_chunks(
+                    to_run, workers * _CHUNKS_PER_WORKER, group_key
+                )
             else:
                 # Retries and straggler re-queues go back at cell
                 # granularity so one bad chunk-mate cannot starve the
@@ -389,7 +447,10 @@ class ParallelSweepRunner(SweepRunner):
             submitted: Dict[object, float] = {}
             for chunk in chunks:
                 fut = pool.submit(
-                    _run_chunk, [self._spec(k) for k in chunk], cache_dir
+                    _run_chunk,
+                    [self._spec(k) for k in chunk],
+                    cache_dir,
+                    trace_dir,
                 )
                 futures[fut] = chunk
                 submitted[fut] = time.monotonic()
@@ -408,7 +469,7 @@ class ParallelSweepRunner(SweepRunner):
                     chunk = futures.pop(fut)
                     deadlines.pop(fut, None)
                     try:
-                        results, failure = fut.result()
+                        results, failure, sources = fut.result()
                     except Exception as exc:
                         # The pool is broken — this chunk's worker (or
                         # a sibling's) died mid-flight.  Penalize the
@@ -423,10 +484,10 @@ class ParallelSweepRunner(SweepRunner):
                                 max_delay = max(max_delay, delay)
                                 to_run.append(key)
                         continue
-                    for key, result in zip(chunk, results):
+                    for key, result, source in zip(chunk, results, sources):
                         err = validate_result(self._spec(key), result)
                         if err is None:
-                            finish(key, result)
+                            finish(key, result, source)
                         else:
                             delay = transient_failure(key, "corrupt", err)
                             if delay is not None:

@@ -264,27 +264,39 @@ def current_fault_plan() -> Optional[FaultPlan]:
 
 
 def run_cell_guarded(
-    spec: ExperimentSpec, cache: Optional[ResultCache] = None
-) -> ExperimentResult:
-    """Run (or load) one cell under the ambient :class:`FaultPlan`.
+    spec: ExperimentSpec,
+    cache: Optional[ResultCache] = None,
+    trace_store=None,
+) -> Tuple[ExperimentResult, str]:
+    """Run (or load, or replay) one cell under the ambient
+    :class:`FaultPlan`.
 
     This is the single choke point both the in-process serial path and
     the worker chunk loop go through, so fault injection exercises the
-    exact production code path.  A freshly-computed result is written to
-    ``cache`` *before* corrupt injection — the cache never holds a
-    corrupted entry, and the retry converges by reading it back.
+    exact production code path.  Returns ``(result, source)`` where
+    ``source`` records how the cell was satisfied: ``"cache"`` (result
+    cache hit), ``"ran"`` (direct execution), or — with a
+    ``trace_store`` (:class:`~repro.trace.store.TraceStore`) —
+    ``"captured"`` (executed while recording its workload tape) or
+    ``"replay"`` (tape replayed through this cell's machine, executor
+    skipped).  A freshly-computed result is written to ``cache``
+    *before* corrupt injection — the cache never holds a corrupted
+    entry, and the retry converges by reading it back.
     """
+    from ..trace.capture import run_or_replay
+
     plan = current_fault_plan()
     if plan is not None:
         plan.inject_before(spec)
     result = cache.get(spec) if cache is not None else None
+    source = "cache"
     if result is None:
-        result = run_experiment(spec)
+        result, source = run_or_replay(spec, trace_store)
         if cache is not None:
             cache.put(spec, result)
     if plan is not None:
         result = plan.inject_after(spec, result)
-    return result
+    return result, source
 
 
 def validate_result(

@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..config import DEFAULT_SIM, SimConfig
 from ..tpch.datagen import TPCHConfig
 from ..tpch.queries import PAPER_QUERIES
-from .experiment import DEFAULT_TPCH, ExperimentResult, ExperimentSpec, run_experiment
+from .experiment import DEFAULT_TPCH, ExperimentResult, ExperimentSpec
 from .resultcache import ResultCache
 
 #: Process counts on the x-axis of Figs. 5-10.
@@ -60,12 +60,33 @@ class SweepRunner:
         tpch: TPCHConfig = DEFAULT_TPCH,
         verify_results: bool = False,
         cache: Optional[ResultCache] = None,
+        trace_store=None,
     ) -> None:
         self.sim = sim
         self.tpch = tpch
         self.verify_results = verify_results
         self.cache = cache
+        #: Optional :class:`~repro.trace.store.TraceStore`: machine-axis
+        #: cells of the same workload execute once ("captured") and
+        #: replay everywhere else ("replay") — see
+        #: :func:`repro.trace.capture.run_or_replay`.
+        self.trace_store = trace_store
+        #: How each non-memoized cell was satisfied:
+        #: ``ran``/``captured``/``replay`` counts.
+        self.trace_sources: Dict[str, int] = {}
         self._cache: Dict[CellKey, ExperimentResult] = {}
+
+    def _run(self, key: CellKey) -> ExperimentResult:
+        """Execute one missing cell through the trace-routing front
+        door (plain ``run_experiment`` when no trace store is set)."""
+        from ..trace.capture import run_or_replay
+
+        result, source = run_or_replay(self._spec(key), self.trace_store)
+        self.count_source(source)
+        return result
+
+    def count_source(self, source: str) -> None:
+        self.trace_sources[source] = self.trace_sources.get(source, 0) + 1
 
     def _spec(self, key: CellKey) -> ExperimentSpec:
         query, platform, n_procs, repetitions, param_mode = key
@@ -121,7 +142,7 @@ class SweepRunner:
             key = (query, platform, int(n_procs), repetitions, param_mode)
         result = self._lookup(key)
         if result is None:
-            result = run_experiment(self._spec(key))
+            result = self._run(key)
             self._store(key, result)
         return result
 
@@ -137,7 +158,7 @@ class SweepRunner:
         for cell in cells:
             key = normalize_cell(cell)
             if self._lookup(key) is None:
-                self._store(key, run_experiment(self._spec(key)))
+                self._store(key, self._run(key))
                 ran += 1
         return ran
 

@@ -141,6 +141,16 @@ class ExecContext:
         self.db.hinted.add(key)
         return True
 
+    def hinted_record_ref(
+        self, rb: RefBuilder, table, row_idx: int, addr: int, instrs: int
+    ) -> None:
+        """Emit the tuple-header RECORD reference whose write flag is
+        the first-toucher hint-bit decision, and mark it on the builder
+        so trace replay can re-run the race in delivery order
+        (:meth:`RefBuilder.mark_hint`)."""
+        rb.add(addr, self.hint_bit_write(table, row_idx), instrs, DataClass.RECORD)
+        rb.mark_hint(table.relid, row_idx)
+
     # -- buffer access --------------------------------------------------------
     def read_buffer_into(self, rb: RefBuilder, relid: int, pageno: int) -> bool:
         """Fast path: if ``(relid, pageno)`` is MRU-pinned, append the

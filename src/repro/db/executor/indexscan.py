@@ -112,7 +112,7 @@ def index_scan_eq(
             rb.add(addr, False, 20, DataClass.RECORD)
             yield rb.build()
             continue
-        rb.add(addr, ctx.hint_bit_write(table, tid), per_line, DataClass.RECORD)
+        ctx.hinted_record_ref(rb, table, tid, addr, per_line)
         if n_lines > 1:
             rb.touch_range(addr + 32, width - 32, DataClass.RECORD, instrs_per_touch=per_line)
         rb.add(ws.slot_addr, True, costs.tuple_deform, DataClass.PRIVATE)
@@ -161,7 +161,7 @@ def index_range_scan(
             pageno = lay.page_of_row(tid)
             yield from ctx.read_buffer(table.relid, pageno)
             addr = lay.row_addr(tid)
-            rb.add(addr, ctx.hint_bit_write(table, tid), per_line, DataClass.RECORD)
+            ctx.hinted_record_ref(rb, table, tid, addr, per_line)
             if n_lines > 1:
                 rb.touch_range(addr + 32, width - 32, DataClass.RECORD, instrs_per_touch=per_line)
             rb.add(ws.slot_addr, True, costs.tuple_deform, DataClass.PRIVATE)

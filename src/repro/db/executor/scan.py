@@ -53,7 +53,7 @@ def seq_scan(
                 continue
             # First visitor of the run sets hint bits: a store to the
             # tuple's header line (§4.1.1 "stores to shared lines").
-            rb.add(addr, ctx.hint_bit_write(table, ridx), per_line, DataClass.RECORD)
+            ctx.hinted_record_ref(rb, table, ridx, addr, per_line)
             if n_lines > 1:
                 rb.touch_range(
                     addr + 32,

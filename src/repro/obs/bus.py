@@ -64,7 +64,10 @@ KERNEL_EVENTS: Tuple[str, ...] = (
 #: events these happen in *host* time, between simulations:
 #:
 #: * ``on_cell_done(key, source)`` — a cell completed; ``source`` is
-#:   ``"ran"`` (computed now) or ``"cache"`` (persisted result reused).
+#:   ``"ran"`` (computed now), ``"cache"`` (persisted result reused),
+#:   ``"captured"`` (computed now while recording its workload tape to
+#:   the trace store), or ``"replay"`` (tape replayed through this
+#:   cell's machine — the executor never ran).
 #: * ``on_cell_retry(key, attempt, kind, delay_s)`` — a transient fault
 #:   (``crash``/``timeout``/``corrupt``) scheduled a re-run.
 #: * ``on_cell_timeout(key, attempt, elapsed_s)`` — the cell's chunk

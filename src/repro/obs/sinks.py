@@ -87,7 +87,7 @@ class SweepEventRecorder:
         self.max_lines = max_lines
         self.counts: Dict[str, int] = {
             "done": 0, "retry": 0, "timeout": 0, "quarantined": 0,
-            "degraded": 0,
+            "degraded": 0, "captured": 0, "replayed": 0,
         }
         self._lines: List[str] = []
         self._dropped = 0
@@ -101,7 +101,13 @@ class SweepEventRecorder:
     # -- sweep sink protocol ------------------------------------------------
     def on_cell_done(self, key, source: str) -> None:
         self.counts["done"] += 1
-        if source != "ran":  # cache reuse is the interesting case
+        if source == "captured":
+            self.counts["captured"] += 1
+            self._log(f"cell {key}: executed, workload tape captured")
+        elif source == "replay":
+            self.counts["replayed"] += 1
+            self._log(f"cell {key}: replayed from workload tape")
+        elif source != "ran":  # cache reuse is the interesting case
             self._log(f"cell {key}: reused {source} result")
 
     def on_cell_retry(self, key, attempt: int, kind: str, delay_s: float) -> None:

@@ -6,28 +6,432 @@ execution once, then replay it through arbitrary machine models —
 dramatically cheaper for cache-geometry studies because the DBMS and
 scheduler layers run only during capture.
 
-Capture runs a *single uncontended backend*, so lock acquisitions
-always succeed immediately and are recorded as their test-and-set
-references; multi-process contention is inherently execution-driven
-and cannot be captured this way (replay is a one-CPU methodology, as
-it was in the cited work).
+Two tiers live here:
+
+**Workload capture/replay** (:func:`capture_workload`,
+:func:`replay_workload`) is the sweep's Ramulator-style front-end /
+back-end split: each backend's *event tape* — reference batches, lock
+acquire/release, compute — is recorded per process as a completely
+ordinary execution runs, then replayed through any machine by spawning
+one tape-reading generator per process under a fresh
+:class:`~repro.osim.scheduler.Kernel`.  The scheduler, spin locks,
+backoff, preemption, and memory system all re-run natively at replay,
+so every machine-dependent interaction (interleaving, contention,
+coherence) is *recomputed* on the target machine rather than baked
+into the trace; only the executor — query plans, predicates, buffer
+manager bookkeeping, i.e. everything machine-*independent* — is
+skipped.  The one machine-dependent bit of the emission itself, the
+shared first-toucher hint-bit race, travels as per-batch marks
+(:attr:`RefBatch.hints`) and is re-resolved in delivery order against
+a replay-side hint set.  Replay is therefore bitwise-equivalent to
+direct execution (proven by ``tests/test_replay_equivalence.py`` and
+the fuzzer's replay leg), and contention is tolerated by construction:
+a contended acquire is retried by the kernel, never re-pulled from the
+tape.
+
+**Single-query capture** (:func:`capture_query`,
+:func:`replay_trace`) is the older one-CPU methodology kept for the
+microbench/ablation paths: it runs one uncontended backend and bakes
+lock test-and-set references into a flat batch list, so it rejects
+contention outright.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import gc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from ..cpu.processor import Processor
 from ..db.engine import Database
 from ..db.executor.context import ExecContext
 from ..db.executor.plan import run_query
-from ..errors import TraceError
-from ..mem.machine import MachineConfig
+from ..errors import ConfigError, TraceError
+from ..mem.machine import MachineConfig, platform
 from ..mem.memsys import CpuMemStats, MemorySystem
-from ..osim.syscalls import Compute, Sleep, SpinAcquire, SpinRelease
-from ..tpch.queries import QueryDef
+from ..osim.scheduler import Kernel
+from ..osim.syscalls import Compute, Sleep, SpinAcquire, SpinRelease, Spinlock
+from ..tpch.datagen import TPCHConfig
+from ..tpch.queries import QUERIES, QueryDef
 from .classify import DataClass
 from .stream import RefBatch, single
+
+#: Tape op kinds. A tape is the exact event sequence one backend
+#: yielded to the kernel: ``("batch", RefBatch) | ("acquire", name) |
+#: ("release", name) | ("compute", instrs)``.
+TapeOp = Tuple[str, object]
+
+
+# ---------------------------------------------------------------------------
+# Workload capture: record every backend's event tape during a normal run
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkloadTrace:
+    """The machine-independent half of one experiment cell.
+
+    Everything here is a function of the workload alone — query, data,
+    process count, parameter mode — never of the machine or sim config,
+    which is what lets one trace serve every cell along the sweep's
+    machine axis.  ``locks`` records the shared spinlock addresses at
+    capture time so replay can detect a stale trace against a database
+    whose layout drifted.
+    """
+
+    query: str
+    n_procs: int
+    repetitions: int
+    param_mode: str
+    tpch: TPCHConfig
+    locks: Dict[str, int]
+    query_rows: List[int]
+    tapes: List[List[List[TapeOp]]]  # [rep][pid] -> tape
+
+    def matches(self, spec) -> bool:
+        """True when this trace records exactly ``spec``'s workload."""
+        return (
+            self.query == spec.query
+            and self.n_procs == spec.n_procs
+            and self.repetitions == spec.repetitions
+            and self.param_mode == spec.param_mode
+            and self.tpch == spec.tpch
+        )
+
+    @property
+    def n_events(self) -> int:
+        return sum(len(tape) for rep in self.tapes for tape in rep)
+
+    @property
+    def n_refs(self) -> int:
+        return sum(
+            len(op[1])
+            for rep in self.tapes
+            for tape in rep
+            for op in tape
+            if op[0] == "batch"
+        )
+
+
+class WorkloadCapture:
+    """Observation hook recording per-process event tapes.
+
+    Passed to :func:`repro.core.experiment.run_experiment` as
+    ``capture=``; wraps each backend generator so every yielded event
+    is appended to that ``(rep, pid)`` tape on its way to the kernel.
+    The kernel retries a contended ``SpinAcquire`` from its pending
+    slot without re-pulling the generator, so each logical event is
+    recorded exactly once and contention needs no special casing — the
+    wait is implied by the acquire op and is recomputed at replay.
+    """
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self.locks: Dict[str, int] = {}
+        self._query_rows: Dict[int, int] = {}
+        self._tapes: Dict[Tuple[int, int], List[TapeOp]] = {}
+
+    def record(self, rep: int, pid: int, gen) -> Generator:
+        tape: List[TapeOp] = []
+        self._tapes[(rep, pid)] = tape
+
+        def recorder():
+            while True:
+                try:
+                    ev = next(gen)
+                except StopIteration as stop:
+                    return stop.value
+                if isinstance(ev, RefBatch):
+                    tape.append(("batch", ev))
+                elif isinstance(ev, SpinAcquire):
+                    self.locks.setdefault(ev.lock.name, ev.lock.addr)
+                    tape.append(("acquire", ev.lock.name))
+                elif isinstance(ev, SpinRelease):
+                    tape.append(("release", ev.lock.name))
+                elif isinstance(ev, Compute):
+                    tape.append(("compute", ev.instrs))
+                else:
+                    raise TraceError(
+                        f"backend yielded uncapturable event {ev!r}"
+                    )
+                yield ev
+
+        return recorder()
+
+    def note_rep(self, rep: int, query_rows: int) -> None:
+        self._query_rows[rep] = query_rows
+
+    def finish(self) -> WorkloadTrace:
+        spec = self.spec
+        tapes = []
+        for rep in range(spec.repetitions):
+            row = []
+            for pid in range(spec.n_procs):
+                tape = self._tapes.get((rep, pid))
+                if tape is None:
+                    raise TraceError(
+                        f"capture incomplete: no tape for rep {rep} pid {pid}"
+                    )
+                row.append(tape)
+            tapes.append(row)
+        return WorkloadTrace(
+            query=spec.query,
+            n_procs=spec.n_procs,
+            repetitions=spec.repetitions,
+            param_mode=spec.param_mode,
+            tpch=spec.tpch,
+            locks=dict(self.locks),
+            query_rows=[self._query_rows.get(r, 0) for r in range(spec.repetitions)],
+            tapes=tapes,
+        )
+
+
+@contextmanager
+def _gc_paused():
+    """Suspend the cyclic collector while a workload tape is being
+    built or consumed.
+
+    A tape holds millions of small objects (per-batch lists, marks);
+    every generation-2 collection traverses all of them, which
+    benchmarked at ~30-70% overhead on capture and replay.  Nothing in
+    a kernel run relies on cycle collection — the simulation allocates
+    acyclically and is refcount-clean — so pausing the collector is
+    pure win.  Restores the collector's previous state on exit."""
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def workload_replayable(spec) -> bool:
+    """Mutating workloads (the RF refresh streams) consume database
+    state, so a recorded tape would not match a second run; everything
+    else is capture/replay-eligible."""
+    return not QUERIES[spec.query].mutates
+
+
+def capture_workload(spec, db: Optional[Database] = None):
+    """Execute one cell normally while recording per-process tapes.
+
+    Returns ``(ExperimentResult, WorkloadTrace)``; the result is
+    bitwise-identical to an uncaptured :func:`run_experiment` of the
+    same spec (capture is pure observation).
+    """
+    from ..core.experiment import run_experiment
+
+    if not workload_replayable(spec):
+        raise TraceError(
+            f"{spec.query} mutates the database; its tapes would not "
+            "replay against repeatable state"
+        )
+    cap = WorkloadCapture(spec)
+    with _gc_paused():
+        result = run_experiment(spec, db=db, capture=cap)
+    return result, cap.finish()
+
+
+# ---------------------------------------------------------------------------
+# Workload replay: re-interleave the tapes through any machine
+# ---------------------------------------------------------------------------
+
+
+def _resolve_hints(batch: RefBatch, hinted: Set[Tuple[int, int]]) -> RefBatch:
+    """Re-run the first-toucher hint-bit race for a replayed batch.
+
+    The write flags baked at capture reflect the *capture* machine's
+    delivery order; the replay machine may interleave backends
+    differently, so every marked reference is re-decided here, in
+    replay delivery order, against the replay's own hint set.
+
+    Resolution stays in whichever representation the batch already
+    holds: a list-born batch (in-memory replay) shares its immutable
+    addr/instr/class lists via :meth:`RefBatch.take`, while a
+    column-born batch (decoded from a trace file) copies only its
+    writes column and shares the other three arrays — forcing the
+    list materialization here was measured as the dominant overhead
+    of decoded replay on hint-heavy workloads."""
+    marks = batch.hints
+    if not marks:
+        return batch
+    if batch.is_columnar:
+        a, w, i, c = batch.columns()
+        writes = w.copy()
+        for idx, relid, row in marks:
+            key = (relid, row)
+            if key in hinted:
+                writes[idx] = False
+            else:
+                hinted.add(key)
+                writes[idx] = True
+        return RefBatch.take_columns(
+            a, writes, i, c, hints=marks, total=batch.total_instrs
+        )
+    writes = list(batch.writes)
+    for idx, relid, row in marks:
+        key = (relid, row)
+        if key in hinted:
+            writes[idx] = False
+        else:
+            hinted.add(key)
+            writes[idx] = True
+    return RefBatch.take(batch.addrs, writes, batch.instrs, batch.classes, hints=marks)
+
+
+def _replay_process(
+    tape: List[TapeOp],
+    locks: Dict[str, Spinlock],
+    hinted: Optional[Set[Tuple[int, int]]],
+) -> Generator:
+    """Generator yielding one backend's tape back to the kernel.
+
+    Batches are delivered at the captured granularity — coalescing
+    would change where the scheduler checks preemption and break
+    bitwise equivalence — and lock events are yielded as live
+    :class:`SpinAcquire`/:class:`SpinRelease` against the replay
+    database's locks, so spinning, backoff, and the TAS/release
+    reference charges all happen natively in the kernel.
+
+    ``hinted is None`` marks a single-process replay: with one
+    backend, delivery order equals tape order on *every* machine, so
+    the capture-time hint flags are already exact and re-resolution
+    is skipped."""
+    for kind, arg in tape:
+        if kind == "batch":
+            yield arg if hinted is None else _resolve_hints(arg, hinted)
+        elif kind == "acquire":
+            yield SpinAcquire(locks[arg])
+        elif kind == "release":
+            yield SpinRelease(locks[arg])
+        elif kind == "compute":
+            yield Compute(arg)
+        else:
+            raise TraceError(f"unknown tape op {kind!r}")
+
+
+def replay_workload(
+    spec,
+    trace: WorkloadTrace,
+    db: Optional[Database] = None,
+    machine: Optional[MachineConfig] = None,
+):
+    """Replay a captured workload through ``spec``'s machine.
+
+    Mirrors :func:`run_experiment` rep for rep — fresh memory system
+    and kernel, runtime reset, private segments materialized in pid
+    order — but spawns tape readers instead of query executors.
+    Returns an :class:`ExperimentResult` bitwise-identical to direct
+    execution of ``spec``.  Raises :class:`TraceError` when the trace
+    does not record this workload or its lock addresses no longer
+    match the database (the caller should fall back to capture).
+    """
+    from ..core.experiment import DatabaseCache, ExperimentResult, RunResult
+    from ..core.workload import snapshot_process
+
+    if not trace.matches(spec):
+        raise TraceError(
+            f"trace records {trace.query}x{trace.n_procs} "
+            f"({trace.param_mode}, reps={trace.repetitions}), "
+            f"spec wants {spec.query}x{spec.n_procs}"
+        )
+    if db is None:
+        db = DatabaseCache.get(spec.tpch)
+    if machine is None:
+        machine = platform(spec.platform).scaled(spec.sim.cache_scale_log2)
+    if spec.n_procs > machine.n_cpus:
+        raise ConfigError(
+            f"{spec.n_procs} processes exceed {machine.name}'s {machine.n_cpus} CPUs"
+        )
+    locks: Dict[str, Spinlock] = {}
+    for name, addr in trace.locks.items():
+        lock = db.shmem.spinlock(name)
+        if lock.addr != addr:
+            raise TraceError(
+                f"lock {name} lives at {lock.addr:#x} but the trace "
+                f"recorded {addr:#x}; trace is stale"
+            )
+        locks[name] = lock
+
+    result = ExperimentResult(spec=spec, machine=machine)
+    with _gc_paused():
+        _replay_reps(spec, trace, db, machine, locks, result)
+    return result
+
+
+def _replay_reps(spec, trace, db, machine, locks, result) -> None:
+    """Rep loop of :func:`replay_workload`, run with GC paused."""
+    from ..core.experiment import RunResult
+    from ..core.workload import snapshot_process
+
+    for rep in range(spec.repetitions):
+        memsys = MemorySystem(machine, db.aspace, fast_path=spec.sim.fast_path)
+        kernel = Kernel(machine, memsys, spec.sim)
+        db.reset_runtime()
+        backoffs_before = sum(l.n_backoffs for l in db.shmem._locks.values())
+        hinted: Optional[Set[Tuple[int, int]]] = (
+            set() if spec.n_procs > 1 else None
+        )
+        for pid in range(spec.n_procs):
+            # Same pid-ascending order as ExecContext construction in
+            # the direct run, so the deterministic bump allocator
+            # reproduces identical private-segment addresses.
+            db.shmem.private(pid, pid)
+            kernel.spawn(
+                _replay_process(trace.tapes[rep][pid], locks, hinted), cpu=pid
+            )
+        kernel.run()
+        snaps = [
+            snapshot_process(proc, memsys.stats[proc.cpu], machine)
+            for proc in kernel.processes
+        ]
+        n_backoffs = (
+            sum(lock.n_backoffs for lock in db.shmem._locks.values())
+            - backoffs_before
+        )
+        result.runs.append(
+            RunResult(
+                per_process=snaps,
+                wall_cycles=kernel.wall_cycles(),
+                interconnect_queue_delay_mean=memsys.interconnect.mean_queue_delay,
+                n_backoffs=n_backoffs,
+                # Replay generators produce no rows (results were
+                # verified at capture); report the recorded count.
+                query_rows=trace.query_rows[rep],
+            )
+        )
+
+
+def run_or_replay(spec, store, db: Optional[Database] = None):
+    """Sweep-cell front door: replay if a trace exists, capture if not.
+
+    Returns ``(result, source)`` with ``source`` one of ``"ran"`` (no
+    store, or workload not replayable), ``"captured"`` (executed and
+    the trace was stored), or ``"replay"`` (tape replayed, executor
+    skipped).  A stale or unusable stored trace is discarded and the
+    cell degrades to capture — never a crash, never a wrong result.
+    """
+    from ..core.experiment import run_experiment
+
+    if store is None or not workload_replayable(spec):
+        return run_experiment(spec, db=db), "ran"
+    trace = store.get(spec)
+    if trace is not None:
+        try:
+            return replay_workload(spec, trace, db=db), "replay"
+        except TraceError as exc:
+            store.discard(spec, str(exc))
+    result, trace = capture_workload(spec, db=db)
+    store.put(spec, trace)
+    return result, "captured"
+
+
+# ---------------------------------------------------------------------------
+# Legacy single-backend capture (one-CPU methodology)
+# ---------------------------------------------------------------------------
 
 
 def capture_query(
@@ -53,8 +457,12 @@ def capture_query(
             elif isinstance(ev, SpinAcquire):
                 if ev.lock.holder is not None:
                     raise TraceError(
-                        f"lock {ev.lock.name} contended during capture; "
-                        "capture requires a single backend"
+                        f"lock {ev.lock.name} is contended (held by pid "
+                        f"{ev.lock.holder}): capture_query bakes lock "
+                        "references into a flat single-backend trace and "
+                        "cannot record a wait — use capture_workload(), "
+                        "whose per-process tapes record the acquire as an "
+                        "interleave point and recompute contention at replay"
                     )
                 ev.lock.holder = pid
                 ev.lock.n_acquires += 1

@@ -40,9 +40,21 @@ COLUMN_DTYPES = (np.int64, np.bool_, np.int64, np.uint8)
 
 
 class RefBatch:
-    """An immutable batch of classified memory references."""
+    """An immutable batch of classified memory references.
 
-    __slots__ = ("_addrs", "_writes", "_instrs", "_classes", "_cols", "_total")
+    ``hints`` is an optional side channel for trace replay: a sequence
+    of ``(ref_index, relid, row_idx)`` marks identifying the references
+    whose *write* flag was decided by the shared first-toucher hint-bit
+    race (:meth:`ExecContext.hint_bit_write`).  That decision is the
+    one interleaving-dependent part of the executor's emission, so a
+    replayed batch re-resolves the marked flags against a replay-side
+    hint set instead of trusting the flags baked in at capture time.
+    The simulation paths never read ``hints``.
+    """
+
+    __slots__ = (
+        "_addrs", "_writes", "_instrs", "_classes", "_cols", "_total", "hints"
+    )
 
     def __init__(
         self,
@@ -60,6 +72,7 @@ class RefBatch:
         self._classes: Optional[List[int]] = [int(c) for c in classes]
         self._cols = None
         self._total: Optional[int] = sum(self._instrs)
+        self.hints: Optional[Sequence[Tuple[int, int, int]]] = None
 
     @classmethod
     def take(
@@ -68,6 +81,7 @@ class RefBatch:
         writes: List[bool],
         instrs: List[int],
         classes: List[int],
+        hints: Optional[List[Tuple[int, int, int]]] = None,
     ) -> "RefBatch":
         """Ownership-transfer constructor for the builder hot path.
 
@@ -85,6 +99,7 @@ class RefBatch:
         batch._classes = classes
         batch._cols = None
         batch._total = sum(instrs)
+        batch.hints = hints
         return batch
 
     @classmethod
@@ -94,6 +109,7 @@ class RefBatch:
         writes: np.ndarray,
         instrs: np.ndarray,
         classes: np.ndarray,
+        hints: Optional[Sequence[Tuple[int, int, int]]] = None,
     ) -> "RefBatch":
         """Ownership-transfer constructor from NumPy columns.
 
@@ -113,6 +129,33 @@ class RefBatch:
         batch._addrs = batch._writes = batch._instrs = batch._classes = None
         batch._cols = cols
         batch._total = None
+        batch.hints = hints
+        return batch
+
+    @classmethod
+    def take_columns(
+        cls,
+        addrs: np.ndarray,
+        writes: np.ndarray,
+        instrs: np.ndarray,
+        classes: np.ndarray,
+        hints: Optional[Sequence[Tuple[int, int, int]]] = None,
+        total: Optional[int] = None,
+    ) -> "RefBatch":
+        """Ownership-transfer constructor from already-canonical columns.
+
+        The columnar counterpart of :meth:`take`: the caller guarantees
+        the invariants (canonical dtypes, equal-length 1-D arrays, no
+        later mutation) and no casts or checks are performed.  Replay
+        hint resolution rebuilds one batch per marked batch on the
+        tape, so even :meth:`from_columns`'s no-op normalization calls
+        are a measurable cost there.
+        """
+        batch = object.__new__(cls)
+        batch._addrs = batch._writes = batch._instrs = batch._classes = None
+        batch._cols = (addrs, writes, instrs, classes)
+        batch._total = total
+        batch.hints = hints
         return batch
 
     # -- representation conversion (lazy, cached) -------------------------
@@ -146,6 +189,14 @@ class RefBatch:
         if self._classes is None:
             self._materialize_lists()
         return self._classes
+
+    @property
+    def is_columnar(self) -> bool:
+        """True when the batch currently holds only its NumPy form.
+        Consumers that can work in either representation should branch
+        on this and stay in column space — touching a list property on
+        a columnar batch materializes all four Python lists."""
+        return self._addrs is None
 
     @property
     def total_instrs(self) -> int:
@@ -199,13 +250,14 @@ class RefBatch:
 class RefBuilder:
     """Mutable accumulator used by the executor to assemble a RefBatch."""
 
-    __slots__ = ("_addrs", "_writes", "_instrs", "_classes")
+    __slots__ = ("_addrs", "_writes", "_instrs", "_classes", "_hints")
 
     def __init__(self) -> None:
         self._addrs: List[int] = []
         self._writes: List[bool] = []
         self._instrs: List[int] = []
         self._classes: List[int] = []
+        self._hints: List[Tuple[int, int, int]] = []
 
     def add(self, addr: int, write: bool, instrs: int, cls: DataClass) -> None:
         """Append one reference preceded by ``instrs`` instructions."""
@@ -213,6 +265,16 @@ class RefBuilder:
         self._writes.append(write)
         self._instrs.append(instrs)
         self._classes.append(int(cls))
+
+    def mark_hint(self, relid: int, row_idx: int) -> None:
+        """Tag the most recently added reference as a hint-bit decision.
+
+        The mark travels on the built batch (:attr:`RefBatch.hints`) so
+        trace replay can re-run the first-toucher race for tuple
+        ``(relid, row_idx)`` in delivery order instead of trusting the
+        write flag baked in at capture time.
+        """
+        self._hints.append((len(self._addrs) - 1, relid, row_idx))
 
     def add_many(
         self, addrs: Sequence[int], write: bool, instrs: int, cls: DataClass
@@ -274,9 +336,17 @@ class RefBuilder:
         (:meth:`RefBatch.take`); the builder re-arms with fresh lists,
         so nothing else can alias the frozen batch's storage.
         """
-        batch = RefBatch.take(self._addrs, self._writes, self._instrs, self._classes)
+        batch = RefBatch.take(
+            self._addrs,
+            self._writes,
+            self._instrs,
+            self._classes,
+            hints=self._hints or None,
+        )
         self._addrs, self._writes = [], []
         self._instrs, self._classes = [], []
+        if self._hints:
+            self._hints = []
         return batch
 
 

@@ -84,7 +84,8 @@ class VerifyReport:
             lines.append(
                 f"differential fuzz: {status} — {f.rounds} rounds, "
                 f"{f.transitions_checked} transitions checked, "
-                f"{f.parallel_checks} parallel cross-checks"
+                f"{f.parallel_checks} parallel cross-checks, "
+                f"{f.replay_checks} replay cross-checks"
             )
             for fail in f.failures:
                 lines.append(f"  {fail.describe()}")

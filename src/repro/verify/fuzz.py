@@ -2,7 +2,7 @@
 
 Every round draws a random :class:`~repro.trace.synthetic.SyntheticSpec`
 (seeded — the whole campaign is a pure function of its seed), generates
-a synthetic sharing trace, and drives the *same* trace through five
+a synthetic sharing trace, and drives the *same* trace through six
 legs of the simulator:
 
 1. the reference per-reference slow loop,
@@ -10,7 +10,10 @@ legs of the simulator:
 3. the slow loop with the invariant checker attached,
 4. the fast path with the invariant checker attached,
 5. the fast path with the *batched* array-verification checker on the
-   deferred observation channel.
+   deferred observation channel,
+6. the fast path fed through the trace-store codec (flatten to delta-
+   encoded arrays, decode back) — the persistence layer must be
+   bitwise transparent.
 
 All legs must produce identical *fingerprints* — every counter of every
 CPU, the final resident set of every cache level, the full directory
@@ -25,7 +28,10 @@ A few rounds per campaign additionally cross-check the serial
 :class:`~repro.core.sweep.SweepRunner` against the
 :class:`~repro.core.parallel.ParallelSweepRunner` on a real (tiny)
 experiment cell, covering the process-pool path the synthetic traces
-cannot reach.
+cannot reach — and capture a real cell's workload tape with
+:func:`~repro.trace.capture.capture_workload`, replaying it on both
+machines against direct execution, covering the full capture → replay
+pipeline end to end.
 
 The caches are shrunk far below the experiment configuration
 (:data:`FUZZ_SCALE_LOG2`) so short traces still generate evictions,
@@ -61,7 +67,9 @@ class FuzzFailure:
     seed: int
     platform: str
     #: ``counter-divergence`` (legs disagree), ``invariant`` (checker
-    #: fired), or ``parallel-divergence`` (serial vs pool results).
+    #: fired), ``parallel-divergence`` (serial vs pool results), or
+    #: ``replay-divergence`` (captured tape replays differently than
+    #: direct execution).
     kind: str
     detail: str
     n_batches: int
@@ -94,6 +102,7 @@ class FuzzReport:
     seed: int
     rounds: int = 0
     parallel_checks: int = 0
+    replay_checks: int = 0
     transitions_checked: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
 
@@ -201,7 +210,7 @@ def _run_round(
     aspace,
     memsys_factory: Callable[..., MemorySystem],
 ) -> _RoundOutcome:
-    """Drive one trace through all five legs; compare fingerprints."""
+    """Drive one trace through all six legs; compare fingerprints."""
     machine = platform(plat, n_cpus=spec.n_cpus).scaled(FUZZ_SCALE_LOG2)
     out = _RoundOutcome()
     prints: List[Tuple[str, Dict]] = []
@@ -235,6 +244,30 @@ def _run_round(
         out.detail = f"leg fast/batched-checked: {exc}"
         return out
     prints.append(("fast/batched-checked", fingerprint(ms, clocks, spec.n_cpus)))
+    # Sixth leg: round-trip every CPU's batch stream through the
+    # trace-store codec (flatten → delta-encode → decode) exactly as
+    # ``TraceStore`` persists workload tapes, then drive the decoded
+    # refs through the fast path.  The codec must be invisible.
+    from ..errors import TraceError
+    from ..trace.store import arrays_to_tape, tape_to_arrays
+
+    try:
+        codec_trace = [
+            [
+                b
+                for _kind, b in arrays_to_tape(
+                    tape_to_arrays([("batch", b) for b in batches], {}), []
+                )
+            ]
+            for batches in trace
+        ]
+    except TraceError as exc:
+        out.kind = "counter-divergence"
+        out.detail = f"leg fast/store-codec: codec rejected its own output: {exc}"
+        return out
+    ms = memsys_factory(machine, aspace, fast_path=True)
+    clocks = drive_trace(ms, codec_trace, machine.base_cpi)
+    prints.append(("fast/store-codec", fingerprint(ms, clocks, spec.n_cpus)))
     ref_leg, ref = prints[0]
     for leg, fp in prints[1:]:
         if fp != ref:
@@ -346,12 +379,61 @@ def _parallel_cell_check(rng: random.Random) -> Optional[str]:
     return None
 
 
+def _replay_cell_check(rng: random.Random) -> Optional[str]:
+    """Capture one random tiny cell's workload tape, replay it on both
+    machines, and compare each against direct execution; return a
+    description of any divergence (None = agreement)."""
+    import dataclasses
+
+    from ..config import TEST_SIM
+    from ..core.experiment import ExperimentSpec, run_experiment
+    from ..tpch.datagen import TPCHConfig
+    from ..trace.capture import capture_workload, replay_workload
+
+    tpch = TPCHConfig(sf=0.0004, seed=20020411)
+    query = rng.choice(("Q6", "Q12"))
+    n_procs = rng.choice((1, 2))
+    captured_on = rng.choice(FUZZ_PLATFORMS)
+
+    def spec(plat):
+        return ExperimentSpec(
+            query=query, platform=plat, n_procs=n_procs,
+            tpch=tpch, sim=TEST_SIM,
+        )
+
+    def key(res):
+        return [
+            (
+                run.wall_cycles,
+                run.interconnect_queue_delay_mean,
+                run.n_backoffs,
+                run.query_rows,
+                [dataclasses.astuple(s) for s in run.per_process],
+            )
+            for run in res.runs
+        ]
+
+    direct_captured, trace = capture_workload(spec(captured_on))
+    for plat in FUZZ_PLATFORMS:
+        direct = (
+            direct_captured if plat == captured_on
+            else run_experiment(spec(plat))
+        )
+        if key(replay_workload(spec(plat), trace)) != key(direct):
+            return (
+                f"cell ({query}, {plat}, {n_procs}): replay of tape "
+                f"captured on {captured_on} diverges from direct execution"
+            )
+    return None
+
+
 def fuzz(
     budget: int = 50,
     seed: int = 0xF422,
     platforms: Sequence[str] = FUZZ_PLATFORMS,
     shrink: bool = True,
     parallel_checks: Optional[int] = None,
+    replay_checks: Optional[int] = None,
     memsys_factory: Callable[..., MemorySystem] = MemorySystem,
 ) -> FuzzReport:
     """Run a fuzz campaign of ``budget`` rounds; stop at the first
@@ -359,9 +441,11 @@ def fuzz(
 
     ``parallel_checks`` (default ``max(1, budget // 100)``) serial-vs-
     pool cross-checks run at the end of a clean campaign; pass 0 to
-    skip them (they build a tiny TPC-H database).  ``memsys_factory``
-    exists for the self-tests: injecting a deliberately broken
-    :class:`MemorySystem` subclass must make the campaign fail.
+    skip them (they build a tiny TPC-H database).  ``replay_checks``
+    capture-vs-replay cross-checks follow (default: same count as the
+    parallel checks).  ``memsys_factory`` exists for the self-tests:
+    injecting a deliberately broken :class:`MemorySystem` subclass must
+    make the campaign fail.
     """
     report = FuzzReport(budget=budget, seed=seed)
     rng = random.Random(seed)
@@ -418,6 +502,24 @@ def fuzz(
                     seed=seed,
                     platform="-",
                     kind="parallel-divergence",
+                    detail=diverged,
+                    n_batches=0,
+                    n_refs=0,
+                )
+            )
+            return report
+
+    n_replay = replay_checks if replay_checks is not None else n_par
+    for _ in range(n_replay):
+        report.replay_checks += 1
+        diverged = _replay_cell_check(rng)
+        if diverged is not None:
+            report.failures.append(
+                FuzzFailure(
+                    round_index=report.rounds,
+                    seed=seed,
+                    platform="-",
+                    kind="replay-divergence",
                     detail=diverged,
                     n_batches=0,
                     n_refs=0,

@@ -50,6 +50,10 @@ EXPECTED_API = [
     "CellFailure",
     "figure_grid_cells",
     "NPROC_SWEEP",
+    # workload trace capture/replay
+    "TraceStore",
+    "capture_workload",
+    "replay_workload",
     # figures and reporting
     "FIGURES",
     "regenerate_figure",

@@ -1,0 +1,171 @@
+"""Capture-once / replay-everywhere bitwise equivalence.
+
+The trace-decoupling claim (capture a workload's per-process reference
+tapes on one machine, replay them through any machine's memory system)
+is only usable if replayed counters are **bitwise identical** to direct
+execution — otherwise every replayed cell silently poisons the paper's
+figures.  This battery proves it over the full tiny grid: every query,
+both machines, 1/2/4 processes, fast path on and off, serial and
+parallel sweep runners, including the lock-contended Q21 cells where
+the scheduler interleaving actually matters.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import TEST_SIM
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.parallel import ParallelSweepRunner
+from repro.core.sweep import SweepRunner
+from repro.errors import TraceError
+from repro.trace.capture import (
+    capture_workload,
+    replay_workload,
+    workload_replayable,
+)
+from repro.trace.store import TraceStore
+
+from tests.conftest import TINY_TPCH
+
+QUERIES = ("Q6", "Q12", "Q21")
+NPROCS = (1, 2, 4)
+PLATFORMS = ("hpv", "sgi")
+NOFAST_SIM = dataclasses.replace(TEST_SIM, fast_path=False)
+
+
+def _spec(query, platform, n_procs, sim=TEST_SIM):
+    return ExperimentSpec(
+        query=query, platform=platform, n_procs=n_procs,
+        tpch=TINY_TPCH, sim=sim,
+    )
+
+
+def fingerprint(result):
+    """Every number a result carries, bit for bit."""
+    return [
+        [dataclasses.astuple(s) for s in run.per_process]
+        + [
+            run.wall_cycles,
+            run.n_backoffs,
+            run.query_rows,
+            run.interconnect_queue_delay_mean,
+        ]
+        for run in result.runs
+    ]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One capture per workload — on hpv; the same tape serves both
+    machines and both fast-path settings."""
+    return {
+        (q, n): capture_workload(_spec(q, "hpv", n))[1]
+        for q in QUERIES
+        for n in NPROCS
+    }
+
+
+class TestGridBitwise:
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("n_procs", NPROCS)
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_replay_equals_direct(self, traces, query, platform, n_procs):
+        spec = _spec(query, platform, n_procs)
+        direct = run_experiment(spec)
+        replayed = replay_workload(spec, traces[(query, n_procs)])
+        assert fingerprint(replayed) == fingerprint(direct)
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    @pytest.mark.parametrize("query,n_procs", [("Q6", 1), ("Q21", 4)])
+    def test_replay_equals_direct_without_fast_path(
+        self, traces, query, platform, n_procs
+    ):
+        """The same capture replays under the scalar-only memory system:
+        the tape records emission, not simulation, so ``sim`` never
+        invalidates it."""
+        spec = _spec(query, platform, n_procs, sim=NOFAST_SIM)
+        direct = run_experiment(spec)
+        replayed = replay_workload(spec, traces[(query, n_procs)])
+        assert fingerprint(replayed) == fingerprint(direct)
+
+    def test_contended_cell_captures_and_replays(self, traces):
+        """Regression for the Q21-style contended case: per-process
+        capture records a contended acquire as an interleave point
+        (the flat single-backend ``capture_query`` rejects it), and the
+        replay recomputes identical contention on both machines."""
+        direct = run_experiment(_spec("Q21", "hpv", 4))
+        assert direct.runs[0].n_backoffs > 0, (
+            "test premise broken: Q21 x 4 no longer contends"
+        )
+        for platform in PLATFORMS:
+            spec = _spec("Q21", platform, 4)
+            replayed = replay_workload(spec, traces[("Q21", 4)])
+            assert fingerprint(replayed) == fingerprint(run_experiment(spec))
+            assert replayed.runs[0].n_backoffs > 0
+
+
+class TestSweepIntegration:
+    CELLS = [(q, p, n) for q in QUERIES for p in PLATFORMS for n in NPROCS]
+
+    def _grid_fingerprints(self, runner):
+        return {c: fingerprint(runner.cell(*c)) for c in self.CELLS}
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        runner = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+        return self._grid_fingerprints(runner)
+
+    def test_serial_sweep_with_trace_store(self, baseline, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        runner = SweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, trace_store=store
+        )
+        assert self._grid_fingerprints(runner) == baseline
+        # one platform captured, the other replayed — never both run
+        n_workloads = len(QUERIES) * len(NPROCS)
+        assert runner.trace_sources["captured"] == n_workloads
+        assert runner.trace_sources["replay"] == n_workloads
+
+    def test_parallel_sweep_with_trace_store(self, baseline, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        runner = ParallelSweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, jobs=2,
+            trace_store=TraceStore(tmp_path / "traces"),
+        )
+        report = runner.execute(self.CELLS)
+        assert report.ok
+        assert self._grid_fingerprints(runner) == baseline
+        # the store was actually used across the worker pool
+        assert len(store) == len(QUERIES) * len(NPROCS)
+
+    def test_warm_store_replays_everything(self, baseline, tmp_path):
+        store_dir = tmp_path / "traces"
+        SweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, trace_store=TraceStore(store_dir)
+        ).prewarm(self.CELLS)
+        warm = SweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, trace_store=TraceStore(store_dir)
+        )
+        assert self._grid_fingerprints(warm) == baseline
+        assert warm.trace_sources == {"replay": len(self.CELLS)}
+
+
+class TestReplayContract:
+    def test_mutating_queries_are_not_replayable(self):
+        spec = _spec("RF1", "hpv", 1)
+        assert not workload_replayable(spec)
+        with pytest.raises(TraceError):
+            capture_workload(spec)
+
+    def test_workload_mismatch_rejected(self, traces):
+        with pytest.raises(TraceError):
+            replay_workload(_spec("Q6", "hpv", 2), traces[("Q6", 1)])
+
+    def test_stale_lock_addresses_rejected(self, traces):
+        trace = traces[("Q6", 1)]
+        stale = dataclasses.replace(
+            trace, locks={k: v + 64 for k, v in trace.locks.items()}
+        )
+        with pytest.raises(TraceError):
+            replay_workload(_spec("Q6", "hpv", 1), stale)

@@ -1,0 +1,288 @@
+"""Trace-store codec round-trips and corruption taxonomy.
+
+Two halves: property-based round-trips of the tape codec (any tape of
+batches/lock events/compute events survives flatten → delta-encode →
+npz bytes → decode structurally intact), and the failure taxonomy —
+every way a stored trace can be broken (truncated file, garbage bytes,
+bad header, version mismatch, wrong workload) must degrade to a miss
+plus re-capture, never a crash and never a wrong result.
+"""
+
+import dataclasses
+import io
+import json
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TEST_SIM
+from repro.core.experiment import ExperimentSpec
+from repro.trace.capture import capture_workload, run_or_replay
+from repro.trace.classify import NUM_CLASSES
+from repro.trace.store import (
+    TRACE_FORMAT,
+    TraceStore,
+    TraceStoreWarning,
+    arrays_to_tape,
+    tape_to_arrays,
+    trace_from_npz,
+    trace_to_npz_dict,
+    workload_fingerprint,
+)
+from repro.trace.stream import RefBatch
+
+from tests.conftest import TINY_TPCH
+
+LOCK_NAMES = ["BufMgrLock", "LockMgrLock"]
+LOCK_INDEX = {name: i for i, name in enumerate(LOCK_NAMES)}
+
+
+# -- strategies -------------------------------------------------------------
+
+@st.composite
+def ref_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    addrs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**40),
+            min_size=n, max_size=n,
+        )
+    )
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    instrs = draw(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=n, max_size=n)
+    )
+    classes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=NUM_CLASSES - 1),
+            min_size=n, max_size=n,
+        )
+    )
+    batch = RefBatch(addrs, writes, instrs, classes)
+    hint_count = draw(st.integers(min_value=0, max_value=min(3, n)))
+    if hint_count:
+        idxs = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=hint_count, max_size=hint_count, unique=True,
+            )
+        )
+        batch.hints = [
+            (i, draw(st.integers(0, 30)), draw(st.integers(0, 10_000)))
+            for i in sorted(idxs)
+        ]
+    return batch
+
+
+tape_events = st.one_of(
+    ref_batches().map(lambda b: ("batch", b)),
+    st.sampled_from(LOCK_NAMES).map(lambda n: ("acquire", n)),
+    st.sampled_from(LOCK_NAMES).map(lambda n: ("release", n)),
+    st.integers(min_value=0, max_value=10**9).map(lambda i: ("compute", i)),
+)
+
+
+def _batch_tuple(batch):
+    return (
+        list(batch.addrs),
+        list(batch.writes),
+        list(batch.instrs),
+        list(batch.classes),
+        sorted(tuple(h) for h in batch.hints) if batch.hints else None,
+    )
+
+
+def _tape_tuple(tape):
+    return [
+        ("batch", _batch_tuple(arg)) if kind == "batch" else (kind, arg)
+        for kind, arg in tape
+    ]
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(tape=st.lists(tape_events, max_size=25))
+    def test_tape_survives_npz_bytes(self, tape):
+        """Flatten, push through literal ``.npz`` bytes, decode: every
+        event and every reference comes back identical."""
+        arrays = tape_to_arrays(tape, LOCK_INDEX)
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        buf.seek(0)
+        loaded = dict(np.load(buf, allow_pickle=False))
+        decoded = arrays_to_tape(loaded, LOCK_NAMES)
+        assert _tape_tuple(decoded) == _tape_tuple(tape)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tape=st.lists(tape_events, max_size=12))
+    def test_delta_encoding_is_lossless_for_any_address_order(self, tape):
+        """Addresses are stored as first differences; decreasing or
+        duplicate addresses (negative deltas) must survive too."""
+        arrays = tape_to_arrays(tape, LOCK_INDEX)
+        decoded = arrays_to_tape(arrays, LOCK_NAMES)
+        want = [a for k, b in tape if k == "batch" for a in b.addrs]
+        got = [a for k, b in decoded if k == "batch" for a in b.addrs]
+        assert got == want
+
+
+def _spec(query="Q12", n_procs=2, platform="hpv"):
+    return ExperimentSpec(
+        query=query, platform=platform, n_procs=n_procs,
+        tpch=TINY_TPCH, sim=TEST_SIM,
+    )
+
+
+@pytest.fixture(scope="module")
+def captured():
+    spec = _spec()
+    result, trace = capture_workload(spec)
+    return spec, result, trace
+
+
+def result_fingerprint(result):
+    return [
+        [dataclasses.astuple(s) for s in run.per_process]
+        + [run.wall_cycles, run.n_backoffs, run.query_rows]
+        for run in result.runs
+    ]
+
+
+class TestWorkloadTraceRoundTrip:
+    def test_full_trace_round_trip(self, captured):
+        _spec_, _result, trace = captured
+        decoded = trace_from_npz(trace_to_npz_dict(trace))
+        assert decoded.query == trace.query
+        assert decoded.locks == trace.locks
+        assert decoded.query_rows == trace.query_rows
+        assert decoded.tpch == trace.tpch
+        for rep in range(trace.repetitions):
+            for pid in range(trace.n_procs):
+                assert _tape_tuple(decoded.tapes[rep][pid]) == _tape_tuple(
+                    trace.tapes[rep][pid]
+                )
+
+    def test_store_round_trip_replays_identically(self, captured, tmp_path):
+        spec, result, trace = captured
+        TraceStore(tmp_path).put(spec, trace)
+        cold = TraceStore(tmp_path)  # fresh store: decode from disk
+        replayed, source = run_or_replay(spec, cold)
+        assert source == "replay"
+        assert result_fingerprint(replayed) == result_fingerprint(result)
+
+    def test_fingerprint_ignores_machine_and_sim(self):
+        base = workload_fingerprint(_spec())
+        assert workload_fingerprint(_spec(platform="sgi")) == base
+        nofast = dataclasses.replace(TEST_SIM, fast_path=False)
+        spec = ExperimentSpec(
+            query="Q12", platform="hpv", n_procs=2,
+            tpch=TINY_TPCH, sim=nofast,
+        )
+        assert workload_fingerprint(spec) == base
+
+    def test_fingerprint_separates_workloads(self):
+        assert workload_fingerprint(_spec()) != workload_fingerprint(
+            _spec(n_procs=4)
+        )
+        assert workload_fingerprint(_spec()) != workload_fingerprint(
+            _spec(query="Q6")
+        )
+
+
+class TestCorruptionTaxonomy:
+    """Each corruption degrades to a counted miss; ``run_or_replay``
+    then re-captures and still returns bitwise-correct results."""
+
+    def _stored(self, captured, tmp_path):
+        spec, result, trace = captured
+        path = TraceStore(tmp_path).put(spec, trace)
+        return spec, result, path
+
+    def _assert_degrades(self, spec, result, tmp_path, kind):
+        store = TraceStore(tmp_path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert store.get(spec) is None
+        assert store.stats[kind] == 1
+        assert store.misses == 1
+        assert any(
+            issubclass(w.category, TraceStoreWarning) for w in caught
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", TraceStoreWarning)
+            recaptured, source = run_or_replay(spec, store)
+        assert source == "captured"
+        assert result_fingerprint(recaptured) == result_fingerprint(result)
+
+    def test_truncated_file(self, captured, tmp_path):
+        spec, result, path = self._stored(captured, tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])
+        self._assert_degrades(spec, result, tmp_path, "corrupt")
+
+    def test_garbage_bytes(self, captured, tmp_path):
+        spec, result, path = self._stored(captured, tmp_path)
+        path.write_bytes(b"\xff\xfe\x00definitely not a zip archive\x80")
+        self._assert_degrades(spec, result, tmp_path, "corrupt")
+
+    def test_bad_header(self, captured, tmp_path):
+        spec, result, path = self._stored(captured, tmp_path)
+        buf = io.BytesIO()
+        np.savez_compressed(buf, meta=np.asarray("[1, 2, 3]"))
+        path.write_bytes(buf.getvalue())
+        self._assert_degrades(spec, result, tmp_path, "corrupt")
+
+    def test_version_mismatch(self, captured, tmp_path):
+        spec, result, path = self._stored(captured, tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = dict(data)
+        meta = json.loads(str(arrays["meta"]))
+        meta["format"] = TRACE_FORMAT + 1
+        arrays["meta"] = np.asarray(json.dumps(meta))
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        path.write_bytes(buf.getvalue())
+        self._assert_degrades(spec, result, tmp_path, "stale")
+
+    def test_foreign_workload_under_right_name(self, captured, tmp_path):
+        """A trace copied over the wrong fingerprint (or a hash
+        collision) is rejected by the embedded workload check."""
+        spec, result, path = self._stored(captured, tmp_path)
+        other_spec = _spec(query="Q6", n_procs=1)
+        _res, other_trace = capture_workload(other_spec)
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **trace_to_npz_dict(other_trace))
+        path.write_bytes(buf.getvalue())
+        self._assert_degrades(spec, result, tmp_path, "corrupt")
+
+    def test_replay_time_rejection_discards(self, captured, tmp_path):
+        """A trace that loads fine but fails replay-time validation
+        (stale lock addresses) is discarded and re-captured."""
+        spec, result, trace = captured
+        stale = dataclasses.replace(
+            trace, locks={k: v + 64 for k, v in trace.locks.items()}
+        )
+        store = TraceStore(tmp_path)
+        store.put(spec, stale)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            recaptured, source = run_or_replay(spec, store)
+        assert source == "captured"
+        assert store.stale == 1
+        assert len(store) == 1  # the bad file was replaced by the re-capture
+        assert any(
+            issubclass(w.category, TraceStoreWarning) for w in caught
+        )
+        assert result_fingerprint(recaptured) == result_fingerprint(result)
+        replayed, source = run_or_replay(spec, TraceStore(tmp_path))
+        assert source == "replay"
+        assert result_fingerprint(replayed) == result_fingerprint(result)
+
+    def test_missing_file_is_a_plain_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.get(_spec()) is None
+        assert store.stats == {
+            "hits": 0, "misses": 1, "corrupt": 0, "stale": 0
+        }

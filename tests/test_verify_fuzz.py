@@ -53,6 +53,7 @@ class TestCleanCampaign:
         assert report.rounds == 4
         assert report.transitions_checked > 0
         assert report.parallel_checks == 0
+        assert report.replay_checks == 0  # defaults to the parallel count
         assert report.failures == []
 
     def test_campaign_is_deterministic(self):
@@ -112,6 +113,13 @@ class TestDetection:
 
 class TestParallelCrossCheck:
     def test_serial_and_pool_agree_on_a_real_cell(self):
-        report = fuzz(budget=1, seed=1, parallel_checks=1)
+        report = fuzz(budget=1, seed=1, parallel_checks=1, replay_checks=0)
         assert report.ok
         assert report.parallel_checks == 1
+
+
+class TestReplayCrossCheck:
+    def test_capture_and_replay_agree_on_a_real_cell(self):
+        report = fuzz(budget=1, seed=2, parallel_checks=0, replay_checks=1)
+        assert report.ok
+        assert report.replay_checks == 1
