@@ -31,6 +31,7 @@ from repro.api import (
     RetryPolicy,
     SweepEventRecorder,
     SweepRunner,
+    select_executor,
 )
 from repro.core.resilience import FAULT_ENV, CheckpointManifest
 from repro.core.resultcache import spec_fingerprint
@@ -65,7 +66,8 @@ def test_resilience_overhead(tmp_path, benchmark, monkeypatch):
 
     resilient = ParallelSweepRunner(
         sim=DEFAULT_SIM, tpch=BENCH_TPCH,
-        cache=ResultCache(tmp_path / "cache"), jobs=1,
+        cache=ResultCache(tmp_path / "cache"),
+        executor=select_executor(jobs=1),
     )
     keys = [normalize_cell(c) for c in GRID]
     manifest = CheckpointManifest.open(
@@ -88,7 +90,9 @@ def test_resilience_overhead(tmp_path, benchmark, monkeypatch):
         kind="crash", ledger=str(tmp_path / "ledger"), match="Q6:sgi:2",
     )
     monkeypatch.setenv(FAULT_ENV, plan.to_env())
-    injected = ParallelSweepRunner(sim=DEFAULT_SIM, tpch=BENCH_TPCH, jobs=2)
+    injected = ParallelSweepRunner(
+        sim=DEFAULT_SIM, tpch=BENCH_TPCH, executor=select_executor(jobs=2)
+    )
     t0 = time.perf_counter()
     crash_report = injected.execute(GRID)
     crash_s = time.perf_counter() - t0

@@ -22,8 +22,15 @@ trace-cached pass (15 captures + 15 replays) and a warm one where all
 economics — ``grid_cells_per_sec_replay`` and the replay-vs-serial
 speedup — alongside the direct numbers.
 
+A third benchmark sweeps the same grid through the distributed path
+(:class:`MultiHostExecutor` over 1/2/4 local subprocess hosts) and
+records the scaling curve with each leg's per-host topology — on a
+1-CPU bench host the honest reading is wire/dispatch overhead, not
+speedup.
+
 Knobs: ``REPRO_BENCH_JOBS`` (worker count, default ``os.cpu_count()``),
-plus the harness-wide ``REPRO_BENCH_SF`` / ``REPRO_BENCH_SEED``.
+``REPRO_BENCH_HOST_COUNTS`` (default ``1,2,4``), plus the harness-wide
+``REPRO_BENCH_SF`` / ``REPRO_BENCH_SEED``.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import time
 from pathlib import Path
 
 from repro.config import DEFAULT_SIM
+from repro.core.executors import MultiHostExecutor, select_executor
 from repro.core.parallel import ParallelSweepRunner
 from repro.core.resultcache import ResultCache
 from repro.core.sweep import SweepRunner, figure_grid_cells
@@ -70,14 +78,16 @@ def test_sweep_parallel_speedup(tmp_path, benchmark):
 
     cache_dir = tmp_path / "cache"
     cold = ParallelSweepRunner(
-        sim=DEFAULT_SIM, tpch=BENCH_TPCH, cache=ResultCache(cache_dir), jobs=jobs
+        sim=DEFAULT_SIM, tpch=BENCH_TPCH, cache=ResultCache(cache_dir),
+        executor=select_executor(jobs=jobs),
     )
     t0 = time.perf_counter()
     cold.prewarm(cells)
     parallel_s = time.perf_counter() - t0
 
     warm = ParallelSweepRunner(
-        sim=DEFAULT_SIM, tpch=BENCH_TPCH, cache=ResultCache(cache_dir), jobs=jobs
+        sim=DEFAULT_SIM, tpch=BENCH_TPCH, cache=ResultCache(cache_dir),
+        executor=select_executor(jobs=jobs),
     )
     t0 = time.perf_counter()
     benchmark.pedantic(lambda: warm.prewarm(cells), rounds=1, iterations=1)
@@ -115,6 +125,80 @@ def test_sweep_parallel_speedup(tmp_path, benchmark):
     # acceptance: a warm cache must still be far faster than simulating
     # (sanity for the cache path, not a parallelism claim)
     assert serial_s / max(warm_s, 1e-9) >= 2.0
+
+
+def test_sweep_distributed_scaling(tmp_path, benchmark):
+    """Multi-host scaling curve: the full grid over 1/2/4 subprocess
+    hosts, against the serial baseline.
+
+    Every "host" here is a worker subprocess on this machine (the
+    ``--hosts N`` CI topology), so on a 1-CPU bench host the curve is
+    expected to be *flat or worse* than serial — the honest number is
+    the per-host dispatch/wire overhead, not a parallel speedup.  Real
+    speedups need real machines; the per-host ``host_cpus`` list in
+    the record says exactly what topology produced each datapoint.
+    """
+    cells = figure_grid_cells()
+    host_counts = [
+        int(n) for n in os.environ.get(
+            "REPRO_BENCH_HOST_COUNTS", "1,2,4"
+        ).split(",")
+    ]
+
+    serial = SweepRunner(sim=DEFAULT_SIM, tpch=BENCH_TPCH)
+    t0 = time.perf_counter()
+    serial.prewarm(cells)
+    serial_s = time.perf_counter() - t0
+
+    leg_times, leg_topologies = [], []
+    runners = []
+    for n_hosts in host_counts:
+        executor = MultiHostExecutor(str(n_hosts))
+        runner = ParallelSweepRunner(
+            sim=DEFAULT_SIM, tpch=BENCH_TPCH,
+            cache=ResultCache(tmp_path / f"hosts{n_hosts}"),
+            executor=executor,
+        )
+        t0 = time.perf_counter()
+        if n_hosts == host_counts[-1]:
+            benchmark.pedantic(
+                lambda r=runner: r.prewarm(cells), rounds=1, iterations=1
+            )
+        else:
+            runner.prewarm(cells)
+        leg_times.append(time.perf_counter() - t0)
+        # the workers' hello frames reported their own topology
+        leg_topologies.append([h.host_cpus or 1 for h in executor.hosts])
+        runners.append(runner)
+
+    # equality before speed: the wire hop must not change a counter
+    for key in cells:
+        expected = _snap(serial.cell(*key))
+        for runner in runners:
+            assert _snap(runner.cell(*key)) == expected, key
+
+    record = {
+        "bench": "distributed_grid",
+        "cells": len(cells),
+        "sf": BENCH_TPCH.sf,
+        "coordinator_cpus": os.cpu_count(),
+        "host_counts": host_counts,
+        # per-host topology of the widest leg (every leg is uniform
+        # local subprocess hosts; ssh fleets would differ per host)
+        "host_cpus": leg_topologies[-1],
+        "serial_s": round(serial_s, 3),
+        "distributed_s": [round(t, 3) for t in leg_times],
+        "cells_per_sec": [round(len(cells) / t, 3) for t in leg_times],
+        "speedup_vs_serial": [
+            round(serial_s / max(t, 1e-9), 2) for t in leg_times
+        ],
+    }
+    append_datapoint("sweep", record)
+    print(f"\ndistributed sweep benchmark: {record}")
+
+    # acceptance: dispatch + wire framing overhead stays bounded — a
+    # single local host must not cost more than 2x the serial sweep
+    assert leg_times[0] <= serial_s * 2.0
 
 
 def test_sweep_trace_replay(tmp_path, benchmark):

@@ -26,6 +26,7 @@ sys.path.insert(0, str(REPO_ROOT / "scripts"))
 from bench_to_json import append_datapoint  # noqa: E402
 
 from repro.config import DEFAULT_SIM  # noqa: E402
+from repro.core.executors import select_executor  # noqa: E402
 from repro.core.parallel import ParallelSweepRunner  # noqa: E402
 from repro.core.sweep import SweepRunner, figure_grid_cells  # noqa: E402
 from repro.tpch.datagen import TPCHConfig  # noqa: E402
@@ -52,7 +53,9 @@ def main(argv=None) -> int:
     serial.prewarm(cells)
     serial_s = time.perf_counter() - t0
 
-    parallel = ParallelSweepRunner(sim=DEFAULT_SIM, tpch=SMOKE_TPCH, jobs=JOBS)
+    parallel = ParallelSweepRunner(
+        sim=DEFAULT_SIM, tpch=SMOKE_TPCH, executor=select_executor(jobs=JOBS)
+    )
     t0 = time.perf_counter()
     parallel.prewarm(cells)
     parallel_s = time.perf_counter() - t0

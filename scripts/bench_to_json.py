@@ -14,6 +14,7 @@ datapoint is attributable to the tree that produced it.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from datetime import datetime, timezone
 from pathlib import Path
@@ -23,6 +24,51 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 def bench_path(name: str, root: Path = REPO_ROOT) -> Path:
     return root / f"BENCH_{name}.json"
+
+
+def _is_scalar(value) -> bool:
+    return isinstance(value, (str, int, float, bool)) or value is None
+
+
+def validate_record(record: dict) -> None:
+    """Reject a malformed datapoint before it pollutes the trajectory.
+
+    The schema is deliberately small: every record names its ``bench``,
+    carries the host topology that produced it (``host_cpus`` — an int,
+    or a per-host list for distributed runs), and holds only JSON
+    scalars or shallow lists/dicts of scalars.  A number without its
+    topology is not a comparable datapoint.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"record must be a dict, got {type(record).__name__}")
+    bench = record.get("bench")
+    if not isinstance(bench, str) or not bench:
+        raise ValueError("record needs a non-empty 'bench' name")
+    cpus = record.get("host_cpus")
+    if isinstance(cpus, bool) or (
+        not (isinstance(cpus, int) and cpus >= 1)
+        and not (
+            isinstance(cpus, list)
+            and cpus
+            and all(isinstance(c, int) and c >= 1 for c in cpus)
+        )
+    ):
+        raise ValueError(
+            "record needs 'host_cpus': a positive int, or a per-host "
+            f"list of positive ints (got {cpus!r})"
+        )
+    for key, value in record.items():
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"record keys must be strings (got {key!r})")
+        if _is_scalar(value):
+            continue
+        if isinstance(value, list) and all(_is_scalar(v) for v in value):
+            continue
+        if isinstance(value, dict) and all(
+            isinstance(k, str) and _is_scalar(v) for k, v in value.items()
+        ):
+            continue
+        raise ValueError(f"field {key!r} is not a scalar/shallow value")
 
 
 def _code_version() -> str:
@@ -43,6 +89,10 @@ def append_datapoint(name: str, record: dict, root: Path = REPO_ROOT) -> Path:
     and the new one is appended.  The write goes through a temp file +
     ``os.replace`` so an interrupted benchmark run can't truncate the
     trajectory.
+
+    Missing ``bench``/``host_cpus`` fields are backfilled (the file
+    name, this host's CPU count) and the result is validated with
+    :func:`validate_record` before anything touches disk.
     """
     path = bench_path(name, root)
     try:
@@ -56,6 +106,9 @@ def append_datapoint(name: str, record: dict, root: Path = REPO_ROOT) -> Path:
         "code": _code_version(),
     }
     stamped.update(record)
+    stamped.setdefault("bench", name)
+    stamped.setdefault("host_cpus", os.cpu_count() or 1)
+    validate_record(stamped)
     history.append(stamped)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(history, indent=2) + "\n")

@@ -20,6 +20,13 @@ True
 from ._version import __version__
 from .config import DEFAULT_SIM, TEST_SIM, SimConfig
 from .core import metrics
+from .core.executors import (
+    LocalPoolExecutor,
+    MultiHostExecutor,
+    SubprocessHostExecutor,
+    SweepExecutor,
+    select_executor,
+)
 from .core.experiment import ExperimentResult, ExperimentSpec, run_experiment
 from .core.figures import FIGURES, regenerate_figure
 from .core.parallel import ParallelSweepRunner
@@ -58,6 +65,12 @@ __all__ = [
     # sweeps: serial, parallel/resilient, persistence
     "SweepRunner",
     "ParallelSweepRunner",
+    # execution backends (serial / local pool / multi-host)
+    "select_executor",
+    "SweepExecutor",
+    "LocalPoolExecutor",
+    "SubprocessHostExecutor",
+    "MultiHostExecutor",
     "ResultCache",
     "RetryPolicy",
     "FaultPlan",

@@ -14,6 +14,10 @@
   through any machine model (bitwise-identical counters)
 * ``capture``    — record one query's reference trace to a file
 * ``replay``     — drive a saved trace through a machine model
+* ``worker``     — sweep host worker: speak the length-prefixed JSON
+  frame protocol on stdin/stdout (spawned by ``--hosts``, locally or
+  as the remote end of ``ssh host repro worker``; not for interactive
+  use)
 
 Exit codes (the machine contract; ``--json`` on ``sweep``/``verify``
 adds a structured summary on stdout):
@@ -28,12 +32,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
 from .config import DEFAULT_SIM
 from .core import metrics
 from .core.experiment import ExperimentSpec, run_experiment
+from .core.executors import select_executor
 from .core.figures import FIGURES, cells_for, regenerate_figure
 from .core.parallel import ParallelSweepRunner
 from .core.report import render_table
@@ -63,6 +69,13 @@ def _add_sweep_opts(p: argparse.ArgumentParser) -> None:
         help="run sweep cells on N worker processes (default: serial)",
     )
     p.add_argument(
+        "--hosts", default=None, metavar="H1,H2,...",
+        help="distribute sweep cells across hosts (comma-separated: "
+             "'local', 'ssh:user@host', 'cmd:...', or an integer N for "
+             "N local subprocess hosts); default: $REPRO_HOSTS; "
+             "overrides --jobs",
+    )
+    p.add_argument(
         "--cache-dir", nargs="?", const="", default=None, metavar="DIR",
         help="persist results on disk; with no DIR uses ~/.cache/repro",
     )
@@ -84,17 +97,27 @@ def _trace_store(args):
     return TraceStore(args.trace_cache or None)
 
 
+def _executor(args):
+    """The :class:`~repro.core.executors.SweepExecutor` the
+    ``--hosts``/``--jobs`` flags describe (``None`` = serial).
+    ``--hosts`` falls back to the ``REPRO_HOSTS`` environment variable
+    and takes precedence over ``--jobs``."""
+    hosts = getattr(args, "hosts", None) or os.environ.get("REPRO_HOSTS")
+    return select_executor(jobs=args.jobs, hosts=hosts or None)
+
+
 def _make_runner(args) -> SweepRunner:
-    """Build the sweep runner the --jobs/--cache-dir/--trace-cache
-    flags describe."""
+    """Build the sweep runner the --jobs/--hosts/--cache-dir/
+    --trace-cache flags describe."""
     cache = None
     if args.cache_dir is not None:
         cache = ResultCache(args.cache_dir or None)
     trace_store = _trace_store(args)
-    if args.jobs > 1:
+    executor = _executor(args)
+    if executor is not None:
         return ParallelSweepRunner(
-            sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, jobs=args.jobs,
-            trace_store=trace_store,
+            sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache,
+            executor=executor, trace_store=trace_store,
         )
     return SweepRunner(
         sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, trace_store=trace_store
@@ -174,8 +197,8 @@ def cmd_sweep(args) -> int:
               "checkpoint manifest lives)", file=sys.stderr)
         return 2
     runner = ParallelSweepRunner(
-        sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache, jobs=args.jobs,
-        trace_store=_trace_store(args),
+        sim=DEFAULT_SIM, tpch=_tpch(args), cache=cache,
+        executor=_executor(args), trace_store=_trace_store(args),
     )
 
     if args.profile:
@@ -284,7 +307,7 @@ def cmd_figures(args) -> int:
 def cmd_validate(args) -> int:
     """``repro validate``: claim scoreboard; exit 1 on any miss."""
     runner = _make_runner(args)
-    if args.jobs > 1:
+    if isinstance(runner, ParallelSweepRunner):
         # the claim checks read all over the matrix; warm it in parallel
         runner.prewarm(figure_grid_cells())
     results = validate_all(runner)
@@ -440,6 +463,13 @@ def cmd_trace_replay(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    """``repro worker``: serve the sweep host protocol on stdio."""
+    from .core.hostworker import main as worker_main
+
+    return worker_main()
+
+
 def cmd_describe(args) -> int:
     """``repro describe``: machine and database configurations."""
     for name in PLATFORMS:
@@ -583,6 +613,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platform", choices=sorted(PLATFORMS), default="hpv")
     _add_common(p)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "worker",
+        help="sweep host worker (frame protocol on stdin/stdout; "
+             "spawned by --hosts, not for interactive use)",
+    )
+    p.set_defaults(func=cmd_worker)
 
     return parser
 

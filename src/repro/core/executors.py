@@ -1,0 +1,796 @@
+"""Pluggable sweep executors: local pool, subprocess hosts, multi-host.
+
+:class:`~repro.core.parallel.ParallelSweepRunner`'s resilient engine is
+transport-agnostic: it LPT-packs cells into chunks, tracks per-chunk
+deadlines, classifies faults, and retries — while a
+:class:`SweepExecutor` owns *where* chunks actually run.  Three
+implementations ship:
+
+* :class:`LocalPoolExecutor` — the original in-process
+  ``ProcessPoolExecutor`` fan-out, refactored out of
+  :mod:`repro.core.parallel`.
+* :class:`SubprocessHostExecutor` — one *host*: a worker subprocess
+  speaking the length-prefixed JSON protocol of :mod:`repro.core.wire`
+  on its stdio (``repro worker``).  Locally spawned it is the
+  CI-testable stand-in for a remote machine; pointed at ``ssh:...`` it
+  is the real thing — the protocol never changes.
+* :class:`MultiHostExecutor` — N hosts behind one event queue,
+  least-loaded (LPT) chunk assignment, per-host loss isolation: a dead
+  host surfaces a non-fatal ``lost`` event and its unfinished cells
+  requeue to the survivors, fatal only when *no* host remains.
+
+The engine consumes executors through five verbs — ``start``,
+``submit``, ``next_event``, ``expire``, ``abandon`` — plus ``close``
+for the clean path.  Events are plain :class:`ExecEvent` records;
+result payloads cross host boundaries as JSON (never pickles) and land
+in the shared content-addressed caches, so identical cells are computed
+once fleet-wide and a lost host costs only its in-flight cell.
+
+Token discipline: the engine never reuses a chunk token within one
+``execute`` call, and ignores events carrying unknown tokens — so a
+straggler event from an abandoned generation can never corrupt a later
+one.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shlex
+import subprocess
+import sys
+import threading
+from collections import deque
+from pathlib import Path
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError, ReproError
+from .experiment import DatabaseCache, ExperimentResult, ExperimentSpec
+from .resilience import run_cell_guarded
+from .resultcache import ResultCache, result_from_dict
+from .sweep import CellKey
+from .wire import (
+    WireError,
+    WorkerContext,
+    cells_to_wire,
+    read_frame,
+    write_frame,
+)
+
+
+class ExecutorError(ReproError):
+    """An executor could not be started (no pool, no live host)."""
+
+
+@dataclass
+class ExecEvent:
+    """One executor occurrence the engine reacts to.
+
+    ``kind`` is one of:
+
+    * ``"cell"`` — one cell of chunk ``token`` finished with ``result``
+      (``None`` when the payload could not be decoded — the engine
+      validates and classifies that as a transient ``corrupt`` fault).
+    * ``"chunk_done"`` — chunk ``token`` is over; ``failure`` is
+      ``None`` or ``(index, error_str, cause_or_None)`` for the first
+      cell that raised a deterministic error.
+    * ``"lost"`` — the resource running ``tokens`` died; ``fatal`` when
+      the whole executor went with it.
+    * ``"heartbeat"`` — host liveness/topology (``payload``).
+    """
+
+    kind: str
+    host: str = ""
+    token: int = -1
+    tokens: Tuple[int, ...] = ()
+    index: int = -1
+    result: Optional[ExperimentResult] = None
+    source: str = "ran"
+    failure: Optional[Tuple[int, str, Optional[BaseException]]] = None
+    error: str = ""
+    fatal: bool = False
+    cause: Optional[BaseException] = None
+    payload: dict = field(default_factory=dict)
+
+
+class SweepExecutor:
+    """Where sweep chunks run.  Subclasses implement the five verbs;
+    the engine in :meth:`ParallelSweepRunner.execute` owns *what* runs,
+    retries, and deadlines."""
+
+    name = "executor"
+
+    def plan_workers(self, n_units: int) -> int:
+        """How many parallel lanes the engine should chunk for."""
+        raise NotImplementedError
+
+    @property
+    def alive(self) -> bool:
+        """Can this executor accept submissions without a restart?"""
+        raise NotImplementedError
+
+    def start(self, context: WorkerContext, n_units: int = 0) -> None:
+        """(Re)provision resources; raises :class:`ExecutorError` when
+        nothing could be brought up."""
+        raise NotImplementedError
+
+    def submit(self, token: int, keys: Sequence[CellKey], cost: float = 0.0) -> str:
+        """Dispatch one chunk; returns the host label it went to."""
+        raise NotImplementedError
+
+    def next_event(self, timeout: Optional[float]) -> Optional[ExecEvent]:
+        """Block up to ``timeout`` seconds (``None`` = indefinitely)
+        for the next event; ``None`` on timeout."""
+        raise NotImplementedError
+
+    def expire(self, tokens: Sequence[int]) -> Tuple[List[int], bool]:
+        """Kill the resources running ``tokens`` (hung chunks).
+        Returns ``(collateral, fatal)``: other in-flight tokens that
+        died with them (the engine requeues those unpenalized) and
+        whether the executor as a whole is now down."""
+        raise NotImplementedError
+
+    def abandon(self) -> List[int]:
+        """Tear everything down; returns the tokens still in flight."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Clean shutdown (all work done)."""
+        raise NotImplementedError
+
+    def host_info(self) -> Dict[str, dict]:
+        """Per-host topology (``{label: {"host_cpus": ...}}``)."""
+        return {}
+
+
+# -- worker entry points (module-level so they pickle by reference) ---------
+
+def _run_cell(spec: ExperimentSpec) -> ExperimentResult:
+    """Single-cell pool-worker entry point.  Kept for API compatibility
+    and tests."""
+    from .experiment import run_experiment
+
+    return run_experiment(spec)
+
+
+def _run_chunk(
+    specs: Sequence[ExperimentSpec],
+    cache_dir: Optional[str],
+    trace_dir: Optional[str] = None,
+) -> Tuple[
+    List[ExperimentResult], Optional[Tuple[int, BaseException]], List[str]
+]:
+    """Pool-worker chunk entry point: run ``specs`` in order.
+
+    Returns ``(results, failure, sources)`` where ``failure`` is
+    ``None`` on success or ``(index, exception)`` for the first cell
+    that raised — the results of the cells before it are still
+    returned, so the parent can memoize partial progress — and
+    ``sources`` records how each returned cell was satisfied
+    (``cache``/``ran``/``captured``/``replay``).  With a ``cache_dir``,
+    each cell is first looked up in (and, when run, written to) the
+    shared on-disk result cache, so warm workers skip cells and a
+    mid-chunk failure never loses finished cells.  With a
+    ``trace_dir``, cells route through the shared on-disk
+    :class:`~repro.trace.store.TraceStore` — the first cell of a
+    workload captures its tape, every later cell (machine axis, other
+    workers, other runs) replays it.  Each cell goes through
+    :func:`~repro.core.resilience.run_cell_guarded`, the choke point
+    where an ambient :class:`~repro.core.resilience.FaultPlan` injects
+    crash/hang/corrupt faults.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    trace_store = None
+    if trace_dir is not None:
+        from ..trace.store import TraceStore
+
+        trace_store = TraceStore(trace_dir)
+    results: List[ExperimentResult] = []
+    sources: List[str] = []
+    for i, spec in enumerate(specs):
+        try:
+            result, source = run_cell_guarded(spec, cache, trace_store)
+        except Exception as exc:  # surfaced, with the cell, by the parent
+            return results, (i, exc), sources
+        results.append(result)
+        sources.append(source)
+    return results, None, sources
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a broken or hung pool without waiting on it.
+
+    A hung worker cannot be cancelled through the executor API, so the
+    pool is shut down without waiting and its processes terminated
+    directly — any cells it finished are already in the on-disk result
+    cache, so nothing durable is lost."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - Python < 3.9
+        pool.shutdown(wait=False)
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+class LocalPoolExecutor(SweepExecutor):
+    """The in-process ``ProcessPoolExecutor`` lane — chunks run in
+    forked/spawned children of this interpreter, specs cross the
+    boundary as pickled frozen dataclasses (same machine, same build,
+    so pickling is safe here — and only here)."""
+
+    name = "local-pool"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._context: Optional[WorkerContext] = None
+        self._futures: Dict[object, int] = {}
+        self._chunks: Dict[int, List[CellKey]] = {}
+        self._ready: deque = deque()
+
+    def plan_workers(self, n_units: int) -> int:
+        return max(1, min(self.jobs, n_units))
+
+    @property
+    def alive(self) -> bool:
+        return self._pool is not None
+
+    def start(self, context: WorkerContext, n_units: int = 0) -> None:
+        if self._pool is not None:
+            return
+        self._context = context
+        # Build the database in the parent first: fork-start workers
+        # then inherit the page images instead of regenerating TPC-H
+        # once per interpreter (spawn-start platforms still rebuild,
+        # but only once per worker thanks to chunking).
+        DatabaseCache.get(context.tpch)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.plan_workers(max(n_units, 1))
+        )
+
+    def submit(self, token: int, keys: Sequence[CellKey], cost: float = 0.0) -> str:
+        assert self._pool is not None and self._context is not None
+        specs = [self._context.spec(k) for k in keys]
+        fut = self._pool.submit(
+            _run_chunk, specs, self._context.cache_dir, self._context.trace_dir
+        )
+        self._futures[fut] = token
+        self._chunks[token] = list(keys)
+        return self.name
+
+    def next_event(self, timeout: Optional[float]) -> Optional[ExecEvent]:
+        if self._ready:
+            return self._ready.popleft()
+        if not self._futures:
+            return None
+        done, _pending = wait(
+            set(self._futures), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        for fut in done:
+            token = self._futures.pop(fut)
+            self._chunks.pop(token, None)
+            try:
+                results, failure, sources = fut.result()
+            except Exception as exc:
+                # The pool is broken — this chunk's worker (or a
+                # sibling's) died mid-flight.  The whole pool goes with
+                # it: fatal, so the engine abandons and rebuilds.
+                self._ready.append(ExecEvent(
+                    kind="lost", host=self.name, tokens=(token,),
+                    error=f"worker died ({exc!r})", cause=exc, fatal=True,
+                ))
+                continue
+            for i, (result, source) in enumerate(zip(results, sources)):
+                self._ready.append(ExecEvent(
+                    kind="cell", host=self.name, token=token, index=i,
+                    result=result, source=source,
+                ))
+            fail = None
+            if failure is not None:
+                index, exc = failure
+                fail = (index, repr(exc), exc)
+            self._ready.append(ExecEvent(
+                kind="chunk_done", host=self.name, token=token, failure=fail,
+            ))
+        return self._ready.popleft() if self._ready else None
+
+    def expire(self, tokens: Sequence[int]) -> Tuple[List[int], bool]:
+        dropped = set(tokens)
+        collateral = [t for t in self._chunks if t not in dropped]
+        self._teardown()
+        return collateral, True
+
+    def abandon(self) -> List[int]:
+        tokens = list(self._chunks)
+        self._teardown()
+        return tokens
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            _kill_pool(self._pool)
+        self._pool = None
+        self._futures.clear()
+        self._chunks.clear()
+        self._ready.clear()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+        self._pool = None
+        self._futures.clear()
+        self._chunks.clear()
+        self._ready.clear()
+
+    def host_info(self) -> Dict[str, dict]:
+        return {self.name: {"host_cpus": os.cpu_count() or 1, "jobs": self.jobs}}
+
+
+def host_argv(spec: str) -> List[str]:
+    """The command line that brings up one host's ``repro worker``.
+
+    * ``local`` / ``localhost`` — this interpreter, a fresh process.
+    * ``ssh:user@host`` — the worker on a remote machine (the remote
+      end runs the same frame protocol on its stdio, which is exactly
+      what ssh transports).
+    * ``cmd:<shell words>`` — escape hatch for exotic transports
+      (containers, job schedulers); the command must speak the worker
+      protocol on its stdio.
+    """
+    if spec in ("local", "localhost"):
+        return [sys.executable, "-m", "repro", "worker"]
+    if spec.startswith("ssh:"):
+        target = spec[len("ssh:"):]
+        if not target:
+            raise ConfigError("ssh host spec needs a target (ssh:user@host)")
+        return ["ssh", "-o", "BatchMode=yes", target, "repro", "worker"]
+    if spec.startswith("cmd:"):
+        argv = shlex.split(spec[len("cmd:"):])
+        if not argv:
+            raise ConfigError("cmd host spec needs a command")
+        return argv
+    raise ConfigError(
+        f"unknown host spec {spec!r} (use local, ssh:user@host, or cmd:...)"
+    )
+
+
+def parse_hosts(raw) -> List[str]:
+    """Parse a ``--hosts``/``REPRO_HOSTS`` value into host specs.
+
+    A comma-separated list; an integer entry ``N`` is shorthand for
+    ``N`` local subprocess hosts (``--hosts 4`` simulates a four-host
+    fleet on one machine — the CI topology)."""
+    if isinstance(raw, (list, tuple)):
+        parts = [str(p) for p in raw]
+    else:
+        parts = str(raw).split(",")
+    specs: List[str] = []
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        if part.isdigit():
+            n = int(part)
+            if n < 1:
+                raise ConfigError("host count must be >= 1")
+            specs.extend(["local"] * n)
+        else:
+            specs.append(part)
+    if not specs:
+        raise ConfigError("--hosts needs at least one host spec")
+    return specs
+
+
+class SubprocessHostExecutor(SweepExecutor):
+    """One sweep host: a worker subprocess speaking the
+    :mod:`repro.core.wire` frame protocol on its stdio.
+
+    A reader thread drains the worker's stdout into an event queue
+    (optionally shared with sibling hosts by
+    :class:`MultiHostExecutor`); stdin carries config and chunk frames.
+    Any stream surprise — EOF with chunks in flight, a garbage frame —
+    declares the host *lost*: its in-flight tokens ride out on one
+    ``lost`` event and the process is killed, never limped along.
+    """
+
+    def __init__(
+        self,
+        host: str = "local",
+        label: Optional[str] = None,
+        events: Optional["queue.Queue"] = None,
+    ) -> None:
+        self.host = host
+        self.label = label or host
+        self.name = f"host:{self.label}"
+        self._events: "queue.Queue" = events if events is not None else queue.Queue()
+        self._proc: Optional[subprocess.Popen] = None
+        self._context: Optional[WorkerContext] = None
+        self._chunks: Dict[int, List[CellKey]] = {}
+        self._lock = threading.Lock()
+        self._dead = False
+        self._expected_exit = False
+        #: Topology reported by the worker's hello frame.
+        self.host_cpus: Optional[int] = None
+        self.worker_pid: Optional[int] = None
+
+    def plan_workers(self, n_units: int) -> int:
+        return 1  # one worker interpreter per host
+
+    @property
+    def alive(self) -> bool:
+        return (
+            self._proc is not None
+            and self._proc.poll() is None
+            and not self._dead
+        )
+
+    def start(self, context: WorkerContext, n_units: int = 0) -> None:
+        if self.alive:
+            return
+        self._context = context
+        self._dead = False
+        self._expected_exit = False
+        env = dict(os.environ)
+        env["REPRO_WORKER"] = "1"  # arm worker-scoped fault plans
+        if not self.host.startswith("ssh:"):
+            # A local worker must import the same ``repro`` tree as the
+            # coordinator even when the coordinator got it via sys.path
+            # (a script, a pytest run) rather than an installed package
+            # or an exported PYTHONPATH.
+            pkg_root = str(Path(__file__).resolve().parents[2])
+            parts = [pkg_root] + [
+                p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p
+            ]
+            env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        try:
+            self._proc = subprocess.Popen(
+                host_argv(self.host),
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                env=env,
+            )
+            write_frame(self._proc.stdin, context.to_message())
+        except (OSError, ValueError) as exc:
+            self._proc = None
+            raise ExecutorError(
+                f"host {self.label}: could not start worker ({exc})"
+            ) from exc
+        reader = threading.Thread(
+            target=self._read_loop, args=(self._proc,),
+            name=f"repro-host-{self.label}", daemon=True,
+        )
+        reader.start()
+
+    # -- reader thread ------------------------------------------------------
+    def _read_loop(self, proc: subprocess.Popen) -> None:
+        error = ""
+        try:
+            while True:
+                message = read_frame(proc.stdout)
+                if message is None:
+                    break
+                self._handle(message)
+        except WireError as exc:
+            error = str(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            error = repr(exc)
+        if self._expected_exit:
+            return
+        try:
+            rc = proc.wait(timeout=5)
+        except Exception:
+            rc = proc.poll()
+        with self._lock:
+            self._dead = True
+            tokens = tuple(self._chunks)
+            self._chunks.clear()
+        self._events.put(ExecEvent(
+            kind="lost", host=self.label, tokens=tokens, fatal=True,
+            error=error or f"worker exited with code {rc}",
+            payload={"remote": True, "exit_code": rc},
+        ))
+
+    def _handle(self, message: dict) -> None:
+        op = message.get("op")
+        if op == "hello":
+            self.host_cpus = message.get("host_cpus")
+            self.worker_pid = message.get("pid")
+            self._events.put(ExecEvent(
+                kind="heartbeat", host=self.label,
+                payload={"hello": True, "host_cpus": self.host_cpus,
+                         "pid": self.worker_pid},
+            ))
+        elif op == "heartbeat":
+            self._events.put(ExecEvent(
+                kind="heartbeat", host=self.label,
+                payload={"token": message.get("token"),
+                         "n_cells": message.get("n_cells")},
+            ))
+        elif op == "cell_done":
+            token = message.get("token")
+            index = message.get("index")
+            with self._lock:
+                keys = self._chunks.get(token)
+            result = None
+            if (
+                keys is not None
+                and isinstance(index, int)
+                and 0 <= index < len(keys)
+                and self._context is not None
+            ):
+                try:
+                    result = result_from_dict(
+                        self._context.spec(keys[index]), message["result"]
+                    )
+                except Exception:
+                    # Mangled payload: surface a None result — the
+                    # engine's validate_result turns it into a
+                    # transient "corrupt" fault for that one cell.
+                    result = None
+            self._events.put(ExecEvent(
+                kind="cell", host=self.label, token=token if token is not None else -1,
+                index=index if isinstance(index, int) else -1,
+                result=result, source=str(message.get("source", "ran")),
+            ))
+        elif op == "chunk_done":
+            token = message.get("token")
+            with self._lock:
+                self._chunks.pop(token, None)
+            failure = message.get("failure")
+            fail = None
+            if failure is not None:
+                try:
+                    fail = (int(failure[0]), str(failure[1]), None)
+                except (TypeError, ValueError, IndexError):
+                    fail = (-1, str(failure), None)
+            self._events.put(ExecEvent(
+                kind="chunk_done", host=self.label,
+                token=token if token is not None else -1, failure=fail,
+            ))
+        else:
+            raise WireError(f"unexpected frame op {op!r} from host {self.label}")
+
+    # -- engine verbs -------------------------------------------------------
+    def submit(self, token: int, keys: Sequence[CellKey], cost: float = 0.0) -> str:
+        with self._lock:
+            if self._dead:
+                self._events.put(ExecEvent(
+                    kind="lost", host=self.label, tokens=(token,), fatal=True,
+                    error="host is down", payload={"remote": True},
+                ))
+                return self.label
+            self._chunks[token] = list(keys)
+        try:
+            write_frame(self._proc.stdin, {
+                "op": "chunk", "token": token, "cells": cells_to_wire(keys),
+            })
+        except (OSError, ValueError) as exc:
+            with self._lock:
+                still_mine = self._chunks.pop(token, None) is not None
+            if still_mine:
+                self._events.put(ExecEvent(
+                    kind="lost", host=self.label, tokens=(token,), fatal=True,
+                    error=f"write to host failed ({exc})",
+                    payload={"remote": True},
+                ))
+        return self.label
+
+    def next_event(self, timeout: Optional[float]) -> Optional[ExecEvent]:
+        try:
+            if timeout is None:
+                return self._events.get()
+            return self._events.get(timeout=max(0.0, timeout))
+        except queue.Empty:
+            return None
+
+    def expire(self, tokens: Sequence[int]) -> Tuple[List[int], bool]:
+        self.kill()
+        dropped = set(tokens)
+        with self._lock:
+            collateral = [t for t in self._chunks if t not in dropped]
+            self._chunks.clear()
+        return collateral, True
+
+    def abandon(self) -> List[int]:
+        self.kill()
+        with self._lock:
+            tokens = list(self._chunks)
+            self._chunks.clear()
+        return tokens
+
+    def kill(self) -> None:
+        """Hard-stop the worker (hung or being abandoned); the reader
+        thread sees the EOF but stays quiet (`_expected_exit`)."""
+        self._expected_exit = True
+        with self._lock:
+            self._dead = True
+        proc = self._proc
+        if proc is not None:
+            try:
+                proc.kill()
+            except Exception:
+                pass
+            try:
+                proc.stdin.close()
+            except Exception:
+                pass
+            try:
+                proc.wait(timeout=5)
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        self._expected_exit = True
+        proc = self._proc
+        if proc is None:
+            return
+        try:
+            write_frame(proc.stdin, {"op": "shutdown"})
+            proc.stdin.close()
+            proc.wait(timeout=10)
+        except Exception:
+            self.kill()
+        self._proc = None
+
+    def host_info(self) -> Dict[str, dict]:
+        return {self.label: {
+            "spec": self.host,
+            "host_cpus": self.host_cpus,
+            "worker_pid": self.worker_pid,
+            "alive": self.alive,
+        }}
+
+
+class MultiHostExecutor(SweepExecutor):
+    """N hosts, one event queue, least-loaded chunk placement.
+
+    The engine submits chunks heaviest-first (LPT order), and each
+    chunk goes to the live host with the least outstanding estimated
+    cost — greedy LPT across the fleet.  A dead host is a *non-fatal*
+    loss while any sibling survives: its in-flight tokens come back on
+    a ``lost`` event and the engine requeues the unfinished cells,
+    which the next generation places on the survivors.  Only when every
+    host is down does the executor report fatal and the engine falls
+    back (multi-host → local pool → serial).
+    """
+
+    name = "multi-host"
+
+    def __init__(self, hosts) -> None:
+        specs = parse_hosts(hosts)
+        self._events: "queue.Queue" = queue.Queue()
+        self.hosts: List[SubprocessHostExecutor] = [
+            SubprocessHostExecutor(
+                spec, label=f"{spec}#{i}", events=self._events
+            )
+            for i, spec in enumerate(specs)
+        ]
+        self._owner: Dict[int, SubprocessHostExecutor] = {}
+        self._cost: Dict[int, float] = {}
+        self._load: Dict[str, float] = {}
+        #: Hosts lost over this executor's lifetime (reported in the
+        #: sweep report).
+        self.host_losses = 0
+
+    def plan_workers(self, n_units: int) -> int:
+        return max(1, min(len(self.hosts), n_units))
+
+    @property
+    def alive(self) -> bool:
+        return any(h.alive for h in self.hosts)
+
+    def start(self, context: WorkerContext, n_units: int = 0) -> None:
+        errors = []
+        for h in self.hosts:
+            if h.alive:
+                continue
+            try:
+                h.start(context)
+            except ExecutorError as exc:
+                errors.append(str(exc))
+        if not self.alive:
+            raise ExecutorError(
+                "no sweep host could be started: " + "; ".join(errors)
+            )
+
+    def submit(self, token: int, keys: Sequence[CellKey], cost: float = 0.0) -> str:
+        live = [h for h in self.hosts if h.alive] or self.hosts
+        host = min(live, key=lambda h: self._load.get(h.label, 0.0))
+        self._owner[token] = host
+        self._cost[token] = cost
+        self._load[host.label] = self._load.get(host.label, 0.0) + cost
+        return host.submit(token, keys, cost)
+
+    def _settle(self, token: int) -> None:
+        host = self._owner.pop(token, None)
+        cost = self._cost.pop(token, 0.0)
+        if host is not None:
+            self._load[host.label] = max(
+                0.0, self._load.get(host.label, 0.0) - cost
+            )
+
+    def next_event(self, timeout: Optional[float]) -> Optional[ExecEvent]:
+        try:
+            if timeout is None:
+                event = self._events.get()
+            else:
+                event = self._events.get(timeout=max(0.0, timeout))
+        except queue.Empty:
+            return None
+        if event.kind == "chunk_done":
+            self._settle(event.token)
+        elif event.kind == "lost":
+            self.host_losses += 1
+            for token in event.tokens:
+                self._settle(token)
+            # One dead host is survivable; a dead fleet is fatal.
+            event.fatal = not self.alive
+        return event
+
+    def expire(self, tokens: Sequence[int]) -> Tuple[List[int], bool]:
+        hosts = []
+        for token in tokens:
+            host = self._owner.get(token)
+            if host is not None and host not in hosts:
+                hosts.append(host)
+        collateral: List[int] = []
+        expired = set(tokens)
+        for host in hosts:
+            mine, _fatal = host.expire(
+                [t for t in expired if self._owner.get(t) is host]
+            )
+            collateral.extend(mine)
+        for token in list(expired) + collateral:
+            self._settle(token)
+        return collateral, not self.alive
+
+    def abandon(self) -> List[int]:
+        tokens: List[int] = []
+        for host in self.hosts:
+            tokens.extend(host.abandon())
+        for token in list(self._owner):
+            if token not in tokens:
+                tokens.append(token)
+        self._owner.clear()
+        self._cost.clear()
+        self._load.clear()
+        # Drain straggler events from the dead generation; the engine
+        # ignores unknown tokens anyway, this just keeps the queue tidy.
+        while True:
+            try:
+                self._events.get_nowait()
+            except queue.Empty:
+                break
+        return tokens
+
+    def close(self) -> None:
+        for host in self.hosts:
+            host.close()
+
+    def host_info(self) -> Dict[str, dict]:
+        info: Dict[str, dict] = {}
+        for host in self.hosts:
+            info.update(host.host_info())
+        return info
+
+
+def select_executor(jobs: Optional[int] = None, hosts=None) -> Optional[SweepExecutor]:
+    """The one place the three execution paths are chosen.
+
+    * ``hosts`` set (a ``--hosts`` string, an iterable of host specs,
+      or an int) → :class:`MultiHostExecutor`;
+    * else ``jobs > 1`` (default: ``os.cpu_count()``) →
+      :class:`LocalPoolExecutor`;
+    * else ``None`` — the engine runs serial in-process.
+    """
+    if hosts:
+        return MultiHostExecutor(hosts)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1:
+        return None
+    return LocalPoolExecutor(jobs)

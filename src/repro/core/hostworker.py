@@ -1,0 +1,108 @@
+"""The ``repro worker`` serve loop — one sweep host's remote end.
+
+A host worker is a plain subprocess (locally spawned, or the far end
+of ``ssh host repro worker``) that speaks the frame protocol of
+:mod:`repro.core.wire` on stdin/stdout: it receives a ``config`` frame
+and then ``chunk`` frames, runs each cell through the same
+:func:`~repro.core.resilience.run_cell_guarded` choke point the local
+pool and serial paths use, and streams back one ``cell_done`` frame per
+finished cell.  Results are *also* written to the shared
+content-addressed :class:`~repro.core.resultcache.ResultCache` (and
+tapes to the :class:`~repro.trace.store.TraceStore`) when the sweep has
+one — that is what makes a lost host cheap: everything it finished is
+already on disk, and the retry on a surviving host is a cache hit.
+
+The worker exits 0 on a ``shutdown`` frame or clean stdin EOF, and
+nonzero on a broken stream — the coordinator treats either surprise as
+a lost host.  ``REPRO_WORKER=1`` is set on entry so ``scope="worker"``
+:class:`~repro.core.resilience.FaultPlan`\\ s arm here exactly as they
+do inside multiprocessing pool children.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .resilience import run_cell_guarded
+from .resultcache import ResultCache, result_to_dict
+from .wire import WireError, WorkerContext, cells_from_wire, read_frame, write_frame
+
+
+def serve(stdin, stdout) -> int:
+    """Run the worker protocol on binary ``stdin``/``stdout`` streams.
+
+    Returns the process exit code.  The first frame out is ``hello``
+    (per-host topology); the first frame in must be ``config``.
+    """
+    os.environ["REPRO_WORKER"] = "1"  # arm worker-scoped fault plans
+    write_frame(stdout, {
+        "op": "hello",
+        "host_cpus": os.cpu_count() or 1,
+        "pid": os.getpid(),
+    })
+    message = read_frame(stdin)
+    if message is None:
+        return 0  # coordinator went away before configuring us
+    if message.get("op") != "config":
+        raise WireError(f"expected config frame, got {message.get('op')!r}")
+    context = WorkerContext.from_message(message)
+
+    cache: Optional[ResultCache] = (
+        ResultCache(context.cache_dir) if context.cache_dir is not None else None
+    )
+    trace_store = None
+    if context.trace_dir is not None:
+        from ..trace.store import TraceStore
+
+        trace_store = TraceStore(context.trace_dir)
+
+    while True:
+        message = read_frame(stdin)
+        if message is None or message.get("op") == "shutdown":
+            return 0
+        if message.get("op") != "chunk":
+            raise WireError(f"unexpected frame op {message.get('op')!r}")
+        token = message.get("token")
+        keys = cells_from_wire(message.get("cells", []))
+        write_frame(stdout, {
+            "op": "heartbeat", "token": token, "n_cells": len(keys),
+        })
+        failure = None
+        for index, key in enumerate(keys):
+            spec = context.spec(key)
+            try:
+                result, source = run_cell_guarded(spec, cache, trace_store)
+            except Exception as exc:  # deterministic cell error: report, stop
+                failure = [index, repr(exc)]
+                break
+            write_frame(stdout, {
+                "op": "cell_done",
+                "token": token,
+                "index": index,
+                "source": source,
+                "result": result_to_dict(result),
+            })
+        write_frame(stdout, {
+            "op": "chunk_done", "token": token, "failure": failure,
+        })
+
+
+def main() -> int:
+    """``repro worker`` entry point.
+
+    The frame stream owns stdout, so the real stdout fd is duplicated
+    privately for frames and fd 1 is re-pointed at stderr — a stray
+    ``print`` anywhere in the simulator then lands in the worker's log
+    instead of corrupting the protocol.
+    """
+    import sys
+
+    frames_fd = os.dup(sys.stdout.fileno())
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    frames_out = os.fdopen(frames_fd, "wb")
+    try:
+        return serve(sys.stdin.buffer, frames_out)
+    except (WireError, BrokenPipeError, OSError) as exc:
+        print(f"repro worker: stream broken ({exc})", file=sys.stderr)
+        return 1

@@ -3,12 +3,17 @@
 Every cell of the paper's (query x platform x n_procs) matrix is an
 independent, deterministic simulation — a pure function of its
 :class:`ExperimentSpec` — so the grid is embarrassingly parallel.
-:class:`ParallelSweepRunner` fans missing cells out over a
-``concurrent.futures.ProcessPoolExecutor``; only frozen specs cross
-the process boundary (workers rebuild the deterministic TPC-H database
-from ``TPCHConfig`` via the per-interpreter
-:class:`~repro.core.experiment.DatabaseCache`), and only plain
-dataclasses come back, so nothing unpicklable is ever shipped.
+:class:`ParallelSweepRunner` fans missing cells out over a pluggable
+:class:`~repro.core.executors.SweepExecutor`: the in-process pool
+(:class:`~repro.core.executors.LocalPoolExecutor`), one worker
+subprocess per host speaking the JSON frame protocol
+(:class:`~repro.core.executors.SubprocessHostExecutor`), or a fleet of
+hosts (:class:`~repro.core.executors.MultiHostExecutor`).  Only cell
+keys and plain JSON cross host boundaries (workers rebuild the
+deterministic TPC-H database from ``TPCHConfig`` via the
+per-interpreter :class:`~repro.core.experiment.DatabaseCache`), so
+nothing unpicklable — indeed nothing pickled at all, beyond the local
+pool's own specs — is ever shipped.
 
 Scheduling
 ----------
@@ -19,10 +24,12 @@ the tail of the sweep.  Missing cells are therefore:
 
 1. **estimated** — ``n_procs x repetitions x per-query weight``
    (weights calibrated from profiled cell runtimes);
-2. **packed largest-first (LPT)** into per-worker *chunks*, several
-   chunks per worker so the pool can still rebalance dynamically;
+2. **packed largest-first (LPT)** into per-lane *chunks*, several
+   chunks per lane so the executor can still rebalance dynamically;
 3. **shipped heaviest-chunk-first**, so the most expensive work starts
-   earliest and finishes inside the envelope of the rest.
+   earliest and finishes inside the envelope of the rest (a multi-host
+   executor additionally places each chunk on its least-loaded live
+   host).
 
 Chunks (rather than single-cell tasks) amortize worker spawn and the
 TPC-H database rebuild: every cell in a chunk after the first reuses
@@ -30,60 +37,75 @@ the worker interpreter's ``DatabaseCache`` entry.  When the runner has
 a persistent :class:`~repro.core.resultcache.ResultCache`, its
 directory is handed to the workers, which write each finished cell
 directly to disk — a crash or a failure in a later cell of a chunk
-never loses completed work, and warm workers skip cells another run
-already produced.
+never loses completed work, warm workers skip cells another run
+already produced, and on a shared filesystem the cache doubles as the
+fleet-wide result bus (identical cells are computed once, fleet-wide).
 
 Resilience
 ----------
 :meth:`ParallelSweepRunner.execute` is the fault-tolerant engine (see
-:mod:`repro.core.resilience` for the policy/fault/manifest types):
+:mod:`repro.core.resilience` for the policy/fault/manifest types); it
+consumes executor *events* and never cares where a chunk physically
+ran:
 
-* **Worker crashes** break the whole ``ProcessPoolExecutor``; the
-  engine re-queues every unfinished cell *at cell granularity*,
-  rebuilds the pool, and retries the crash-penalized cells under the
+* **Worker crashes** break the local pool; the engine re-queues every
+  unfinished cell *at cell granularity*, rebuilds, and retries the
+  crash-penalized cells under the
   :class:`~repro.core.resilience.RetryPolicy`'s backoff.
+* **Lost hosts** are the distributed analogue — but *non-fatal* while
+  any fleet sibling survives: the dead host's unfinished cells
+  re-queue (``on_cell_requeue``) and the next generation lands them on
+  the survivors.  Cells the host finished were already streamed back
+  and cached, so nothing is recomputed.
 * **Stragglers** are bounded by per-chunk deadlines (``timeout_s``
   seconds per unit of estimated cost); an expired chunk's cells are
-  re-queued individually and the hung pool is torn down (a hung worker
-  cannot be cancelled, only abandoned).
+  re-queued individually and only the hung resource is torn down (a
+  hung worker cannot be cancelled, only abandoned).
 * **Corrupted results** — anything failing
-  :func:`~repro.core.resilience.validate_result` — are transient
-  faults: retried, never stored.
+  :func:`~repro.core.resilience.validate_result`, including a mangled
+  wire payload — are transient faults: retried, never stored.
 * **Quarantine**: a cell that exhausts its attempts (or raises a
   deterministic application error) lands in the report's
   ``failed`` list and the sweep *completes* instead of aborting.
-* **Graceful degradation**: when the pool breaks more than
-  ``max_pool_rebuilds`` times, the remaining cells run serially
-  in-process — which also disarms worker-scoped fault plans.
+* **Graceful degradation**: when an executor breaks more than
+  ``max_pool_rebuilds`` times, the engine falls down the chain —
+  multi-host → local pool → serial in-process (which also disarms
+  worker-scoped fault plans).
 
-Every retry/timeout/quarantine/degradation is published on the
-observer bus (:data:`~repro.obs.bus.SWEEP_EVENTS`) and totalled in the
-returned :class:`~repro.core.resilience.SweepReport`.
+Every dispatch/heartbeat/retry/timeout/host-loss/requeue/quarantine/
+degradation is published on the observer bus
+(:data:`~repro.obs.bus.SWEEP_EVENTS`) and totalled in the returned
+:class:`~repro.core.resilience.SweepReport`.
 
-Because each cell is deterministic, parallel results are bitwise
-identical to serial ones — the equivalence test in
-``tests/test_parallel_sweep.py`` asserts exactly that, and
-``tests/test_resilience.py`` asserts it again *under injected faults*.
+Because each cell is deterministic, parallel and distributed results
+are bitwise identical to serial ones — the equivalence tests in
+``tests/test_parallel_sweep.py`` and ``tests/test_distributed_sweep.py``
+assert exactly that, and ``tests/test_resilience.py`` asserts it again
+*under injected faults*.
 """
 
 from __future__ import annotations
 
 import logging
-import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..config import DEFAULT_SIM, SimConfig
+from ..errors import ConfigError
 from ..obs.bus import SWEEP_EVENTS, SinkRegistry
 from ..tpch.datagen import TPCHConfig
-from .experiment import (
-    DEFAULT_TPCH,
-    DatabaseCache,
-    ExperimentResult,
-    ExperimentSpec,
-    run_experiment,
+from .executors import (  # noqa: F401  (re-exported for compatibility)
+    ExecutorError,
+    LocalPoolExecutor,
+    MultiHostExecutor,
+    SweepExecutor,
+    _kill_pool,
+    _run_cell,
+    _run_chunk,
+    select_executor,
 )
+from .experiment import DEFAULT_TPCH, ExperimentResult
 from .resilience import (
     CellFailure,
     CheckpointManifest,
@@ -95,6 +117,7 @@ from .resilience import (
 )
 from .resultcache import ResultCache
 from .sweep import CellKey, SweepRunner, normalize_cell
+from .wire import WorkerContext
 
 logger = logging.getLogger("repro.sweep")
 
@@ -106,9 +129,14 @@ logger = logging.getLogger("repro.sweep")
 _QUERY_WEIGHT = {"Q6": 1.0, "Q12": 1.9, "Q21": 3.4}
 _DEFAULT_WEIGHT = 1.9
 
-#: Chunks per worker: >1 so the pool rebalances when estimates are off,
-#: small enough that spawn + database rebuild stays amortized.
+#: Chunks per execution lane: >1 so the executor rebalances when
+#: estimates are off, small enough that spawn + database rebuild stays
+#: amortized.
 _CHUNKS_PER_WORKER = 3
+
+#: Sentinel distinguishing "no executor passed" (pick one) from an
+#: explicit ``executor=None`` (force serial).
+_UNSET = object()
 
 
 def _estimated_cost(key: CellKey) -> float:
@@ -160,85 +188,24 @@ def _make_chunks(
     return [chunk for _load, chunk in pairs]
 
 
-def _run_cell(spec: ExperimentSpec) -> ExperimentResult:
-    """Single-cell worker entry point (module-level so it pickles by
-    reference).  Kept for API compatibility and tests."""
-    return run_experiment(spec)
-
-
-def _run_chunk(
-    specs: Sequence[ExperimentSpec],
-    cache_dir: Optional[str],
-    trace_dir: Optional[str] = None,
-) -> Tuple[
-    List[ExperimentResult], Optional[Tuple[int, BaseException]], List[str]
-]:
-    """Chunk worker entry point: run ``specs`` in order.
-
-    Returns ``(results, failure, sources)`` where ``failure`` is
-    ``None`` on success or ``(index, exception)`` for the first cell
-    that raised — the results of the cells before it are still
-    returned, so the parent can memoize partial progress — and
-    ``sources`` records how each returned cell was satisfied
-    (``cache``/``ran``/``captured``/``replay``).  With a ``cache_dir``,
-    each cell is first looked up in (and, when run, written to) the
-    shared on-disk result cache, so warm workers skip cells and a
-    mid-chunk failure never loses finished cells.  With a
-    ``trace_dir``, cells route through the shared on-disk
-    :class:`~repro.trace.store.TraceStore` — the first cell of a
-    workload captures its tape, every later cell (machine axis,
-    other workers, other runs) replays it.  Each cell goes through
-    :func:`~repro.core.resilience.run_cell_guarded`, the choke point
-    where an ambient :class:`~repro.core.resilience.FaultPlan` injects
-    crash/hang/corrupt faults.
-    """
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    trace_store = None
-    if trace_dir is not None:
-        from ..trace.store import TraceStore
-
-        trace_store = TraceStore(trace_dir)
-    results: List[ExperimentResult] = []
-    sources: List[str] = []
-    for i, spec in enumerate(specs):
-        try:
-            result, source = run_cell_guarded(spec, cache, trace_store)
-        except Exception as exc:  # surfaced, with the cell, by the parent
-            return results, (i, exc), sources
-        results.append(result)
-        sources.append(source)
-    return results, None, sources
-
-
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Abandon a broken or hung pool without waiting on it.
-
-    A hung worker cannot be cancelled through the executor API, so the
-    pool is shut down without waiting and its processes terminated
-    directly — any cells it finished are already in the on-disk result
-    cache, so nothing durable is lost."""
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except TypeError:  # pragma: no cover - Python < 3.9
-        pool.shutdown(wait=False)
-    for proc in list((getattr(pool, "_processes", None) or {}).values()):
-        try:
-            proc.terminate()
-        except Exception:
-            pass
-
-
 class ParallelSweepRunner(SweepRunner):
     """Drop-in :class:`SweepRunner` whose :meth:`prewarm` (and therefore
-    :meth:`grid`) runs missing cells on ``jobs`` worker processes.
+    :meth:`grid`) runs missing cells on a
+    :class:`~repro.core.executors.SweepExecutor`.
 
     ``cell()`` stays serial — a single miss is not worth a pool — so
     figure builders should :meth:`prewarm` their grid first (the CLI's
-    ``--jobs`` path does this automatically).  :meth:`execute` is the
-    resilient engine underneath: :meth:`prewarm` is its strict wrapper
-    (first quarantined cell re-raised), while the CLI consumes the
-    :class:`~repro.core.resilience.SweepReport` directly so a campaign
-    with failed cells still completes the rest of the grid.
+    ``--jobs``/``--hosts`` paths do this automatically).
+    :meth:`execute` is the resilient engine underneath: :meth:`prewarm`
+    is its strict wrapper (first quarantined cell re-raised), while the
+    CLI consumes the :class:`~repro.core.resilience.SweepReport`
+    directly so a campaign with failed cells still completes the rest
+    of the grid.
+
+    Pick the execution path with
+    :func:`~repro.core.executors.select_executor` and pass it as
+    ``executor=``; the ``jobs=`` kwarg is deprecated (it leaked the
+    pool-internals choice into every call site).
     """
 
     def __init__(
@@ -249,11 +216,34 @@ class ParallelSweepRunner(SweepRunner):
         cache: Optional[ResultCache] = None,
         jobs: Optional[int] = None,
         trace_store=None,
+        executor=_UNSET,
     ) -> None:
         super().__init__(
             sim, tpch, verify_results, cache=cache, trace_store=trace_store
         )
-        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        if executor is not _UNSET and jobs is not None:
+            raise ConfigError(
+                "pass either executor= or the deprecated jobs=, not both"
+            )
+        if jobs is not None:
+            warnings.warn(
+                "ParallelSweepRunner(jobs=...) is deprecated; pass "
+                "executor=select_executor(jobs=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.executor = select_executor(jobs=jobs)
+        elif executor is not _UNSET:
+            self.executor = executor
+        else:
+            self.executor = select_executor()
+        #: Worker-lane count, retained for log messages and reports.
+        if jobs is not None and jobs > 0:
+            self.jobs = jobs
+        elif self.executor is not None:
+            self.jobs = self.executor.plan_workers(1 << 30)
+        else:
+            self.jobs = 1
 
     def prewarm(self, cells: Iterable[Sequence]) -> int:
         report = self.execute(cells)
@@ -279,7 +269,9 @@ class ParallelSweepRunner(SweepRunner):
         ``timeout_s`` bounds each chunk at ``timeout_s`` host seconds
         per unit of estimated cell cost (``None`` disables deadlines).
         ``manifest`` checkpoints per-cell progress for ``--resume``.
-        ``sinks`` receive :data:`~repro.obs.bus.SWEEP_EVENTS`.  Returns
+        ``sinks`` receive :data:`~repro.obs.bus.SWEEP_EVENTS`.
+        ``max_pool_rebuilds`` is the per-executor teardown budget
+        before the engine falls down the degradation chain.  Returns
         a :class:`~repro.core.resilience.SweepReport`; quarantined
         cells are reported, not raised.
         """
@@ -393,22 +385,26 @@ class ParallelSweepRunner(SweepRunner):
                         break
                     time.sleep(delay)
 
-        if self.jobs == 1 or len(missing) == 1:
+        if self.executor is None or len(missing) == 1:
             logger.info(
                 "sweep: %d missing cell(s) routed to serial in-process "
                 "execution (jobs=%d) — skipping pool/pickle overhead",
-                len(missing), self.jobs,
+                len(missing), self.jobs if self.executor is None else 1,
             )
             run_serial(missing)
             report.duration_s = time.perf_counter() - t0
             return report
 
-        workers = min(self.jobs, len(missing))
         cache_dir = str(self.cache.directory) if self.cache is not None else None
         trace_dir = (
             str(self.trace_store.directory)
             if self.trace_store is not None
             else None
+        )
+        context = WorkerContext(
+            sim=self.sim, tpch=self.tpch,
+            verify_results=self.verify_results,
+            cache_dir=cache_dir, trace_dir=trace_dir,
         )
         # Trace routing makes the machine axis of one workload nearly
         # free *if* its cells share a worker; group them so each chunk
@@ -416,16 +412,50 @@ class ParallelSweepRunner(SweepRunner):
         group_key = (
             (lambda k: (k[0], k[2], k[3], k[4])) if trace_dir is not None else None
         )
-        # Build the database in the parent first: fork-start workers
-        # then inherit the page images instead of regenerating TPC-H
-        # once per interpreter (spawn-start platforms still rebuild,
-        # but only once per worker thanks to chunking).
-        DatabaseCache.get(self.tpch)
+
+        # Degradation chain: the configured executor, then (when that
+        # executor was a fleet) the local pool, then serial.
+        chain: List[SweepExecutor] = [self.executor]
+        if isinstance(self.executor, MultiHostExecutor):
+            chain.append(LocalPoolExecutor())
+        layer = 0
+        executor = chain[layer]
+        rebuilds_at_layer = 0
+        next_token = 0
+
+        def fall_back(reason: str) -> bool:
+            """Advance to the next executor layer; ``False`` when only
+            serial remains."""
+            nonlocal layer, executor, rebuilds_at_layer
+            report.degraded = True
+            emit("on_sweep_degraded", reason)
+            layer += 1
+            if layer < len(chain):
+                executor = chain[layer]
+                rebuilds_at_layer = report.pool_rebuilds
+                logger.warning(
+                    "sweep: %s — falling back to %s for %d remaining cell(s)",
+                    reason, executor.name, len(to_run),
+                )
+                return True
+            logger.warning(
+                "sweep: %s — degrading %d remaining cell(s) to in-process "
+                "serial execution", reason, len(to_run),
+            )
+            return False
 
         to_run = list(missing)
         first_generation = True
-        degrade_reason: Optional[str] = None
         while to_run:
+            try:
+                executor.start(context, n_units=len(to_run))
+            except ExecutorError as exc:
+                if fall_back(str(exc)):
+                    continue
+                run_serial(to_run)
+                to_run = []
+                break
+            workers = executor.plan_workers(len(to_run))
             if first_generation:
                 chunks = _make_chunks(
                     to_run, workers * _CHUNKS_PER_WORKER, group_key
@@ -441,122 +471,188 @@ class ParallelSweepRunner(SweepRunner):
             to_run = []
             max_delay = 0.0
             broken = False
-            pool = ProcessPoolExecutor(max_workers=workers)
-            futures: Dict[object, List[CellKey]] = {}
-            deadlines: Dict[object, float] = {}
-            submitted: Dict[object, float] = {}
-            for chunk in chunks:
-                fut = pool.submit(
-                    _run_chunk,
-                    [self._spec(k) for k in chunk],
-                    cache_dir,
-                    trace_dir,
-                )
-                futures[fut] = chunk
-                submitted[fut] = time.monotonic()
-                if timeout_s is not None:
-                    cost = sum(max(1.0, _estimated_cost(k)) for k in chunk)
-                    deadlines[fut] = submitted[fut] + timeout_s * cost
 
-            while futures:
+            outstanding: Dict[int, List[CellKey]] = {}
+            handled: Dict[int, Set[int]] = {}
+            deadlines: Dict[int, float] = {}
+            submitted_at: Dict[int, float] = {}
+            for chunk in chunks:
+                token = next_token
+                next_token += 1
+                cost = sum(max(1.0, _estimated_cost(k)) for k in chunk)
+                outstanding[token] = chunk
+                handled[token] = set()
+                host = executor.submit(token, chunk, cost)
+                submitted_at[token] = time.monotonic()
+                if timeout_s is not None:
+                    deadlines[token] = submitted_at[token] + timeout_s * cost
+                emit("on_chunk_dispatch", host, token, len(chunk))
+
+            def requeue_unfinished(
+                token: int, host: str, reason: str, penalize: Optional[str] = None,
+                error: str = "", cause=None,
+            ) -> int:
+                """Pull ``token``'s unfinished cells back onto the
+                queue.  With ``penalize`` set, each costs an attempt of
+                that fault kind; otherwise the cells ride back free.
+                Returns how many cells were re-queued."""
+                nonlocal max_delay
+                chunk = outstanding.pop(token, None)
+                if chunk is None:
+                    return 0  # stale token from an abandoned generation
+                done_idx = handled.pop(token, set())
+                deadlines.pop(token, None)
+                n = 0
+                for i, key in enumerate(chunk):
+                    if i in done_idx:
+                        continue
+                    if penalize is not None:
+                        delay = transient_failure(key, penalize, error, cause)
+                        if delay is None:
+                            continue  # quarantined
+                        max_delay = max(max_delay, delay)
+                    to_run.append(key)
+                    n += 1
+                    report.requeues += 1
+                    emit("on_cell_requeue", key, host, reason)
+                return n
+
+            while outstanding:
                 wait_for = None
                 if deadlines:
-                    wait_for = max(0.0, min(deadlines.values()) - time.monotonic())
-                done, _pending = wait(
-                    set(futures), timeout=wait_for, return_when=FIRST_COMPLETED
-                )
-                for fut in done:
-                    chunk = futures.pop(fut)
-                    deadlines.pop(fut, None)
-                    try:
-                        results, failure, sources = fut.result()
-                    except Exception as exc:
-                        # The pool is broken — this chunk's worker (or
-                        # a sibling's) died mid-flight.  Penalize the
-                        # chunk's cells as crashes; siblings still in
-                        # flight re-queue unpenalized below.
-                        broken = True
-                        for key in chunk:
-                            delay = transient_failure(
-                                key, "crash", f"worker died ({exc!r})", exc
+                    wait_for = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
+                    )
+                event = executor.next_event(wait_for)
+                if event is None and wait_for is None:
+                    # The executor went quiet with work outstanding and
+                    # no deadline to wake us — it lost track of its
+                    # futures.  Tear it down; the cells re-queue below.
+                    broken = True
+                    break
+                while event is not None and not broken:
+                    if event.kind == "heartbeat":
+                        emit("on_host_heartbeat", event.host, event.payload)
+                    elif event.kind == "cell":
+                        chunk = outstanding.get(event.token)
+                        if (
+                            chunk is not None
+                            and 0 <= event.index < len(chunk)
+                            and event.index not in handled[event.token]
+                        ):
+                            key = chunk[event.index]
+                            handled[event.token].add(event.index)
+                            err = validate_result(self._spec(key), event.result)
+                            if err is None:
+                                finish(key, event.result, event.source)
+                            else:
+                                delay = transient_failure(key, "corrupt", err)
+                                if delay is not None:
+                                    max_delay = max(max_delay, delay)
+                                    to_run.append(key)
+                    elif event.kind == "chunk_done":
+                        chunk = outstanding.get(event.token)
+                        if chunk is not None:
+                            if event.failure is not None:
+                                index, error_str, cause = event.failure
+                                if 0 <= index < len(chunk):
+                                    bad = chunk[index]
+                                    if index not in handled[event.token]:
+                                        handled[event.token].add(index)
+                                        attempts[bad] += 1
+                                        quarantine(bad, "error", error_str, cause)
+                                # cells behind the failure never ran:
+                                # re-queue without penalty
+                                requeue_unfinished(
+                                    event.token, event.host, "after-failure"
+                                )
+                            else:
+                                # every cell should have streamed back;
+                                # anything the worker skipped rides
+                                # back free
+                                requeue_unfinished(
+                                    event.token, event.host, "incomplete-chunk"
+                                )
+                            outstanding.pop(event.token, None)
+                            handled.pop(event.token, None)
+                            deadlines.pop(event.token, None)
+                    elif event.kind == "lost":
+                        live_tokens = [
+                            t for t in event.tokens if t in outstanding
+                        ]
+                        n_requeued = 0
+                        for t in live_tokens:
+                            n_requeued += requeue_unfinished(
+                                t, event.host, "host-lost",
+                                penalize="crash",
+                                error=event.error or "host lost",
+                                cause=event.cause,
                             )
-                            if delay is not None:
-                                max_delay = max(max_delay, delay)
-                                to_run.append(key)
-                        continue
-                    for key, result, source in zip(chunk, results, sources):
-                        err = validate_result(self._spec(key), result)
-                        if err is None:
-                            finish(key, result, source)
-                        else:
-                            delay = transient_failure(key, "corrupt", err)
-                            if delay is not None:
-                                max_delay = max(max_delay, delay)
-                                to_run.append(key)
-                    if failure is not None:
-                        index, exc = failure
-                        bad = chunk[index]
-                        attempts[bad] += 1
-                        quarantine(bad, "error", repr(exc), exc)
-                        # cells behind the failure never ran: re-queue
-                        # without penalty
-                        to_run.extend(chunk[index + 1:])
-                if broken:
+                        if event.payload.get("remote"):
+                            report.host_losses += 1
+                            emit(
+                                "on_host_lost",
+                                event.host, event.error, n_requeued,
+                            )
+                        if event.fatal:
+                            broken = True
+                        break
+                    if not outstanding:
+                        break
+                    event = executor.next_event(0.0)
+
+                if broken or not outstanding:
                     break
                 if deadlines:
                     now = time.monotonic()
                     expired = [
-                        f for f, dl in deadlines.items()
-                        if dl <= now and not f.done()
+                        t for t, dl in list(deadlines.items()) if dl <= now
                     ]
                     if expired:
-                        broken = True
-                        for fut in expired:
-                            chunk = futures.pop(fut)
-                            deadlines.pop(fut, None)
-                            elapsed = now - submitted[fut]
-                            for key in chunk:
+                        for t in expired:
+                            elapsed = now - submitted_at[t]
+                            chunk = outstanding.get(t, [])
+                            done_idx = handled.get(t, set())
+                            for i, key in enumerate(chunk):
+                                if i in done_idx:
+                                    continue
                                 emit(
                                     "on_cell_timeout",
                                     key, attempts[key] + 1, elapsed,
                                 )
-                                delay = transient_failure(
-                                    key, "timeout",
-                                    f"chunk still running after {elapsed:.1f}s",
-                                )
-                                if delay is not None:
-                                    max_delay = max(max_delay, delay)
-                                    to_run.append(key)
-                        break
+                            requeue_unfinished(
+                                t, "", "timeout", penalize="timeout",
+                                error=f"chunk still running after {elapsed:.1f}s",
+                            )
+                        collateral, fatal = executor.expire(expired)
+                        for t in collateral:
+                            requeue_unfinished(t, "", "expired-collateral")
+                        if fatal:
+                            broken = True
+                            break
 
             if broken:
                 # Whatever is still in flight re-queues unpenalized;
                 # results its workers already cached make the re-run
-                # cheap.  The pool itself is unsalvageable (broken, or
-                # wedged on a hung worker).
-                for chunk in futures.values():
-                    to_run.extend(chunk)
-                futures.clear()
-                _kill_pool(pool)
+                # cheap.  The broken resources are unsalvageable.
+                for t in executor.abandon():
+                    requeue_unfinished(t, "", "executor-abandoned")
+                for t in list(outstanding):
+                    requeue_unfinished(t, "", "executor-abandoned")
                 report.pool_rebuilds += 1
-                if report.pool_rebuilds > max_pool_rebuilds:
-                    degrade_reason = (
-                        f"worker pool torn down {report.pool_rebuilds} times "
+                if report.pool_rebuilds - rebuilds_at_layer > max_pool_rebuilds:
+                    reason = (
+                        f"{executor.name} torn down "
+                        f"{report.pool_rebuilds - rebuilds_at_layer} times "
                         f"(limit {max_pool_rebuilds})"
                     )
-                    break
-            else:
-                pool.shutdown()
+                    if not fall_back(reason):
+                        run_serial(to_run)
+                        to_run = []
+                        break
             if to_run and max_delay > 0:
                 time.sleep(max_delay)  # batched backoff for this generation
 
-        if degrade_reason is not None and to_run:
-            report.degraded = True
-            emit("on_sweep_degraded", degrade_reason)
-            logger.warning(
-                "sweep: %s — degrading %d remaining cell(s) to in-process "
-                "serial execution", degrade_reason, len(to_run),
-            )
-            run_serial(to_run)
+        executor.close()
         report.duration_s = time.perf_counter() - t0
         return report

@@ -52,6 +52,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -140,12 +141,13 @@ class FaultPlan:
     ledger already holds ``max_hits`` entries is left alone — which is
     what lets a retried cell eventually succeed, deterministically.
 
-    ``scope="worker"`` (the default) arms the plan only inside
-    multiprocessing children, so a sweep that degrades to in-process
-    serial execution escapes the injected faults — exactly the
-    behaviour graceful degradation is for.  ``scope="any"`` also arms
-    the main process (used by the resume-after-kill tests to freeze a
-    serial CLI sweep at a chosen cell).
+    ``scope="worker"`` (the default) arms the plan only inside sweep
+    workers — multiprocessing pool children and ``repro worker`` host
+    processes (which set ``REPRO_WORKER=1``) — so a sweep that degrades
+    to in-process serial execution escapes the injected faults —
+    exactly the behaviour graceful degradation is for.  ``scope="any"``
+    also arms the main process (used by the resume-after-kill tests to
+    freeze a serial CLI sweep at a chosen cell).
     """
 
     kind: str
@@ -192,6 +194,8 @@ class FaultPlan:
         """Is the plan active in *this* process (scope check)?"""
         if self.scope == "any":
             return True
+        if os.environ.get("REPRO_WORKER") == "1":
+            return True  # a `repro worker` host process
         return multiprocessing.parent_process() is not None
 
     def _hits(self, cid: str) -> int:
@@ -361,6 +365,8 @@ class SweepReport:
     timeouts: int = 0
     crashes: int = 0
     pool_rebuilds: int = 0
+    host_losses: int = 0
+    requeues: int = 0
     degraded: bool = False
     duration_s: float = 0.0
     failed: List[CellFailure] = field(default_factory=list)
@@ -380,6 +386,8 @@ class SweepReport:
             "timeouts": self.timeouts,
             "crashes": self.crashes,
             "pool_rebuilds": self.pool_rebuilds,
+            "host_losses": self.host_losses,
+            "requeues": self.requeues,
             "degraded": self.degraded,
             "duration_s": round(self.duration_s, 3),
             "failed_cells": [f.to_dict() for f in self.failed],
@@ -395,6 +403,11 @@ class SweepReport:
                 f"resilience: {self.retries} retries "
                 f"({self.crashes} worker crashes, {self.timeouts} timeouts, "
                 f"{self.pool_rebuilds} pool rebuilds)"
+            )
+        if self.host_losses:
+            out.append(
+                f"resilience: {self.host_losses} host(s) lost, "
+                f"{self.requeues} cell(s) re-queued to survivors"
             )
         if self.degraded:
             out.append(
@@ -494,8 +507,24 @@ class CheckpointManifest:
         }
 
     def save(self) -> None:
-        """Atomically write the manifest (tmp + rename)."""
+        """Atomically write the manifest (unique tmp + rename).
+
+        The tmp name must be unique per writer: a sweep coordinator
+        and a worker on another host may checkpoint the same sweep on
+        a shared directory, and a *shared* tmp path would let their
+        writes interleave into a torn file before the rename."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(self.to_dict(), sort_keys=True))
-        tmp.replace(self.path)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=f".{self.path.name}.",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(self.to_dict(), sort_keys=True))
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

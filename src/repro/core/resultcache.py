@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import warnings
 from dataclasses import asdict
 from pathlib import Path
@@ -187,9 +188,29 @@ class ResultCache:
     def put(self, spec: ExperimentSpec, result: ExperimentResult) -> Path:
         path = self._path(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(result_to_dict(result)))
-        tmp.replace(path)  # atomic: concurrent writers race benignly
+        # Unique tmp per writer (mkstemp opens O_EXCL), then an atomic
+        # rename: multiple hosts writing the same cell to a shared
+        # cache directory race benignly — last rename wins with a
+        # complete file, and a shared ".tmp" name can never interleave
+        # two writers into a torn entry.  Dotted tmp names also stay
+        # invisible to the "*.json" glob in :meth:`__len__`.
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                # Canonical key order: a result that crossed the wire
+                # (whose dicts arrive sorted) must serialize to the
+                # same bytes as one computed in-process, so distributed
+                # and serial sweeps stay bitwise-comparable.
+                fh.write(json.dumps(result_to_dict(result), sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
     @property

@@ -74,14 +74,34 @@ KERNEL_EVENTS: Tuple[str, ...] = (
 #:   exceeded its deadline and was re-queued at cell granularity.
 #: * ``on_cell_quarantined(key, kind, error)`` — retries exhausted (or a
 #:   deterministic error); the sweep continues without the cell.
-#: * ``on_sweep_degraded(reason)`` — the worker pool was declared
-#:   unhealthy and the remaining cells run serially in-process.
+#: * ``on_sweep_degraded(reason)`` — the active executor was declared
+#:   unhealthy and the engine fell down the degradation chain
+#:   (multi-host → local pool → serial in-process).
+#:
+#: Distributed sweeps add per-host lifecycle events (emitted by the
+#: engine as it consumes executor events, so they flow whether chunks
+#: run in a local pool or on remote hosts):
+#:
+#: * ``on_chunk_dispatch(host, token, n_cells)`` — a chunk was shipped
+#:   to ``host`` under opaque id ``token``.
+#: * ``on_host_heartbeat(host, payload)`` — host liveness/topology: the
+#:   worker's hello (``payload["hello"]`` with ``host_cpus``/``pid``)
+#:   or a chunk-start heartbeat (``token``/``n_cells``).
+#: * ``on_host_lost(host, error, n_requeued)`` — a host died with
+#:   ``n_requeued`` unfinished cells re-queued to the survivors.
+#: * ``on_cell_requeue(key, host, reason)`` — one cell went back on the
+#:   run queue (``host-lost``, ``after-failure``, ``incomplete-chunk``,
+#:   ``timeout``, ``expired-collateral``, ``executor-abandoned``).
 SWEEP_EVENTS: Tuple[str, ...] = (
     "on_cell_done",
     "on_cell_retry",
     "on_cell_timeout",
     "on_cell_quarantined",
     "on_sweep_degraded",
+    "on_chunk_dispatch",
+    "on_host_heartbeat",
+    "on_host_lost",
+    "on_cell_requeue",
 )
 
 

@@ -88,7 +88,10 @@ class SweepEventRecorder:
         self.counts: Dict[str, int] = {
             "done": 0, "retry": 0, "timeout": 0, "quarantined": 0,
             "degraded": 0, "captured": 0, "replayed": 0,
+            "dispatched": 0, "heartbeats": 0, "hosts_lost": 0, "requeued": 0,
         }
+        #: Topology learned from host hello heartbeats: label -> cpus.
+        self.host_cpus: Dict[str, int] = {}
         self._lines: List[str] = []
         self._dropped = 0
 
@@ -128,6 +131,31 @@ class SweepEventRecorder:
     def on_sweep_degraded(self, reason: str) -> None:
         self.counts["degraded"] += 1
         self._log(f"sweep degraded to serial execution: {reason}")
+
+    def on_chunk_dispatch(self, host: str, token: int, n_cells: int) -> None:
+        self.counts["dispatched"] += 1
+        self._log(f"chunk {token}: {n_cells} cell(s) dispatched to {host}")
+
+    def on_host_heartbeat(self, host: str, payload: dict) -> None:
+        self.counts["heartbeats"] += 1
+        if payload.get("hello"):
+            cpus = payload.get("host_cpus")
+            if isinstance(cpus, int):
+                self.host_cpus[host] = cpus
+            self._log(
+                f"host {host}: up (pid {payload.get('pid')}, "
+                f"{cpus} cpus)"
+            )
+
+    def on_host_lost(self, host: str, error: str, n_requeued: int) -> None:
+        self.counts["hosts_lost"] += 1
+        self._log(
+            f"host {host}: lost ({error}); {n_requeued} cell(s) re-queued"
+        )
+
+    def on_cell_requeue(self, key, host: str, reason: str) -> None:
+        self.counts["requeued"] += 1
+        self._log(f"cell {key}: re-queued ({reason}, was on {host or '-'})")
 
     # -- reporting ----------------------------------------------------------
     def lines(self) -> List[str]:
@@ -284,6 +312,30 @@ class ChromeTraceExporter:
 
     def on_sweep_degraded(self, reason: str) -> None:
         self._sweep_instant("sweep:degraded", {"reason": reason})
+
+    def on_chunk_dispatch(self, host: str, token: int, n_cells: int) -> None:
+        self._sweep_instant(
+            "host:dispatch",
+            {"host": host, "token": token, "n_cells": n_cells},
+        )
+
+    def on_host_heartbeat(self, host: str, payload: dict) -> None:
+        self._sweep_instant(
+            "host:hello" if payload.get("hello") else "host:heartbeat",
+            dict(payload, host=host),
+        )
+
+    def on_host_lost(self, host: str, error: str, n_requeued: int) -> None:
+        self._sweep_instant(
+            "host:lost",
+            {"host": host, "error": error, "n_requeued": n_requeued},
+        )
+
+    def on_cell_requeue(self, key, host: str, reason: str) -> None:
+        self._sweep_instant(
+            "cell:requeue",
+            {"cell": str(key), "host": host, "reason": reason},
+        )
 
     # -- output -------------------------------------------------------------
     def to_json(self) -> dict:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import warnings
 import zipfile
 from dataclasses import asdict
@@ -336,14 +337,29 @@ class TraceStore:
         return trace
 
     def put(self, spec, trace: WorkloadTrace) -> Path:
-        """Persist a captured trace (atomic rename, race-benign)."""
+        """Persist a captured trace (unique tmp + atomic rename).
+
+        The tmp file is per-writer (``mkstemp`` opens it O_EXCL): two
+        hosts capturing the same workload against a shared store race
+        benignly — last rename wins with a complete archive — where a
+        shared ``.tmp`` name would interleave their bytes into a torn
+        file."""
         fp = workload_fingerprint(spec)
         path = self.directory / f"{fp}.trace.npz"
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as f:
-            np.savez_compressed(f, **trace_to_npz_dict(trace))
-        tmp.replace(path)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                np.savez_compressed(f, **trace_to_npz_dict(trace))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
     def discard(self, spec, reason: str) -> None:

@@ -349,6 +349,7 @@ def _parallel_cell_check(rng: random.Random) -> Optional[str]:
     import dataclasses
 
     from ..config import TEST_SIM
+    from ..core.executors import select_executor
     from ..core.parallel import ParallelSweepRunner
     from ..core.sweep import SweepRunner
     from ..tpch.datagen import TPCHConfig
@@ -360,7 +361,9 @@ def _parallel_cell_check(rng: random.Random) -> Optional[str]:
         rng.choice((1, 2)),
     )
     serial = SweepRunner(sim=TEST_SIM, tpch=tpch).cell(*cell)
-    pooled = ParallelSweepRunner(sim=TEST_SIM, tpch=tpch, jobs=2).cell(*cell)
+    pooled = ParallelSweepRunner(
+        sim=TEST_SIM, tpch=tpch, executor=select_executor(jobs=2)
+    ).cell(*cell)
 
     def key(res):
         return [

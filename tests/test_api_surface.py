@@ -42,6 +42,12 @@ EXPECTED_API = [
     # sweeps: serial, parallel/resilient, persistence
     "SweepRunner",
     "ParallelSweepRunner",
+    # execution backends (serial / local pool / multi-host)
+    "select_executor",
+    "SweepExecutor",
+    "LocalPoolExecutor",
+    "SubprocessHostExecutor",
+    "MultiHostExecutor",
     "ResultCache",
     "RetryPolicy",
     "FaultPlan",

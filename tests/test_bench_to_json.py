@@ -15,7 +15,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
-from bench_to_json import append_datapoint, bench_path  # noqa: E402
+import pytest  # noqa: E402
+
+from bench_to_json import append_datapoint, bench_path, validate_record  # noqa: E402
 
 
 class TestAppendDatapoint:
@@ -49,3 +51,48 @@ class TestAppendDatapoint:
         append_datapoint("t", {"v": 5}, root=tmp_path)
         history = json.loads(bench_path("t", tmp_path).read_text())
         assert len(history) == 1 and history[0]["v"] == 5
+
+    def test_backfills_bench_and_host_cpus(self, tmp_path):
+        append_datapoint("t", {"v": 1}, root=tmp_path)
+        (record,) = json.loads(bench_path("t", tmp_path).read_text())
+        assert record["bench"] == "t"
+        assert isinstance(record["host_cpus"], int)
+        assert record["host_cpus"] >= 1
+
+    def test_explicit_topology_is_preserved(self, tmp_path):
+        append_datapoint(
+            "t", {"bench": "distributed_grid", "host_cpus": [1, 1]},
+            root=tmp_path,
+        )
+        (record,) = json.loads(bench_path("t", tmp_path).read_text())
+        assert record["bench"] == "distributed_grid"
+        assert record["host_cpus"] == [1, 1]
+
+    def test_malformed_record_never_touches_disk(self, tmp_path):
+        with pytest.raises(ValueError, match="host_cpus"):
+            append_datapoint("t", {"host_cpus": 0}, root=tmp_path)
+        with pytest.raises(ValueError, match="bench"):
+            append_datapoint("t", {"bench": ""}, root=tmp_path)
+        with pytest.raises(ValueError, match="scalar"):
+            append_datapoint("t", {"deep": {"a": {"b": 1}}}, root=tmp_path)
+        assert not bench_path("t", tmp_path).exists()
+
+
+class TestSchemaValidation:
+    def test_validate_record_accepts_minimal(self):
+        validate_record({"bench": "x", "host_cpus": 1})
+        validate_record({"bench": "x", "host_cpus": [2, 2], "v": [1.0, 2.0]})
+
+    def test_validate_record_rejects_bad_topology(self):
+        for cpus in (None, 0, -1, True, [], [0], ["2"], "2"):
+            with pytest.raises(ValueError):
+                validate_record({"bench": "x", "host_cpus": cpus})
+
+    def test_repo_trajectories_satisfy_the_schema(self):
+        """Every committed BENCH_*.json record validates — the schema
+        is enforced retroactively, not just for new datapoints."""
+        files = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert files  # the repo tracks at least one trajectory
+        for path in files:
+            for record in json.loads(path.read_text()):
+                validate_record(record)

@@ -1,0 +1,144 @@
+"""Concurrent writers against the shared result/trace caches.
+
+Distributed sweeps point every host at one cache directory, so
+``ResultCache.put`` and ``TraceStore.put`` must survive two writers
+racing on the same cell: each writer stages into a private
+``mkstemp`` file (O_EXCL) and publishes with an atomic ``os.replace``,
+so a reader can never observe a torn entry and a crashed writer can
+never corrupt a published one.  These tests hammer both stores from
+real processes while the parent reads continuously.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from tests.conftest import TINY_TPCH
+
+from repro.config import TEST_SIM
+from repro.core.resultcache import ResultCache
+from repro.core.sweep import SweepRunner
+from repro.trace.capture import capture_workload
+from repro.trace.store import TraceStore
+
+CELL = ("Q6", "hpv", 1)
+
+
+def _result():
+    runner = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
+    return runner.cell(CELL)
+
+
+def hammer_result_cache(directory, n_puts):
+    """Writer process: re-publish the same deterministic cell n times."""
+    result = _result()
+    cache = ResultCache(directory)
+    for _ in range(n_puts):
+        cache.put(result.spec, result)
+
+
+def hammer_trace_store(directory, n_puts):
+    """Writer process: re-publish the same captured trace n times."""
+    result = _result()
+    _res, trace = capture_workload(result.spec)
+    store = TraceStore(directory)
+    for _ in range(n_puts):
+        store.put(result.spec, trace)
+
+
+def _read_json_entries(directory):
+    """Every published entry must parse — torn files are a failure."""
+    out = {}
+    for path in directory.glob("*.json"):
+        out[path.name] = json.loads(path.read_bytes())
+    return out
+
+
+class TestResultCacheTwoWriterRace:
+    def test_concurrent_puts_never_tear(self, tmp_path):
+        writers = [
+            multiprocessing.Process(
+                target=hammer_result_cache, args=(tmp_path, 40)
+            )
+            for _ in range(2)
+        ]
+        for w in writers:
+            w.start()
+        # read continuously while both writers are publishing
+        while any(w.is_alive() for w in writers):
+            _read_json_entries(tmp_path)
+            time.sleep(0.01)
+        for w in writers:
+            w.join()
+            assert w.exitcode == 0
+
+        entries = _read_json_entries(tmp_path)
+        assert len(entries) == 1  # one cell, one entry — last rename won
+        # no tmp litter survives a clean race
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.glob(".*.tmp"))
+
+        # the published entry is the real result, bit-for-bit
+        reread = ResultCache(tmp_path)
+        cached = reread.get(_result().spec)
+        assert cached is not None
+        assert reread.stats["corrupt"] == 0
+
+    def test_writer_killed_mid_hammer_leaves_cache_clean(self, tmp_path):
+        victim = multiprocessing.Process(
+            target=hammer_result_cache, args=(tmp_path, 10_000)
+        )
+        victim.start()
+        # let it publish at least once, then kill without cleanup
+        deadline = time.monotonic() + 60
+        while not list(tmp_path.glob("*.json")):
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join()
+        assert victim.exitcode == -signal.SIGKILL
+
+        # every *published* entry is complete; an orphaned mkstemp file
+        # (dotted name) is invisible to readers and to the entry count
+        entries = _read_json_entries(tmp_path)
+        assert len(entries) == 1
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 1
+        assert cache.get(_result().spec) is not None
+        assert cache.stats["corrupt"] == 0
+
+
+class TestTraceStoreTwoWriterRace:
+    def test_concurrent_puts_never_tear(self, tmp_path):
+        writers = [
+            multiprocessing.Process(
+                target=hammer_trace_store, args=(tmp_path, 15)
+            )
+            for _ in range(2)
+        ]
+        for w in writers:
+            w.start()
+        while any(w.is_alive() for w in writers):
+            # a torn npz would blow up np.load
+            for path in tmp_path.glob("*.npz"):
+                np.load(io.BytesIO(path.read_bytes()), allow_pickle=False)
+            time.sleep(0.01)
+        for w in writers:
+            w.join()
+            assert w.exitcode == 0
+
+        published = list(tmp_path.glob("*.npz"))
+        assert len(published) == 1
+        assert not list(tmp_path.glob(".*.tmp"))
+
+        store = TraceStore(tmp_path)
+        assert store.get(_result().spec) is not None
+        assert store.stats["corrupt"] == 0

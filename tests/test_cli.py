@@ -15,7 +15,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "run", "sweep", "figures", "validate", "microbench", "describe",
-            "capture", "replay", "verify", "trace",
+            "capture", "replay", "verify", "trace", "worker",
         }
 
     def test_requires_command(self):

@@ -15,6 +15,7 @@ import pytest
 from tests.conftest import TINY_TPCH
 
 from repro.config import TEST_SIM
+from repro.core.executors import select_executor
 from repro.core.parallel import ParallelSweepRunner
 from repro.core.resultcache import ResultCache, code_version, spec_fingerprint
 from repro.core.sweep import SweepRunner, figure_grid_cells, normalize_cell
@@ -42,7 +43,9 @@ GRID = dict(queries=("Q6", "Q12"), platforms=("hpv", "sgi"), nprocs=(1, 2))
 class TestParallelEqualsSerial:
     def test_grid_bitwise_equal(self):
         serial = SweepRunner(sim=TEST_SIM, tpch=TINY_TPCH)
-        parallel = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        parallel = ParallelSweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, executor=select_executor(jobs=2)
+        )
         a = serial.grid(**GRID)
         b = parallel.grid(**GRID)
         assert len(a) == len(b) == 8
@@ -51,7 +54,9 @@ class TestParallelEqualsSerial:
             assert result_key(ra) == result_key(rb)
 
     def test_prewarm_then_cell_hits_memo(self):
-        runner = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        runner = ParallelSweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, executor=select_executor(jobs=2)
+        )
         ran = runner.prewarm([("Q6", "hpv", 1), ("Q6", "hpv", 2)])
         assert ran == 2
         assert runner.n_cached == 2
@@ -60,7 +65,9 @@ class TestParallelEqualsSerial:
         assert runner.prewarm([("Q6", "hpv", 1)]) == 0
 
     def test_worker_failure_surfaces_cell(self):
-        runner = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        runner = ParallelSweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, executor=select_executor(jobs=2)
+        )
         with pytest.raises(Exception):
             # RF1 mutates: n_procs > 1 is a ConfigError, raised in the
             # parent while building the spec or in the worker.
@@ -72,7 +79,9 @@ class TestWorkerFailurePaths:
     hung pool behind, and keep every cache layer consistent."""
 
     def test_in_worker_exception_names_the_cell(self):
-        runner = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        runner = ParallelSweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, executor=select_executor(jobs=2)
+        )
         # 64 procs passes spec validation in the parent but exceeds the
         # machine's CPU count inside run_experiment — i.e. the error is
         # raised *in the worker* and must come back wrapped.
@@ -81,7 +90,9 @@ class TestWorkerFailurePaths:
         assert exc_info.value.__cause__ is not None  # original ConfigError
 
     def test_pool_does_not_hang_and_runner_stays_usable(self):
-        runner = ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, jobs=2)
+        runner = ParallelSweepRunner(
+            sim=TEST_SIM, tpch=TINY_TPCH, executor=select_executor(jobs=2)
+        )
         with pytest.raises(RuntimeError):
             # two failing cells: the pool path runs, the first failure
             # cancels the rest, and prewarm re-raises promptly
@@ -95,7 +106,8 @@ class TestWorkerFailurePaths:
     def test_failure_leaves_persistent_cache_consistent(self, tmp_path):
         cache = ResultCache(tmp_path)
         runner = ParallelSweepRunner(
-            sim=TEST_SIM, tpch=TINY_TPCH, cache=cache, jobs=2
+            sim=TEST_SIM, tpch=TINY_TPCH, cache=cache,
+            executor=select_executor(jobs=2)
         )
         with pytest.raises(RuntimeError):
             runner.prewarm([("Q6", "hpv", 64), ("Q6", "sgi", 1)])
@@ -177,12 +189,14 @@ class TestResultCache:
     def test_parallel_runner_populates_cache(self, tmp_path):
         cache = ResultCache(tmp_path)
         runner = ParallelSweepRunner(
-            sim=TEST_SIM, tpch=TINY_TPCH, cache=cache, jobs=2
+            sim=TEST_SIM, tpch=TINY_TPCH, cache=cache,
+            executor=select_executor(jobs=2)
         )
         runner.prewarm([("Q6", "hpv", 1), ("Q6", "sgi", 1)])
         assert len(cache) == 2
         warm = ParallelSweepRunner(
-            sim=TEST_SIM, tpch=TINY_TPCH, cache=ResultCache(tmp_path), jobs=2
+            sim=TEST_SIM, tpch=TINY_TPCH, cache=ResultCache(tmp_path),
+            executor=select_executor(jobs=2)
         )
         assert warm.prewarm([("Q6", "hpv", 1), ("Q6", "sgi", 1)]) == 0
         assert warm.cache.stats["hits"] == 2

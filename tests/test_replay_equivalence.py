@@ -16,6 +16,7 @@ import pytest
 
 from repro.config import TEST_SIM
 from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.executors import select_executor
 from repro.core.parallel import ParallelSweepRunner
 from repro.core.sweep import SweepRunner
 from repro.errors import TraceError
@@ -130,7 +131,7 @@ class TestSweepIntegration:
     def test_parallel_sweep_with_trace_store(self, baseline, tmp_path):
         store = TraceStore(tmp_path / "traces")
         runner = ParallelSweepRunner(
-            sim=TEST_SIM, tpch=TINY_TPCH, jobs=2,
+            sim=TEST_SIM, tpch=TINY_TPCH, executor=select_executor(jobs=2),
             trace_store=TraceStore(tmp_path / "traces"),
         )
         report = runner.execute(self.CELLS)

@@ -20,6 +20,7 @@ from tests.conftest import TINY_TPCH
 from tests.test_parallel_sweep import result_key
 
 from repro.config import TEST_SIM
+from repro.core.executors import select_executor
 from repro.core.parallel import ParallelSweepRunner
 from repro.core.resilience import (
     FAULT_ENV,
@@ -40,7 +41,10 @@ CELLS = [("Q6", "hpv", 1), ("Q6", "hpv", 2), ("Q6", "sgi", 1), ("Q6", "sgi", 2)]
 
 
 def make_runner(jobs=2, cache=None):
-    return ParallelSweepRunner(sim=TEST_SIM, tpch=TINY_TPCH, cache=cache, jobs=jobs)
+    return ParallelSweepRunner(
+        sim=TEST_SIM, tpch=TINY_TPCH, cache=cache,
+        executor=select_executor(jobs=jobs),
+    )
 
 
 def serial_reference(cells):
@@ -313,7 +317,8 @@ class TestCheckpointManifest:
         )
         m.mark(keys[0], "done")
         other = ParallelSweepRunner(
-            sim=TEST_SIM.with_(cache_scale_log2=6), tpch=TINY_TPCH, jobs=1
+            sim=TEST_SIM.with_(cache_scale_log2=6), tpch=TINY_TPCH,
+            executor=select_executor(jobs=1),
         )
         m2 = CheckpointManifest.open(
             tmp_path, keys, self.fingerprints(other, CELLS[:2])
