@@ -18,7 +18,8 @@ from ._version import __version__
 from .config import DEFAULT_SIM, TEST_SIM, SimConfig
 from .core.experiment import ExperimentResult, ExperimentSpec, run_experiment
 from .core.figures import FIGURES, regenerate_figure
-from .mem.machine import PLATFORMS, hp_v_class, platform, sgi_origin_2000
+from .mem.machine import hp_v_class, platform, sgi_origin_2000
+from .mem.registry import REGISTRY
 
 __all__ = [
     "__version__",
@@ -33,5 +34,5 @@ __all__ = [
     "hp_v_class",
     "sgi_origin_2000",
     "platform",
-    "PLATFORMS",
+    "REGISTRY",
 ]

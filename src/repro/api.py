@@ -40,7 +40,14 @@ from .core.resilience import (
 )
 from .core.resultcache import ResultCache
 from .core.sweep import NPROC_SWEEP, SweepRunner, figure_grid_cells
-from .mem.machine import PLATFORMS, hp_v_class, platform, sgi_origin_2000
+from .mem.machine import MachineConfig, hp_v_class, platform, sgi_origin_2000
+from .mem.registry import (
+    REGISTRY,
+    MachineRegistry,
+    load_machine_file,
+    save_machine_file,
+    validate_machine,
+)
 from .obs import (
     ChromeTraceExporter,
     PhaseProfiler,
@@ -88,9 +95,14 @@ __all__ = [
     "regenerate_figure",
     "render_table",
     "metrics",
-    # machine models
+    # machine models: registry, loader, built-ins
     "platform",
-    "PLATFORMS",
+    "MachineConfig",
+    "MachineRegistry",
+    "REGISTRY",
+    "load_machine_file",
+    "save_machine_file",
+    "validate_machine",
     "hp_v_class",
     "sgi_origin_2000",
     # observer-bus attach helpers

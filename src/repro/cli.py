@@ -9,6 +9,9 @@
 * ``verify``     — coherence invariants + differential fuzz + goldens
 * ``microbench`` — run the calibration microbenchmarks
 * ``describe``   — print machine and database configurations
+* ``machines``   — ``machines list``/``describe``/``validate``: inspect
+  the platform registry; anywhere a ``--platform`` is accepted, any
+  registered name or a machine file path (``.toml``/``.json``) works
 * ``trace``      — ``trace capture``/``trace replay``: record a whole
   workload's per-process tapes into the trace store, or replay them
   through any machine model (bitwise-identical counters)
@@ -48,7 +51,8 @@ from .core.resultcache import ResultCache, spec_fingerprint
 from .core.sweep import SweepRunner, figure_grid_cells
 from .core.validate import scoreboard, validate_all
 from .errors import ConfigError
-from .mem.machine import PLATFORMS, platform
+from .mem.machine import platform
+from .mem.registry import REGISTRY, validate_machine
 from .obs.sinks import SweepEventRecorder
 from .tpch.datagen import TPCHConfig, build_database
 from .tpch.queries import QUERIES
@@ -185,7 +189,14 @@ def cmd_sweep(args) -> int:
     from .tpch.queries import PAPER_QUERIES
 
     queries = tuple(args.query) if args.query else tuple(PAPER_QUERIES)
-    platforms = tuple(args.platform) if args.platform else ("hpv", "sgi")
+    if args.platforms:
+        platforms = tuple(
+            s for s in (x.strip() for x in args.platforms.split(",")) if s
+        )
+    elif args.platform:
+        platforms = tuple(args.platform)
+    else:
+        platforms = REGISTRY.paper_platforms()
     nprocs = tuple(args.procs) if args.procs else NPROC_SWEEP
     cells = figure_grid_cells(queries, platforms, nprocs)
 
@@ -470,9 +481,47 @@ def cmd_worker(args) -> int:
     return worker_main()
 
 
+def cmd_machines_list(args) -> int:
+    """``repro machines list``: one line per registered platform."""
+    paper = set(REGISTRY.paper_platforms())
+    for name, cfg in REGISTRY.items():
+        tag = "paper" if name in paper else "data file"
+        print(
+            f"{name:<14} {cfg.name:<22} {cfg.n_cpus:>3} CPUs  "
+            f"{len(cfg.caches)}-level  {cfg.topology_kind:<9} [{tag}]"
+        )
+    return 0
+
+
+def cmd_machines_describe(args) -> int:
+    """``repro machines describe``: full description of one machine
+    (a registered name or a machine file path)."""
+    machine = platform(args.name)
+    print(machine.describe())
+    return 0
+
+
+def cmd_machines_validate(args) -> int:
+    """``repro machines validate``: build every named machine (or all
+    registered ones) end to end; exit 1 on the first invalid one."""
+    targets = list(args.name) if args.name else list(REGISTRY.names())
+    rc = 0
+    for name in targets:
+        try:
+            cfg = platform(name)
+            validate_machine(cfg)
+        except ConfigError as exc:
+            print(f"{name}: INVALID — {exc}")
+            rc = 1
+        else:
+            print(f"{name}: ok ({cfg.name}, {cfg.n_cpus} CPUs, "
+                  f"{len(cfg.caches)} cache level(s), {cfg.topology_kind})")
+    return rc
+
+
 def cmd_describe(args) -> int:
     """``repro describe``: machine and database configurations."""
-    for name in PLATFORMS:
+    for name in REGISTRY.names():
         machine = platform(name)
         print(machine.describe())
         print("  at experiment scale:")
@@ -496,7 +545,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one experiment cell")
     p.add_argument("--query", choices=sorted(QUERIES), default="Q6")
-    p.add_argument("--platform", choices=sorted(PLATFORMS), default="hpv")
+    p.add_argument("--platform", default="hpv", metavar="NAME",
+                   help="registered machine name or machine file path "
+                        "(see `repro machines list`; default hpv)")
     p.add_argument("--procs", type=int, default=1)
     _add_common(p)
     p.set_defaults(func=cmd_run)
@@ -504,8 +555,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="run sweep cells (optionally profiled)")
     p.add_argument("--query", action="append", choices=sorted(QUERIES),
                    help="query (repeatable); default: the paper's three")
-    p.add_argument("--platform", action="append", choices=sorted(PLATFORMS),
-                   help="platform (repeatable); default: both")
+    p.add_argument("--platform", action="append", metavar="NAME",
+                   help="platform (repeatable; any registered name or "
+                        "machine file path); default: the paper pair")
+    p.add_argument("--platforms", default=None, metavar="A,B,C",
+                   help="comma-separated platform list; overrides "
+                        "--platform")
     p.add_argument("--procs", action="append", type=int, metavar="N",
                    help="process count (repeatable); default: 1 2 4 6 8")
     p.add_argument("--profile", default=None, metavar="FILE",
@@ -579,6 +634,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_describe)
 
     p = sub.add_parser(
+        "machines",
+        help="inspect the platform registry (list/describe/validate)",
+    )
+    machines_sub = p.add_subparsers(dest="machines_command", required=True)
+    mp = machines_sub.add_parser("list", help="one line per registered machine")
+    mp.set_defaults(func=cmd_machines_list)
+    mp = machines_sub.add_parser(
+        "describe", help="full description of one machine"
+    )
+    mp.add_argument("name", metavar="NAME",
+                    help="registered machine name or machine file path")
+    mp.set_defaults(func=cmd_machines_describe)
+    mp = machines_sub.add_parser(
+        "validate",
+        help="build the named machines (default: all registered) end to end",
+    )
+    mp.add_argument("name", nargs="*", metavar="NAME",
+                    help="registered machine names or machine file paths")
+    mp.set_defaults(func=cmd_machines_validate)
+
+    p = sub.add_parser(
         "trace",
         help="capture/replay whole workloads through the trace store",
     )
@@ -594,7 +670,8 @@ def build_parser() -> argparse.ArgumentParser:
         )
         tp.add_argument("--query", choices=sorted(QUERIES), default="Q6")
         tp.add_argument("--procs", type=int, default=1)
-        tp.add_argument("--platform", choices=sorted(PLATFORMS), default="hpv")
+        tp.add_argument("--platform", default="hpv", metavar="NAME",
+                        help="registered machine name or machine file path")
         tp.add_argument(
             "--store", nargs="?", const="", default="", metavar="DIR",
             help="trace store directory (default: <result cache>/traces)",
@@ -610,7 +687,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("replay", help="replay a trace on a machine model")
     p.add_argument("--trace", default="trace.npz")
-    p.add_argument("--platform", choices=sorted(PLATFORMS), default="hpv")
+    p.add_argument("--platform", default="hpv", metavar="NAME",
+                   help="registered machine name or machine file path")
     _add_common(p)
     p.set_defaults(func=cmd_replay)
 

@@ -11,9 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..mem.registry import REGISTRY
 from ..tpch.queries import PAPER_QUERIES
 from . import metrics
 from .sweep import NPROC_SWEEP, CellKey, SweepRunner, normalize_cell
+
+#: The platform axis of every numbered paper figure — the machines the
+#: 2002 paper measured, derived from the registry rather than spelled
+#: out per builder.  Registered non-paper machines are swept and
+#: compared through ``repro sweep --platforms`` instead.
+PAPER_PLATFORMS = REGISTRY.paper_platforms()
 
 
 @dataclass
@@ -52,7 +59,7 @@ def fig2_thread_time(runner: SweepRunner, queries=PAPER_QUERIES) -> FigureData:
         notes="Fig 2(a): 1 process; Fig 2(b): 8 processes.",
     )
     for q in queries:
-        for plat in ("hpv", "sgi"):
+        for plat in PAPER_PLATFORMS:
             for n in (1, 8):
                 res = runner.cell(q, plat, n)
                 fig.rows.append(
@@ -74,7 +81,7 @@ def fig3_cpi(runner: SweepRunner, queries=PAPER_QUERIES) -> FigureData:
         ("query", "platform", "n_procs", "cpi"),
     )
     for q in queries:
-        for plat in ("hpv", "sgi"):
+        for plat in PAPER_PLATFORMS:
             for n in (1, 8):
                 res = runner.cell(q, plat, n)
                 fig.rows.append(
@@ -265,7 +272,7 @@ def class_breakdown(
         ("query", "platform", "record", "index", "meta", "lock", "private"),
     )
     for q in queries:
-        for plat in ("hpv", "sgi"):
+        for plat in PAPER_PLATFORMS:
             m = runner.cell(q, plat, n_procs).mean
             row = {"query": q, "platform": plat}
             row.update({k: m.coherent_by_class.get(k, 0) for k in
@@ -290,9 +297,9 @@ FIGURES: Dict[str, Callable] = {
 
 #: Which (platforms, nprocs) slice of the matrix each figure reads.
 _FIG_SLICE: Dict[str, tuple] = {
-    "fig2": (("hpv", "sgi"), (1, 8)),
-    "fig3": (("hpv", "sgi"), (1, 8)),
-    "fig4": (("hpv", "sgi"), (1, 8)),
+    "fig2": (PAPER_PLATFORMS, (1, 8)),
+    "fig3": (PAPER_PLATFORMS, (1, 8)),
+    "fig4": (PAPER_PLATFORMS, (1, 8)),
     "fig5": (("sgi",), NPROC_SWEEP),
     "fig6": (("sgi",), NPROC_SWEEP),
     "fig7": (("hpv",), NPROC_SWEEP),

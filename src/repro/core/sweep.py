@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import DEFAULT_SIM, SimConfig
+from ..mem.registry import REGISTRY
 from ..tpch.datagen import TPCHConfig
 from ..tpch.queries import PAPER_QUERIES
 from .experiment import DEFAULT_TPCH, ExperimentResult, ExperimentSpec
@@ -39,10 +40,14 @@ def normalize_cell(cell: Sequence) -> CellKey:
 
 def figure_grid_cells(
     queries: Iterable[str] = PAPER_QUERIES,
-    platforms: Iterable[str] = ("hpv", "sgi"),
+    platforms: Optional[Iterable[str]] = None,
     nprocs: Iterable[int] = NPROC_SWEEP,
 ) -> List[CellKey]:
-    """Every cell Figs. 2-10 consume: the full paper test matrix."""
+    """Every cell Figs. 2-10 consume: the full paper test matrix.
+    ``platforms`` defaults to the registry's paper pair; pass any
+    registered names (or machine file paths) to sweep other machines."""
+    if platforms is None:
+        platforms = REGISTRY.paper_platforms()
     return [
         normalize_cell((q, p, n))
         for q in queries

@@ -16,6 +16,37 @@ class ConfigError(ReproError):
     """A machine, database, or experiment configuration is invalid."""
 
 
+class UnknownPlatformError(ConfigError):
+    """A platform name is not in the machine registry.
+
+    Carries the registered names and (when one is close enough) a
+    nearest-match suggestion so CLI users see actionable output.
+    """
+
+    def __init__(self, name: str, known, suggestion: str = "") -> None:
+        self.name = name
+        self.known = tuple(known)
+        self.suggestion = suggestion
+        msg = f"unknown platform {name!r}; registered: {', '.join(self.known)}"
+        if suggestion:
+            msg += f" (did you mean {suggestion!r}?)"
+        super().__init__(msg)
+
+
+class MachineFileError(ConfigError):
+    """A machine definition file cannot be read or parsed at all
+    (missing file, bad TOML/JSON syntax, unsupported extension)."""
+
+
+class MachineSchemaError(ConfigError):
+    """A machine definition file parsed but does not match the machine
+    schema: missing or unknown fields, or a field of the wrong type.
+    Semantic violations (zero-size cache, non-monotone line sizes, bad
+    topology kind...) are raised by the config dataclasses themselves
+    as plain :class:`ConfigError`; either way an invalid machine can
+    never reach the simulator."""
+
+
 class CoherenceError(ReproError):
     """The coherence engine detected a protocol invariant violation.
 

@@ -9,14 +9,27 @@ from .cache import CacheConfig, SetAssocCache
 from .coherence import CoherenceEngine
 from .directory import Directory, DirEntry
 from .hierarchy import CacheHierarchy
-from .interconnect import CrossbarInterconnect, Interconnect, NumaInterconnect
+from .interconnect import (
+    CrossbarInterconnect,
+    Interconnect,
+    IslandsInterconnect,
+    NumaInterconnect,
+)
 from .latency import LatencyModel
 from .machine import (
-    PLATFORMS,
     MachineConfig,
     hp_v_class,
     platform,
     sgi_origin_2000,
+)
+from .registry import (
+    REGISTRY,
+    MachineRegistry,
+    load_machine_file,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine_file,
+    validate_machine,
 )
 from .memsys import (
     MISS_CAPACITY,
@@ -27,7 +40,12 @@ from .memsys import (
     MemorySystem,
 )
 from .states import EXCLUSIVE, INVALID, MODIFIED, SHARED, STATE_NAMES
-from .topology import CrossbarTopology, HypercubeTopology, Topology
+from .topology import (
+    CrossbarTopology,
+    HypercubeTopology,
+    IslandsTopology,
+    Topology,
+)
 
 __all__ = [
     "CacheConfig",
@@ -39,12 +57,19 @@ __all__ = [
     "Interconnect",
     "CrossbarInterconnect",
     "NumaInterconnect",
+    "IslandsInterconnect",
     "LatencyModel",
     "MachineConfig",
     "hp_v_class",
     "sgi_origin_2000",
     "platform",
-    "PLATFORMS",
+    "MachineRegistry",
+    "REGISTRY",
+    "machine_from_dict",
+    "machine_to_dict",
+    "load_machine_file",
+    "save_machine_file",
+    "validate_machine",
     "MemorySystem",
     "CpuMemStats",
     "MISS_COLD",
@@ -54,6 +79,7 @@ __all__ = [
     "Topology",
     "CrossbarTopology",
     "HypercubeTopology",
+    "IslandsTopology",
     "INVALID",
     "SHARED",
     "EXCLUSIVE",

@@ -165,3 +165,33 @@ class NumaInterconnect(Interconnect):
     def distance_cost(self, cpu: int, home_node: int) -> int:
         hops = self.topology.hops(self.topology.node_of_cpu(cpu), home_node)
         return self.lat.hop_cost * hops
+
+
+class IslandsInterconnect(Interconnect):
+    """Socket-aware interconnect for NUMA "hardware islands".
+
+    Each socket owns ``banks_per_socket`` interleaved memory channels;
+    a line homed on a socket interleaves across that socket's channels
+    at 64 B granularity.  Distance is binary: intra-socket requests pay
+    nothing, cross-socket requests pay one ``hop_cost`` link traversal.
+    Placement policy enters through the machine's ``db_home_nodes``:
+    spreading the DBMS segments over all sockets trades local-access
+    probability for home-bank pressure, exactly the island-placement
+    tension Porobic et al. measure.
+    """
+
+    def __init__(
+        self, topology: Topology, lat: LatencyModel, banks_per_socket: int = 1
+    ) -> None:
+        super().__init__(topology, lat)
+        self.banks_per_socket = max(1, banks_per_socket)
+
+    def bank_of(self, line_addr: int, home_node: int) -> int:
+        return home_node * self.banks_per_socket + (
+            (line_addr >> 6) % self.banks_per_socket
+        )
+
+    def distance_cost(self, cpu: int, home_node: int) -> int:
+        if self.topology.node_of_cpu(cpu) == home_node:
+            return 0
+        return self.lat.hop_cost

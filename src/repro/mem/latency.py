@@ -54,12 +54,17 @@ class LatencyModel:
     #: Fraction of raw miss latency that shows up as stall cycles after
     #: out-of-order/MLP overlap.
     exposure: float
+    #: Stall for a hit in the third-level cache (0 on machines with
+    #: fewer than three levels — both 2002 seed machines).  Defaulted so
+    #: every existing keyword construction stays valid.
+    l3_hit: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.exposure <= 1.0:
             raise ConfigError("exposure must be in (0, 1]")
         for field in (
             "l2_hit",
+            "l3_hit",
             "mem_base",
             "hop_cost",
             "intervention_base",

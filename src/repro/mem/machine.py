@@ -28,12 +28,28 @@ from typing import Tuple
 from ..errors import ConfigError
 from ..units import KB, MB
 from .cache import CacheConfig
-from .interconnect import CrossbarInterconnect, Interconnect, NumaInterconnect
+from .interconnect import (
+    CrossbarInterconnect,
+    Interconnect,
+    IslandsInterconnect,
+    NumaInterconnect,
+)
 from .latency import LatencyModel
-from .topology import CrossbarTopology, HypercubeTopology, Topology
+from .topology import (
+    CrossbarTopology,
+    HypercubeTopology,
+    IslandsTopology,
+    Topology,
+)
 
 TOPOLOGY_CROSSBAR = "crossbar"
 TOPOLOGY_HYPERCUBE = "hypercube"
+#: Multi-socket NUMA "hardware islands" (a.k.a. mesh of sockets).
+TOPOLOGY_ISLANDS = "islands"
+TOPOLOGY_KINDS = (TOPOLOGY_CROSSBAR, TOPOLOGY_HYPERCUBE, TOPOLOGY_ISLANDS)
+
+#: Deepest supported per-CPU cache hierarchy.
+MAX_CACHE_LEVELS = 3
 
 
 @dataclass(frozen=True)
@@ -65,16 +81,58 @@ class MachineConfig:
     #: paper observes requests "routed to the same node or a couple of
     #: different nodes which hold the shared memory for the DBMS".
     db_home_nodes: Tuple[int, ...]
+    #: Socket count for the ``islands`` topology (ignored elsewhere).
+    n_sockets: int = 1
+    #: Hardware next-line prefetcher: an L1 miss that is satisfied by a
+    #: lower cache level also pulls the next sequential L1 line up if
+    #: the backing level already holds it.  Off for both 2002 seed
+    #: machines (neither PA-8200 nor R10000 prefetched into L1).
+    prefetch_next_line: bool = False
 
     def __post_init__(self) -> None:
-        if self.topology_kind not in (TOPOLOGY_CROSSBAR, TOPOLOGY_HYPERCUBE):
-            raise ConfigError(f"unknown topology {self.topology_kind!r}")
+        if self.topology_kind not in TOPOLOGY_KINDS:
+            raise ConfigError(
+                f"unknown topology {self.topology_kind!r}; "
+                f"choose from {', '.join(TOPOLOGY_KINDS)}"
+            )
         if not self.caches:
             raise ConfigError("at least one cache level required")
+        if len(self.caches) > MAX_CACHE_LEVELS:
+            raise ConfigError(
+                f"at most {MAX_CACHE_LEVELS} cache levels supported, "
+                f"got {len(self.caches)}"
+            )
+        for inner, outer in zip(self.caches, self.caches[1:]):
+            if inner.line_size > outer.line_size:
+                raise ConfigError(
+                    f"non-monotone line sizes: {inner.name} "
+                    f"({inner.line_size} B) exceeds {outer.name} "
+                    f"({outer.line_size} B)"
+                )
+            if inner.size > outer.size:
+                raise ConfigError(
+                    f"non-monotone capacities: {inner.name} "
+                    f"({inner.size} B) exceeds {outer.name} "
+                    f"({outer.size} B) — inclusion needs outer >= inner"
+                )
         if self.n_cpus < 1:
             raise ConfigError("n_cpus must be >= 1")
         if not self.db_home_nodes:
             raise ConfigError("db_home_nodes must not be empty")
+        if self.n_sockets < 1:
+            raise ConfigError("n_sockets must be >= 1")
+        if self.topology_kind == TOPOLOGY_ISLANDS:
+            if self.n_cpus < self.n_sockets:
+                raise ConfigError(
+                    f"islands machine needs at least one CPU per socket "
+                    f"({self.n_cpus} CPUs, {self.n_sockets} sockets)"
+                )
+            for node in self.db_home_nodes:
+                if not 0 <= node < self.n_sockets:
+                    raise ConfigError(
+                        f"db_home_nodes entry {node} outside sockets "
+                        f"0..{self.n_sockets - 1}"
+                    )
 
     # -- derived -------------------------------------------------------------
     @property
@@ -89,11 +147,16 @@ class MachineConfig:
     def build_topology(self) -> Topology:
         if self.topology_kind == TOPOLOGY_CROSSBAR:
             return CrossbarTopology(self.n_cpus)
+        if self.topology_kind == TOPOLOGY_ISLANDS:
+            return IslandsTopology(self.n_cpus, self.n_sockets)
         return HypercubeTopology(self.n_cpus)
 
     def build_interconnect(self, topology: Topology) -> Interconnect:
         if self.topology_kind == TOPOLOGY_CROSSBAR:
             return CrossbarInterconnect(topology, self.latency, self.n_mem_banks)
+        if self.topology_kind == TOPOLOGY_ISLANDS:
+            # ``n_mem_banks`` is per socket on islands machines.
+            return IslandsInterconnect(topology, self.latency, self.n_mem_banks)
         return NumaInterconnect(topology, self.latency)
 
     def scaled(self, scale_log2: int) -> "MachineConfig":
@@ -108,10 +171,18 @@ class MachineConfig:
             f"{self.name} ({self.processor} @ {self.clock_mhz} MHz, "
             f"{self.n_cpus} CPUs, {self.topology_kind})"
         ]
-        lines += ["  " + c.describe() for c in self.caches]
+        lines.append("  " + self.build_topology().describe())
+        if self.topology_kind != TOPOLOGY_CROSSBAR:
+            lines.append(
+                "  DBMS shared memory homed on node(s) "
+                + ", ".join(str(n) for n in self.db_home_nodes)
+            )
+        for level, c in enumerate(self.caches, start=1):
+            lines.append(f"  L{level} {c.describe()}")
         lines.append(
             f"  migratory={self.migratory_enabled} "
             f"speculative={self.latency.speculative_reply} "
+            f"prefetch_next_line={self.prefetch_next_line} "
             f"base CPI={self.base_cpi}"
         )
         return "\n".join(lines)
@@ -179,19 +250,12 @@ def sgi_origin_2000(n_cpus: int = 32) -> MachineConfig:
     )
 
 
-#: Registry used by the experiment harness and the CLI examples.
-PLATFORMS = {
-    "hpv": hp_v_class,
-    "sgi": sgi_origin_2000,
-}
-
-
 def platform(name: str, n_cpus: int = 0) -> MachineConfig:
-    """Look up a platform by short name (``hpv`` or ``sgi``)."""
-    try:
-        factory = PLATFORMS[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}"
-        ) from None
-    return factory(n_cpus) if n_cpus else factory()
+    """Resolve a platform by registered name or machine-file path.
+
+    Thin delegate to :func:`repro.mem.registry.platform` (imported
+    lazily — the registry imports this module for the seed factories).
+    """
+    from .registry import platform as _platform
+
+    return _platform(name, n_cpus)

@@ -41,7 +41,7 @@ from ..trace.classify import NUM_CLASSES
 from .coherence import KIND_INTERVENTION, CoherenceEngine
 from .directory import NO_OWNER, DirEntry
 from .hierarchy import CacheHierarchy
-from .machine import TOPOLOGY_CROSSBAR, MachineConfig
+from .machine import TOPOLOGY_CROSSBAR, TOPOLOGY_ISLANDS, MachineConfig
 from .states import EXCLUSIVE, MODIFIED, SHARED
 
 MISS_COLD = 0
@@ -156,10 +156,36 @@ class MemorySystem:
         self._uma = machine.topology_kind == TOPOLOGY_CROSSBAR
         self._exposure = machine.latency.exposure
         self._l2_hit = machine.latency.l2_hit
-        self._has_l2 = len(machine.caches) == 2
+        self._l3_hit = machine.latency.l3_hit
+        self._n_levels = len(machine.caches)
+        self._has_l2 = self._n_levels >= 2
         #: Exposed stall of a clean L2 hit — constant per machine, so
         #: computed once instead of per hit.
         self._l2_stall = int(self._l2_hit * self._exposure)
+        #: Exposed stall of a clean hit at ``levels[li]`` (cumulative:
+        #: a hit at the L3 also traversed the L2); index 0 unused.
+        self._level_stall = [0]
+        _lat_acc = 0
+        for _li in range(1, self._n_levels):
+            _lat_acc += self._l2_hit if _li == 1 else self._l3_hit
+            self._level_stall.append(int(_lat_acc * self._exposure))
+        #: Traversal latency of every level between the L1 and memory,
+        #: added to each coherent miss's raw latency on its way out.
+        self._below_l1_lat = _lat_acc
+        #: Next-line prefetcher (exotic machines only; see `_miss`).
+        self._prefetch = machine.prefetch_next_line and self._has_l2
+        self._l1_shift = machine.caches[0].line_shift
+        self.n_prefetch_fills = 0
+        #: The flattened scalar engine's inline miss lanes transcribe
+        #: the 1/2-level crossbar/hypercube fast cases only; machines
+        #: outside that envelope (3 levels, prefetcher, islands
+        #: interconnects with per-socket bank interleaving) route every
+        #: L1 miss through the general :meth:`_miss` helper instead.
+        self._inline_ok = (
+            self._n_levels <= 2
+            and not self._prefetch
+            and machine.topology_kind != TOPOLOGY_ISLANDS
+        )
         self._coh_mask = ~(machine.coherence_line_size - 1)
         # miss-classification memory
         self._ever_cached: List[Set[int]] = [set() for _ in range(machine.n_cpus)]
@@ -304,32 +330,63 @@ class MemorySystem:
         st: CpuMemStats,
         h: CacheHierarchy,
     ) -> int:
-        """Everything below the L1: L2 hit, or directory transaction.
-        Shared by :meth:`access` and the observed batch path."""
+        """Everything below the L1: a hit at any inner level (L2 or
+        L3), or a directory transaction.  Shared by :meth:`access`, the
+        observed batch path, and — on machines outside the inline
+        lanes' envelope — the batched engines."""
         st.level1_misses += 1
         st.level1_misses_by_class[cls] += 1
 
-        if self._has_l2:
-            cstate = h.coherent.probe(addr)
-            if cstate:
-                st.l2_hits += 1
-                stall = self._l2_stall
-                if is_write:
-                    if cstate == SHARED:
-                        stall += self._do_upgrade(cpu, addr, now, st, h)
-                        cstate = MODIFIED
-                    elif cstate == EXCLUSIVE:
-                        h.coherent.set_state(addr, MODIFIED)
-                        self.engine.note_silent_upgrade(cpu, addr)
-                        st.silent_upgrades += 1
-                        if self._txlog is not None:
-                            self._txlog.append(addr)
-                        cstate = MODIFIED
-                h.fill_l1(addr, cstate)
-                st.stall_cycles += stall
-                return stall
+        levels = h.levels
+        last = self._n_levels - 1
+        for li in range(1, self._n_levels):
+            cache = levels[li]
+            cstate = cache.probe(addr)
+            if not cstate:
+                continue
+            # ``l2_hits`` counts every below-L1 cache hit regardless of
+            # the level that supplied it, preserving the identity
+            # level1_misses == l2_hits + coherent_misses on any depth.
+            st.l2_hits += 1
+            stall = self._level_stall[li]
+            if is_write:
+                if cstate == SHARED:
+                    stall += self._do_upgrade(cpu, addr, now, st, h)
+                    cstate = MODIFIED
+                elif cstate == EXCLUSIVE:
+                    if li == last:
+                        cache.set_state(addr, MODIFIED)
+                    else:
+                        # mid-level hit: restate the coherent level and
+                        # every resident sub-line below it
+                        h.set_state(addr, MODIFIED)
+                    self.engine.note_silent_upgrade(cpu, addr)
+                    st.silent_upgrades += 1
+                    if self._txlog is not None:
+                        self._txlog.append(addr)
+                    cstate = MODIFIED
+            h.fill_inner(addr, cstate, li)
+            if self._prefetch:
+                self._prefetch_next(h, addr, li)
+            st.stall_cycles += stall
+            return stall
 
         return self._coherent_miss(cpu, addr, is_write, cls, now, st, h)
+
+    def _prefetch_next(self, h: CacheHierarchy, addr: int, src_li: int) -> None:
+        """Next-line prefetcher: an L1 miss satisfied at ``levels
+        [src_li]`` also pulls the next sequential L1 line up from that
+        level when it is already resident there.  Pure hierarchy
+        motion — no memory, interconnect, or directory traffic, so
+        coherence state is untouched and inclusion is preserved by
+        :meth:`CacheHierarchy.fill_inner`."""
+        nxt = ((addr >> self._l1_shift) + 1) << self._l1_shift
+        if h.l1.peek(nxt):
+            return
+        pstate = h.levels[src_li].peek(nxt)
+        if pstate:
+            h.fill_inner(nxt, pstate, src_li)
+            self.n_prefetch_fills += 1
 
     def _coherent_miss(
         self,
@@ -364,7 +421,8 @@ class MemorySystem:
             self.engine.evict(cpu, vbase, vstate, self._home(vbase), now)
 
         if self._has_l2:
-            lat += self._l2_hit  # the miss traversed the L2 on its way out
+            # the miss traversed every inner level on its way out
+            lat += self._below_l1_lat
         st.coherent_misses += 1
         st.coherent_misses_by_class[cls] += 1
         st.raw_latency_cycles += lat
@@ -465,6 +523,11 @@ class MemorySystem:
             bank_mod,
         ) = self._batch_ctx[cpu]
         has_l2 = l2_sets is not None
+        # Machines outside the inline lanes' envelope (3 cache levels,
+        # prefetcher, islands interconnect) take the general `_miss`
+        # helper on every L1 miss; the L1 hit/silent-upgrade handling
+        # above it is depth- and topology-independent.
+        general_miss = None if self._inline_ok else self._miss
         l2_stall = self._l2_stall
         modified = MODIFIED
         exclusive = EXCLUSIVE
@@ -585,6 +648,11 @@ class MemorySystem:
                 n_writes += 1
             else:
                 n_reads += 1
+            if general_miss is not None:
+                cost += general_miss(cpu, addr, is_write, cls, int(t + cost), st, h)
+                cycles += cost
+                t += cost
+                continue
             n_l1_miss += 1
             if by_class is None:
                 by_class = [0] * NUM_CLASSES

@@ -1,0 +1,435 @@
+"""Declarative machine registry and the machine-file loader.
+
+Machines are *data*: a :class:`~repro.mem.machine.MachineConfig` value
+registered under a short key, or an equivalent TOML/JSON file loaded at
+run time.  The two 2002 seed machines are registered from their factory
+functions; every further machine ships as a data file — the builtin
+ones under ``repro/mem/machines/``, user machines anywhere on disk
+(``repro --platform path/to/machine.toml`` or
+``repro machines validate file``).
+
+The loader is strict by construction: a file that does not parse raises
+:class:`~repro.errors.MachineFileError`, a parsed document that does
+not match the schema raises :class:`~repro.errors.MachineSchemaError`,
+and semantic violations (zero-size cache, non-monotone levels, unknown
+topology kind...) surface as the config dataclasses' own
+:class:`~repro.errors.ConfigError`.  There is no lenient path — an
+invalid machine can never reach the simulator.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import tomllib
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+from ..errors import (
+    MachineFileError,
+    MachineSchemaError,
+    UnknownPlatformError,
+)
+from .cache import CacheConfig
+from .latency import LatencyModel
+from .machine import MachineConfig, hp_v_class, sgi_origin_2000
+
+#: Version stamp written into (and accepted from) machine files.
+MACHINE_FILE_FORMAT = 1
+
+#: Directory of builtin machine data files, packaged with the module.
+BUILTIN_MACHINE_DIR = Path(__file__).resolve().parent / "machines"
+
+
+class MachineRegistry:
+    """Ordered name → :class:`MachineConfig` registry.
+
+    Registration order is presentation order (``repro machines list``);
+    the machines flagged ``paper=True`` are the source paper's two
+    platforms and form the default axis of the figure grid.
+    """
+
+    def __init__(self) -> None:
+        self._machines: Dict[str, MachineConfig] = {}
+        self._paper: List[str] = []
+
+    def register(
+        self,
+        key: str,
+        cfg: MachineConfig,
+        *,
+        paper: bool = False,
+        replace_existing: bool = False,
+    ) -> MachineConfig:
+        if not key or any(ch.isspace() for ch in key):
+            raise MachineSchemaError(f"bad registry key {key!r}")
+        if key in self._machines and not replace_existing:
+            raise MachineSchemaError(f"platform {key!r} already registered")
+        self._machines[key] = cfg
+        if paper and key not in self._paper:
+            self._paper.append(key)
+        return cfg
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._machines)
+
+    def paper_platforms(self) -> Tuple[str, ...]:
+        """The source paper's platforms, in registration order."""
+        return tuple(self._paper)
+
+    def items(self) -> Iterator[Tuple[str, MachineConfig]]:
+        return iter(self._machines.items())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._machines
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._machines)
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def get(self, name: str) -> MachineConfig:
+        """Look up a registered machine; unknown names raise
+        :class:`UnknownPlatformError` with a nearest-match suggestion."""
+        try:
+            return self._machines[name]
+        except KeyError:
+            close = difflib.get_close_matches(name, self._machines, n=1)
+            raise UnknownPlatformError(
+                name, self._machines, close[0] if close else ""
+            ) from None
+
+
+# -- schema ------------------------------------------------------------------
+
+_TOP_SCALARS: Dict[str, Union[type, Tuple[type, ...]]] = {
+    "name": str,
+    "processor": str,
+    "n_cpus": int,
+    "clock_mhz": int,
+    "topology_kind": str,
+    "migratory_enabled": bool,
+    "base_cpi": (int, float),
+    "instr_counter_skew": (int, float),
+    "n_mem_banks": int,
+    "n_sockets": int,
+    "prefetch_next_line": bool,
+}
+#: Top-level keys that may be omitted, with their defaults.
+_TOP_OPTIONAL: Dict[str, object] = {
+    "n_sockets": 1,
+    "prefetch_next_line": False,
+}
+_CACHE_SCALARS: Dict[str, Union[type, Tuple[type, ...]]] = {
+    "name": str,
+    "size": int,
+    "line_size": int,
+    "assoc": int,
+}
+_LATENCY_SCALARS: Dict[str, Union[type, Tuple[type, ...]]] = {
+    "l2_hit": int,
+    "l3_hit": int,
+    "mem_base": int,
+    "hop_cost": int,
+    "intervention_base": int,
+    "upgrade_base": int,
+    "inval_per_sharer": int,
+    "bank_service": int,
+    "speculative_reply": bool,
+    "exposure": (int, float),
+}
+_LATENCY_OPTIONAL: Dict[str, object] = {"l3_hit": 0}
+
+#: Accepted spellings of topology kinds (ROADMAP calls the multi-socket
+#: kind "mesh"; the canonical name is ``islands``).
+_TOPOLOGY_ALIASES = {"mesh": "islands"}
+
+
+def _want(where: str, data: Dict, key: str, types, optional) -> object:
+    if key not in data:
+        if key in optional:
+            return optional[key]
+        raise MachineSchemaError(f"{where}: missing field {key!r}")
+    v = data[key]
+    if isinstance(v, bool) and types is not bool:
+        raise MachineSchemaError(
+            f"{where}: field {key!r} must be {_type_name(types)}, got a bool"
+        )
+    if not isinstance(v, types):
+        raise MachineSchemaError(
+            f"{where}: field {key!r} must be {_type_name(types)}, "
+            f"got {type(v).__name__}"
+        )
+    return v
+
+
+def _type_name(types) -> str:
+    if isinstance(types, tuple):
+        return "/".join(t.__name__ for t in types)
+    return types.__name__
+
+
+def _check_unknown(where: str, data: Dict, known) -> None:
+    extra = sorted(set(data) - set(known))
+    if extra:
+        raise MachineSchemaError(f"{where}: unknown field(s) {extra}")
+
+
+def machine_from_dict(data: object, source: str = "<dict>") -> MachineConfig:
+    """Build a :class:`MachineConfig` from a parsed machine document.
+
+    Schema violations raise :class:`MachineSchemaError`; semantic
+    violations propagate from the config dataclasses as
+    :class:`ConfigError`.
+    """
+    if not isinstance(data, dict):
+        raise MachineSchemaError(f"{source}: machine document must be a table")
+    fmt = data.get("format", MACHINE_FILE_FORMAT)
+    if fmt != MACHINE_FILE_FORMAT:
+        raise MachineSchemaError(
+            f"{source}: unsupported machine-file format {fmt!r} "
+            f"(this build reads format {MACHINE_FILE_FORMAT})"
+        )
+    _check_unknown(
+        source,
+        data,
+        set(_TOP_SCALARS) | {"format", "caches", "latency", "db_home_nodes"},
+    )
+    kw: Dict[str, object] = {}
+    for key, types in _TOP_SCALARS.items():
+        v = _want(source, data, key, types, _TOP_OPTIONAL)
+        if types == (int, float):
+            v = float(v)
+        kw[key] = v
+    kw["topology_kind"] = _TOPOLOGY_ALIASES.get(
+        kw["topology_kind"], kw["topology_kind"]
+    )
+
+    homes = _want(source, data, "db_home_nodes", list, {})
+    if not all(isinstance(n, int) and not isinstance(n, bool) for n in homes):
+        raise MachineSchemaError(
+            f"{source}: db_home_nodes must be a list of ints"
+        )
+    kw["db_home_nodes"] = tuple(homes)
+
+    caches = _want(source, data, "caches", list, {})
+    if not caches:
+        raise MachineSchemaError(f"{source}: caches must list >= 1 level")
+    levels = []
+    for i, c in enumerate(caches):
+        where = f"{source}: caches[{i}]"
+        if not isinstance(c, dict):
+            raise MachineSchemaError(f"{where}: each cache must be a table")
+        _check_unknown(where, c, _CACHE_SCALARS)
+        levels.append(
+            CacheConfig(
+                *(_want(where, c, k, t, {}) for k, t in _CACHE_SCALARS.items())
+            )
+        )
+    kw["caches"] = tuple(levels)
+
+    lat = _want(source, data, "latency", dict, {})
+    where = f"{source}: latency"
+    _check_unknown(where, lat, _LATENCY_SCALARS)
+    lat_kw = {}
+    for key, types in _LATENCY_SCALARS.items():
+        v = _want(where, lat, key, types, _LATENCY_OPTIONAL)
+        if types == (int, float):
+            v = float(v)
+        lat_kw[key] = v
+    kw["latency"] = LatencyModel(**lat_kw)
+
+    return MachineConfig(**kw)
+
+
+def machine_to_dict(cfg: MachineConfig) -> Dict:
+    """Inverse of :func:`machine_from_dict` (round-trip exact)."""
+    return {
+        "format": MACHINE_FILE_FORMAT,
+        "name": cfg.name,
+        "processor": cfg.processor,
+        "n_cpus": cfg.n_cpus,
+        "clock_mhz": cfg.clock_mhz,
+        "topology_kind": cfg.topology_kind,
+        "migratory_enabled": cfg.migratory_enabled,
+        "base_cpi": cfg.base_cpi,
+        "instr_counter_skew": cfg.instr_counter_skew,
+        "n_mem_banks": cfg.n_mem_banks,
+        "n_sockets": cfg.n_sockets,
+        "prefetch_next_line": cfg.prefetch_next_line,
+        "db_home_nodes": list(cfg.db_home_nodes),
+        "caches": [
+            {
+                "name": c.name,
+                "size": c.size,
+                "line_size": c.line_size,
+                "assoc": c.assoc,
+            }
+            for c in cfg.caches
+        ],
+        "latency": {
+            "l2_hit": cfg.latency.l2_hit,
+            "l3_hit": cfg.latency.l3_hit,
+            "mem_base": cfg.latency.mem_base,
+            "hop_cost": cfg.latency.hop_cost,
+            "intervention_base": cfg.latency.intervention_base,
+            "upgrade_base": cfg.latency.upgrade_base,
+            "inval_per_sharer": cfg.latency.inval_per_sharer,
+            "bank_service": cfg.latency.bank_service,
+            "speculative_reply": cfg.latency.speculative_reply,
+            "exposure": cfg.latency.exposure,
+        },
+    }
+
+
+# -- serialization -----------------------------------------------------------
+# ``tomllib`` is read-only, so the TOML emitter is hand-rolled; it only
+# needs the value shapes machine documents contain.
+
+
+def _toml_value(v: object) -> str:
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, int):
+        return str(v)
+    if isinstance(v, float):
+        return repr(v)
+    if isinstance(v, str):
+        # JSON string escaping is a valid TOML basic string.
+        return json.dumps(v)
+    if isinstance(v, (list, tuple)):
+        return "[" + ", ".join(_toml_value(x) for x in v) + "]"
+    raise MachineFileError(f"cannot serialize {type(v).__name__} to TOML")
+
+
+def dump_machine_toml(cfg: MachineConfig) -> str:
+    """Render ``cfg`` as a machine file in TOML form."""
+    d = machine_to_dict(cfg)
+    out = []
+    for key in (
+        "format",
+        "name",
+        "processor",
+        "n_cpus",
+        "clock_mhz",
+        "topology_kind",
+        "n_sockets",
+        "migratory_enabled",
+        "prefetch_next_line",
+        "base_cpi",
+        "instr_counter_skew",
+        "n_mem_banks",
+        "db_home_nodes",
+    ):
+        out.append(f"{key} = {_toml_value(d[key])}")
+    out.append("")
+    out.append("[latency]")
+    for key, v in d["latency"].items():
+        out.append(f"{key} = {_toml_value(v)}")
+    for c in d["caches"]:
+        out.append("")
+        out.append("[[caches]]")
+        for key, v in c.items():
+            out.append(f"{key} = {_toml_value(v)}")
+    out.append("")
+    return "\n".join(out)
+
+
+def dump_machine_json(cfg: MachineConfig) -> str:
+    """Render ``cfg`` as a machine file in JSON form."""
+    return json.dumps(machine_to_dict(cfg), indent=2) + "\n"
+
+
+def save_machine_file(cfg: MachineConfig, path: Union[str, Path]) -> Path:
+    """Write ``cfg`` to ``path``, format chosen by extension."""
+    path = Path(path)
+    if path.suffix == ".toml":
+        path.write_text(dump_machine_toml(cfg))
+    elif path.suffix == ".json":
+        path.write_text(dump_machine_json(cfg))
+    else:
+        raise MachineFileError(
+            f"{path}: unsupported machine-file extension "
+            f"{path.suffix!r} (use .toml or .json)"
+        )
+    return path
+
+
+def load_machine_file(path: Union[str, Path]) -> MachineConfig:
+    """Parse and validate one machine definition file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise MachineFileError(f"{path}: cannot read machine file: {exc}") from None
+    if path.suffix == ".toml":
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise MachineFileError(f"{path}: bad TOML: {exc}") from None
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise MachineFileError(f"{path}: bad JSON: {exc}") from None
+    else:
+        raise MachineFileError(
+            f"{path}: unsupported machine-file extension "
+            f"{path.suffix!r} (use .toml or .json)"
+        )
+    return machine_from_dict(data, source=str(path))
+
+
+def validate_machine(cfg: MachineConfig) -> None:
+    """Exercise the cross-layer constraints a bare ``MachineConfig``
+    cannot see (hypercube node count, islands socket layout, hierarchy
+    inclusion geometry).  Raises :class:`ConfigError` on violation."""
+    from .hierarchy import CacheHierarchy
+
+    topology = cfg.build_topology()
+    cfg.build_interconnect(topology)
+    CacheHierarchy(list(cfg.caches))
+    for node in cfg.db_home_nodes:
+        if not 0 <= node < topology.n_nodes:
+            from ..errors import ConfigError
+
+            raise ConfigError(
+                f"db_home_nodes entry {node} outside nodes "
+                f"0..{topology.n_nodes - 1}"
+            )
+
+
+# -- resolution --------------------------------------------------------------
+
+
+def _looks_like_path(name: str) -> bool:
+    return "/" in name or name.endswith((".toml", ".json"))
+
+
+def platform(name: str, n_cpus: int = 0) -> MachineConfig:
+    """Resolve a platform: a registered name, or a machine-file path
+    (anything containing ``/`` or ending in ``.toml``/``.json``).
+    ``n_cpus`` overrides the machine's CPU count (0 keeps it)."""
+    if _looks_like_path(name):
+        cfg = load_machine_file(name)
+    else:
+        cfg = REGISTRY.get(name)
+    if n_cpus and n_cpus != cfg.n_cpus:
+        cfg = replace(cfg, n_cpus=n_cpus)
+    return cfg
+
+
+def _boot_registry() -> MachineRegistry:
+    """The process-wide registry: the paper's two machines from their
+    factories, then every packaged machine data file."""
+    reg = MachineRegistry()
+    reg.register("hpv", hp_v_class(), paper=True)
+    reg.register("sgi", sgi_origin_2000(), paper=True)
+    for path in sorted(BUILTIN_MACHINE_DIR.glob("*.toml")):
+        reg.register(path.stem, load_machine_file(path))
+    return reg
+
+
+REGISTRY = _boot_registry()

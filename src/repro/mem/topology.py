@@ -62,6 +62,40 @@ class CrossbarTopology(Topology):
         return f"crossbar UMA: {self.n_cpus} CPUs, uniform memory distance"
 
 
+class IslandsTopology(Topology):
+    """Multi-socket NUMA "hardware islands" (Porobic et al.).
+
+    Each socket is one NUMA node with its own memory controller; the
+    sockets are joined by a flat point-to-point link (QPI/UPI-style),
+    so distance is binary: zero hops inside a socket, one hop between
+    any two sockets.  CPUs fill sockets in order, matching how Linux
+    enumerates cores on multi-socket boards.
+    """
+
+    def __init__(self, n_cpus: int, n_sockets: int) -> None:
+        if n_sockets < 1:
+            raise ConfigError("n_sockets must be >= 1")
+        if n_cpus < n_sockets:
+            raise ConfigError(
+                f"need at least one CPU per socket ({n_cpus} CPUs, "
+                f"{n_sockets} sockets)"
+            )
+        cpus_per_socket = (n_cpus + n_sockets - 1) // n_sockets
+        super().__init__(n_cpus, cpus_per_socket)
+        self.n_sockets = self.n_nodes
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        if not (0 <= node_a < self.n_nodes and 0 <= node_b < self.n_nodes):
+            raise ConfigError("node id out of range")
+        return 0 if node_a == node_b else 1
+
+    def describe(self) -> str:
+        return (
+            f"NUMA islands: {self.n_sockets} sockets x "
+            f"{self.cpus_per_node} CPUs, 1 hop between sockets"
+        )
+
+
 class HypercubeTopology(Topology):
     """Bristled-hypercube ccNUMA (SGI Origin 2000).
 

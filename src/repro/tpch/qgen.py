@@ -55,6 +55,20 @@ def q14_default() -> Dict:
     return {"year": 1995, "month": 9}
 
 
+def q19_default() -> Dict:
+    """Validation parameters for Q19, over this generator's domains
+    (brands are ``Brand#11``..``Brand#55``; the spec's quantity windows
+    are kept: ``[q, q+10]`` per branch)."""
+    return {
+        "brand1": "Brand#11",
+        "brand2": "Brand#22",
+        "brand3": "Brand#33",
+        "quantity1": 4,
+        "quantity2": 14,
+        "quantity3": 24,
+    }
+
+
 DEFAULTS = {
     "Q1": q1_default,
     "Q3": q3_default,
@@ -63,6 +77,7 @@ DEFAULTS = {
     "Q6": q6_default,
     "Q12": q12_default,
     "Q14": q14_default,
+    "Q19": q19_default,
     "Q21": q21_default,
 }
 
@@ -108,6 +123,16 @@ def random_params(query: str, seed: int) -> Dict:
         return {
             "year": int(rng.integers(1993, 1998)),
             "month": int(rng.integers(1, 13)),
+        }
+    if query == "Q19":
+        brands = [f"Brand#{d}{d}" for d in rng.choice(5, size=3, replace=False) + 1]
+        return {
+            "brand1": brands[0],
+            "brand2": brands[1],
+            "brand3": brands[2],
+            "quantity1": int(rng.integers(1, 11)),
+            "quantity2": int(rng.integers(10, 21)),
+            "quantity3": int(rng.integers(20, 31)),
         }
     raise KeyError(f"unknown query {query!r}")
 

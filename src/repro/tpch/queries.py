@@ -775,6 +775,129 @@ def q14_reference(db: Database, params: Dict) -> List[Tuple]:
 
 
 # ---------------------------------------------------------------------------
+# Q19 — discounted revenue (extension: disjunctive join predicate)
+# ---------------------------------------------------------------------------
+
+#: The spec's SM/MED/LG container families, mapped onto this
+#: generator's ``CONTAINER 0``..``CONTAINER 39`` domain: one disjoint
+#: band of ten containers per branch.
+_Q19_CONTAINERS = (
+    frozenset(f"CONTAINER {n}" for n in range(0, 10)),
+    frozenset(f"CONTAINER {n}" for n in range(10, 20)),
+    frozenset(f"CONTAINER {n}" for n in range(20, 30)),
+)
+#: Per-branch p_size ceilings (the spec's 5/10/15).
+_Q19_SIZE_MAX = (5, 10, 15)
+#: The spec's air-freight restriction, over this generator's modes.
+_Q19_SHIPMODES = frozenset(("AIR", "REG AIR"))
+
+
+def _q19_groups(params: Dict):
+    """The three OR'd (brand, containers, qty window, size max) branches."""
+    return tuple(
+        (
+            params[f"brand{i + 1}"],
+            _Q19_CONTAINERS[i],
+            params[f"quantity{i + 1}"],
+            params[f"quantity{i + 1}"] + 10,
+            _Q19_SIZE_MAX[i],
+        )
+        for i in range(3)
+    )
+
+
+def q19_factory(db: Database, ctx: ExecContext, params: Dict):
+    """Q19 plan: lineitem scan (air-shipped lines) with a PART probe
+    per row, summing revenue over three OR'd brand/container/quantity
+    branches."""
+    li = db.table("lineitem")
+    part = db.table("part")
+    part_idx = db.index("idx_part_partkey")
+    l_part = li.col("l_partkey")
+    l_qty = li.col("l_quantity")
+    l_ep = li.col("l_extendedprice")
+    l_disc = li.col("l_discount")
+    l_mode = li.col("l_shipmode")
+    l_instr = li.col("l_shipinstruct")
+    p_brand = part.col("p_brand")
+    p_container = part.col("p_container")
+    p_size = part.col("p_size")
+    groups = _q19_groups(params)
+
+    def matches(prow, qty) -> bool:
+        for brand, containers, qlo, qhi, smax in groups:
+            if (
+                prow[p_brand] == brand
+                and prow[p_container] in containers
+                and qlo <= qty <= qhi
+                and 1 <= prow[p_size] <= smax
+            ):
+                return True
+        return False
+
+    def plan(_ctx):
+        def joined():
+            outer = seq_scan(
+                ctx,
+                li,
+                pred=lambda r: r[l_mode] in _Q19_SHIPMODES
+                and r[l_instr] == "NONE",
+                project=lambda r: (
+                    r[l_part], r[l_qty], r[l_ep] * (1 - r[l_disc])
+                ),
+                n_qual_clauses=2,
+            )
+            for item in outer:
+                if type(item) is not Row:
+                    yield item
+                    continue
+                partkey, qty, revenue = item.data
+                prow: List[Tuple] = []
+                yield from _collect(index_scan_eq(ctx, part_idx, partkey), prow)
+                if prow and matches(prow[0], qty):
+                    yield Row((revenue,))
+
+        return scalar_agg(ctx, joined(), 0.0, lambda acc, r: acc + r[0])
+
+    return plan
+
+
+def q19_reference(db: Database, params: Dict) -> List[Tuple]:
+    """Brute-force Q19."""
+    li = db.table("lineitem")
+    part = db.table("part")
+    l_part = li.col("l_partkey")
+    l_qty = li.col("l_quantity")
+    l_ep = li.col("l_extendedprice")
+    l_disc = li.col("l_discount")
+    l_mode = li.col("l_shipmode")
+    l_instr = li.col("l_shipinstruct")
+    p_key = part.col("p_partkey")
+    p_brand = part.col("p_brand")
+    p_container = part.col("p_container")
+    p_size = part.col("p_size")
+    groups = _q19_groups(params)
+    part_by_key = {r[p_key]: r for r in _live(part.rows)}
+    revenue = 0.0
+    for r in _live(li.rows):
+        if r[l_mode] not in _Q19_SHIPMODES or r[l_instr] != "NONE":
+            continue
+        prow = part_by_key.get(r[l_part])
+        if prow is None:
+            continue
+        for brand, containers, qlo, qhi, smax in groups:
+            if (
+                prow[p_brand] == brand
+                and prow[p_container] in containers
+                and qlo <= r[l_qty] <= qhi
+                and 1 <= prow[p_size] <= smax
+            ):
+                revenue += r[l_ep] * (1 - r[l_disc])
+                break
+    return [(revenue,)]
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -865,6 +988,15 @@ QUERIES: Dict[str, QueryDef] = {
         factory=q14_factory,
         reference=q14_reference,
         params=lambda: default_params("Q14"),
+    ),
+    "Q19": QueryDef(
+        name="Q19",
+        description="Discounted revenue (extension: disjunctive join predicate)",
+        access_pattern="mixed",
+        relations=lambda db: ["lineitem", "part", "idx_part_partkey"],
+        factory=q19_factory,
+        reference=q19_reference,
+        params=lambda: default_params("Q19"),
     ),
 }
 

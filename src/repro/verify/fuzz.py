@@ -55,8 +55,10 @@ from .invariants import InvariantViolation, checking, checking_batched
 #: references already force capacity evictions and re-fetches.
 FUZZ_SCALE_LOG2 = 9
 
-#: Platforms every campaign alternates between.
-FUZZ_PLATFORMS: Tuple[str, ...] = ("hpv", "sgi")
+#: Platforms every campaign alternates between (round-robin, so every
+#: registered axis point — including the three-level islands machine
+#: with its prefetcher — is exercised in any campaign of >= 4 rounds).
+FUZZ_PLATFORMS: Tuple[str, ...] = ("hpv", "sgi", "islands-2x8", "flat-smp-16")
 
 
 @dataclass
@@ -159,10 +161,11 @@ def fingerprint(
         "coherent": [
             sorted(h.coherent.resident()) for h in memsys.hierarchies[:n_active]
         ],
-        "l1": [
-            sorted(h.l1.resident()) if h.has_l2 else None
+        "inner_levels": [
+            [sorted(c.resident()) for c in h.levels[:-1]] if h.has_l2 else None
             for h in memsys.hierarchies[:n_active]
         ],
+        "prefetch_fills": memsys.n_prefetch_fills,
         "directory": sorted(
             (
                 line,

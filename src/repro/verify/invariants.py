@@ -157,23 +157,30 @@ class InvariantChecker:
         if e.last_writer != NO_OWNER and not 0 <= e.last_writer < self._n_cpus:
             fail(f"last_writer {e.last_writer} out of range")
 
-        # Inclusion + permission ordering for two-level hierarchies.
+        # Inclusion + permission ordering, per adjacent level pair.
         for cpu, h in enumerate(ms.hierarchies):
             if not h.has_l2:
                 continue
-            coh_state = held.get(cpu, INVALID)
-            step = h.l1.config.line_size
-            for a in range(line, line + h.coherent_line_size, step):
-                l1_state = h.l1.peek(a)
-                if l1_state == INVALID:
-                    continue
-                if coh_state == INVALID:
-                    fail(f"cpu{cpu} L1 holds {a:#x} with no coherent copy")
-                if l1_state in _WRITABLE and coh_state not in _WRITABLE:
-                    fail(
-                        f"cpu{cpu} L1 permission {_STATE_NAMES[l1_state]} at "
-                        f"{a:#x} exceeds coherent {_STATE_NAMES[coh_state]}"
-                    )
+            levels = h.levels
+            for li in range(len(levels) - 1):
+                inner, outer = levels[li], levels[li + 1]
+                step = inner.config.line_size
+                for a in range(line, line + h.coherent_line_size, step):
+                    in_state = inner.peek(a)
+                    if in_state == INVALID:
+                        continue
+                    out_state = outer.peek(a)
+                    if out_state == INVALID:
+                        fail(
+                            f"cpu{cpu} L{li + 1} holds {a:#x} with no "
+                            f"coherent copy below it (L{li + 2} invalid)"
+                        )
+                    if in_state in _WRITABLE and out_state not in _WRITABLE:
+                        fail(
+                            f"cpu{cpu} L{li + 1} permission "
+                            f"{_STATE_NAMES[in_state]} at {a:#x} exceeds "
+                            f"L{li + 2} {_STATE_NAMES[out_state]}"
+                        )
 
     # -- stats checks -------------------------------------------------------
     def check_stats(self, cpu: int) -> None:
@@ -275,7 +282,7 @@ class InvariantChecker:
             )
         for cpu, h in enumerate(self.memsys.hierarchies):
             if not h.check_inclusion():
-                raise InvariantViolation(f"cpu{cpu}: L1/L2 inclusion broken")
+                raise InvariantViolation(f"cpu{cpu}: cache inclusion broken")
 
 
 class BatchedInvariantChecker:
@@ -298,8 +305,9 @@ class BatchedInvariantChecker:
       bitmasks and comparing against the directory's arrays,
     * sharers/owner mode, ``written_since_transfer``, migratory and
       id-range checks as vector predicates over the directory arrays,
-    * L1/L2 inclusion and permission ordering via ``searchsorted`` of
-      the covering coherent lines into each CPU's residency.
+    * inclusion and permission ordering per adjacent level pair via
+      ``searchsorted`` of the covering outer lines into each CPU's
+      per-level residency.
 
     The properties verified are exactly those of
     :meth:`InvariantChecker.check_all` (each sweep checks *every* line,
@@ -369,10 +377,11 @@ class BatchedInvariantChecker:
         bases_l = []
         cpus_l = []
         states_l = []
-        l1_views = []
+        inner_views = []  # per cpu: the non-coherent levels' views, innermost first
         for cpu, h in enumerate(ms.hierarchies):
-            (tags, states, _), l1_view = h.soa_views()
-            l1_views.append(l1_view)
+            views = h.soa_views()
+            tags, states, _ = views[-1]
+            inner_views.append(views[:-1])
             m = tags >= 0
             ln = tags[m] << coh_shift
             cs = states[m]
@@ -473,31 +482,42 @@ class BatchedInvariantChecker:
         bad = np.flatnonzero(~om & (non_shared != 0))
         if bad.size:
             self._diagnose(int(gbases[bad[0]]))
-        # -- inclusion + permission ordering ---------------------------------
+        # -- inclusion + permission ordering, per adjacent level pair ---------
         for cpu, h in enumerate(ms.hierarchies):
-            if l1_views[cpu] is None:
+            views = inner_views[cpu]
+            if not views:
                 continue
-            l1t, l1s, _ = l1_views[cpu]
-            m = l1t >= 0
-            if not m.any():
-                continue
-            l1_lines = l1t[m]
-            l1_states = l1s[m]
-            cov = (l1_lines << h.l1.config.line_shift) & ms._coh_mask
-            mybases, mystates = per_cpu[cpu]
-            j = np.searchsorted(mybases, cov)
-            nb = mybases.shape[0]
-            covered = (j < nb) & (mybases[np.minimum(j, max(nb - 1, 0))] == cov) \
-                if nb else np.zeros(cov.shape[0], dtype=np.bool_)
-            bad = np.flatnonzero(~covered)
-            if bad.size:  # L1 line with no coherent copy below it
-                self._diagnose(int(cov[bad[0]]))
-            cstates = mystates[np.minimum(j, max(nb - 1, 0))]
-            l1w = (l1_states == EXCLUSIVE) | (l1_states == MODIFIED)
-            cw = (cstates == EXCLUSIVE) | (cstates == MODIFIED)
-            bad = np.flatnonzero(l1w & ~cw)
-            if bad.size:
-                self._diagnose(int(cov[bad[0]]))
+            levels = h.levels
+            # Sorted (byte base, state) residency per level; the coherent
+            # level's sorted residency was already built above.
+            residency = []
+            for li, (lt, lst, _) in enumerate(views):
+                vm = lt >= 0
+                vb = lt[vm] << levels[li].config.line_shift
+                vs = lst[vm]
+                vo = np.argsort(vb)
+                residency.append((vb[vo], vs[vo]))
+            residency.append(per_cpu[cpu])
+            for li in range(len(views)):
+                ibases, istates = residency[li]
+                if not ibases.shape[0]:
+                    continue
+                obases, ostates = residency[li + 1]
+                outer_mask = ~np.int64(levels[li + 1].config.line_size - 1)
+                cov = ibases & outer_mask
+                j = np.searchsorted(obases, cov)
+                nb = obases.shape[0]
+                covered = (j < nb) & (obases[np.minimum(j, max(nb - 1, 0))] == cov) \
+                    if nb else np.zeros(cov.shape[0], dtype=np.bool_)
+                bad = np.flatnonzero(~covered)
+                if bad.size:  # inner line with no copy in the level outside it
+                    self._diagnose(int(cov[bad[0]] & ms._coh_mask))
+                ostate = ostates[np.minimum(j, max(nb - 1, 0))]
+                iw = (istates == EXCLUSIVE) | (istates == MODIFIED)
+                ow = (ostate == EXCLUSIVE) | (ostate == MODIFIED)
+                bad = np.flatnonzero(iw & ~ow)
+                if bad.size:
+                    self._diagnose(int(cov[bad[0]] & ms._coh_mask))
 
 
 def attach_batched(

@@ -65,9 +65,14 @@ EXPECTED_API = [
     "regenerate_figure",
     "render_table",
     "metrics",
-    # machine models
+    # machine models: registry, loader, built-ins
     "platform",
-    "PLATFORMS",
+    "MachineConfig",
+    "MachineRegistry",
+    "REGISTRY",
+    "load_machine_file",
+    "save_machine_file",
+    "validate_machine",
     "hp_v_class",
     "sgi_origin_2000",
     # observer-bus attach helpers

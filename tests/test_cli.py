@@ -15,7 +15,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "run", "sweep", "figures", "validate", "microbench", "describe",
-            "capture", "replay", "verify", "trace", "worker",
+            "capture", "replay", "verify", "trace", "worker", "machines",
         }
 
     def test_requires_command(self):
@@ -86,6 +86,41 @@ class TestCommands:
         import pstats
 
         assert pstats.Stats(str(prof)).total_tt > 0
+
+    def test_machines_list(self, capsys):
+        rc = main(["machines", "list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("hpv", "sgi", "islands-2x8", "flat-smp-16"):
+            assert name in out
+
+    def test_machines_describe(self, capsys):
+        rc = main(["machines", "describe", "islands-2x8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "L3" in out and "sockets" in out
+
+    def test_machines_validate_all(self, capsys):
+        rc = main(["machines", "validate"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hpv: ok" in out
+
+    def test_machines_unknown_name_suggests(self, capsys):
+        rc = main(["machines", "describe", "island-2x8"])
+        err = capsys.readouterr().err
+        assert rc != 0
+        assert "islands-2x8" in err
+
+    def test_run_with_machine_file(self, capsys, tmp_path):
+        from repro.mem.machine import platform
+        from repro.mem.registry import save_machine_file
+
+        path = save_machine_file(platform("hpv"), tmp_path / "mine.toml")
+        rc = main(["run", "--query", "Q6", "--platform", str(path),
+                   "--procs", "1", "--sf", "0.0004"])
+        assert rc == 0
+        assert "CPI" in capsys.readouterr().out
 
     def test_run_sgi_multiproc(self, capsys):
         rc = main(["run", "--query", "Q6", "--platform", "sgi",

@@ -51,6 +51,16 @@ class TestFastExamples:
         assert "thread-time growth" in out
 
 
+def test_example_machine_files_validate():
+    """Every shipped example machine file must load and validate."""
+    from repro.mem.registry import load_machine_file, validate_machine
+
+    files = sorted((EXAMPLES / "machines").iterdir())
+    assert files, "no example machine files shipped"
+    for path in files:
+        validate_machine(load_machine_file(path))
+
+
 @pytest.mark.parametrize(
     "name",
     [

@@ -43,10 +43,16 @@ class TestConstruction:
                 ]
             )
 
-    def test_three_levels_rejected(self):
+    def test_three_levels_supported(self):
+        cfg = CacheConfig("c", 16 * 32, 32, 1)
+        h = CacheHierarchy([cfg, cfg, cfg])
+        assert len(h.levels) == 3
+        assert h.coherent is h.levels[-1]
+
+    def test_four_levels_rejected(self):
         cfg = CacheConfig("c", 16 * 32, 32, 1)
         with pytest.raises(ConfigError):
-            CacheHierarchy([cfg, cfg, cfg])
+            CacheHierarchy([cfg, cfg, cfg, cfg])
 
 
 class TestFill:

@@ -4,11 +4,11 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.mem.machine import (
-    PLATFORMS,
     hp_v_class,
     platform,
     sgi_origin_2000,
 )
+from repro.mem.registry import REGISTRY
 from repro.units import KB, MB
 
 
@@ -82,7 +82,10 @@ class TestRegistry:
             platform("cray")
 
     def test_registry_complete(self):
-        assert set(PLATFORMS) == {"hpv", "sgi"}
+        # the two paper machines plus the two modern machine files
+        assert {"hpv", "sgi"} <= set(REGISTRY.names())
+        assert REGISTRY.paper_platforms() == ("hpv", "sgi")
+        assert len(REGISTRY.names()) >= 4
 
     def test_describe_mentions_processor(self):
         assert "PA-8200" in hp_v_class().describe()

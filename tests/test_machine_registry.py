@@ -1,0 +1,278 @@
+"""The machine registry, the TOML/JSON loader, and its error taxonomy.
+
+The loader contract: a valid :class:`MachineConfig` survives a
+save/load round trip *identically* (hypothesis-generated configs, both
+formats), and every class of corruption raises inside the
+:class:`ConfigError` taxonomy — never a mis-simulated machine.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ConfigError,
+    MachineFileError,
+    MachineSchemaError,
+    UnknownPlatformError,
+)
+from repro.mem.cache import CacheConfig
+from repro.mem.latency import LatencyModel
+from repro.mem.machine import MachineConfig, platform
+from repro.mem.registry import (
+    BUILTIN_MACHINE_DIR,
+    REGISTRY,
+    MachineRegistry,
+    dump_machine_toml,
+    load_machine_file,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine_file,
+    validate_machine,
+)
+
+
+# ---------------------------------------------------------------------------
+# strategy: arbitrary valid machines
+# ---------------------------------------------------------------------------
+
+@st.composite
+def machine_configs(draw) -> MachineConfig:
+    n_levels = draw(st.integers(1, 3))
+    line = draw(st.sampled_from((32, 64)))
+    assoc = draw(st.sampled_from((1, 2, 4)))
+    size = line * assoc * 2 ** draw(st.integers(2, 6))
+    caches = []
+    for i in range(n_levels):
+        caches.append(CacheConfig(f"C{i + 1}", size, line, assoc))
+        size *= draw(st.sampled_from((2, 4)))
+    topo = draw(st.sampled_from(("crossbar", "islands")))
+    n_sockets = draw(st.integers(1, 4)) if topo == "islands" else 1
+    n_cpus = draw(st.integers(n_sockets, 8))
+    homes = tuple(
+        sorted(
+            draw(
+                st.sets(
+                    st.integers(0, n_sockets - 1),
+                    min_size=1,
+                    max_size=n_sockets,
+                )
+            )
+        )
+    )
+    latency = LatencyModel(
+        l2_hit=draw(st.integers(1, 30)),
+        l3_hit=draw(st.integers(0, 60)),
+        mem_base=draw(st.integers(50, 400)),
+        hop_cost=draw(st.integers(0, 150)),
+        intervention_base=draw(st.integers(10, 300)),
+        upgrade_base=draw(st.integers(10, 200)),
+        inval_per_sharer=draw(st.integers(0, 30)),
+        bank_service=draw(st.integers(1, 50)),
+        speculative_reply=draw(st.booleans()),
+        exposure=draw(st.sampled_from((0.18, 0.25, 0.5, 1.0))),
+    )
+    return MachineConfig(
+        name=draw(st.sampled_from(("A Machine", "βox", 'quoted "name"'))),
+        processor="Test CPU",
+        n_cpus=n_cpus,
+        clock_mhz=draw(st.integers(100, 4000)),
+        caches=tuple(caches),
+        latency=latency,
+        topology_kind=topo,
+        migratory_enabled=draw(st.booleans()),
+        base_cpi=draw(st.sampled_from((0.75, 0.85, 1.0, 1.3))),
+        instr_counter_skew=draw(st.sampled_from((0.97, 1.0, 1.02))),
+        n_mem_banks=draw(st.integers(1, 8)),
+        db_home_nodes=homes,
+        n_sockets=n_sockets,
+        prefetch_next_line=draw(st.booleans()),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(cfg=machine_configs())
+    def test_toml_round_trip_is_identity(self, cfg, tmp_path_factory):
+        path = tmp_path_factory.mktemp("m") / "m.toml"
+        save_machine_file(cfg, path)
+        assert load_machine_file(path) == cfg
+
+    @settings(max_examples=60, deadline=None)
+    @given(cfg=machine_configs())
+    def test_json_round_trip_is_identity(self, cfg, tmp_path_factory):
+        path = tmp_path_factory.mktemp("m") / "m.json"
+        save_machine_file(cfg, path)
+        assert load_machine_file(path) == cfg
+
+    @settings(max_examples=30, deadline=None)
+    @given(cfg=machine_configs())
+    def test_dict_round_trip_is_identity(self, cfg):
+        assert machine_from_dict(machine_to_dict(cfg)) == cfg
+
+    def test_seed_machines_round_trip(self, tmp_path):
+        for name in ("hpv", "sgi"):
+            cfg = platform(name)
+            path = tmp_path / f"{name}.toml"
+            save_machine_file(cfg, path)
+            assert load_machine_file(path) == cfg
+
+
+# ---------------------------------------------------------------------------
+# corruption taxonomy
+# ---------------------------------------------------------------------------
+
+def _valid_doc():
+    return machine_to_dict(platform("islands-2x8"))
+
+
+class TestCorruption:
+    def test_bad_topology_kind(self):
+        doc = _valid_doc()
+        doc["topology_kind"] = "torus"
+        with pytest.raises(ConfigError, match="topology"):
+            machine_from_dict(doc)
+
+    def test_zero_size_cache(self):
+        doc = _valid_doc()
+        doc["caches"][0]["size"] = 0
+        with pytest.raises(ConfigError):
+            machine_from_dict(doc)
+
+    def test_non_monotone_levels(self):
+        doc = _valid_doc()
+        # L2 smaller than L1: inclusion is impossible.
+        doc["caches"][1]["size"] = doc["caches"][0]["size"] // 2
+        with pytest.raises(ConfigError):
+            machine_from_dict(doc)
+
+    def test_shrinking_line_size_rejected(self):
+        doc = _valid_doc()
+        doc["caches"][0]["line_size"] = 128  # L1 lines wider than L2's
+        with pytest.raises(ConfigError):
+            machine_from_dict(doc)
+
+    def test_missing_field(self):
+        doc = _valid_doc()
+        del doc["n_cpus"]
+        with pytest.raises(MachineSchemaError, match="n_cpus"):
+            machine_from_dict(doc)
+
+    def test_unknown_field(self):
+        doc = _valid_doc()
+        doc["overclock"] = True
+        with pytest.raises(MachineSchemaError, match="overclock"):
+            machine_from_dict(doc)
+
+    def test_bool_is_not_an_int(self):
+        doc = _valid_doc()
+        doc["n_cpus"] = True
+        with pytest.raises(MachineSchemaError, match="n_cpus"):
+            machine_from_dict(doc)
+
+    def test_unsupported_format(self):
+        doc = _valid_doc()
+        doc["format"] = 99
+        with pytest.raises(MachineSchemaError, match="format"):
+            machine_from_dict(doc)
+
+    def test_home_nodes_must_be_ints(self):
+        doc = _valid_doc()
+        doc["db_home_nodes"] = [0, "1"]
+        with pytest.raises(MachineSchemaError, match="db_home_nodes"):
+            machine_from_dict(doc)
+
+    def test_empty_caches(self):
+        doc = _valid_doc()
+        doc["caches"] = []
+        with pytest.raises(MachineSchemaError, match="caches"):
+            machine_from_dict(doc)
+
+    def test_everything_raises_config_error_subclass(self, tmp_path):
+        """The whole taxonomy folds into ConfigError — one except arm
+        in the CLI covers every way a machine file can be wrong."""
+        for exc in (MachineFileError, MachineSchemaError, UnknownPlatformError):
+            assert issubclass(exc, ConfigError)
+
+    def test_unparseable_toml(self, tmp_path):
+        p = tmp_path / "bad.toml"
+        p.write_text("format = [unclosed")
+        with pytest.raises(MachineFileError, match="bad TOML"):
+            load_machine_file(p)
+
+    def test_unparseable_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{")
+        with pytest.raises(MachineFileError, match="bad JSON"):
+            load_machine_file(p)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MachineFileError, match="cannot read"):
+            load_machine_file(tmp_path / "nope.toml")
+
+    def test_unknown_extension(self, tmp_path):
+        p = tmp_path / "m.yaml"
+        p.write_text("")
+        with pytest.raises(MachineFileError, match="extension"):
+            load_machine_file(p)
+
+
+# ---------------------------------------------------------------------------
+# registry resolution
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_builtin_machines_registered(self):
+        names = REGISTRY.names()
+        assert {"hpv", "sgi", "islands-2x8", "flat-smp-16"} <= set(names)
+        assert REGISTRY.paper_platforms() == ("hpv", "sgi")
+
+    def test_unknown_platform_lists_names_and_suggests(self):
+        with pytest.raises(UnknownPlatformError) as ei:
+            platform("island-2x8")
+        msg = str(ei.value)
+        for name in REGISTRY.names():
+            assert name in msg
+        assert "did you mean 'islands-2x8'" in msg
+
+    def test_path_resolution(self, tmp_path):
+        cfg = platform("flat-smp-16")
+        path = save_machine_file(cfg, tmp_path / "mine.json")
+        assert platform(str(path)) == cfg
+
+    def test_cpu_override_revalidates(self):
+        assert platform("islands-2x8", 4).n_cpus == 4
+        with pytest.raises(ConfigError):
+            platform("islands-2x8", 1)  # fewer CPUs than sockets
+
+    def test_duplicate_registration_rejected(self):
+        reg = MachineRegistry()
+        reg.register("m", platform("hpv"))
+        with pytest.raises(MachineSchemaError, match="already registered"):
+            reg.register("m", platform("sgi"))
+        reg.register("m", platform("sgi"), replace_existing=True)
+        assert reg.get("m").name == "SGI Origin 2000"
+
+    def test_mesh_alias_maps_to_islands(self):
+        doc = _valid_doc()
+        doc["topology_kind"] = "mesh"
+        assert machine_from_dict(doc).topology_kind == "islands"
+
+    def test_every_registered_machine_validates(self):
+        for name, cfg in REGISTRY.items():
+            validate_machine(cfg)
+            assert dataclasses.is_dataclass(cfg), name
+
+    def test_builtin_dir_files_match_registry(self):
+        for path in sorted(BUILTIN_MACHINE_DIR.glob("*.toml")):
+            assert path.stem in REGISTRY
+            assert load_machine_file(path) == REGISTRY.get(path.stem)
+
+    def test_toml_dump_quotes_awkward_strings(self):
+        cfg = dataclasses.replace(platform("hpv"), name='has "quotes" \\ and βytes')
+        text = dump_machine_toml(cfg)
+        import tomllib
+
+        assert tomllib.loads(text)["name"] == cfg.name

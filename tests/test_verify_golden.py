@@ -77,12 +77,14 @@ class TestCommittedGoldens:
     def test_full_matrix_is_committed(self):
         d = default_golden_dir()
         cells = golden_cells()
-        assert len(cells) == 18  # 3 queries x 2 platforms x 3 proc counts
+        # 3 queries x (2 paper platforms x 3 proc counts
+        #              + 2 modern platforms x 1 proc count)
+        assert len(cells) == 24
         for cell in cells:
             assert (d / f"{cell_name(cell)}.json").exists(), cell_name(cell)
 
     def test_committed_cell_is_fresh(self):
-        """One committed snapshot re-verified end to end; the full 18
+        """One committed snapshot re-verified end to end; the full 24
         run under ``repro verify`` (CI), not per-test."""
         report = run_golden(default_golden_dir(), cells=[CELL])
         assert report.ok, [d.details for d in report.diffs]
