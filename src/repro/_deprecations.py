@@ -5,12 +5,60 @@ dataclasses: fields are passed by keyword, so the field order stops
 being API and new fields can be inserted where they belong.  Positional
 construction keeps working through :func:`keyword_only_init`, but warns
 — downstream code gets one deprecation cycle to migrate.
+
+Every active deprecation and its removal horizon is listed in
+:data:`REMOVALS` — the single place to look before cutting a breaking
+release.
 """
 
 from __future__ import annotations
 
 import functools
 import warnings
+
+#: Active deprecations and when each surface goes away.  "v2" means the
+#: ``repro/v2`` envelope/API bump; nothing is removed silently before
+#: its listed horizon.
+REMOVALS = {
+    "positional-config-init": {
+        "surface": "positional arguments to the config dataclasses "
+                   "(SimConfig, TPCHConfig, ExperimentSpec, ...)",
+        "since": "PR 5",
+        "replacement": "pass fields by keyword",
+        "horizon": "v2",
+    },
+    "parallel-jobs-kwarg": {
+        "surface": "ParallelSweepRunner(jobs=N)",
+        "since": "PR 8",
+        "replacement": "ParallelSweepRunner("
+                       "executor=select_executor(jobs=N))",
+        "horizon": "v2",
+    },
+    "json-top-level-mirrors": {
+        "surface": "top-level keys (other than schema/kind/data) in "
+                   "`repro sweep --json` / `repro verify --json` output",
+        "since": "PR 10",
+        "replacement": "read the repro/v1 envelope's data/* instead",
+        "horizon": "v2",
+    },
+}
+
+#: Deprecation messages already emitted this process (see
+#: :func:`warn_once`).
+_WARNED = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` at most once per process.
+
+    A deprecated surface hit in a loop (every runner construction, every
+    sweep) must not flood stderr: the first hit warns, the rest are
+    silent.  ``key`` should name an entry in :data:`REMOVALS`.
+    """
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
 
 
 def keyword_only_init(cls):

@@ -51,12 +51,29 @@ from .mem.registry import (
 from .obs import (
     ChromeTraceExporter,
     PhaseProfiler,
+    SweepEventJournal,
     SweepEventRecorder,
     observed_run,
+)
+from .service import (
+    ENVELOPE_KINDS,
+    SCHEMA_V1,
+    EnvelopeError,
+    JobSpec,
+    ServiceError,
+    SweepClient,
+    error_envelope,
+    make_envelope,
+    serve,
+    validate_envelope,
 )
 from .tpch.datagen import TPCHConfig
 from .trace.capture import capture_workload, replay_workload
 from .trace.store import TraceStore
+
+#: The versioned machine contract every ``--json`` output and HTTP
+#: response follows (see :mod:`repro.service.envelope`).
+API_VERSION = SCHEMA_V1
 
 __all__ = [
     "__version__",
@@ -110,4 +127,17 @@ __all__ = [
     "PhaseProfiler",
     "ChromeTraceExporter",
     "SweepEventRecorder",
+    "SweepEventJournal",
+    # sweep-as-a-service: daemon, client, and the repro/v1 envelope
+    "API_VERSION",
+    "SCHEMA_V1",
+    "ENVELOPE_KINDS",
+    "EnvelopeError",
+    "make_envelope",
+    "error_envelope",
+    "validate_envelope",
+    "serve",
+    "JobSpec",
+    "SweepClient",
+    "ServiceError",
 ]

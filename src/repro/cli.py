@@ -21,14 +21,27 @@
   frame protocol on stdin/stdout (spawned by ``--hosts``, locally or
   as the remote end of ``ssh host repro worker``; not for interactive
   use)
+* ``serve``      — run the experiment daemon: a versioned HTTP API
+  (``POST /v1/sweeps``, SSE events, shared result store) over the
+  distributed sweep engine (see :mod:`repro.service`)
+* ``submit``     — send a sweep spec to a running daemon
+* ``status``     — show one daemon job (or all of them)
+* ``fetch``      — download a finished job's results
 
-Exit codes (the machine contract; ``--json`` on ``sweep``/``verify``
-adds a structured summary on stdout):
+Exit codes (the machine contract):
 
 * ``0`` — success
 * ``1`` — the command ran but work failed (quarantined sweep cells, a
-  failed verification, a missed paper claim)
-* ``2`` — bad usage (unknown flags, invalid configuration)
+  failed verification, a missed paper claim, a failed service job)
+* ``2`` — bad usage (unknown flags, invalid configuration, a sweep
+  spec the daemon rejected)
+
+Every ``--json`` output is a ``repro/v1`` envelope —
+``{"schema": "repro/v1", "kind": ..., "data": {...}}`` — the same
+contract the HTTP API speaks (:mod:`repro.service.envelope`).
+``sweep`` and ``verify`` additionally mirror their ``data`` keys at
+the top level for pre-v1 consumers; those mirrors are deprecated and
+leave in ``repro/v2``.
 """
 
 from __future__ import annotations
@@ -54,8 +67,16 @@ from .errors import ConfigError
 from .mem.machine import platform
 from .mem.registry import REGISTRY, validate_machine
 from .obs.sinks import SweepEventRecorder
+from .service.envelope import dump_envelope, error_envelope, make_envelope
 from .tpch.datagen import TPCHConfig, build_database
 from .tpch.queries import QUERIES
+
+
+def _print_envelope(kind: str, data: dict, compat: bool = False) -> None:
+    """Print one ``repro/v1`` envelope — the single choke point every
+    ``--json`` path goes through, so CLI output and HTTP responses
+    cannot drift apart."""
+    print(dump_envelope(make_envelope(kind, data, compat=compat)))
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -280,7 +301,7 @@ def cmd_sweep(args) -> int:
         if manifest is not None:
             payload["manifest"] = str(manifest.path)
         payload["exit_code"] = rc
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        _print_envelope("sweep-report", payload, compat=True)
         return rc
 
     rate = report.ran / report.duration_s if report.duration_s > 0 else float("inf")
@@ -344,7 +365,7 @@ def cmd_verify(args) -> int:
     )
     rc = 0 if report.ok else 1
     if args.json:
-        print(json.dumps({
+        _print_envelope("verify-report", {
             "ok": report.ok,
             "smoke_ok": report.smoke_ok,
             "fuzz_ok": report.fuzz.ok if report.fuzz is not None else None,
@@ -352,7 +373,7 @@ def cmd_verify(args) -> int:
             "updated_golden": report.updated,
             "summary": report.summary_lines(),
             "exit_code": rc,
-        }, indent=2, sort_keys=True))
+        }, compat=True)
         return rc
     for line in report.summary_lines():
         print(line)
@@ -439,6 +460,18 @@ def cmd_trace_capture(args) -> int:
     store = TraceStore(args.store or None)
     result, trace = capture_workload(spec)
     path = store.put(spec, trace)
+    if args.json:
+        _print_envelope("trace-capture", {
+            "query": args.query,
+            "procs": args.procs,
+            "platform": spec.platform,
+            "n_events": trace.n_events,
+            "n_refs": trace.n_refs,
+            "result_rows": result.runs[0].query_rows,
+            "path": str(path),
+            "exit_code": 0,
+        })
+        return 0
     print(
         f"captured {args.query} x {args.procs} proc(s): "
         f"{trace.n_events:,} events, {trace.n_refs:,} refs, "
@@ -464,6 +497,19 @@ def cmd_trace_replay(args) -> int:
     result = replay_workload(spec, trace)
     m = result.mean
     machine = result.machine
+    if args.json:
+        _print_envelope("trace-replay", {
+            "query": args.query,
+            "procs": args.procs,
+            "platform": args.platform,
+            "cycles": m.cycles,
+            "instructions": m.instructions,
+            "cpi": metrics.cpi(m, machine),
+            "level1_misses": m.level1_misses,
+            "coherent_misses": m.coherent_misses,
+            "exit_code": 0,
+        })
+        return 0
     print(machine.describe())
     print(f"replayed {args.query} x {args.procs} proc(s) on {args.platform}")
     print(f"thread time   : {m.cycles:,} cycles "
@@ -481,14 +527,216 @@ def cmd_worker(args) -> int:
     return worker_main()
 
 
+def _service_data_dir(args):
+    from pathlib import Path
+
+    from .core.resultcache import default_cache_dir
+
+    if getattr(args, "data_dir", None):
+        return Path(args.data_dir)
+    return default_cache_dir() / "service"
+
+
+def _service_url(args) -> str:
+    """The daemon URL: ``--url`` verbatim, else the discovery file a
+    running ``repro serve`` leaves in its data directory."""
+    if getattr(args, "url", None):
+        return args.url
+    discovery = _service_data_dir(args) / "service.json"
+    if discovery.exists():
+        return json.loads(discovery.read_text())["url"]
+    raise ConfigError(
+        f"no --url given and no discovery file at {discovery} — is "
+        f"`repro serve` running (with the same --data-dir)?"
+    )
+
+
+def _service_client(args):
+    from .service.client import SweepClient
+
+    return SweepClient(_service_url(args), tenant=args.tenant)
+
+
+def _service_error(exc, as_json: bool) -> int:
+    """Print a daemon rejection and map it onto the CLI exit-code
+    contract: spec/usage rejections (4xx except backpressure) are exit
+    2, everything else exit 1."""
+    if as_json:
+        print(dump_envelope(error_envelope(exc.code, exc.error, exc.detail or None)))
+    else:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.retry_after_s:
+            print(f"retry after {exc.retry_after_s:.0f}s", file=sys.stderr)
+    if exc.code in ("bad-request", "bad-spec", "unknown-platform",
+                    "unknown-query"):
+        return 2
+    return 1
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: run the experiment daemon until SIGTERM.
+
+    Binds the versioned HTTP API (see :mod:`repro.service.daemon`) and
+    drains submitted sweeps through the same
+    ``select_executor(--jobs/--hosts)`` machinery the ``sweep`` command
+    uses, against a shared content-addressed result cache under
+    ``--data-dir``.  Restarting after a crash (even ``kill -9``)
+    recovers journaled jobs and resumes from the checkpoint manifest.
+    """
+    from .service.daemon import serve
+
+    hosts = args.hosts or os.environ.get("REPRO_HOSTS") or None
+    return serve(
+        _service_data_dir(args),
+        bind=args.bind,
+        port=args.port,
+        jobs=args.jobs,
+        hosts=hosts,
+        trace_cache=args.trace_cache is not None,
+        max_depth=args.max_depth,
+        rate_per_s=args.rate,
+        burst=args.burst,
+        retries=args.retries,
+        timeout_s=args.timeout,
+    )
+
+
+def cmd_submit(args) -> int:
+    """``repro submit``: send one sweep spec to a running daemon.
+
+    Prints the job id (or the full ``job`` envelope with ``--json``).
+    ``--wait`` polls until the job finishes; ``--follow`` streams the
+    job's sweep events as they happen.  A rejected spec exits 2 with
+    the daemon's typed error.
+    """
+    from .core.sweep import NPROC_SWEEP
+    from .service.client import ServiceError
+    from .tpch.queries import PAPER_QUERIES
+
+    if args.platforms:
+        platforms = [
+            s for s in (x.strip() for x in args.platforms.split(",")) if s
+        ]
+    elif args.platform:
+        platforms = list(args.platform)
+    else:
+        platforms = list(REGISTRY.paper_platforms())
+    payload = {
+        "queries": list(args.query) if args.query else list(PAPER_QUERIES),
+        "platforms": platforms,
+        "nprocs": list(args.procs) if args.procs else list(NPROC_SWEEP),
+        "repetitions": args.reps,
+        "sf": args.sf,
+        "seed": args.seed,
+    }
+    try:
+        client = _service_client(args)
+        envelope = client.submit(payload)
+        job = envelope["data"]
+        if args.follow:
+            for record in client.events(job["id"]):
+                if record["event"] == "end":
+                    job = record["data"].get("data", job)
+                    break
+                data = record["data"].get("data", {})
+                args_d = data.get("args", {})
+                detail = " ".join(
+                    f"{k}={v}" for k, v in sorted(args_d.items())
+                )
+                if not args.json:
+                    print(f"{record['event']} {detail}".rstrip())
+            envelope = client.status(job["id"])
+            job = envelope["data"]
+        elif args.wait:
+            envelope = client.wait(job["id"], timeout=args.wait_timeout)
+            job = envelope["data"]
+    except ServiceError as exc:
+        return _service_error(exc, args.json)
+    rc = 0 if job["state"] in ("queued", "running", "done") else 1
+    if args.json:
+        print(dump_envelope(envelope))
+        return rc
+    line = f"job {job['id']}: {job['state']}"
+    if job.get("error"):
+        line += f" ({job['error']})"
+    print(line)
+    if job["state"] == "done":
+        print(f"fetch results: repro fetch {job['id']}")
+    return rc
+
+
+def cmd_status(args) -> int:
+    """``repro status``: one daemon job (or, with no id, all of them)."""
+    from .service.client import ServiceError
+
+    try:
+        client = _service_client(args)
+        if args.job_id:
+            envelope = client.status(args.job_id)
+            jobs = [envelope["data"]]
+        else:
+            envelope = client.jobs()
+            jobs = envelope["data"]["jobs"]
+    except ServiceError as exc:
+        return _service_error(exc, args.json)
+    if args.json:
+        print(dump_envelope(envelope))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        line = (
+            f"{job['id']}  {job['state']:<8} tenant={job['tenant']} "
+            f"cells={job['n_cells']}"
+        )
+        if job.get("error"):
+            line += f"  error: {job['error']}"
+        print(line)
+    return 0
+
+
+def cmd_fetch(args) -> int:
+    """``repro fetch``: download a finished job's results.
+
+    The output is always a ``sweep-results`` envelope whose ``data``
+    is purely spec-determined — identical specs fetch identical bytes,
+    whichever job (or daemon restart) produced them.  Exits 1 while
+    the job is still running (``not-ready``).
+    """
+    from .service.client import ServiceError
+
+    try:
+        client = _service_client(args)
+        envelope = client.results(args.job_id)
+    except ServiceError as exc:
+        return _service_error(exc, args.json)
+    print(dump_envelope(envelope))
+    return 0
+
+
 def cmd_machines_list(args) -> int:
     """``repro machines list``: one line per registered platform."""
     paper = set(REGISTRY.paper_platforms())
-    for name, cfg in REGISTRY.items():
-        tag = "paper" if name in paper else "data file"
+    rows = [
+        {
+            "key": name,
+            "name": cfg.name,
+            "n_cpus": cfg.n_cpus,
+            "cache_levels": len(cfg.caches),
+            "topology": cfg.topology_kind,
+            "source": "paper" if name in paper else "data file",
+        }
+        for name, cfg in REGISTRY.items()
+    ]
+    if args.json:
+        _print_envelope("machine-list", {"machines": rows, "exit_code": 0})
+        return 0
+    for row in rows:
         print(
-            f"{name:<14} {cfg.name:<22} {cfg.n_cpus:>3} CPUs  "
-            f"{len(cfg.caches)}-level  {cfg.topology_kind:<9} [{tag}]"
+            f"{row['key']:<14} {row['name']:<22} {row['n_cpus']:>3} CPUs  "
+            f"{row['cache_levels']}-level  {row['topology']:<9} "
+            f"[{row['source']}]"
         )
     return 0
 
@@ -497,6 +745,15 @@ def cmd_machines_describe(args) -> int:
     """``repro machines describe``: full description of one machine
     (a registered name or a machine file path)."""
     machine = platform(args.name)
+    if args.json:
+        import dataclasses
+
+        _print_envelope("machine", {
+            "key": args.name,
+            "config": dataclasses.asdict(machine),
+            "exit_code": 0,
+        })
+        return 0
     print(machine.describe())
     return 0
 
@@ -506,16 +763,32 @@ def cmd_machines_validate(args) -> int:
     registered ones) end to end; exit 1 on the first invalid one."""
     targets = list(args.name) if args.name else list(REGISTRY.names())
     rc = 0
+    results = []
     for name in targets:
         try:
             cfg = platform(name)
             validate_machine(cfg)
         except ConfigError as exc:
-            print(f"{name}: INVALID — {exc}")
+            results.append({"name": name, "ok": False, "error": str(exc)})
             rc = 1
         else:
-            print(f"{name}: ok ({cfg.name}, {cfg.n_cpus} CPUs, "
-                  f"{len(cfg.caches)} cache level(s), {cfg.topology_kind})")
+            results.append({
+                "name": name, "ok": True, "error": None,
+                "machine": cfg.name, "n_cpus": cfg.n_cpus,
+                "cache_levels": len(cfg.caches),
+                "topology": cfg.topology_kind,
+            })
+    if args.json:
+        _print_envelope("machine-validation", {
+            "ok": rc == 0, "results": results, "exit_code": rc,
+        })
+        return rc
+    for r in results:
+        if r["ok"]:
+            print(f"{r['name']}: ok ({r['machine']}, {r['n_cpus']} CPUs, "
+                  f"{r['cache_levels']} cache level(s), {r['topology']})")
+        else:
+            print(f"{r['name']}: INVALID — {r['error']}")
     return rc
 
 
@@ -639,12 +912,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     machines_sub = p.add_subparsers(dest="machines_command", required=True)
     mp = machines_sub.add_parser("list", help="one line per registered machine")
+    mp.add_argument("--json", action="store_true",
+                    help="print a repro/v1 machine-list envelope")
     mp.set_defaults(func=cmd_machines_list)
     mp = machines_sub.add_parser(
         "describe", help="full description of one machine"
     )
     mp.add_argument("name", metavar="NAME",
                     help="registered machine name or machine file path")
+    mp.add_argument("--json", action="store_true",
+                    help="print a repro/v1 machine envelope")
     mp.set_defaults(func=cmd_machines_describe)
     mp = machines_sub.add_parser(
         "validate",
@@ -652,6 +929,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mp.add_argument("name", nargs="*", metavar="NAME",
                     help="registered machine names or machine file paths")
+    mp.add_argument("--json", action="store_true",
+                    help="print a repro/v1 machine-validation envelope")
     mp.set_defaults(func=cmd_machines_validate)
 
     p = sub.add_parser(
@@ -676,6 +955,8 @@ def build_parser() -> argparse.ArgumentParser:
             "--store", nargs="?", const="", default="", metavar="DIR",
             help="trace store directory (default: <result cache>/traces)",
         )
+        tp.add_argument("--json", action="store_true",
+                        help=f"print a repro/v1 trace-{name} envelope")
         _add_common(tp)
         tp.set_defaults(func=func)
 
@@ -698,6 +979,85 @@ def build_parser() -> argparse.ArgumentParser:
              "spawned by --hosts, not for interactive use)",
     )
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the experiment daemon (versioned HTTP API over the "
+             "sweep engine)",
+    )
+    p.add_argument("--data-dir", default=None, metavar="DIR",
+                   help="service state root: job journal, shared result "
+                        "cache, event journals, discovery file "
+                        "(default: ~/.cache/repro/service)")
+    p.add_argument("--bind", default="127.0.0.1", metavar="ADDR",
+                   help="address to listen on (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8642, metavar="N",
+                   help="port to listen on (0 = ephemeral; default 8642)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes per job (default: serial)")
+    p.add_argument("--hosts", default=None, metavar="H1,H2,...",
+                   help="distribute each job across hosts (same syntax as "
+                        "`repro sweep --hosts`; default: $REPRO_HOSTS)")
+    p.add_argument("--trace-cache", nargs="?", const="", default=None,
+                   help="capture each workload's tape once and replay it "
+                        "across machines")
+    p.add_argument("--max-depth", type=int, default=64, metavar="N",
+                   help="queue depth before 429 queue-full (default 64)")
+    p.add_argument("--rate", type=float, default=10.0, metavar="R",
+                   help="per-tenant submissions/second (default 10)")
+    p.add_argument("--burst", type=int, default=20, metavar="N",
+                   help="per-tenant burst allowance (default 20)")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="attempts per cell before quarantine (default 3)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-unit-cost chunk deadline in host seconds")
+    p.set_defaults(func=cmd_serve)
+
+    def _client_opts(cp, with_json: bool = True) -> None:
+        cp.add_argument("--url", default=None, metavar="URL",
+                        help="daemon URL (default: the service.json "
+                             "discovery file under --data-dir)")
+        cp.add_argument("--data-dir", default=None, metavar="DIR",
+                        help="daemon data dir for discovery "
+                             "(default: ~/.cache/repro/service)")
+        cp.add_argument("--tenant", default="cli", metavar="NAME",
+                        help="tenant name for rate limiting (default: cli)")
+        if with_json:
+            cp.add_argument("--json", action="store_true",
+                            help="print the repro/v1 envelope instead of prose")
+
+    p = sub.add_parser("submit", help="send a sweep spec to a running daemon")
+    p.add_argument("--query", action="append", choices=sorted(QUERIES),
+                   help="query (repeatable); default: the paper's three")
+    p.add_argument("--platform", action="append", metavar="NAME",
+                   help="registered platform (repeatable); default: the "
+                        "paper pair")
+    p.add_argument("--platforms", default=None, metavar="A,B,C",
+                   help="comma-separated platform list; overrides --platform")
+    p.add_argument("--procs", action="append", type=int, metavar="N",
+                   help="process count (repeatable); default: 1 2 4 6 8")
+    p.add_argument("--reps", type=int, default=1, metavar="N",
+                   help="repetitions per cell (default 1)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job reaches a terminal state")
+    p.add_argument("--wait-timeout", type=float, default=600.0, metavar="S",
+                   help="--wait deadline in seconds (default 600)")
+    p.add_argument("--follow", action="store_true",
+                   help="stream the job's sweep events until it finishes")
+    _add_common(p)
+    _client_opts(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="show one daemon job (or all of them)")
+    p.add_argument("job_id", nargs="?", default=None, metavar="JOB",
+                   help="job id (omit for the full list)")
+    _client_opts(p)
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("fetch", help="download a finished job's results")
+    p.add_argument("job_id", metavar="JOB", help="job id")
+    _client_opts(p, with_json=False)
+    p.set_defaults(func=cmd_fetch, json=True)
 
     return parser
 

@@ -88,8 +88,9 @@ from __future__ import annotations
 
 import logging
 import time
-import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .._deprecations import warn_once
 
 from ..config import DEFAULT_SIM, SimConfig
 from ..errors import ConfigError
@@ -226,11 +227,11 @@ class ParallelSweepRunner(SweepRunner):
                 "pass either executor= or the deprecated jobs=, not both"
             )
         if jobs is not None:
-            warnings.warn(
-                "ParallelSweepRunner(jobs=...) is deprecated; pass "
+            warn_once(
+                "parallel-jobs-kwarg",
+                "ParallelSweepRunner(jobs=...) is deprecated and will be "
+                "removed in v2 (see repro._deprecations.REMOVALS); pass "
                 "executor=select_executor(jobs=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
             )
             self.executor = select_executor(jobs=jobs)
         elif executor is not _UNSET:

@@ -3,6 +3,12 @@
 Every error raised on purpose by the simulator derives from
 :class:`ReproError` so callers can catch simulator problems without
 swallowing programming errors.
+
+The service layer extends the hierarchy in :mod:`repro.service`
+(``EnvelopeError``, ``QueueFullError``, ``RateLimitedError``,
+``ServiceError``); the daemon maps the whole taxonomy onto typed
+``repro/v1`` error envelopes with HTTP statuses (config errors → 400,
+admission errors → 429, see ``repro.service.envelope.ERROR_CODES``).
 """
 
 from __future__ import annotations

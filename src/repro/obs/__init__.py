@@ -24,7 +24,12 @@ from .schema import (
     SNAPSHOT_FIELDS,
     scale_counter,
 )
-from .sinks import ChromeTraceExporter, PhaseProfiler, SweepEventRecorder
+from .sinks import (
+    ChromeTraceExporter,
+    PhaseProfiler,
+    SweepEventJournal,
+    SweepEventRecorder,
+)
 
 __all__ = [
     "ChromeTraceExporter",
@@ -38,6 +43,7 @@ __all__ = [
     "SinkRegistry",
     "SNAPSHOT_FIELDS",
     "SWEEP_EVENTS",
+    "SweepEventJournal",
     "SweepEventRecorder",
     "observed_run",
     "scale_counter",

@@ -166,6 +166,112 @@ class SweepEventRecorder:
         return out
 
 
+class SweepEventJournal:
+    """Appends every :data:`~repro.obs.bus.SWEEP_EVENTS` occurrence to
+    a JSON-lines file — the on-disk bridge between the observer bus and
+    anything that wants to *stream* a sweep's progress.
+
+    The experiment daemon attaches one journal per job and serves the
+    file as Server-Sent Events (``GET /v1/sweeps/{id}/events``):
+    dispatches, heartbeats, retries, requeues, host losses — everything
+    the engine publishes — become visible to HTTP clients in the order
+    they happened, and because the journal is a plain append-only file
+    it survives the daemon being killed (the tail after a restart
+    continues the same stream).
+
+    Each record is one line: ``{"seq": n, "event": name, "args":
+    {...}}`` with cell keys flattened to their manifest string form
+    (``Q6:hpv:2:1:default``) so records are pure JSON scalars.
+    """
+
+    #: argument names per sweep event, keeping records self-describing
+    _SIGNATURES = {
+        "on_cell_done": ("cell", "source"),
+        "on_cell_retry": ("cell", "attempt", "kind", "delay_s"),
+        "on_cell_timeout": ("cell", "attempt", "elapsed_s"),
+        "on_cell_quarantined": ("cell", "kind", "error"),
+        "on_sweep_degraded": ("reason",),
+        "on_chunk_dispatch": ("host", "token", "n_cells"),
+        "on_host_heartbeat": ("host", "payload"),
+        "on_host_lost": ("host", "error", "n_requeued"),
+        "on_cell_requeue": ("cell", "host", "reason"),
+    }
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.n_events = 0
+        # Continue the sequence after a restart: the journal is the
+        # stream, so a resumed job appends instead of restarting at 0.
+        try:
+            with self.path.open("r") as fh:
+                for line in fh:
+                    if line.strip():
+                        self.n_events += 1
+        except OSError:
+            pass
+
+    def _record(self, event: str, *args) -> None:
+        names = self._SIGNATURES[event]
+        payload = {}
+        for name, value in zip(names, args):
+            if name == "cell":
+                value = ":".join(str(part) for part in value)
+            payload[name] = value
+        record = {"seq": self.n_events, "event": event, "args": payload}
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+        self.n_events += 1
+
+    # -- sweep sink protocol: one forwarder per event -----------------------
+    def on_cell_done(self, key, source) -> None:
+        self._record("on_cell_done", key, source)
+
+    def on_cell_retry(self, key, attempt, kind, delay_s) -> None:
+        self._record("on_cell_retry", key, attempt, kind, delay_s)
+
+    def on_cell_timeout(self, key, attempt, elapsed_s) -> None:
+        self._record("on_cell_timeout", key, attempt, elapsed_s)
+
+    def on_cell_quarantined(self, key, kind, error) -> None:
+        self._record("on_cell_quarantined", key, kind, error)
+
+    def on_sweep_degraded(self, reason) -> None:
+        self._record("on_sweep_degraded", reason)
+
+    def on_chunk_dispatch(self, host, token, n_cells) -> None:
+        self._record("on_chunk_dispatch", host, token, n_cells)
+
+    def on_host_heartbeat(self, host, payload) -> None:
+        self._record("on_host_heartbeat", host, payload)
+
+    def on_host_lost(self, host, error, n_requeued) -> None:
+        self._record("on_host_lost", host, error, n_requeued)
+
+    def on_cell_requeue(self, key, host, reason) -> None:
+        self._record("on_cell_requeue", key, host, reason)
+
+    @staticmethod
+    def read(path) -> List[dict]:
+        """Parse a journal back into records (tolerates a torn final
+        line — the daemon may have died mid-append)."""
+        records: List[dict] = []
+        try:
+            text = Path(path).read_text()
+        except OSError:
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                break  # torn tail: everything before it is good
+        return records
+
+
 class ChromeTraceExporter:
     """Exports a run as Chrome-trace JSON (``chrome://tracing`` /
     Perfetto's legacy loader).

@@ -1,0 +1,60 @@
+"""Sweep-as-a-service: the HTTP experiment daemon and its contract.
+
+The ROADMAP's north star is a *service*: the paper's measurement grid
+(queries x machines x process counts) computed once and served to many
+consumers, instead of every consumer owning a checkout and a shell.
+This package is that service boundary, built entirely on the layers the
+earlier PRs grew:
+
+* :mod:`repro.service.envelope` — the one versioned JSON envelope
+  (``{"schema": "repro/v1", "kind": ..., "data": ...}``) every HTTP
+  response *and* every CLI ``--json`` path speaks.
+* :mod:`repro.service.jobs` — experiment specs over the wire
+  (:class:`JobSpec`), the FIFO :class:`JobQueue` with per-tenant rate
+  limiting and backpressure, and the on-disk job journal that makes a
+  ``kill -9``'d daemon resumable.
+* :mod:`repro.service.daemon` — the stdlib ``ThreadingHTTPServer``
+  daemon: ``POST /v1/sweeps`` validated through the existing error
+  taxonomy (typed 4xx bodies), a single worker thread feeding
+  :class:`~repro.core.parallel.ParallelSweepRunner` through
+  :func:`~repro.core.executors.select_executor`, the shared
+  content-addressed :class:`~repro.core.resultcache.ResultCache` /
+  :class:`~repro.trace.store.TraceStore` as the multi-tenant result
+  store, and ``GET /v1/sweeps/{id}/events`` streaming the
+  :data:`~repro.obs.bus.SWEEP_EVENTS` bus as Server-Sent Events.
+* :mod:`repro.service.client` — :class:`SweepClient`, the thin stdlib
+  client the ``repro submit``/``status``/``fetch`` subcommands wrap.
+
+No dependency beyond the standard library is introduced; the daemon is
+``repro serve``.
+"""
+
+from .client import ServiceError, SweepClient
+from .daemon import ReproService, serve
+from .envelope import (
+    ENVELOPE_KINDS,
+    SCHEMA_V1,
+    EnvelopeError,
+    error_envelope,
+    make_envelope,
+    validate_envelope,
+)
+from .jobs import Job, JobQueue, JobSpec, QueueFullError, RateLimitedError
+
+__all__ = [
+    "SCHEMA_V1",
+    "ENVELOPE_KINDS",
+    "EnvelopeError",
+    "make_envelope",
+    "error_envelope",
+    "validate_envelope",
+    "JobSpec",
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+    "RateLimitedError",
+    "ReproService",
+    "serve",
+    "SweepClient",
+    "ServiceError",
+]

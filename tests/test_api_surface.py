@@ -80,6 +80,20 @@ EXPECTED_API = [
     "PhaseProfiler",
     "ChromeTraceExporter",
     "SweepEventRecorder",
+    "SweepEventJournal",
+    # sweep-as-a-service (PR 10): daemon, client, and the repro/v1
+    # envelope — the explicit v1 marker for the machine contract
+    "API_VERSION",
+    "SCHEMA_V1",
+    "ENVELOPE_KINDS",
+    "EnvelopeError",
+    "make_envelope",
+    "error_envelope",
+    "validate_envelope",
+    "serve",
+    "JobSpec",
+    "SweepClient",
+    "ServiceError",
 ]
 
 
@@ -101,6 +115,13 @@ class TestFacade:
             text=True,
         )
         assert proc.returncode == 0, proc.stderr
+
+    def test_api_version_is_v1(self):
+        # the explicit version marker: every --json output and HTTP
+        # response carries this schema tag
+        assert api.API_VERSION == "repro/v1"
+        assert api.SCHEMA_V1 == api.API_VERSION
+        assert "error" in api.ENVELOPE_KINDS
 
     def test_facade_names_are_the_canonical_objects(self):
         from repro.core.parallel import ParallelSweepRunner

@@ -16,6 +16,7 @@ class TestParser:
         assert set(sub.choices) == {
             "run", "sweep", "figures", "validate", "microbench", "describe",
             "capture", "replay", "verify", "trace", "worker", "machines",
+            "serve", "submit", "status", "fetch",
         }
 
     def test_requires_command(self):
@@ -198,6 +199,46 @@ class TestCommands:
         d = json.loads(trace.read_text())
         cats = {e.get("cat") for e in d["traceEvents"]}
         assert "sweep" in cats  # engine events share the timeline
+
+    def test_all_json_paths_speak_the_v1_envelope(self, capsys, tmp_path):
+        """Every ``--json`` output is a valid ``repro/v1`` envelope of
+        the right kind — the CLI and the HTTP API share one contract."""
+        from repro.service.envelope import validate_envelope
+
+        cases = [
+            (["sweep", "--query", "Q6", "--platform", "hpv", "--procs",
+              "1", "--sf", "0.0004", "--json"], "sweep-report"),
+            (["machines", "list", "--json"], "machine-list"),
+            (["machines", "describe", "hpv", "--json"], "machine"),
+            (["machines", "validate", "hpv", "sgi", "--json"],
+             "machine-validation"),
+            (["trace", "capture", "--query", "Q6", "--procs", "1",
+              "--sf", "0.0004", "--store", str(tmp_path / "ts"),
+              "--json"], "trace-capture"),
+            (["trace", "replay", "--query", "Q6", "--procs", "1",
+              "--platform", "sgi", "--sf", "0.0004",
+              "--store", str(tmp_path / "ts"), "--json"], "trace-replay"),
+        ]
+        for argv, kind in cases:
+            rc = main(argv)
+            out = capsys.readouterr().out
+            assert rc == 0, (argv, out)
+            env = validate_envelope(out[out.index("{"):], kind=kind)
+            assert env["schema"] == "repro/v1"
+
+    def test_machines_json_payloads(self, capsys):
+        from repro.service.envelope import validate_envelope
+
+        main(["machines", "list", "--json"])
+        env = validate_envelope(capsys.readouterr().out)
+        keys = {m["key"] for m in env["data"]["machines"]}
+        assert {"hpv", "sgi"} <= keys
+        main(["machines", "describe", "hpv", "--json"])
+        env = validate_envelope(capsys.readouterr().out)
+        assert env["data"]["config"]["n_cpus"] >= 1
+        rc = main(["machines", "validate", "hpv", "--json"])
+        env = validate_envelope(capsys.readouterr().out)
+        assert rc == 0 and env["data"]["ok"]
 
     def test_capture_replay_roundtrip(self, capsys, tmp_path):
         trace = str(tmp_path / "q6.npz")

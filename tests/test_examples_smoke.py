@@ -50,6 +50,11 @@ class TestFastExamples:
         assert "fig5" in out and "fig10" in out
         assert "thread-time growth" in out
 
+    def test_service_study(self):
+        out = run_example("service_study.py", "--sf", "0.0004")
+        assert "byte-identical across tenants = True" in out
+        assert "[cache]" in out, "overlap was not served from the store"
+
 
 def test_example_machine_files_validate():
     """Every shipped example machine file must load and validate."""
